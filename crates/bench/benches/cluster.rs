@@ -1,0 +1,129 @@
+//! Substrate ablation: collective algorithms — binomial tree vs linear
+//! broadcast/reduce, flat vs hierarchical (node-aware) reduction — the
+//! "architectural knowledge" lesson of §2 made measurable.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use peachy::cluster::{Cluster, NodeMap};
+
+fn bench_broadcast(c: &mut Criterion) {
+    let payload: Vec<u64> = (0..1_000).collect();
+    let mut group = c.benchmark_group("cluster_broadcast");
+    group.sample_size(10);
+    for ranks in [4usize, 8, 16] {
+        let p = payload.clone();
+        group.bench_with_input(BenchmarkId::new("tree", ranks), &ranks, |b, &ranks| {
+            b.iter(|| {
+                let p = p.clone();
+                Cluster::run(ranks, move |comm| {
+                    let v = if comm.rank() == 0 {
+                        p.clone()
+                    } else {
+                        Vec::new()
+                    };
+                    comm.broadcast(0, v).len()
+                })
+            })
+        });
+        let p = payload.clone();
+        group.bench_with_input(BenchmarkId::new("linear", ranks), &ranks, |b, &ranks| {
+            b.iter(|| {
+                let p = p.clone();
+                Cluster::run(ranks, move |comm| {
+                    let v = if comm.rank() == 0 {
+                        p.clone()
+                    } else {
+                        Vec::new()
+                    };
+                    comm.broadcast_linear(0, v).len()
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_reduce(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cluster_reduce");
+    group.sample_size(10);
+    for ranks in [8usize, 16] {
+        group.bench_with_input(BenchmarkId::new("tree", ranks), &ranks, |b, &ranks| {
+            b.iter(|| {
+                Cluster::run(ranks, |comm| {
+                    let v = vec![comm.rank() as u64; 1_000];
+                    comm.reduce(0, v, |a, b| a.iter().zip(&b).map(|(x, y)| x + y).collect())
+                        .map(|v| v[0])
+                })
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("linear", ranks), &ranks, |b, &ranks| {
+            b.iter(|| {
+                Cluster::run(ranks, |comm| {
+                    let v = vec![comm.rank() as u64; 1_000];
+                    comm.reduce_linear(0, v, |a, b| a.iter().zip(&b).map(|(x, y)| x + y).collect())
+                        .map(|v| v[0])
+                })
+            })
+        });
+        group.bench_with_input(
+            BenchmarkId::new("hierarchical_4pn", ranks),
+            &ranks,
+            |b, &ranks| {
+                b.iter(|| {
+                    Cluster::run(ranks, |comm| {
+                        let v = vec![comm.rank() as u64; 1_000];
+                        comm.hierarchical_reduce(NodeMap::block(4), 0, v, |a, b| {
+                            a.iter().zip(&b).map(|(x, y)| x + y).collect()
+                        })
+                        .map(|v| v[0])
+                    })
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_barrier_and_allreduce(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cluster_sync");
+    group.sample_size(10);
+    for ranks in [4usize, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("barrier_x100", ranks),
+            &ranks,
+            |b, &ranks| {
+                b.iter(|| {
+                    Cluster::run(ranks, |comm| {
+                        for _ in 0..100 {
+                            comm.barrier();
+                        }
+                    })
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("allreduce_x100", ranks),
+            &ranks,
+            |b, &ranks| {
+                b.iter(|| {
+                    Cluster::run(ranks, |comm| {
+                        let mut acc = comm.rank() as u64;
+                        for _ in 0..100 {
+                            acc = comm.allreduce(acc, |a, b| a.wrapping_add(b));
+                        }
+                        acc
+                    })
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(300));
+    targets = bench_broadcast, bench_reduce, bench_barrier_and_allreduce
+);
+criterion_main!(benches);

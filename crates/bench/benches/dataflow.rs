@@ -1,0 +1,89 @@
+//! E12: dataflow-engine behaviour — narrow-op fusion, shuffle cost,
+//! map-side combining (reduce_by_key vs group_by_key), joins, caching.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use peachy::dataflow::{Dataset, KeyedDataset};
+use peachy::prng::{Lcg64, RandomStream};
+
+fn rows(n: usize, keys: u64) -> Vec<(u64, u64)> {
+    let mut rng = Lcg64::seed_from(1);
+    (0..n)
+        .map(|_| (rng.next_below(keys), rng.next_below(100)))
+        .collect()
+}
+
+fn bench_narrow_chain(c: &mut Criterion) {
+    let data: Vec<u64> = (0..1_000_000).collect();
+    let mut group = c.benchmark_group("E12_narrow_fusion");
+    group.sample_size(10);
+    for partitions in [1usize, 4, 16] {
+        let ds = Dataset::from_vec(data.clone(), partitions)
+            .map(|x| x * 3)
+            .filter(|x| x % 7 != 0)
+            .map(|x| x + 1);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(partitions),
+            &partitions,
+            |b, _| b.iter(|| ds.count()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_shuffle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E12_shuffle");
+    group.sample_size(10);
+    // Few keys: reduce_by_key's map-side combining shines.
+    let few = rows(500_000, 16);
+    let ds = KeyedDataset::from_dataset(Dataset::from_vec(few, 8));
+    group.bench_function("reduce_by_key_16keys", |b| {
+        b.iter(|| ds.reduce_by_key(|a, b| a + b).count())
+    });
+    group.bench_function("group_by_key_16keys", |b| {
+        b.iter(|| ds.group_by_key().count())
+    });
+    // Many keys: combining cannot help much.
+    let many = rows(500_000, 400_000);
+    let ds = KeyedDataset::from_dataset(Dataset::from_vec(many, 8));
+    group.bench_function("reduce_by_key_400kkeys", |b| {
+        b.iter(|| ds.reduce_by_key(|a, b| a + b).count())
+    });
+    group.finish();
+}
+
+fn bench_join(c: &mut Criterion) {
+    let left = KeyedDataset::from_dataset(Dataset::from_vec(rows(200_000, 10_000), 8));
+    let right = KeyedDataset::from_dataset(Dataset::from_vec(rows(10_000, 10_000), 8));
+    let mut group = c.benchmark_group("E12_join");
+    group.sample_size(10);
+    group.bench_function("inner_join", |b| b.iter(|| left.join(&right).count()));
+    group.bench_function("left_join", |b| b.iter(|| left.left_join(&right).count()));
+    group.finish();
+}
+
+fn bench_cache(c: &mut Criterion) {
+    let base = Dataset::from_vec((0..300_000u64).collect::<Vec<_>>(), 8).map(|x| {
+        // Deliberately non-trivial per-row work.
+        let mut acc = x;
+        for _ in 0..10 {
+            acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+        }
+        acc
+    });
+    let cached = base.cache();
+    cached.count(); // warm
+    let mut group = c.benchmark_group("E12_cache");
+    group.sample_size(10);
+    group.bench_function("uncached_recompute", |b| b.iter(|| base.count()));
+    group.bench_function("cached", |b| b.iter(|| cached.count()));
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(300));
+    targets = bench_narrow_chain, bench_shuffle, bench_join, bench_cache
+);
+criterion_main!(benches);

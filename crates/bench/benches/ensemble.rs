@@ -1,0 +1,70 @@
+//! E9/E10: ensemble training cost over rank counts (the task-farm
+//! experiment) and per-input uncertainty evaluation cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use peachy::data::digits::{digit_dataset, render, Style};
+use peachy::ensemble::{distribute_training, Ensemble, NetConfig, TrainConfig};
+
+fn tc(seed: u64) -> TrainConfig {
+    TrainConfig {
+        epochs: 1,
+        batch: 16,
+        lr: 0.08,
+        momentum: 0.9,
+        seed,
+    }
+}
+
+/// E10: M = 10 models over R ranks (including the uneven cases 3, 4, 6).
+fn bench_distributed_training(c: &mut Criterion) {
+    let data = digit_dataset(300, 0.05, 1);
+    let config = NetConfig::digits_default(16);
+    let mut group = c.benchmark_group("E10_train_10_models_over_ranks");
+    group.sample_size(10);
+    for ranks in [1usize, 3, 4, 6] {
+        group.bench_with_input(BenchmarkId::from_parameter(ranks), &ranks, |b, &ranks| {
+            b.iter(|| distribute_training(&config, &tc(2), 10, ranks, &data).len())
+        });
+    }
+    group.finish();
+}
+
+/// E9: ensemble size vs prediction/uncertainty cost (inference scales
+/// linearly in M; training dominates overall, which is why HPO's "free"
+/// ensemble matters).
+fn bench_uncertainty_eval(c: &mut Criterion) {
+    let data = digit_dataset(300, 0.05, 3);
+    let probe = render(4, &Style::clean());
+    let mut group = c.benchmark_group("E9_uncertainty_eval");
+    for m in [1usize, 4, 8] {
+        let ens = Ensemble::train(&NetConfig::digits_default(16), &tc(4), m, &data);
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, _| {
+            b.iter(|| ens.predict_with_uncertainty(&probe).predictive_entropy)
+        });
+    }
+    group.finish();
+}
+
+/// Single-model training throughput (the unit of all scaling above).
+fn bench_single_model(c: &mut Criterion) {
+    let data = digit_dataset(300, 0.05, 5);
+    let config = NetConfig::digits_default(16);
+    let mut group = c.benchmark_group("E9_single_model_epoch");
+    group.sample_size(10);
+    group.bench_function("train_1_epoch_300_images", |b| {
+        b.iter(|| {
+            let mut net = peachy::ensemble::DenseNet::new(&config, 9);
+            net.train(&data, &tc(9))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(300));
+    targets = bench_distributed_training, bench_uncertainty_eval, bench_single_model
+);
+criterion_main!(benches);

@@ -1,0 +1,109 @@
+//! GPU-model ablations: atomics vs shared-memory tree reduction (the §3
+//! CUDA question "when are atomic operations or reductions more
+//! profitable"), GPU k-means strategies, GPU k-NN, and host-upload vs
+//! on-device RNG for the traffic kernel.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use peachy::data::synth::gaussian_blobs;
+use peachy::gpu::kernels::device_sum;
+use peachy::kmeans::{fit_gpu, kmeans_plus_plus, GpuLaunch, GpuStrategy, KMeansConfig};
+use peachy::knn::gpu::classify_batch_gpu;
+use peachy::traffic::{gpu::run_gpu, gpu::run_gpu_onboard_rng, RoadConfig};
+
+fn bench_reduction_styles(c: &mut Criterion) {
+    let xs: Vec<f64> = (0..1_000_000).map(|i| (i % 101) as f64).collect();
+    let mut group = c.benchmark_group("gpu_sum_1M");
+    group.sample_size(10);
+    for (grid, block) in [(8usize, 64usize), (16, 128)] {
+        group.bench_with_input(
+            BenchmarkId::new("atomic", format!("{grid}x{block}")),
+            &(grid, block),
+            |b, &(g, bl)| b.iter(|| device_sum(&xs, g, bl, false)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("tree", format!("{grid}x{block}")),
+            &(grid, block),
+            |b, &(g, bl)| b.iter(|| device_sum(&xs, g, bl, true)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_gpu_kmeans(c: &mut Criterion) {
+    let data = gaussian_blobs(20_000, 4, 8, 1.0, 7);
+    let init = kmeans_plus_plus(&data.points, 8, 8);
+    let cfg = KMeansConfig {
+        max_iters: 5,
+        min_changes: 0,
+        min_shift: 0.0,
+    };
+    let mut group = c.benchmark_group("gpu_kmeans_5iters");
+    group.sample_size(10);
+    group.bench_function("atomic", |b| {
+        b.iter(|| {
+            fit_gpu(
+                &data.points,
+                &cfg,
+                init.clone(),
+                GpuStrategy::Atomic,
+                GpuLaunch::default(),
+            )
+            .iterations
+        })
+    });
+    group.bench_function("block_reduction", |b| {
+        b.iter(|| {
+            fit_gpu(
+                &data.points,
+                &cfg,
+                init.clone(),
+                GpuStrategy::BlockReduction,
+                GpuLaunch::default(),
+            )
+            .iterations
+        })
+    });
+    group.finish();
+}
+
+fn bench_gpu_knn(c: &mut Criterion) {
+    let all = gaussian_blobs(5_200, 8, 4, 1.5, 9);
+    let db = all.select(&(0..5_000).collect::<Vec<_>>());
+    let q = all.select(&(5_000..5_200).collect::<Vec<_>>());
+    let mut group = c.benchmark_group("gpu_knn_200_queries");
+    group.sample_size(10);
+    for block in [16usize, 64] {
+        group.bench_with_input(BenchmarkId::from_parameter(block), &block, |b, &block| {
+            b.iter(|| classify_batch_gpu(&db, &q, 9, block))
+        });
+    }
+    group.finish();
+}
+
+fn bench_traffic_rng_source(c: &mut Criterion) {
+    let config = RoadConfig {
+        length: 20_000,
+        cars: 4_000,
+        v_max: 5,
+        p: 0.2,
+        seed: 3,
+    };
+    let mut group = c.benchmark_group("gpu_traffic_rng_source");
+    group.sample_size(10);
+    group.bench_function("host_uploaded_lcg", |b| {
+        b.iter(|| run_gpu(&config, 20, 8, 64).total_velocity())
+    });
+    group.bench_function("onboard_philox", |b| {
+        b.iter(|| run_gpu_onboard_rng(&config, 20, 8, 64).total_velocity())
+    });
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(300));
+    targets = bench_reduction_styles, bench_gpu_kmeans, bench_gpu_knn, bench_traffic_rng_source
+);
+criterion_main!(benches);

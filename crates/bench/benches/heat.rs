@@ -1,0 +1,60 @@
+//! E8: heat-equation solvers — per-step task-spawn overhead (forall) vs
+//! persistent tasks (coforall), across the two regimes that decide the
+//! winner.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use peachy::heat::{solve_coforall, solve_forall, solve_serial, HeatProblem, InitialCondition};
+
+fn problem(n: usize, nt: usize) -> HeatProblem {
+    HeatProblem {
+        n,
+        alpha: 0.25,
+        nt,
+        left: 1.0,
+        right: 0.0,
+        ic: InitialCondition::Gaussian(0.05),
+    }
+}
+
+/// Spawn-dominated: small array, many steps — coforall's territory.
+fn bench_spawn_dominated(c: &mut Criterion) {
+    let p = problem(1_000, 2_000);
+    let mut group = c.benchmark_group("E8_spawn_dominated_n1k_nt2k");
+    group.sample_size(10);
+    group.bench_function("serial", |b| b.iter(|| solve_serial(&p)[500]));
+    for locales in [2usize, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("forall", locales), &locales, |b, &l| {
+            b.iter(|| solve_forall(&p, l)[500])
+        });
+        group.bench_with_input(BenchmarkId::new("coforall", locales), &locales, |b, &l| {
+            b.iter(|| solve_coforall(&p, l)[500])
+        });
+    }
+    group.finish();
+}
+
+/// Compute-dominated: large array, few steps — overhead becomes noise.
+fn bench_compute_dominated(c: &mut Criterion) {
+    let p = problem(2_000_000, 10);
+    let mut group = c.benchmark_group("E8_compute_dominated_n2M_nt10");
+    group.sample_size(10);
+    group.bench_function("serial", |b| b.iter(|| solve_serial(&p)[1_000_000]));
+    for locales in [2usize, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("forall", locales), &locales, |b, &l| {
+            b.iter(|| solve_forall(&p, l)[1_000_000])
+        });
+        group.bench_with_input(BenchmarkId::new("coforall", locales), &locales, |b, &l| {
+            b.iter(|| solve_coforall(&p, l)[1_000_000])
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(300));
+    targets = bench_spawn_dominated, bench_compute_dominated
+);
+criterion_main!(benches);

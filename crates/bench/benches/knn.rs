@@ -1,0 +1,150 @@
+//! E1 + E11: k-NN timing — heap vs sort selection, rayon batch, MapReduce
+//! rank sweep, and the KD-tree vs brute-force crossover over dimension.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use peachy::data::synth::gaussian_blobs;
+use peachy::knn::{
+    brute::{nearest_heap, nearest_sort},
+    classify_batch_par, classify_batch_seq, knn_mapreduce, KdTree, KnnMrConfig,
+};
+
+fn small_instance() -> (peachy::data::LabeledDataset, peachy::data::LabeledDataset) {
+    // A scaled copy of the paper's instance (full 5k×5k runs live in the
+    // example; benches iterate many times so they use n = q = 1 000).
+    let all = gaussian_blobs(2_000, 40, 8, 3.0, 1);
+    (
+        all.select(&(0..1_000).collect::<Vec<_>>()),
+        all.select(&(1_000..2_000).collect::<Vec<_>>()),
+    )
+}
+
+/// E1: top-k selection strategy, per query — Θ(n log k) heap vs
+/// Θ(n log n) sort.
+fn bench_selection(c: &mut Criterion) {
+    let (db, queries) = small_instance();
+    let q = queries.points.row(0);
+    let mut group = c.benchmark_group("E1_selection_per_query");
+    for k in [1usize, 15, 100] {
+        group.bench_with_input(BenchmarkId::new("heap", k), &k, |b, &k| {
+            b.iter(|| nearest_heap(&db, q, k))
+        });
+        group.bench_with_input(BenchmarkId::new("sort", k), &k, |b, &k| {
+            b.iter(|| nearest_sort(&db, q, k))
+        });
+    }
+    group.finish();
+}
+
+/// E1: the full batch, sequential vs rayon vs MapReduce over ranks.
+fn bench_batch(c: &mut Criterion) {
+    let (db, queries) = small_instance();
+    let k = 15;
+    let mut group = c.benchmark_group("E1_batch");
+    group.sample_size(10);
+    group.bench_function("sequential", |b| {
+        b.iter(|| classify_batch_seq(&db, &queries, k))
+    });
+    group.bench_function("rayon", |b| b.iter(|| classify_batch_par(&db, &queries, k)));
+    for ranks in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("mapreduce_ranks", ranks),
+            &ranks,
+            |b, &ranks| {
+                b.iter(|| {
+                    knn_mapreduce(
+                        &db,
+                        &queries,
+                        KnnMrConfig {
+                            k,
+                            ranks,
+                            map_blocks: ranks * 2,
+                            combine: true,
+                        },
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+/// E11: KD-tree vs brute force across dimensionality — the tree wins at
+/// low d and loses by d = 40 (curse of dimensionality).
+fn bench_kdtree_crossover(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E11_kdtree_crossover");
+    group.sample_size(10);
+    for d in [2usize, 8, 40] {
+        let all = gaussian_blobs(20_000 + 200, d, 8, 2.0, d as u64);
+        let db = all.select(&(0..20_000).collect::<Vec<_>>());
+        let queries = all.select(&(20_000..20_200).collect::<Vec<_>>());
+        let tree = KdTree::build(&db);
+        group.bench_with_input(BenchmarkId::new("kdtree", d), &d, |b, _| {
+            b.iter(|| {
+                (0..queries.len())
+                    .map(|i| tree.nearest(queries.points.row(i), 9).len())
+                    .sum::<usize>()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("brute", d), &d, |b, _| {
+            b.iter(|| {
+                (0..queries.len())
+                    .map(|i| nearest_heap(&db, queries.points.row(i), 9).len())
+                    .sum::<usize>()
+            })
+        });
+    }
+    group.finish();
+}
+
+/// E11 (2-D): quad-tree vs KD-tree vs brute on planar data — the
+/// assignment names quad-trees specifically.
+fn bench_quadtree(c: &mut Criterion) {
+    let all = gaussian_blobs(20_200, 2, 8, 2.0, 23);
+    let db = all.select(&(0..20_000).collect::<Vec<_>>());
+    let queries = all.select(&(20_000..20_200).collect::<Vec<_>>());
+    let quad = peachy::knn::QuadTree::build(&db);
+    let kd = KdTree::build(&db);
+    let mut group = c.benchmark_group("E11_quadtree_2d");
+    group.sample_size(10);
+    group.bench_function("quadtree", |b| {
+        b.iter(|| {
+            (0..queries.len())
+                .map(|i| quad.nearest(queries.points.row(i), 9).len())
+                .sum::<usize>()
+        })
+    });
+    group.bench_function("kdtree", |b| {
+        b.iter(|| {
+            (0..queries.len())
+                .map(|i| kd.nearest(queries.points.row(i), 9).len())
+                .sum::<usize>()
+        })
+    });
+    group.bench_function("brute", |b| {
+        b.iter(|| {
+            (0..queries.len())
+                .map(|i| nearest_heap(&db, queries.points.row(i), 9).len())
+                .sum::<usize>()
+        })
+    });
+    group.finish();
+}
+
+/// E11 (build): parallel vs sequential KD-tree construction.
+fn bench_kdtree_build(c: &mut Criterion) {
+    let db = gaussian_blobs(50_000, 3, 8, 2.0, 7);
+    let mut group = c.benchmark_group("E11_kdtree_build");
+    group.sample_size(10);
+    group.bench_function("sequential", |b| b.iter(|| KdTree::build(&db).depth()));
+    group.bench_function("parallel", |b| b.iter(|| KdTree::build_par(&db).depth()));
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(300));
+    targets = bench_selection, bench_batch, bench_kdtree_crossover, bench_quadtree, bench_kdtree_build
+);
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! Substrate ablation: generator throughput and jump cost — the numbers
+//! behind choosing a fast-forwardable LCG for the traffic assignment.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use peachy::prng::{
+    Bernoulli, FastForward, Lcg31, Lcg64, RandomStream, SplitMix64, XorShift64Star,
+};
+
+fn bench_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("prng_throughput_1M_draws");
+    group.sample_size(10);
+    group.bench_function("lcg64", |b| {
+        b.iter(|| {
+            let mut rng = Lcg64::seed_from(1);
+            (0..1_000_000).fold(0u64, |acc, _| acc ^ rng.next_u64())
+        })
+    });
+    group.bench_function("lcg31_minstd", |b| {
+        b.iter(|| {
+            let mut rng = Lcg31::seed_from(1);
+            (0..1_000_000).fold(0u64, |acc, _| acc ^ rng.next_u64())
+        })
+    });
+    group.bench_function("splitmix64", |b| {
+        b.iter(|| {
+            let mut rng = SplitMix64::seed_from(1);
+            (0..1_000_000).fold(0u64, |acc, _| acc ^ rng.next_u64())
+        })
+    });
+    group.bench_function("xorshift64star", |b| {
+        b.iter(|| {
+            let mut rng = XorShift64Star::seed_from(1);
+            (0..1_000_000).fold(0u64, |acc, _| acc ^ rng.next_u64())
+        })
+    });
+    group.finish();
+}
+
+fn bench_jump(c: &mut Criterion) {
+    let mut group = c.benchmark_group("prng_jump");
+    for exp in [6u32, 12, 18] {
+        let n = 10u64.pow(exp);
+        group.bench_with_input(BenchmarkId::new("lcg64_jump_10^", exp), &n, |b, &n| {
+            b.iter(|| {
+                let mut rng = Lcg64::seed_from(1);
+                rng.jump(n);
+                rng.next_u64()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("lcg31_jump_10^", exp), &n, |b, &n| {
+            b.iter(|| {
+                let mut rng = Lcg31::seed_from(1);
+                rng.jump(n);
+                rng.next_u64()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_bernoulli(c: &mut Criterion) {
+    // The traffic model's inner-loop draw.
+    let mut group = c.benchmark_group("prng_bernoulli_p013");
+    group.sample_size(10);
+    let d = Bernoulli::new(0.13);
+    group.bench_function("1M_trials", |b| {
+        b.iter(|| {
+            let mut rng = Lcg64::seed_from(2);
+            (0..1_000_000).filter(|_| d.sample(&mut rng)).count()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(300));
+    targets = bench_throughput, bench_jump, bench_bernoulli
+);
+criterion_main!(benches);

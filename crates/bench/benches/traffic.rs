@@ -1,0 +1,117 @@
+//! E6/E7: Nagel–Schreckenberg stepping cost — serial vs reproducible
+//! parallel (fast-forward) vs per-thread substreams, grid vs agent
+//! representation, and the fast-forward cost itself.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use peachy::prng::{FastForward, Lcg64, RandomStream, XorShift64Star};
+use peachy::traffic::{grid::GridRoad, AgentRoad, RoadConfig};
+
+const BIG: RoadConfig = RoadConfig {
+    length: 100_000,
+    cars: 20_000,
+    v_max: 5,
+    p: 0.2,
+    seed: 3,
+};
+
+fn bench_stepping(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E7_step_cost");
+    group.sample_size(10);
+    group.bench_function("serial", |b| {
+        b.iter(|| {
+            let mut road = AgentRoad::new(&BIG);
+            road.run_serial(0, 20);
+            road.total_velocity()
+        })
+    });
+    for chunks in [2usize, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("parallel_fastforward", chunks),
+            &chunks,
+            |b, &chunks| {
+                b.iter(|| {
+                    let mut road = AgentRoad::new(&BIG);
+                    road.run_parallel(0, 20, chunks);
+                    road.total_velocity()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("parallel_substreams", chunks),
+            &chunks,
+            |b, &chunks| {
+                b.iter(|| {
+                    let mut road = AgentRoad::new(&BIG);
+                    for step in 0..20 {
+                        road.step_parallel_substreams(step, chunks);
+                    }
+                    road.total_velocity()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_representations(c: &mut Criterion) {
+    let config = RoadConfig {
+        length: 20_000,
+        cars: 4_000,
+        v_max: 5,
+        p: 0.13,
+        seed: 5,
+    };
+    let mut group = c.benchmark_group("E6_representation");
+    group.sample_size(10);
+    group.bench_function("agent_based", |b| {
+        b.iter(|| {
+            let mut road = AgentRoad::new(&config);
+            road.run_serial(0, 50);
+            road.total_velocity()
+        })
+    });
+    group.bench_function("grid_based", |b| {
+        b.iter(|| {
+            let mut road = GridRoad::new(&config);
+            road.run_serial(0, 50);
+            road.velocities().iter().map(|&v| v as u64).sum::<u64>()
+        })
+    });
+    group.finish();
+}
+
+/// The enabling primitive: O(log n) jump vs replaying the stream — why the
+/// LCG (and not, say, xorshift) is the right generator for this design.
+fn bench_fast_forward(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E7_fast_forward");
+    for n in [1_000u64, 1_000_000, 1_000_000_000] {
+        group.bench_with_input(BenchmarkId::new("lcg_jump", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut rng = Lcg64::seed_from(1);
+                rng.jump(n);
+                rng.next_u64()
+            })
+        });
+        // Replaying is the only option for a non-jumpable generator; cap
+        // the replayed distance to keep the bench finite.
+        if n <= 1_000_000 {
+            group.bench_with_input(BenchmarkId::new("xorshift_replay", n), &n, |b, &n| {
+                b.iter(|| {
+                    let mut rng = XorShift64Star::seed_from(1);
+                    rng.slow_jump(n);
+                    rng.next_u64()
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(300));
+    targets = bench_stepping, bench_representations, bench_fast_forward
+);
+criterion_main!(benches);

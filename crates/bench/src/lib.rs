@@ -1,0 +1,18 @@
+//! # peachy-bench
+//!
+//! The benchmark harness and report binaries that regenerate every table
+//! and figure of *Peachy Parallel Assignments (EduHPC 2023)*. The mapping
+//! from paper artifact to regenerator is indexed in `DESIGN.md`
+//! (per-experiment index) and the measured outcomes are recorded in
+//! `EXPERIMENTS.md`.
+//!
+//! * Criterion benches (`benches/`) cover the timing experiments:
+//!   E1/E11 (`knn`), E3 (`kmeans`), E12 (`dataflow`), E6/E7 (`traffic`),
+//!   E8 (`heat`), E9/E10 (`ensemble`), plus substrate ablations
+//!   (`cluster`, `prng`).
+//! * `src/bin/report_table1.rs` regenerates Table 1 from the raw survey
+//!   records using the dataflow engine itself.
+//! * The figure-producing "reports" are the workspace examples
+//!   (`cargo run --release --example …`), one per figure — see DESIGN.md.
+
+pub mod survey;

@@ -1,0 +1,511 @@
+//! MPI-style collective operations.
+//!
+//! Every collective advances the communicator's internal sequence number,
+//! which is folded into the message match key — so consecutive collectives
+//! cannot interfere even when fast ranks race ahead, and user point-to-point
+//! traffic can never be mistaken for collective traffic.
+//!
+//! The default algorithms mirror production MPI structure:
+//!
+//! * [`Comm::barrier`] — dissemination, `⌈log₂ n⌉` rounds;
+//! * [`Comm::broadcast`] / [`Comm::reduce`] — binomial tree, `O(log n)` depth;
+//! * [`Comm::allreduce`] — reduce + broadcast;
+//! * [`Comm::allgather`] — ring, `n − 1` rounds;
+//! * [`Comm::alltoall`] — direct pairwise exchange.
+//!
+//! Linear variants ([`Comm::broadcast_linear`], [`Comm::reduce_linear`]) are
+//! kept for the ablation benchmark comparing flat vs. tree collectives — the
+//! "architectural knowledge can help design faster code" lesson of §2.
+
+use crate::comm::Comm;
+use crate::message::MatchKey;
+
+/// Binary reduction operator. Must be associative; commutativity is also
+/// assumed (operands may be combined in rank-tree order, not rank order).
+pub trait ReduceOp<T>: Fn(T, T) -> T + Sync {}
+impl<T, F: Fn(T, T) -> T + Sync> ReduceOp<T> for F {}
+
+impl Comm {
+    #[inline]
+    fn next_seq(&mut self) -> u64 {
+        let s = self.coll_seq;
+        self.coll_seq += 1;
+        s
+    }
+
+    #[inline]
+    fn coll_key(seq: u64, round: u32) -> MatchKey {
+        MatchKey::Coll { seq, round }
+    }
+
+    /// Dissemination barrier: no rank leaves until every rank has entered.
+    pub fn barrier(&mut self) {
+        let n = self.size();
+        let seq = self.next_seq();
+        if n == 1 {
+            return;
+        }
+        let mut round = 0u32;
+        let mut dist = 1usize;
+        while dist < n {
+            let dst = (self.rank() + dist) % n;
+            let src = (self.rank() + n - dist) % n;
+            self.send_keyed(dst, Self::coll_key(seq, round), Box::new(()));
+            self.recv_keyed::<()>(src, Self::coll_key(seq, round));
+            dist <<= 1;
+            round += 1;
+        }
+    }
+
+    /// Binomial-tree broadcast of `value` from `root` to all ranks.
+    ///
+    /// Every rank passes its own `value` argument (ignored except at root,
+    /// as in MPI) and receives the root's value back.
+    pub fn broadcast<T: Send + Clone + 'static>(&mut self, root: usize, value: T) -> T {
+        let n = self.size();
+        assert!(root < n, "broadcast root {root} out of range");
+        let seq = self.next_seq();
+        if n == 1 {
+            return value;
+        }
+        // Work in a rotated space where the root is rank 0.
+        let vrank = (self.rank() + n - root) % n;
+        let mut received: Option<T> = if vrank == 0 { Some(value) } else { None };
+
+        // Rounds from high to low: in round k, ranks with vrank < 2^k that
+        // hold the value send to vrank + 2^k.
+        let rounds = usize::BITS - (n - 1).leading_zeros();
+        // Receive first (if not root): find which round delivers to us.
+        if vrank != 0 {
+            let recv_round = usize::BITS - 1 - vrank.leading_zeros(); // floor(log2(vrank))
+            let src_vrank = vrank - (1 << recv_round);
+            let src = (src_vrank + root) % n;
+            let v = self.recv_keyed::<T>(src, Self::coll_key(seq, recv_round));
+            received = Some(v);
+        }
+        let value = received.expect("broadcast value must be set by now");
+        // Forward to children in subsequent rounds.
+        let first_send_round = if vrank == 0 {
+            0
+        } else {
+            usize::BITS - vrank.leading_zeros()
+        };
+        for k in first_send_round..rounds {
+            let dst_vrank = vrank + (1usize << k);
+            if dst_vrank < n {
+                let dst = (dst_vrank + root) % n;
+                self.send_keyed(dst, Self::coll_key(seq, k), Box::new(value.clone()));
+            }
+        }
+        value
+    }
+
+    /// Linear broadcast (root sends to every rank): the naïve baseline.
+    pub fn broadcast_linear<T: Send + Clone + 'static>(&mut self, root: usize, value: T) -> T {
+        let n = self.size();
+        assert!(root < n, "broadcast root {root} out of range");
+        let seq = self.next_seq();
+        if self.rank() == root {
+            for dst in 0..n {
+                if dst != root {
+                    self.send_keyed(dst, Self::coll_key(seq, 0), Box::new(value.clone()));
+                }
+            }
+            value
+        } else {
+            self.recv_keyed::<T>(root, Self::coll_key(seq, 0))
+        }
+    }
+
+    /// Binomial-tree reduction to `root`. Returns `Some(total)` at the root
+    /// and `None` elsewhere.
+    pub fn reduce<T, F>(&mut self, root: usize, value: T, op: F) -> Option<T>
+    where
+        T: Send + 'static,
+        F: ReduceOp<T>,
+    {
+        let n = self.size();
+        assert!(root < n, "reduce root {root} out of range");
+        let seq = self.next_seq();
+        let vrank = (self.rank() + n - root) % n;
+        let mut acc = value;
+        // Binomial tree gather: in round k, vranks that are odd multiples of
+        // 2^k send to vrank - 2^k.
+        let mut k = 0u32;
+        loop {
+            let bit = 1usize << k;
+            if bit >= n {
+                break;
+            }
+            if vrank & bit != 0 {
+                // Sender this round, then done.
+                let dst_vrank = vrank - bit;
+                let dst = (dst_vrank + root) % n;
+                self.send_keyed(dst, Self::coll_key(seq, k), Box::new(acc));
+                return None;
+            } else if vrank + bit < n {
+                let src = ((vrank + bit) + root) % n;
+                let other = self.recv_keyed::<T>(src, Self::coll_key(seq, k));
+                acc = op(acc, other);
+            }
+            k += 1;
+        }
+        debug_assert_eq!(vrank, 0);
+        Some(acc)
+    }
+
+    /// Linear reduction baseline: every rank sends straight to the root.
+    pub fn reduce_linear<T, F>(&mut self, root: usize, value: T, op: F) -> Option<T>
+    where
+        T: Send + 'static,
+        F: ReduceOp<T>,
+    {
+        let n = self.size();
+        assert!(root < n, "reduce root {root} out of range");
+        let seq = self.next_seq();
+        if self.rank() == root {
+            let mut acc = value;
+            // Combine in rank order for determinism.
+            for src in 0..n {
+                if src != root {
+                    let v = self.recv_keyed::<T>(src, Self::coll_key(seq, 0));
+                    acc = op(acc, v);
+                }
+            }
+            Some(acc)
+        } else {
+            self.send_keyed(root, Self::coll_key(seq, 0), Box::new(value));
+            None
+        }
+    }
+
+    /// Reduce-to-root followed by broadcast: every rank gets the total.
+    pub fn allreduce<T, F>(&mut self, value: T, op: F) -> T
+    where
+        T: Send + Clone + 'static,
+        F: ReduceOp<T>,
+    {
+        let total = self.reduce(0, value, op);
+        match total {
+            Some(t) => self.broadcast(0, t),
+            // Non-root ranks have surrendered their value to the reduction
+            // and cannot construct a T, so they join the broadcast as pure
+            // receivers.
+            None => self.broadcast_recv_only(0),
+        }
+    }
+
+    /// Participate in a broadcast as a pure receiver (used by ranks that
+    /// have no value of their own, e.g. non-roots in [`Comm::allreduce`]).
+    fn broadcast_recv_only<T: Send + Clone + 'static>(&mut self, root: usize) -> T {
+        let n = self.size();
+        let seq = self.next_seq();
+        let vrank = (self.rank() + n - root) % n;
+        debug_assert_ne!(
+            vrank, 0,
+            "root must call broadcast, not broadcast_recv_only"
+        );
+        let rounds = usize::BITS - (n - 1).leading_zeros();
+        let recv_round = usize::BITS - 1 - vrank.leading_zeros();
+        let src_vrank = vrank - (1 << recv_round);
+        let src = (src_vrank + root) % n;
+        let value = self.recv_keyed::<T>(src, Self::coll_key(seq, recv_round));
+        let first_send_round = usize::BITS - vrank.leading_zeros();
+        for k in first_send_round..rounds {
+            let dst_vrank = vrank + (1usize << k);
+            if dst_vrank < n {
+                let dst = (dst_vrank + root) % n;
+                self.send_keyed(dst, Self::coll_key(seq, k), Box::new(value.clone()));
+            }
+        }
+        value
+    }
+
+    /// Scatter: root distributes one chunk per rank; every rank (including
+    /// the root) receives its chunk. Non-root ranks pass `None`.
+    pub fn scatter<T: Send + 'static>(&mut self, root: usize, chunks: Option<Vec<T>>) -> T {
+        let n = self.size();
+        assert!(root < n, "scatter root {root} out of range");
+        let seq = self.next_seq();
+        if self.rank() == root {
+            let chunks = chunks.expect("root must provide chunks to scatter");
+            assert_eq!(chunks.len(), n, "scatter needs exactly one chunk per rank");
+            let mut own: Option<T> = None;
+            for (dst, chunk) in chunks.into_iter().enumerate() {
+                if dst == root {
+                    own = Some(chunk);
+                } else {
+                    self.send_keyed(dst, Self::coll_key(seq, 0), Box::new(chunk));
+                }
+            }
+            own.expect("root chunk present")
+        } else {
+            assert!(chunks.is_none(), "only the root provides chunks");
+            self.recv_keyed::<T>(root, Self::coll_key(seq, 0))
+        }
+    }
+
+    /// Gather: every rank contributes one value; the root receives all of
+    /// them in rank order (`Some(vec)` at root, `None` elsewhere).
+    pub fn gather<T: Send + 'static>(&mut self, root: usize, value: T) -> Option<Vec<T>> {
+        let n = self.size();
+        assert!(root < n, "gather root {root} out of range");
+        let seq = self.next_seq();
+        if self.rank() == root {
+            let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
+            out[root] = Some(value);
+            for src in 0..n {
+                if src != root {
+                    out[src] = Some(self.recv_keyed::<T>(src, Self::coll_key(seq, 0)));
+                }
+            }
+            Some(out.into_iter().map(|v| v.expect("all gathered")).collect())
+        } else {
+            self.send_keyed(root, Self::coll_key(seq, 0), Box::new(value));
+            None
+        }
+    }
+
+    /// Ring allgather: every rank ends with all contributions in rank order.
+    pub fn allgather<T: Send + Clone + 'static>(&mut self, value: T) -> Vec<T> {
+        let n = self.size();
+        let seq = self.next_seq();
+        let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
+        out[self.rank()] = Some(value);
+        let next = (self.rank() + 1) % n;
+        let prev = (self.rank() + n - 1) % n;
+        // In round r we forward the piece that originated at rank - r.
+        for r in 0..n.saturating_sub(1) {
+            let send_origin = (self.rank() + n - r) % n;
+            let piece = out[send_origin].clone().expect("piece present to forward");
+            self.send_keyed(next, Self::coll_key(seq, r as u32), Box::new(piece));
+            let recv_origin = (prev + n - r) % n;
+            let got = self.recv_keyed::<T>(prev, Self::coll_key(seq, r as u32));
+            out[recv_origin] = Some(got);
+        }
+        out.into_iter()
+            .map(|v| v.expect("allgather complete"))
+            .collect()
+    }
+
+    /// All-to-all personalized exchange: `data[i]` goes to rank `i`;
+    /// returns the vector whose `i`-th entry came from rank `i`.
+    pub fn alltoall<T: Send + 'static>(&mut self, data: Vec<T>) -> Vec<T> {
+        let n = self.size();
+        assert_eq!(data.len(), n, "alltoall needs exactly one item per rank");
+        let seq = self.next_seq();
+        let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
+        for (dst, item) in data.into_iter().enumerate() {
+            if dst == self.rank() {
+                out[dst] = Some(item);
+            } else {
+                self.send_keyed(dst, Self::coll_key(seq, 0), Box::new(item));
+            }
+        }
+        for src in 0..n {
+            if src != self.rank() {
+                out[src] = Some(self.recv_keyed::<T>(src, Self::coll_key(seq, 0)));
+            }
+        }
+        out.into_iter()
+            .map(|v| v.expect("alltoall complete"))
+            .collect()
+    }
+
+    /// Inclusive prefix scan: rank `i` receives `op(v₀, …, vᵢ)`.
+    /// Linear pipeline implementation (adequate at laptop rank counts).
+    pub fn scan<T, F>(&mut self, value: T, op: F) -> T
+    where
+        T: Send + Clone + 'static,
+        F: ReduceOp<T>,
+    {
+        let n = self.size();
+        let seq = self.next_seq();
+        let rank = self.rank();
+        let acc = if rank == 0 {
+            value
+        } else {
+            let prefix = self.recv_keyed::<T>(rank - 1, Self::coll_key(seq, 0));
+            op(prefix, value)
+        };
+        if rank + 1 < n {
+            self.send_keyed(rank + 1, Self::coll_key(seq, 0), Box::new(acc.clone()));
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Cluster;
+
+    #[test]
+    fn barrier_many_times() {
+        Cluster::run(7, |comm| {
+            for _ in 0..50 {
+                comm.barrier();
+            }
+        });
+    }
+
+    #[test]
+    fn broadcast_from_each_root() {
+        for n in [1usize, 2, 3, 5, 8] {
+            for root in 0..n {
+                let out = Cluster::run(n, move |comm| {
+                    let v = if comm.rank() == root { 1000 + root } else { 0 };
+                    comm.broadcast(root, v)
+                });
+                assert_eq!(out, vec![1000 + root; n], "n={n} root={root}");
+            }
+        }
+    }
+
+    #[test]
+    fn broadcast_linear_matches_tree() {
+        let out = Cluster::run(6, |comm| {
+            let v = if comm.rank() == 2 { "hello" } else { "" };
+            let a = comm.broadcast(2, v);
+            let b = comm.broadcast_linear(2, v);
+            (a, b)
+        });
+        for (a, b) in out {
+            assert_eq!(a, "hello");
+            assert_eq!(b, "hello");
+        }
+    }
+
+    #[test]
+    fn reduce_sum_all_roots_all_sizes() {
+        for n in [1usize, 2, 4, 5, 9] {
+            let expected: u64 = (0..n as u64).sum();
+            for root in 0..n {
+                let out = Cluster::run(n, move |comm| {
+                    comm.reduce(root, comm.rank() as u64, |a, b| a + b)
+                });
+                for (rank, r) in out.into_iter().enumerate() {
+                    if rank == root {
+                        assert_eq!(r, Some(expected), "n={n} root={root}");
+                    } else {
+                        assert_eq!(r, None);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_linear_matches_tree() {
+        let out = Cluster::run(5, |comm| {
+            let a = comm.reduce(0, comm.rank() as i64, |x, y| x + y);
+            let b = comm.reduce_linear(0, comm.rank() as i64, |x, y| x + y);
+            (a, b)
+        });
+        assert_eq!(out[0], (Some(10), Some(10)));
+    }
+
+    #[test]
+    fn allreduce_max() {
+        let out = Cluster::run(6, |comm| {
+            comm.allreduce((comm.rank() * 7) % 5, |a, b| a.max(b))
+        });
+        let expected = (0..6).map(|r| (r * 7) % 5).max().unwrap();
+        assert_eq!(out, vec![expected; 6]);
+    }
+
+    #[test]
+    fn allreduce_vector_sum() {
+        let out = Cluster::run(4, |comm| {
+            let v = vec![comm.rank() as f64; 3];
+            comm.allreduce(v, |a, b| a.iter().zip(&b).map(|(x, y)| x + y).collect())
+        });
+        for v in out {
+            assert_eq!(v, vec![6.0, 6.0, 6.0]);
+        }
+    }
+
+    #[test]
+    fn scatter_and_gather_roundtrip() {
+        let out = Cluster::run(4, |comm| {
+            let chunks = if comm.rank() == 1 {
+                Some((0..4).map(|i| i * i).collect())
+            } else {
+                None
+            };
+            let mine: usize = comm.scatter(1, chunks);
+            assert_eq!(mine, comm.rank() * comm.rank());
+            comm.gather(1, mine * 2)
+        });
+        assert_eq!(out[1], Some(vec![0, 2, 8, 18]));
+        assert_eq!(out[0], None);
+    }
+
+    #[test]
+    fn allgather_rank_order() {
+        for n in [1usize, 2, 3, 6] {
+            let out = Cluster::run(n, |comm| comm.allgather(comm.rank() * 100));
+            let expected: Vec<usize> = (0..n).map(|r| r * 100).collect();
+            for v in out {
+                assert_eq!(v, expected, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn alltoall_transpose() {
+        let n = 5;
+        let out = Cluster::run(n, move |comm| {
+            let data: Vec<(usize, usize)> = (0..n).map(|dst| (comm.rank(), dst)).collect();
+            comm.alltoall(data)
+        });
+        for (rank, row) in out.into_iter().enumerate() {
+            for (src, pair) in row.into_iter().enumerate() {
+                assert_eq!(pair, (src, rank));
+            }
+        }
+    }
+
+    #[test]
+    fn scan_prefix_sums() {
+        let out = Cluster::run(6, |comm| comm.scan(comm.rank() as u32 + 1, |a, b| a + b));
+        assert_eq!(out, vec![1, 3, 6, 10, 15, 21]);
+    }
+
+    #[test]
+    fn mixed_collectives_and_p2p_do_not_interfere() {
+        Cluster::run(4, |comm| {
+            // Interleave user traffic with collectives.
+            let next = (comm.rank() + 1) % 4;
+            let prev = (comm.rank() + 3) % 4;
+            comm.send(next, 99, comm.rank());
+            let total = comm.allreduce(1usize, |a, b| a + b);
+            assert_eq!(total, 4);
+            comm.barrier();
+            let got: usize = comm.recv(prev, 99);
+            assert_eq!(got, prev);
+            let all = comm.allgather(got);
+            assert_eq!(all, vec![3, 0, 1, 2]);
+        });
+    }
+
+    #[test]
+    fn tree_broadcast_message_count_scales_logarithmically() {
+        // Root's send count: linear broadcast sends n-1; tree sends ⌈log₂ n⌉.
+        let n = 16;
+        let out = Cluster::run(n, move |comm| {
+            let before = comm.sent_count();
+            comm.broadcast(0, 1u8);
+            let tree = comm.sent_count() - before;
+            let before = comm.sent_count();
+            comm.broadcast_linear(0, 1u8);
+            let linear = comm.sent_count() - before;
+            (tree, linear)
+        });
+        let (tree_root, linear_root) = out[0];
+        assert_eq!(linear_root, (n - 1) as u64);
+        assert_eq!(
+            tree_root, 4,
+            "root of a 16-rank binomial tree sends log2(16) messages"
+        );
+    }
+}

@@ -1,0 +1,216 @@
+//! The per-rank communicator: identity, point-to-point messaging.
+
+use std::any::Any;
+
+use crossbeam::channel::{Receiver, Sender};
+
+use crate::message::{Envelope, Mailbox, MatchKey, ANY_SRC};
+
+/// Wildcard source for [`Comm::recv_any`]-style matching.
+pub const ANY_SOURCE: usize = ANY_SRC;
+
+/// A rank's handle to the cluster: identity plus communication endpoints.
+///
+/// One `Comm` exists per rank, owned by that rank's thread. All methods
+/// take `&mut self` because receives mutate the mailbox and collectives
+/// advance the internal sequence counter.
+pub struct Comm {
+    rank: usize,
+    senders: Vec<Sender<Envelope>>,
+    mailbox: Mailbox,
+    /// Sequence number for collectives; advances identically on every rank
+    /// because MPI semantics require all ranks to call collectives in the
+    /// same order.
+    pub(crate) coll_seq: u64,
+    /// Total messages sent by this rank (point-to-point + collective),
+    /// useful for communication-cost assertions in tests and benches.
+    sent_count: u64,
+}
+
+impl Comm {
+    pub(crate) fn new(rank: usize, senders: Vec<Sender<Envelope>>, rx: Receiver<Envelope>) -> Self {
+        Self {
+            rank,
+            senders,
+            mailbox: Mailbox::new(rx),
+            coll_seq: 0,
+            sent_count: 0,
+        }
+    }
+
+    /// This rank's id in `[0, size)`.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the cluster.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// Total messages this rank has sent so far.
+    #[inline]
+    pub fn sent_count(&self) -> u64 {
+        self.sent_count
+    }
+
+    /// Send `value` to rank `dst` with a user `tag`. The value is moved —
+    /// after sending, this rank no longer has access to it, exactly as in
+    /// distributed memory.
+    pub fn send<T: Send + 'static>(&mut self, dst: usize, tag: u32, value: T) {
+        self.send_keyed(dst, MatchKey::User(tag), Box::new(value));
+    }
+
+    /// Receive a `T` from rank `src` with matching `tag`, blocking until it
+    /// arrives. Panics if the arriving payload has a different type — a
+    /// programming error analogous to mismatched MPI datatypes.
+    pub fn recv<T: Send + 'static>(&mut self, src: usize, tag: u32) -> T {
+        let env = self.mailbox.recv_match(src, MatchKey::User(tag));
+        Self::downcast(env.payload, src, tag)
+    }
+
+    /// Receive a `T` with matching `tag` from *any* source; returns
+    /// `(source, value)`.
+    pub fn recv_any<T: Send + 'static>(&mut self, tag: u32) -> (usize, T) {
+        let env = self.mailbox.recv_match(ANY_SOURCE, MatchKey::User(tag));
+        let src = env.src;
+        (src, Self::downcast(env.payload, src, tag))
+    }
+
+    /// Non-blocking check whether a message from `src` with `tag` has
+    /// already arrived.
+    pub fn probe(&mut self, src: usize, tag: u32) -> bool {
+        self.mailbox.probe(src, MatchKey::User(tag))
+    }
+
+    // ---- internals shared with the collectives module ----
+
+    pub(crate) fn send_keyed(&mut self, dst: usize, key: MatchKey, payload: Box<dyn Any + Send>) {
+        assert!(
+            dst < self.size(),
+            "destination rank {dst} out of range (size {})",
+            self.size()
+        );
+        self.sent_count += 1;
+        self.senders[dst]
+            .send(Envelope {
+                src: self.rank,
+                key,
+                payload,
+            })
+            .expect("destination rank has already terminated");
+    }
+
+    pub(crate) fn recv_keyed<T: Send + 'static>(&mut self, src: usize, key: MatchKey) -> T {
+        let env = self.mailbox.recv_match(src, key);
+        *env.payload
+            .downcast::<T>()
+            .unwrap_or_else(|_| panic!("type mismatch in collective message from rank {src}"))
+    }
+
+    fn downcast<T: 'static>(payload: Box<dyn Any + Send>, src: usize, tag: u32) -> T {
+        *payload.downcast::<T>().unwrap_or_else(|_| {
+            panic!(
+                "type mismatch: message from rank {src} tag {tag} is not a {}",
+                std::any::type_name::<T>()
+            )
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Cluster;
+
+    #[test]
+    fn send_recv_many_types() {
+        Cluster::run(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 0, 17u8);
+                comm.send(1, 1, vec![1.0f64, 2.0]);
+                comm.send(1, 2, ("tuple", 3usize));
+            } else {
+                assert_eq!(comm.recv::<u8>(0, 0), 17);
+                assert_eq!(comm.recv::<Vec<f64>>(0, 1), vec![1.0, 2.0]);
+                assert_eq!(comm.recv::<(&str, usize)>(0, 2), ("tuple", 3));
+            }
+        });
+    }
+
+    #[test]
+    fn recv_matches_tag_not_arrival_order() {
+        Cluster::run(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 10, "first");
+                comm.send(1, 20, "second");
+            } else {
+                // Receive in reverse tag order.
+                assert_eq!(comm.recv::<&str>(0, 20), "second");
+                assert_eq!(comm.recv::<&str>(0, 10), "first");
+            }
+        });
+    }
+
+    #[test]
+    fn recv_any_reports_source() {
+        Cluster::run(4, |comm| {
+            if comm.rank() == 0 {
+                let mut seen = std::collections::HashSet::new();
+                for _ in 0..3 {
+                    let (src, v) = comm.recv_any::<usize>(5);
+                    assert_eq!(src, v);
+                    seen.insert(src);
+                }
+                assert_eq!(seen.len(), 3);
+            } else {
+                comm.send(0, 5, comm.rank());
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "type mismatch")]
+    fn type_mismatch_panics() {
+        Cluster::run(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 0, 1i32);
+            } else {
+                let _: String = comm.recv(0, 0);
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn send_to_invalid_rank_panics() {
+        Cluster::run(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send(9, 0, ());
+            }
+        });
+    }
+
+    #[test]
+    fn sent_count_tracks_messages() {
+        let counts = Cluster::run(3, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 0, ());
+                comm.send(2, 0, ());
+            } else {
+                comm.recv::<()>(0, 0);
+            }
+            comm.sent_count()
+        });
+        assert_eq!(counts, vec![2, 0, 0]);
+    }
+
+    #[test]
+    fn self_send_is_allowed() {
+        Cluster::run(1, |comm| {
+            comm.send(0, 3, 99u64);
+            assert_eq!(comm.recv::<u64>(0, 3), 99);
+        });
+    }
+}

@@ -1,0 +1,207 @@
+//! Two-level (node-aware) rank topology.
+//!
+//! The k-NN assignment (§2) points out that "adding local reductions at each
+//! rank and again at each multicore node noticeably improves the
+//! communication cost". [`NodeMap`] models the rank→node mapping of a real
+//! cluster, and [`Comm::hierarchical_reduce`] performs the two-phase
+//! reduction: first within each node (to the node leader), then across node
+//! leaders — cutting inter-node message volume from `O(ranks)` to
+//! `O(nodes)`.
+
+use crate::collectives::ReduceOp;
+use crate::comm::Comm;
+
+/// A mapping of ranks onto simulated multicore nodes: `ranks_per_node`
+/// consecutive ranks share a node (the common `mpirun` block placement).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeMap {
+    ranks_per_node: usize,
+}
+
+impl NodeMap {
+    /// Create a block placement with `ranks_per_node` ranks on each node.
+    pub fn block(ranks_per_node: usize) -> Self {
+        assert!(ranks_per_node > 0, "need at least one rank per node");
+        Self { ranks_per_node }
+    }
+
+    /// Node id of `rank`.
+    #[inline]
+    pub fn node_of(&self, rank: usize) -> usize {
+        rank / self.ranks_per_node
+    }
+
+    /// Leader (lowest rank) of `rank`'s node.
+    #[inline]
+    pub fn leader_of(&self, rank: usize) -> usize {
+        self.node_of(rank) * self.ranks_per_node
+    }
+
+    /// Is `rank` its node's leader?
+    #[inline]
+    pub fn is_leader(&self, rank: usize) -> bool {
+        rank.is_multiple_of(self.ranks_per_node)
+    }
+
+    /// Ranks co-located with `rank` (including itself), clipped to `size`.
+    pub fn node_members(&self, rank: usize, size: usize) -> std::ops::Range<usize> {
+        let start = self.leader_of(rank);
+        start..(start + self.ranks_per_node).min(size)
+    }
+}
+
+impl Comm {
+    /// Two-phase reduction honouring node locality: ranks reduce to their
+    /// node leader, then leaders reduce to the global root's leader, which
+    /// forwards to `root`. Returns `Some(total)` at `root`, `None` elsewhere.
+    ///
+    /// Semantically identical to [`Comm::reduce`]; the difference is the
+    /// number of *inter-node* messages, which the test-suite asserts.
+    pub fn hierarchical_reduce<T, F>(
+        &mut self,
+        map: NodeMap,
+        root: usize,
+        value: T,
+        op: F,
+    ) -> Option<T>
+    where
+        T: Send + 'static,
+        F: ReduceOp<T>,
+    {
+        let n = self.size();
+        assert!(root < n, "reduce root {root} out of range");
+        let seq = self.coll_seq;
+        self.coll_seq += 1;
+        let key = |round: u32| crate::message::MatchKey::Coll { seq, round };
+
+        let rank = self.rank();
+        let leader = map.leader_of(rank);
+
+        // Phase 1: intra-node reduction to the leader (linear within the
+        // node — these are the "cheap" shared-memory messages).
+        if rank != leader {
+            self.send_keyed(leader, key(0), Box::new(value));
+            // Non-leader, non-root ranks are done; if this rank *is* the
+            // global root but not a leader, it will receive the total below.
+            if rank == root {
+                return Some(self.recv_keyed::<T>(map.leader_of(root), key(2)));
+            }
+            return None;
+        }
+        let mut acc = value;
+        for member in map.node_members(rank, n) {
+            if member != leader {
+                let v = self.recv_keyed::<T>(member, key(0));
+                acc = op(acc, v);
+            }
+        }
+
+        // Phase 2: inter-node reduction across leaders, linear to the root's
+        // leader (these are the "expensive" network messages — one per node).
+        let root_leader = map.leader_of(root);
+        if leader != root_leader {
+            self.send_keyed(root_leader, key(1), Box::new(acc));
+            return None;
+        }
+        let mut node = 0;
+        while node * map.ranks_per_node < n {
+            let l = node * map.ranks_per_node;
+            if l != root_leader {
+                let v = self.recv_keyed::<T>(l, key(1));
+                acc = op(acc, v);
+            }
+            node += 1;
+        }
+
+        // Phase 3: hand the total to the root if the root is not the leader.
+        if root == root_leader {
+            Some(acc)
+        } else {
+            self.send_keyed(root, key(2), Box::new(acc));
+            None
+        }
+    }
+
+    /// Count of inter-node messages a flat linear reduce would send vs. the
+    /// hierarchical one, for the given topology — the quantity §2's
+    /// "architectural knowledge" remark is about.
+    pub fn internode_message_counts(size: usize, map: NodeMap, root: usize) -> (usize, usize) {
+        let flat = (0..size)
+            .filter(|&r| r != root && map.node_of(r) != map.node_of(root))
+            .count();
+        let mut nodes = 0;
+        let mut r = 0;
+        while r < size {
+            nodes += 1;
+            r += map.ranks_per_node;
+        }
+        let hier = nodes - 1; // one message per non-root-node leader
+        (flat, hier)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Cluster;
+
+    #[test]
+    fn node_map_geometry() {
+        let map = NodeMap::block(4);
+        assert_eq!(map.node_of(0), 0);
+        assert_eq!(map.node_of(3), 0);
+        assert_eq!(map.node_of(4), 1);
+        assert_eq!(map.leader_of(6), 4);
+        assert!(map.is_leader(4));
+        assert!(!map.is_leader(5));
+        assert_eq!(map.node_members(5, 7), 4..7);
+    }
+
+    #[test]
+    fn hierarchical_reduce_matches_flat() {
+        for n in [1usize, 3, 4, 8, 10] {
+            for rpn in [1usize, 2, 4] {
+                for root in [0, n - 1] {
+                    let out = Cluster::run(n, move |comm| {
+                        let v = (comm.rank() as u64 + 1) * 3;
+                        let h =
+                            comm.hierarchical_reduce(NodeMap::block(rpn), root, v, |a, b| a + b);
+                        let f = comm.reduce(root, v, |a, b| a + b);
+                        (h, f)
+                    });
+                    for (rank, (h, f)) in out.into_iter().enumerate() {
+                        assert_eq!(h, f, "n={n} rpn={rpn} root={root} rank={rank}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn internode_savings() {
+        // 16 ranks, 4 per node, root 0: flat sends 12 inter-node messages,
+        // hierarchical sends 3 (one per other node).
+        let (flat, hier) = Comm::internode_message_counts(16, NodeMap::block(4), 0);
+        assert_eq!(flat, 12);
+        assert_eq!(hier, 3);
+    }
+
+    #[test]
+    fn root_not_leader() {
+        let out = Cluster::run(6, |comm| {
+            comm.hierarchical_reduce(NodeMap::block(3), 4, comm.rank() as u32, |a, b| a + b)
+        });
+        assert_eq!(out[4], Some(15));
+        for (r, v) in out.iter().enumerate() {
+            if r != 4 {
+                assert_eq!(*v, None);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank per node")]
+    fn zero_ranks_per_node_rejected() {
+        NodeMap::block(0);
+    }
+}

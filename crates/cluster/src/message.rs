@@ -1,0 +1,180 @@
+//! Message envelopes and the selective-receive mailbox.
+//!
+//! MPI's `MPI_Recv(source, tag)` may have to skip past messages that arrived
+//! earlier but match a different `(source, tag)`. The [`Mailbox`] reproduces
+//! that: unmatched envelopes are parked in a local buffer and re-examined by
+//! later receives, so message *matching* order is decoupled from *arrival*
+//! order exactly as in MPI.
+
+use std::any::Any;
+use std::collections::VecDeque;
+
+use crossbeam::channel::Receiver;
+
+/// Message identity used for matching. User messages carry a `u32` tag;
+/// collective-internal messages carry a (sequence, round) pair so that
+/// consecutive collectives can never be confused with each other or with
+/// user traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MatchKey {
+    /// Application-level tag.
+    User(u32),
+    /// Internal collective traffic: (collective sequence number, round).
+    Coll {
+        /// Collective sequence number (advances per collective call).
+        seq: u64,
+        /// Algorithm round within the collective.
+        round: u32,
+    },
+}
+
+/// A message in flight: source rank, match key, type-erased payload.
+pub struct Envelope {
+    /// Sending rank.
+    pub src: usize,
+    /// Matching identity (user tag or collective sequence).
+    pub key: MatchKey,
+    /// Type-erased message body.
+    pub payload: Box<dyn Any + Send>,
+}
+
+/// Wildcard used by [`Mailbox::recv_match`] to accept any source.
+pub const ANY_SRC: usize = usize::MAX;
+
+/// Per-rank incoming-message store with selective receive.
+pub struct Mailbox {
+    rx: Receiver<Envelope>,
+    parked: VecDeque<Envelope>,
+}
+
+impl Mailbox {
+    /// Wrap a rank's receive channel.
+    pub fn new(rx: Receiver<Envelope>) -> Self {
+        Self {
+            rx,
+            parked: VecDeque::new(),
+        }
+    }
+
+    /// Block until a message matching `(src, key)` is available and return
+    /// it. `src == ANY_SRC` matches any source. Non-matching messages are
+    /// parked for later receives in arrival order.
+    pub fn recv_match(&mut self, src: usize, key: MatchKey) -> Envelope {
+        // First look through parked messages.
+        if let Some(pos) = self
+            .parked
+            .iter()
+            .position(|e| (src == ANY_SRC || e.src == src) && e.key == key)
+        {
+            return self.parked.remove(pos).expect("position just found");
+        }
+        // Then pull from the channel, parking mismatches.
+        loop {
+            let env = self
+                .rx
+                .recv()
+                .expect("cluster channel closed while a rank was still receiving");
+            if (src == ANY_SRC || env.src == src) && env.key == key {
+                return env;
+            }
+            self.parked.push_back(env);
+        }
+    }
+
+    /// Non-blocking probe: is a matching message already available?
+    pub fn probe(&mut self, src: usize, key: MatchKey) -> bool {
+        // Drain the channel into the parked queue without blocking, then scan.
+        while let Ok(env) = self.rx.try_recv() {
+            self.parked.push_back(env);
+        }
+        self.parked
+            .iter()
+            .any(|e| (src == ANY_SRC || e.src == src) && e.key == key)
+    }
+
+    /// Number of parked (arrived but unmatched) messages.
+    pub fn parked_len(&self) -> usize {
+        self.parked.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossbeam::channel::unbounded;
+
+    fn env(src: usize, tag: u32, v: i32) -> Envelope {
+        Envelope {
+            src,
+            key: MatchKey::User(tag),
+            payload: Box::new(v),
+        }
+    }
+
+    #[test]
+    fn out_of_order_matching() {
+        let (tx, rx) = unbounded();
+        let mut mb = Mailbox::new(rx);
+        tx.send(env(1, 10, 100)).unwrap();
+        tx.send(env(2, 20, 200)).unwrap();
+        // Ask for the second-arrived first.
+        let got = mb.recv_match(2, MatchKey::User(20));
+        assert_eq!(*got.payload.downcast::<i32>().unwrap(), 200);
+        assert_eq!(mb.parked_len(), 1);
+        let got = mb.recv_match(1, MatchKey::User(10));
+        assert_eq!(*got.payload.downcast::<i32>().unwrap(), 100);
+        assert_eq!(mb.parked_len(), 0);
+    }
+
+    #[test]
+    fn any_source_matches_first_arrival() {
+        let (tx, rx) = unbounded();
+        let mut mb = Mailbox::new(rx);
+        tx.send(env(5, 1, 55)).unwrap();
+        let got = mb.recv_match(ANY_SRC, MatchKey::User(1));
+        assert_eq!(got.src, 5);
+    }
+
+    #[test]
+    fn fifo_between_matching_messages() {
+        let (tx, rx) = unbounded();
+        let mut mb = Mailbox::new(rx);
+        tx.send(env(1, 9, 1)).unwrap();
+        tx.send(env(1, 9, 2)).unwrap();
+        let a = mb.recv_match(1, MatchKey::User(9));
+        let b = mb.recv_match(1, MatchKey::User(9));
+        assert_eq!(*a.payload.downcast::<i32>().unwrap(), 1);
+        assert_eq!(*b.payload.downcast::<i32>().unwrap(), 2);
+    }
+
+    #[test]
+    fn coll_keys_do_not_match_user_keys() {
+        let (tx, rx) = unbounded();
+        let mut mb = Mailbox::new(rx);
+        tx.send(Envelope {
+            src: 0,
+            key: MatchKey::Coll { seq: 3, round: 0 },
+            payload: Box::new(7i32),
+        })
+        .unwrap();
+        tx.send(env(0, 3, 8)).unwrap();
+        // User tag 3 must not match Coll seq 3.
+        let got = mb.recv_match(0, MatchKey::User(3));
+        assert_eq!(*got.payload.downcast::<i32>().unwrap(), 8);
+        let got = mb.recv_match(0, MatchKey::Coll { seq: 3, round: 0 });
+        assert_eq!(*got.payload.downcast::<i32>().unwrap(), 7);
+    }
+
+    #[test]
+    fn probe_sees_arrived_message() {
+        let (tx, rx) = unbounded();
+        let mut mb = Mailbox::new(rx);
+        assert!(!mb.probe(1, MatchKey::User(4)));
+        tx.send(env(1, 4, 0)).unwrap();
+        assert!(mb.probe(1, MatchKey::User(4)));
+        // Probe must not consume.
+        assert!(mb.probe(1, MatchKey::User(4)));
+        mb.recv_match(1, MatchKey::User(4));
+        assert!(!mb.probe(1, MatchKey::User(4)));
+    }
+}

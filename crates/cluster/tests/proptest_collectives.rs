@@ -1,0 +1,99 @@
+//! Property tests: collectives must agree with their sequential definitions
+//! for arbitrary cluster sizes, roots, and payloads.
+
+use peachy_cluster::{Cluster, NodeMap};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn broadcast_delivers_root_value(n in 1usize..9, root_sel in 0usize..100, payload in any::<i64>()) {
+        let root = root_sel % n;
+        let out = Cluster::run(n, move |comm| {
+            let v = if comm.rank() == root { payload } else { i64::MIN };
+            comm.broadcast(root, v)
+        });
+        prop_assert_eq!(out, vec![payload; n]);
+    }
+
+    #[test]
+    fn reduce_equals_sequential_fold(n in 1usize..9, root_sel in 0usize..100, values in prop::collection::vec(-1000i64..1000, 9)) {
+        let root = root_sel % n;
+        let vals = values.clone();
+        let out = Cluster::run(n, move |comm| {
+            comm.reduce(root, vals[comm.rank()], |a, b| a + b)
+        });
+        let expected: i64 = values[..n].iter().sum();
+        prop_assert_eq!(out[root], Some(expected));
+    }
+
+    #[test]
+    fn allreduce_min_all_ranks_agree(n in 1usize..9, values in prop::collection::vec(any::<i32>(), 9)) {
+        let vals = values.clone();
+        let out = Cluster::run(n, move |comm| {
+            comm.allreduce(vals[comm.rank()], |a, b| a.min(b))
+        });
+        let expected = *values[..n].iter().min().unwrap();
+        prop_assert_eq!(out, vec![expected; n]);
+    }
+
+    #[test]
+    fn allgather_preserves_rank_order(n in 1usize..9, values in prop::collection::vec(any::<u16>(), 9)) {
+        let vals = values.clone();
+        let out = Cluster::run(n, move |comm| comm.allgather(vals[comm.rank()]));
+        let expected = values[..n].to_vec();
+        for v in out {
+            prop_assert_eq!(&v, &expected);
+        }
+    }
+
+    #[test]
+    fn scatter_gather_roundtrip(n in 1usize..9, root_sel in 0usize..100, values in prop::collection::vec(any::<i16>(), 9)) {
+        let root = root_sel % n;
+        let vals = values[..n].to_vec();
+        let expected = vals.clone();
+        let out = Cluster::run(n, move |comm| {
+            let chunks = (comm.rank() == root).then(|| vals.clone());
+            let mine = comm.scatter(root, chunks);
+            comm.gather(root, mine)
+        });
+        prop_assert_eq!(out[root].clone(), Some(expected));
+    }
+
+    #[test]
+    fn alltoall_is_transpose(n in 1usize..8) {
+        let out = Cluster::run(n, move |comm| {
+            let data: Vec<(usize, usize)> = (0..n).map(|dst| (comm.rank(), dst)).collect();
+            comm.alltoall(data)
+        });
+        for (rank, row) in out.into_iter().enumerate() {
+            for (src, (from, to)) in row.into_iter().enumerate() {
+                prop_assert_eq!(from, src);
+                prop_assert_eq!(to, rank);
+            }
+        }
+    }
+
+    #[test]
+    fn scan_matches_prefix_fold(n in 1usize..9, values in prop::collection::vec(-100i64..100, 9)) {
+        let vals = values.clone();
+        let out = Cluster::run(n, move |comm| comm.scan(vals[comm.rank()], |a, b| a + b));
+        let mut acc = 0;
+        for (rank, v) in out.into_iter().enumerate() {
+            acc += values[rank];
+            prop_assert_eq!(v, acc);
+        }
+    }
+
+    #[test]
+    fn hierarchical_reduce_equals_flat(n in 1usize..10, rpn in 1usize..5, root_sel in 0usize..100, values in prop::collection::vec(-500i64..500, 10)) {
+        let root = root_sel % n;
+        let vals = values.clone();
+        let out = Cluster::run(n, move |comm| {
+            comm.hierarchical_reduce(NodeMap::block(rpn), root, vals[comm.rank()], |a, b| a + b)
+        });
+        let expected: i64 = values[..n].iter().sum();
+        prop_assert_eq!(out[root], Some(expected));
+    }
+}

@@ -1,0 +1,281 @@
+//! Minimal CSV reading and writing.
+//!
+//! The assignments' first step is always ingestion: §2's "parse the database
+//! and queries from a CSV file", §4's four NYC open-data CSVs. This module
+//! is a small, dependency-free reader/writer sufficient for numeric tables
+//! with a label column, plus a generic string-record reader used by the
+//! pipeline's cleaning stage (which must cope with dirty rows).
+
+use std::fmt;
+use std::num::ParseFloatError;
+
+use crate::matrix::{LabeledDataset, Matrix};
+
+/// Errors arising while parsing CSV content.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CsvError {
+    /// A row had a different number of fields than the first row.
+    RaggedRow {
+        /// 1-based line number.
+        line: usize,
+        /// Field count of the first row.
+        expected: usize,
+        /// Field count of the offending row.
+        got: usize,
+    },
+    /// A numeric field failed to parse.
+    BadNumber {
+        /// 1-based line number.
+        line: usize,
+        /// 0-based field index.
+        field: usize,
+        /// The parse error.
+        source: ParseFloatError,
+    },
+    /// A label field was not a non-negative integer.
+    BadLabel {
+        /// 1-based line number.
+        line: usize,
+        /// The offending text.
+        text: String,
+    },
+    /// The input had no data rows.
+    Empty,
+}
+
+impl fmt::Display for CsvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CsvError::RaggedRow {
+                line,
+                expected,
+                got,
+            } => {
+                write!(f, "line {line}: expected {expected} fields, got {got}")
+            }
+            CsvError::BadNumber {
+                line,
+                field,
+                source,
+            } => {
+                write!(f, "line {line}, field {field}: {source}")
+            }
+            CsvError::BadLabel { line, text } => {
+                write!(f, "line {line}: bad label {text:?}")
+            }
+            CsvError::Empty => write!(f, "no data rows"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+/// Split one CSV line into trimmed fields (no quoting support — the
+/// assignments' data is plain numeric/word CSV).
+fn split_line(line: &str) -> Vec<&str> {
+    line.split(',').map(str::trim).collect()
+}
+
+/// Parse CSV text into string records, skipping blank lines. If
+/// `has_header` the first non-blank line is returned separately.
+pub fn read_records(text: &str, has_header: bool) -> (Option<Vec<String>>, Vec<Vec<String>>) {
+    let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+    let header = if has_header {
+        lines
+            .next()
+            .map(|l| split_line(l).into_iter().map(String::from).collect())
+    } else {
+        None
+    };
+    let records = lines
+        .map(|l| split_line(l).into_iter().map(String::from).collect())
+        .collect();
+    (header, records)
+}
+
+/// Parse a pure-numeric CSV (no header) into a [`Matrix`].
+pub fn read_matrix(text: &str) -> Result<Matrix, CsvError> {
+    let mut m = Matrix::zeros(0, 0);
+    let mut width: Option<usize> = None;
+    let mut row_buf: Vec<f64> = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields = split_line(line);
+        if let Some(w) = width {
+            if fields.len() != w {
+                return Err(CsvError::RaggedRow {
+                    line: lineno + 1,
+                    expected: w,
+                    got: fields.len(),
+                });
+            }
+        } else {
+            width = Some(fields.len());
+        }
+        row_buf.clear();
+        for (i, field) in fields.iter().enumerate() {
+            let v: f64 = field.parse().map_err(|source| CsvError::BadNumber {
+                line: lineno + 1,
+                field: i,
+                source,
+            })?;
+            row_buf.push(v);
+        }
+        m.push_row(&row_buf);
+    }
+    if m.is_empty() {
+        return Err(CsvError::Empty);
+    }
+    Ok(m)
+}
+
+/// Parse a labelled CSV: all columns but the last are features, the last is
+/// an integer class label (the datahub.io layout §2 describes).
+pub fn read_labeled(text: &str) -> Result<LabeledDataset, CsvError> {
+    let full = read_matrix(text)?;
+    let d = full.cols();
+    assert!(
+        d >= 2,
+        "need at least one feature column plus the label column"
+    );
+    let mut points = Matrix::zeros(0, 0);
+    let mut labels = Vec::with_capacity(full.rows());
+    let mut max_label = 0u32;
+    for (lineno, row) in full.iter_rows().enumerate() {
+        let raw = row[d - 1];
+        if raw < 0.0 || raw.fract() != 0.0 || raw > u32::MAX as f64 {
+            return Err(CsvError::BadLabel {
+                line: lineno + 1,
+                text: raw.to_string(),
+            });
+        }
+        let label = raw as u32;
+        max_label = max_label.max(label);
+        labels.push(label);
+        points.push_row(&row[..d - 1]);
+    }
+    Ok(LabeledDataset::new(points, labels, max_label + 1))
+}
+
+/// Serialize a matrix as CSV text.
+pub fn write_matrix(m: &Matrix) -> String {
+    let mut out = String::with_capacity(m.rows() * m.cols() * 8);
+    for row in m.iter_rows() {
+        for (j, v) in row.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{v}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Serialize a labelled dataset as CSV (features…, label).
+pub fn write_labeled(ds: &LabeledDataset) -> String {
+    let mut out = String::new();
+    for (row, &label) in ds.points.iter_rows().zip(&ds.labels) {
+        for v in row {
+            out.push_str(&format!("{v},"));
+        }
+        out.push_str(&format!("{label}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_roundtrip() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.5], vec![-3.0, 0.125]]);
+        let text = write_matrix(&m);
+        let back = read_matrix(&text).unwrap();
+        assert_eq!(m, back);
+    }
+
+    #[test]
+    fn labeled_roundtrip() {
+        let ds = LabeledDataset::new(
+            Matrix::from_rows(&[vec![0.5, 1.5], vec![2.5, 3.5]]),
+            vec![1, 0],
+            2,
+        );
+        let text = write_labeled(&ds);
+        let back = read_labeled(&text).unwrap();
+        assert_eq!(ds.points, back.points);
+        assert_eq!(ds.labels, back.labels);
+    }
+
+    #[test]
+    fn blank_lines_skipped() {
+        let m = read_matrix("1,2\n\n3,4\n\n").unwrap();
+        assert_eq!(m.rows(), 2);
+    }
+
+    #[test]
+    fn whitespace_trimmed() {
+        let m = read_matrix(" 1 , 2 \n 3 ,4\n").unwrap();
+        assert_eq!(m.row(1), &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn ragged_row_reported_with_line() {
+        let err = read_matrix("1,2\n3\n").unwrap_err();
+        assert_eq!(
+            err,
+            CsvError::RaggedRow {
+                line: 2,
+                expected: 2,
+                got: 1
+            }
+        );
+    }
+
+    #[test]
+    fn bad_number_reported() {
+        let err = read_matrix("1,zebra\n").unwrap_err();
+        match err {
+            CsvError::BadNumber {
+                line: 1, field: 1, ..
+            } => {}
+            other => panic!("wrong error: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_label_rejected() {
+        let err = read_labeled("1.0,2.5\n").unwrap_err();
+        match err {
+            CsvError::BadLabel { line: 1, .. } => {}
+            other => panic!("wrong error: {other:?}"),
+        }
+        let err = read_labeled("1.0,-1\n").unwrap_err();
+        assert!(matches!(err, CsvError::BadLabel { .. }));
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        assert_eq!(read_matrix(""), Err(CsvError::Empty));
+        assert_eq!(read_matrix("\n  \n"), Err(CsvError::Empty));
+    }
+
+    #[test]
+    fn records_with_header() {
+        let (header, recs) = read_records("a,b\n1,2\n3,4\n", true);
+        assert_eq!(header, Some(vec!["a".into(), "b".into()]));
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[1], vec!["3", "4"]);
+    }
+
+    #[test]
+    fn records_without_header() {
+        let (header, recs) = read_records("1,2\n", false);
+        assert_eq!(header, None);
+        assert_eq!(recs.len(), 1);
+    }
+}

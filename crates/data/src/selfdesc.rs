@@ -1,0 +1,337 @@
+//! A minimal self-describing binary container — the course-topic stand-in
+//! for NetCDF ("file formats such as ASCII, binary, self-describing
+//! formats"; the §5 variation "adapt the output to use the NetCDF
+//! library").
+//!
+//! Layout (all integers little-endian u64, strings length-prefixed UTF-8):
+//!
+//! ```text
+//! magic "PCDF1" | n_attrs | (name, value)*          — global attributes
+//! n_dims  | (name, len)*                            — named dimensions
+//! n_vars  | (name, n_dimrefs, dimref*, f64-data)*   — variables
+//! ```
+//!
+//! A variable's data length must equal the product of its dimensions —
+//! checked on write *and* on read, so a truncated or corrupted file fails
+//! loudly instead of yielding garbage.
+
+use std::fmt;
+
+/// A named dimension.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dim {
+    /// Dimension name, e.g. `"time"`.
+    pub name: String,
+    /// Extent.
+    pub len: usize,
+}
+
+/// A variable: named data over an ordered list of dimensions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Variable {
+    /// Variable name, e.g. `"positions"`.
+    pub name: String,
+    /// Indices into the container's dimension table (row-major order).
+    pub dims: Vec<usize>,
+    /// Row-major data; length = product of dim extents.
+    pub data: Vec<f64>,
+}
+
+/// A self-describing dataset: attributes + dimensions + variables.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SelfDescribing {
+    /// Free-form (key, value) metadata.
+    pub attrs: Vec<(String, String)>,
+    /// Dimension table.
+    pub dims: Vec<Dim>,
+    /// Variables.
+    pub vars: Vec<Variable>,
+}
+
+/// Errors raised while decoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Missing or wrong magic header.
+    BadMagic,
+    /// Input ended mid-structure.
+    Truncated,
+    /// A string was not valid UTF-8.
+    BadString,
+    /// A variable referenced a dimension that does not exist.
+    BadDimRef {
+        /// Variable name.
+        var: String,
+        /// The out-of-range dimension index.
+        dim: usize,
+    },
+    /// A variable's data length disagrees with its dimensions.
+    ShapeMismatch {
+        /// Variable name.
+        var: String,
+        /// Values implied by the dimensions.
+        expected: usize,
+        /// Values actually available.
+        got: usize,
+    },
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::BadMagic => write!(f, "not a PCDF1 container"),
+            DecodeError::Truncated => write!(f, "input truncated"),
+            DecodeError::BadString => write!(f, "invalid UTF-8 string"),
+            DecodeError::BadDimRef { var, dim } => {
+                write!(f, "variable {var:?} references unknown dimension {dim}")
+            }
+            DecodeError::ShapeMismatch { var, expected, got } => {
+                write!(f, "variable {var:?}: expected {expected} values, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+const MAGIC: &[u8; 5] = b"PCDF1";
+
+impl SelfDescribing {
+    /// Add a dimension, returning its index.
+    pub fn add_dim(&mut self, name: impl Into<String>, len: usize) -> usize {
+        self.dims.push(Dim {
+            name: name.into(),
+            len,
+        });
+        self.dims.len() - 1
+    }
+
+    /// Add a variable over the given dimension indices. Panics if the data
+    /// length does not match the dimensions (programming error).
+    pub fn add_var(&mut self, name: impl Into<String>, dims: Vec<usize>, data: Vec<f64>) {
+        let name = name.into();
+        let expected: usize = dims.iter().map(|&d| self.dims[d].len).product();
+        assert_eq!(data.len(), expected, "variable {name:?} shape mismatch");
+        self.vars.push(Variable { name, dims, data });
+    }
+
+    /// Add a (key, value) attribute.
+    pub fn add_attr(&mut self, key: impl Into<String>, value: impl Into<String>) {
+        self.attrs.push((key.into(), value.into()));
+    }
+
+    /// Look up a variable by name.
+    pub fn var(&self, name: &str) -> Option<&Variable> {
+        self.vars.iter().find(|v| v.name == name)
+    }
+
+    /// Look up an attribute by key.
+    pub fn attr(&self, key: &str) -> Option<&str> {
+        self.attrs
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Serialize to bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out =
+            Vec::with_capacity(64 + self.vars.iter().map(|v| v.data.len() * 8).sum::<usize>());
+        out.extend_from_slice(MAGIC);
+        put_u64(&mut out, self.attrs.len() as u64);
+        for (k, v) in &self.attrs {
+            put_str(&mut out, k);
+            put_str(&mut out, v);
+        }
+        put_u64(&mut out, self.dims.len() as u64);
+        for d in &self.dims {
+            put_str(&mut out, &d.name);
+            put_u64(&mut out, d.len as u64);
+        }
+        put_u64(&mut out, self.vars.len() as u64);
+        for v in &self.vars {
+            put_str(&mut out, &v.name);
+            put_u64(&mut out, v.dims.len() as u64);
+            for &d in &v.dims {
+                put_u64(&mut out, d as u64);
+            }
+            for &x in &v.data {
+                out.extend_from_slice(&x.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Parse from bytes, validating structure and shapes.
+    pub fn decode(bytes: &[u8]) -> Result<Self, DecodeError> {
+        let mut cur = Cursor { bytes, pos: 0 };
+        if cur.take(5)? != MAGIC {
+            return Err(DecodeError::BadMagic);
+        }
+        let n_attrs = cur.u64()? as usize;
+        let mut attrs = Vec::with_capacity(n_attrs);
+        for _ in 0..n_attrs {
+            attrs.push((cur.string()?, cur.string()?));
+        }
+        let n_dims = cur.u64()? as usize;
+        let mut dims = Vec::with_capacity(n_dims);
+        for _ in 0..n_dims {
+            dims.push(Dim {
+                name: cur.string()?,
+                len: cur.u64()? as usize,
+            });
+        }
+        let n_vars = cur.u64()? as usize;
+        let mut vars = Vec::with_capacity(n_vars);
+        for _ in 0..n_vars {
+            let name = cur.string()?;
+            let n_dimrefs = cur.u64()? as usize;
+            let mut dimrefs = Vec::with_capacity(n_dimrefs);
+            for _ in 0..n_dimrefs {
+                let d = cur.u64()? as usize;
+                if d >= dims.len() {
+                    return Err(DecodeError::BadDimRef { var: name, dim: d });
+                }
+                dimrefs.push(d);
+            }
+            let expected: usize = dimrefs.iter().map(|&d| dims[d].len).product();
+            let raw = cur
+                .take(expected * 8)
+                .map_err(|_| DecodeError::ShapeMismatch {
+                    var: name.clone(),
+                    expected,
+                    got: (bytes.len() - cur.pos) / 8,
+                })?;
+            let data: Vec<f64> = raw
+                .chunks_exact(8)
+                .map(|c| f64::from_le_bytes(c.try_into().expect("chunk of 8")))
+                .collect();
+            vars.push(Variable {
+                name,
+                dims: dimrefs,
+                data,
+            });
+        }
+        Ok(Self { attrs, dims, vars })
+    }
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u64(out, s.len() as u64);
+    out.extend_from_slice(s.as_bytes());
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.pos + n > self.bytes.len() {
+            return Err(DecodeError::Truncated);
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+    fn u64(&mut self) -> Result<u64, DecodeError> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+    fn string(&mut self) -> Result<String, DecodeError> {
+        let len = self.u64()? as usize;
+        let raw = self.take(len)?;
+        String::from_utf8(raw.to_vec()).map_err(|_| DecodeError::BadString)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SelfDescribing {
+        let mut ds = SelfDescribing::default();
+        ds.add_attr("model", "nagel-schreckenberg");
+        ds.add_attr("p", "0.13");
+        let t = ds.add_dim("time", 3);
+        let c = ds.add_dim("car", 2);
+        ds.add_var("positions", vec![t, c], vec![0.0, 5.0, 1.0, 6.0, 3.0, 8.0]);
+        ds.add_var("mean_v", vec![t], vec![0.5, 1.0, 2.0]);
+        ds
+    }
+
+    #[test]
+    fn roundtrip() {
+        let ds = sample();
+        let back = SelfDescribing::decode(&ds.encode()).unwrap();
+        assert_eq!(ds, back);
+    }
+
+    #[test]
+    fn lookup_helpers() {
+        let ds = sample();
+        assert_eq!(ds.attr("p"), Some("0.13"));
+        assert_eq!(ds.attr("missing"), None);
+        assert_eq!(ds.var("mean_v").unwrap().data.len(), 3);
+        assert!(ds.var("nope").is_none());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        assert_eq!(
+            SelfDescribing::decode(b"NOPE!rest"),
+            Err(DecodeError::BadMagic)
+        );
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let bytes = sample().encode();
+        for cut in [3usize, 10, bytes.len() - 1] {
+            let err = SelfDescribing::decode(&bytes[..cut]).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    DecodeError::Truncated
+                        | DecodeError::ShapeMismatch { .. }
+                        | DecodeError::BadMagic
+                ),
+                "cut at {cut}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_dimref_rejected() {
+        let mut ds = SelfDescribing::default();
+        ds.add_dim("t", 1);
+        ds.add_var("x", vec![0], vec![1.0]);
+        let mut bytes = ds.encode();
+        // Corrupt the dimref (last 16 bytes are dimref + one f64).
+        let n = bytes.len();
+        bytes[n - 16..n - 8].copy_from_slice(&99u64.to_le_bytes());
+        assert!(matches!(
+            SelfDescribing::decode(&bytes),
+            Err(DecodeError::BadDimRef { dim: 99, .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn add_var_validates_shape() {
+        let mut ds = SelfDescribing::default();
+        let t = ds.add_dim("t", 4);
+        ds.add_var("x", vec![t], vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn empty_container_roundtrips() {
+        let ds = SelfDescribing::default();
+        assert_eq!(SelfDescribing::decode(&ds.encode()).unwrap(), ds);
+    }
+}

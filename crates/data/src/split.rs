@@ -1,0 +1,127 @@
+//! Seeded shuffles and train/test splits.
+
+use peachy_prng::{Lcg64, RandomStream};
+
+use crate::matrix::LabeledDataset;
+
+/// A train/test partition of a labelled dataset.
+#[derive(Debug, Clone)]
+pub struct TrainTest {
+    /// The training portion.
+    pub train: LabeledDataset,
+    /// The held-out test portion.
+    pub test: LabeledDataset,
+}
+
+/// Fisher–Yates shuffle of `0..n` driven by a seeded generator.
+pub fn shuffled_indices(n: usize, seed: u64) -> Vec<usize> {
+    let mut rng = Lcg64::seed_from(seed);
+    let mut idx: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = rng.next_below((i + 1) as u64) as usize;
+        idx.swap(i, j);
+    }
+    idx
+}
+
+/// Split a dataset into train/test with the given training fraction,
+/// after a seeded shuffle. `train_frac` must be in `(0, 1)`.
+pub fn train_test_split(ds: &LabeledDataset, train_frac: f64, seed: u64) -> TrainTest {
+    assert!(
+        train_frac > 0.0 && train_frac < 1.0,
+        "train_frac must be in (0,1)"
+    );
+    let idx = shuffled_indices(ds.len(), seed);
+    let n_train = ((ds.len() as f64) * train_frac).round() as usize;
+    let n_train = n_train.clamp(1, ds.len().saturating_sub(1));
+    TrainTest {
+        train: ds.select(&idx[..n_train]),
+        test: ds.select(&idx[n_train..]),
+    }
+}
+
+/// Deterministic `k`-fold partition: returns `k` disjoint index sets
+/// covering `0..n`, sizes differing by at most one.
+pub fn k_folds(n: usize, k: usize, seed: u64) -> Vec<Vec<usize>> {
+    assert!(k >= 2 && k <= n, "need 2 <= k <= n");
+    let idx = shuffled_indices(n, seed);
+    let mut folds: Vec<Vec<usize>> = vec![Vec::with_capacity(n / k + 1); k];
+    for (i, ix) in idx.into_iter().enumerate() {
+        folds[i % k].push(ix);
+    }
+    folds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::Matrix;
+
+    fn toy(n: usize) -> LabeledDataset {
+        let rows: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64]).collect();
+        LabeledDataset::new(
+            Matrix::from_rows(&rows),
+            (0..n as u32).map(|i| i % 3).collect(),
+            3,
+        )
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let idx = shuffled_indices(100, 7);
+        let mut sorted = idx.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn shuffle_deterministic_by_seed() {
+        assert_eq!(shuffled_indices(50, 1), shuffled_indices(50, 1));
+        assert_ne!(shuffled_indices(50, 1), shuffled_indices(50, 2));
+    }
+
+    #[test]
+    fn split_sizes() {
+        let ds = toy(100);
+        let tt = train_test_split(&ds, 0.8, 42);
+        assert_eq!(tt.train.len(), 80);
+        assert_eq!(tt.test.len(), 20);
+    }
+
+    #[test]
+    fn split_is_a_partition() {
+        let ds = toy(30);
+        let tt = train_test_split(&ds, 0.5, 9);
+        let mut seen: Vec<f64> = tt
+            .train
+            .points
+            .iter_rows()
+            .chain(tt.test.points.iter_rows())
+            .map(|r| r[0])
+            .collect();
+        seen.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let expected: Vec<f64> = (0..30).map(|i| i as f64).collect();
+        assert_eq!(seen, expected);
+    }
+
+    #[test]
+    fn split_never_empty() {
+        let ds = toy(3);
+        let tt = train_test_split(&ds, 0.99, 1);
+        assert!(!tt.test.is_empty());
+        let tt = train_test_split(&ds, 0.01, 1);
+        assert!(!tt.train.is_empty());
+    }
+
+    #[test]
+    fn k_folds_cover_everything() {
+        let folds = k_folds(23, 5, 3);
+        assert_eq!(folds.len(), 5);
+        let mut all: Vec<usize> = folds.concat();
+        all.sort_unstable();
+        assert_eq!(all, (0..23).collect::<Vec<_>>());
+        for f in &folds {
+            assert!(f.len() == 4 || f.len() == 5);
+        }
+    }
+}

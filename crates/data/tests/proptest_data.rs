@@ -1,0 +1,96 @@
+//! Property tests for dataset plumbing: CSV round-trips, splits, geometry.
+
+use peachy_data::csv;
+use peachy_data::geo::{Point, Polygon};
+use peachy_data::matrix::{squared_distance, LabeledDataset, Matrix};
+use peachy_data::split::{k_folds, shuffled_indices, train_test_split};
+use proptest::prelude::*;
+
+fn finite_f64() -> impl Strategy<Value = f64> {
+    // Values that survive a text round-trip exactly.
+    (-1_000_000i64..1_000_000).prop_map(|v| v as f64 / 64.0)
+}
+
+proptest! {
+    #[test]
+    fn csv_matrix_roundtrip(rows in 1usize..20, cols in 1usize..8, seed in any::<u64>()) {
+        let data: Vec<f64> = (0..rows * cols)
+            .map(|i| ((seed.wrapping_add(i as u64).wrapping_mul(2654435761)) % 1_000_000) as f64 / 128.0)
+            .collect();
+        let m = Matrix::from_vec(rows, cols, data);
+        let back = csv::read_matrix(&csv::write_matrix(&m)).unwrap();
+        prop_assert_eq!(m, back);
+    }
+
+    #[test]
+    fn csv_labeled_roundtrip(rows in prop::collection::vec((finite_f64(), finite_f64(), 0u32..5), 1..30)) {
+        let points = Matrix::from_rows(&rows.iter().map(|(a, b, _)| vec![*a, *b]).collect::<Vec<_>>());
+        let labels: Vec<u32> = rows.iter().map(|(_, _, l)| *l).collect();
+        let classes = labels.iter().max().unwrap() + 1;
+        let ds = LabeledDataset::new(points, labels, classes);
+        let back = csv::read_labeled(&csv::write_labeled(&ds)).unwrap();
+        prop_assert_eq!(ds.points, back.points);
+        prop_assert_eq!(ds.labels, back.labels);
+    }
+
+    #[test]
+    fn shuffle_is_permutation(n in 1usize..500, seed in any::<u64>()) {
+        let mut idx = shuffled_indices(n, seed);
+        idx.sort_unstable();
+        prop_assert_eq!(idx, (0..n).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn split_partitions_dataset(n in 2usize..200, frac in 0.05f64..0.95, seed in any::<u64>()) {
+        let rows: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64]).collect();
+        let ds = LabeledDataset::new(Matrix::from_rows(&rows), vec![0; n], 1);
+        let tt = train_test_split(&ds, frac, seed);
+        prop_assert_eq!(tt.train.len() + tt.test.len(), n);
+        prop_assert!(!tt.train.is_empty() && !tt.test.is_empty());
+        let mut ids: Vec<f64> = tt.train.points.iter_rows().chain(tt.test.points.iter_rows()).map(|r| r[0]).collect();
+        ids.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let expected: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        prop_assert_eq!(ids, expected);
+    }
+
+    #[test]
+    fn folds_partition(n in 4usize..100, k in 2usize..4, seed in any::<u64>()) {
+        prop_assume!(k <= n);
+        let folds = k_folds(n, k, seed);
+        let mut all: Vec<usize> = folds.concat();
+        all.sort_unstable();
+        prop_assert_eq!(all, (0..n).collect::<Vec<_>>());
+        let max = folds.iter().map(Vec::len).max().unwrap();
+        let min = folds.iter().map(Vec::len).min().unwrap();
+        prop_assert!(max - min <= 1);
+    }
+
+    #[test]
+    fn squared_distance_is_metric_like(a in prop::collection::vec(finite_f64(), 1..10)) {
+        // d(x,x) = 0 and d(x,y) = d(y,x) ≥ 0.
+        let b: Vec<f64> = a.iter().map(|v| v + 1.0).collect();
+        prop_assert_eq!(squared_distance(&a, &a), 0.0);
+        prop_assert_eq!(squared_distance(&a, &b), squared_distance(&b, &a));
+        prop_assert!(squared_distance(&a, &b) >= 0.0);
+    }
+
+    #[test]
+    fn convex_polygon_contains_centroid(n in 3usize..12, r in 0.5f64..10.0) {
+        // Regular n-gon of radius r centred at (3, 4).
+        let verts: Vec<Point> = (0..n)
+            .map(|i| {
+                let t = std::f64::consts::TAU * i as f64 / n as f64;
+                Point { x: 3.0 + r * t.cos(), y: 4.0 + r * t.sin() }
+            })
+            .collect();
+        let poly = Polygon::new(verts);
+        let centroid = Point { x: 3.0, y: 4.0 };
+        let outside = Point { x: 3.0 + 2.0 * r, y: 4.0 };
+        prop_assert!(poly.contains(centroid));
+        // A point well outside the circumradius is excluded.
+        prop_assert!(!poly.contains(outside));
+        // Area of a regular n-gon: (1/2) n r² sin(2π/n).
+        let expected = 0.5 * n as f64 * r * r * (std::f64::consts::TAU / n as f64).sin();
+        prop_assert!((poly.signed_area().abs() - expected).abs() < 1e-9 * expected.max(1.0));
+    }
+}

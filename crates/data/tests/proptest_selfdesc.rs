@@ -1,0 +1,88 @@
+//! Property tests: the self-describing container round-trips arbitrary
+//! structures and rejects truncation anywhere.
+
+use peachy_data::selfdesc::{DecodeError, SelfDescribing};
+use proptest::prelude::*;
+
+fn container_strategy() -> impl Strategy<Value = SelfDescribing> {
+    let attr = ("[a-z]{1,8}", "[ -~]{0,16}");
+    let dim = ("[a-z]{1,8}", 1usize..6);
+    (
+        prop::collection::vec(attr, 0..4),
+        prop::collection::vec(dim, 0..4),
+    )
+        .prop_flat_map(|(attrs, dims)| {
+            let dims2 = dims.clone();
+            let var = (0..3usize)
+                .prop_flat_map(move |_| 0usize..1)
+                .prop_map(|_| ());
+            let _ = var;
+            // Variables: each picks a subset of dims (prefix) and data to match.
+            let nvars = 0usize..4;
+            (Just(attrs), Just(dims2), nvars, any::<u64>()).prop_map(
+                |(attrs, dims, nvars, seed)| {
+                    let mut ds = SelfDescribing::default();
+                    for (k, v) in &attrs {
+                        ds.add_attr(k.clone(), v.clone());
+                    }
+                    let dim_ids: Vec<usize> = dims
+                        .iter()
+                        .map(|(name, len)| ds.add_dim(name.clone(), *len))
+                        .collect();
+                    for vi in 0..nvars {
+                        // Use the first `vi % (dims+1)` dimensions.
+                        let take = if dim_ids.is_empty() {
+                            0
+                        } else {
+                            vi % (dim_ids.len() + 1)
+                        };
+                        let refs: Vec<usize> = dim_ids[..take].to_vec();
+                        let len: usize = refs.iter().map(|&d| ds.dims[d].len).product();
+                        let data: Vec<f64> = (0..len)
+                            .map(|i| {
+                                ((seed ^ i as u64).wrapping_mul(2654435761) % 1000) as f64 / 8.0
+                            })
+                            .collect();
+                        ds.add_var(format!("v{vi}"), refs, data);
+                    }
+                    ds
+                },
+            )
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn roundtrip(ds in container_strategy()) {
+        let back = SelfDescribing::decode(&ds.encode()).unwrap();
+        prop_assert_eq!(ds, back);
+    }
+
+    #[test]
+    fn truncation_always_detected(ds in container_strategy(), frac in 0.0f64..1.0) {
+        let bytes = ds.encode();
+        prop_assume!(bytes.len() > 5);
+        let cut = 1 + ((bytes.len() - 2) as f64 * frac) as usize;
+        let result = SelfDescribing::decode(&bytes[..cut]);
+        // Truncated input must error (never succeed, never panic).
+        prop_assert!(
+            matches!(
+                result,
+                Err(DecodeError::Truncated
+                    | DecodeError::BadMagic
+                    | DecodeError::BadString
+                    | DecodeError::ShapeMismatch { .. }
+                    | DecodeError::BadDimRef { .. })
+            ),
+            "cut {cut}/{} gave {result:?}",
+            bytes.len()
+        );
+    }
+
+    #[test]
+    fn junk_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..300)) {
+        let _ = SelfDescribing::decode(&bytes);
+    }
+}

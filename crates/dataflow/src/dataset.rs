@@ -1,0 +1,658 @@
+//! The core lazy dataset: lineage nodes, narrow transformations, actions.
+
+use std::sync::{Arc, OnceLock};
+
+use rayon::prelude::*;
+
+/// A lineage node: something that can produce partition `i` on demand.
+///
+/// Narrow operations implement `compute_partition` by pulling the parent's
+/// partition and transforming it in place — so a chain of narrow ops is one
+/// fused pass (a *stage*). Wide operations materialize all map-side output
+/// once, then serve bucketed partitions.
+pub(crate) trait Op<T>: Send + Sync {
+    /// Number of partitions.
+    fn partitions(&self) -> usize;
+    /// Compute one partition's rows.
+    fn compute_partition(&self, idx: usize) -> Vec<T>;
+    /// Human-readable node label for `explain()`.
+    fn label(&self) -> String;
+    /// Child lineage labels (already-rendered subtrees).
+    fn explain_children(&self, indent: usize, out: &mut String);
+    /// Number of stages (shuffle boundaries + 1) along the deepest lineage
+    /// path ending at this node.
+    fn stages(&self) -> usize;
+}
+
+/// A lazy, partitioned, immutable collection — the engine's RDD analogue.
+///
+/// Cloning a `Dataset` clones the recipe (an `Arc`), not the data.
+pub struct Dataset<T> {
+    pub(crate) op: Arc<dyn Op<T>>,
+}
+
+impl<T> Clone for Dataset<T> {
+    fn clone(&self) -> Self {
+        Self {
+            op: Arc::clone(&self.op),
+        }
+    }
+}
+
+// ---------- source ----------
+
+struct Source<T> {
+    parts: Vec<Vec<T>>,
+}
+
+impl<T: Send + Sync> Op<T> for Source<T>
+where
+    T: Clone,
+{
+    fn partitions(&self) -> usize {
+        self.parts.len()
+    }
+    fn compute_partition(&self, idx: usize) -> Vec<T> {
+        self.parts[idx].clone()
+    }
+    fn label(&self) -> String {
+        let n: usize = self.parts.iter().map(Vec::len).sum();
+        format!("Source[{} rows, {} partitions]", n, self.parts.len())
+    }
+    fn explain_children(&self, _indent: usize, _out: &mut String) {}
+    fn stages(&self) -> usize {
+        1
+    }
+}
+
+// ---------- narrow ops ----------
+
+struct MapOp<U, T, F> {
+    parent: Arc<dyn Op<U>>,
+    f: F,
+    name: &'static str,
+    _marker: std::marker::PhantomData<fn(U) -> T>,
+}
+
+impl<U, T, F> Op<T> for MapOp<U, T, F>
+where
+    U: Send + Sync,
+    T: Send + Sync,
+    F: Fn(U, &mut Vec<T>) + Send + Sync,
+{
+    fn partitions(&self) -> usize {
+        self.parent.partitions()
+    }
+    fn compute_partition(&self, idx: usize) -> Vec<T> {
+        let input = self.parent.compute_partition(idx);
+        let mut out = Vec::with_capacity(input.len());
+        for row in input {
+            (self.f)(row, &mut out);
+        }
+        out
+    }
+    fn label(&self) -> String {
+        self.name.to_string()
+    }
+    fn explain_children(&self, indent: usize, out: &mut String) {
+        explain_into(&*self.parent, indent, out);
+    }
+    fn stages(&self) -> usize {
+        self.parent.stages()
+    }
+}
+
+struct UnionOp<T> {
+    left: Arc<dyn Op<T>>,
+    right: Arc<dyn Op<T>>,
+}
+
+impl<T: Send + Sync> Op<T> for UnionOp<T> {
+    fn partitions(&self) -> usize {
+        self.left.partitions() + self.right.partitions()
+    }
+    fn compute_partition(&self, idx: usize) -> Vec<T> {
+        let l = self.left.partitions();
+        if idx < l {
+            self.left.compute_partition(idx)
+        } else {
+            self.right.compute_partition(idx - l)
+        }
+    }
+    fn label(&self) -> String {
+        "Union".to_string()
+    }
+    fn explain_children(&self, indent: usize, out: &mut String) {
+        explain_into(&*self.left, indent, out);
+        explain_into(&*self.right, indent, out);
+    }
+    fn stages(&self) -> usize {
+        self.left.stages().max(self.right.stages())
+    }
+}
+
+// ---------- cache ----------
+
+struct CacheOp<T> {
+    parent: Arc<dyn Op<T>>,
+    cells: Vec<OnceLock<Vec<T>>>,
+    hits: std::sync::atomic::AtomicU64,
+}
+
+impl<T: Clone + Send + Sync> Op<T> for CacheOp<T> {
+    fn partitions(&self) -> usize {
+        self.parent.partitions()
+    }
+    fn compute_partition(&self, idx: usize) -> Vec<T> {
+        if let Some(hit) = self.cells[idx].get() {
+            self.hits.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            return hit.clone();
+        }
+        let computed = self.cells[idx].get_or_init(|| self.parent.compute_partition(idx));
+        computed.clone()
+    }
+    fn label(&self) -> String {
+        "Cache".to_string()
+    }
+    fn explain_children(&self, indent: usize, out: &mut String) {
+        explain_into(&*self.parent, indent, out);
+    }
+    fn stages(&self) -> usize {
+        self.parent.stages()
+    }
+}
+
+// ---------- repartition (wide, round-robin) ----------
+
+struct RepartitionOp<T> {
+    parent: Arc<dyn Op<T>>,
+    target: usize,
+    materialized: OnceLock<Vec<Vec<T>>>,
+}
+
+impl<T: Clone + Send + Sync> Op<T> for RepartitionOp<T> {
+    fn partitions(&self) -> usize {
+        self.target
+    }
+    fn compute_partition(&self, idx: usize) -> Vec<T> {
+        let parts = self.materialized.get_or_init(|| {
+            let inputs: Vec<Vec<T>> = (0..self.parent.partitions())
+                .into_par_iter()
+                .map(|i| self.parent.compute_partition(i))
+                .collect();
+            let mut out: Vec<Vec<T>> = (0..self.target).map(|_| Vec::new()).collect();
+            for (i, row) in inputs.into_iter().flatten().enumerate() {
+                out[i % self.target].push(row);
+            }
+            out
+        });
+        parts[idx].clone()
+    }
+    fn label(&self) -> String {
+        format!("Repartition[{}] === stage boundary ===", self.target)
+    }
+    fn explain_children(&self, indent: usize, out: &mut String) {
+        explain_into(&*self.parent, indent, out);
+    }
+    fn stages(&self) -> usize {
+        self.parent.stages() + 1
+    }
+}
+
+/// Render one lineage node and its children, indenting per level.
+pub(crate) fn explain_into<T>(op: &dyn Op<T>, indent: usize, out: &mut String) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+    out.push_str(&op.label());
+    out.push('\n');
+    op.explain_children(indent + 1, out);
+}
+
+// ---------- public API ----------
+
+impl<T: Clone + Send + Sync + 'static> Dataset<T> {
+    /// Create a dataset from a vector, split into `partitions` contiguous
+    /// blocks (balanced, like a file read).
+    pub fn from_vec(data: Vec<T>, partitions: usize) -> Self {
+        assert!(partitions > 0, "need at least one partition");
+        let n = data.len();
+        let mut parts: Vec<Vec<T>> = (0..partitions).map(|_| Vec::new()).collect();
+        if n > 0 {
+            let base = n / partitions;
+            let extra = n % partitions;
+            let mut iter = data.into_iter();
+            for (r, part) in parts.iter_mut().enumerate() {
+                let len = base + usize::from(r < extra);
+                part.extend(iter.by_ref().take(len));
+            }
+        }
+        Self {
+            op: Arc::new(Source { parts }),
+        }
+    }
+
+    /// Number of partitions.
+    pub fn num_partitions(&self) -> usize {
+        self.op.partitions()
+    }
+
+    /// Narrow: apply `f` to every row.
+    pub fn map<U, F>(&self, f: F) -> Dataset<U>
+    where
+        U: Clone + Send + Sync + 'static,
+        F: Fn(T) -> U + Send + Sync + 'static,
+    {
+        Dataset {
+            op: Arc::new(MapOp {
+                parent: Arc::clone(&self.op),
+                f: move |row, out: &mut Vec<U>| out.push(f(row)),
+                name: "Map",
+                _marker: std::marker::PhantomData,
+            }),
+        }
+    }
+
+    /// Narrow: keep rows satisfying the predicate.
+    pub fn filter<F>(&self, pred: F) -> Dataset<T>
+    where
+        F: Fn(&T) -> bool + Send + Sync + 'static,
+    {
+        Dataset {
+            op: Arc::new(MapOp {
+                parent: Arc::clone(&self.op),
+                f: move |row: T, out: &mut Vec<T>| {
+                    if pred(&row) {
+                        out.push(row);
+                    }
+                },
+                name: "Filter",
+                _marker: std::marker::PhantomData,
+            }),
+        }
+    }
+
+    /// Narrow: expand each row into zero or more rows.
+    pub fn flat_map<U, I, F>(&self, f: F) -> Dataset<U>
+    where
+        U: Clone + Send + Sync + 'static,
+        I: IntoIterator<Item = U>,
+        F: Fn(T) -> I + Send + Sync + 'static,
+    {
+        Dataset {
+            op: Arc::new(MapOp {
+                parent: Arc::clone(&self.op),
+                f: move |row, out: &mut Vec<U>| out.extend(f(row)),
+                name: "FlatMap",
+                _marker: std::marker::PhantomData,
+            }),
+        }
+    }
+
+    /// Narrow: transform a whole partition at once (Spark's
+    /// `mapPartitions`) — the hook for per-partition algorithms such as
+    /// map-side combining.
+    pub fn map_partitions<U, F>(&self, f: F) -> Dataset<U>
+    where
+        U: Clone + Send + Sync + 'static,
+        F: Fn(Vec<T>) -> Vec<U> + Send + Sync + 'static,
+    {
+        struct MapPartitionsOp<T, U, F> {
+            parent: Arc<dyn Op<T>>,
+            f: F,
+            _marker: std::marker::PhantomData<fn(T) -> U>,
+        }
+        impl<T, U, F> Op<U> for MapPartitionsOp<T, U, F>
+        where
+            T: Send + Sync,
+            U: Send + Sync,
+            F: Fn(Vec<T>) -> Vec<U> + Send + Sync,
+        {
+            fn partitions(&self) -> usize {
+                self.parent.partitions()
+            }
+            fn compute_partition(&self, idx: usize) -> Vec<U> {
+                (self.f)(self.parent.compute_partition(idx))
+            }
+            fn label(&self) -> String {
+                "MapPartitions".to_string()
+            }
+            fn explain_children(&self, indent: usize, out: &mut String) {
+                explain_into(&*self.parent, indent, out);
+            }
+            fn stages(&self) -> usize {
+                self.parent.stages()
+            }
+        }
+        Dataset {
+            op: Arc::new(MapPartitionsOp {
+                parent: Arc::clone(&self.op),
+                f,
+                _marker: std::marker::PhantomData,
+            }),
+        }
+    }
+
+    /// Narrow: concatenate two datasets (partitions of both are preserved).
+    pub fn union_with(&self, other: &Dataset<T>) -> Dataset<T> {
+        Dataset {
+            op: Arc::new(UnionOp {
+                left: Arc::clone(&self.op),
+                right: Arc::clone(&other.op),
+            }),
+        }
+    }
+
+    /// Attach keys: produce a keyed dataset for wide operations.
+    pub fn key_by<K, F>(&self, f: F) -> crate::keyed::KeyedDataset<K, T>
+    where
+        K: Clone + Send + Sync + std::hash::Hash + Eq + 'static,
+        F: Fn(&T) -> K + Send + Sync + 'static,
+    {
+        crate::keyed::KeyedDataset::from_dataset(self.map(move |row| (f(&row), row)))
+    }
+
+    /// Pin this dataset's partitions in memory after first computation.
+    pub fn cache(&self) -> Dataset<T> {
+        let parts = self.op.partitions();
+        Dataset {
+            op: Arc::new(CacheOp {
+                parent: Arc::clone(&self.op),
+                cells: (0..parts).map(|_| OnceLock::new()).collect(),
+                hits: std::sync::atomic::AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Wide: redistribute rows round-robin over `target` partitions.
+    pub fn repartition(&self, target: usize) -> Dataset<T> {
+        assert!(target > 0, "need at least one partition");
+        Dataset {
+            op: Arc::new(RepartitionOp {
+                parent: Arc::clone(&self.op),
+                target,
+                materialized: OnceLock::new(),
+            }),
+        }
+    }
+
+    // ---------- actions ----------
+
+    /// Action: materialize every row (partitions evaluated in parallel,
+    /// concatenated in partition order).
+    pub fn collect(&self) -> Vec<T> {
+        let parts: Vec<Vec<T>> = (0..self.op.partitions())
+            .into_par_iter()
+            .map(|i| self.op.compute_partition(i))
+            .collect();
+        parts.concat()
+    }
+
+    /// Action: number of rows.
+    pub fn count(&self) -> usize {
+        (0..self.op.partitions())
+            .into_par_iter()
+            .map(|i| self.op.compute_partition(i).len())
+            .sum()
+    }
+
+    /// Action: at most `n` rows, from the earliest partitions (partitions
+    /// are evaluated lazily one at a time, like Spark's `take`).
+    pub fn take(&self, n: usize) -> Vec<T> {
+        let mut out = Vec::with_capacity(n);
+        for i in 0..self.op.partitions() {
+            if out.len() >= n {
+                break;
+            }
+            let part = self.op.compute_partition(i);
+            out.extend(part.into_iter().take(n - out.len()));
+        }
+        out
+    }
+
+    /// Action: fold all rows with an associative, commutative operator.
+    /// Returns `None` for an empty dataset.
+    pub fn reduce<F>(&self, f: F) -> Option<T>
+    where
+        F: Fn(T, T) -> T + Send + Sync,
+    {
+        let parts: Vec<Option<T>> = (0..self.op.partitions())
+            .into_par_iter()
+            .map(|i| self.op.compute_partition(i).into_iter().reduce(&f))
+            .collect();
+        parts.into_iter().flatten().reduce(&f)
+    }
+
+    /// Number of execution stages: shuffle boundaries + 1 along the
+    /// deepest lineage path — the quantity `explain()` marks visually.
+    pub fn num_stages(&self) -> usize {
+        self.op.stages()
+    }
+
+    /// Render the lineage tree, with stage boundaries marked at wide
+    /// operations.
+    pub fn explain(&self) -> String {
+        let mut out = String::new();
+        explain_into(&*self.op, 0, &mut out);
+        out
+    }
+}
+
+struct CoalesceOp<T> {
+    parent: Arc<dyn Op<T>>,
+    group: usize,
+    target: usize,
+}
+
+impl<T: Send + Sync> Op<T> for CoalesceOp<T> {
+    fn partitions(&self) -> usize {
+        self.target
+    }
+    fn compute_partition(&self, idx: usize) -> Vec<T> {
+        let sources = self.parent.partitions();
+        let start = idx * self.group;
+        let end = ((idx + 1) * self.group).min(sources);
+        let mut out = Vec::new();
+        for s in start..end {
+            out.extend(self.parent.compute_partition(s));
+        }
+        out
+    }
+    fn label(&self) -> String {
+        format!("Coalesce[{}]", self.target)
+    }
+    fn explain_children(&self, indent: usize, out: &mut String) {
+        explain_into(&*self.parent, indent, out);
+    }
+    fn stages(&self) -> usize {
+        self.parent.stages()
+    }
+}
+
+impl<T: Clone + Send + Sync + 'static> Dataset<T> {
+    /// Internal: group `per` consecutive source partitions into each of
+    /// `target` output partitions (order-preserving narrow-ish merge).
+    pub(crate) fn from_op_groups(parent: Dataset<T>, per: usize, target: usize) -> Dataset<T> {
+        Dataset {
+            op: Arc::new(CoalesceOp {
+                parent: parent.op,
+                group: per,
+                target,
+            }),
+        }
+    }
+}
+
+impl Dataset<String> {
+    /// Parse the lines of a text blob into a dataset of `String` rows —
+    /// the ingestion step of every pipeline.
+    pub fn from_text(text: &str, partitions: usize) -> Dataset<String> {
+        Dataset::from_vec(text.lines().map(String::from).collect(), partitions)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_text_splits_lines() {
+        let ds = Dataset::from_text("a\nb\nc\n", 2);
+        assert_eq!(ds.collect(), vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn from_vec_balances_partitions() {
+        let ds = Dataset::from_vec((0..10).collect::<Vec<i32>>(), 4);
+        assert_eq!(ds.num_partitions(), 4);
+        assert_eq!(ds.collect(), (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn from_vec_more_partitions_than_rows() {
+        let ds = Dataset::from_vec(vec![1, 2], 5);
+        assert_eq!(ds.num_partitions(), 5);
+        assert_eq!(ds.count(), 2);
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let ds = Dataset::from_vec(Vec::<i32>::new(), 3);
+        assert_eq!(ds.count(), 0);
+        assert!(ds.collect().is_empty());
+        assert_eq!(ds.reduce(|a, b| a + b), None);
+    }
+
+    #[test]
+    fn map_filter_flat_map_chain() {
+        let ds = Dataset::from_vec((1..=10).collect::<Vec<i32>>(), 3)
+            .map(|x| x * 2)
+            .filter(|&x| x % 3 == 0)
+            .flat_map(|x| vec![x, x + 1]);
+        assert_eq!(ds.collect(), vec![6, 7, 12, 13, 18, 19]);
+    }
+
+    #[test]
+    fn collect_preserves_order() {
+        let data: Vec<i32> = (0..1000).collect();
+        let ds = Dataset::from_vec(data.clone(), 7).map(|x| x);
+        assert_eq!(ds.collect(), data);
+    }
+
+    #[test]
+    fn take_is_prefix() {
+        let ds = Dataset::from_vec((0..100).collect::<Vec<i32>>(), 5);
+        assert_eq!(ds.take(7), (0..7).collect::<Vec<_>>());
+        assert_eq!(ds.take(0), Vec::<i32>::new());
+        assert_eq!(ds.take(1000).len(), 100);
+    }
+
+    #[test]
+    fn reduce_sums() {
+        let ds = Dataset::from_vec((1..=100).collect::<Vec<u64>>(), 8);
+        assert_eq!(ds.reduce(|a, b| a + b), Some(5050));
+    }
+
+    #[test]
+    fn union_concatenates() {
+        let a = Dataset::from_vec(vec![1, 2], 1);
+        let b = Dataset::from_vec(vec![3, 4], 2);
+        let u = a.union_with(&b);
+        assert_eq!(u.num_partitions(), 3);
+        assert_eq!(u.collect(), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn lazy_until_action() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static CALLS: AtomicU64 = AtomicU64::new(0);
+        let ds = Dataset::from_vec((0..10).collect::<Vec<i32>>(), 2).map(|x| {
+            CALLS.fetch_add(1, Ordering::Relaxed);
+            x
+        });
+        assert_eq!(CALLS.load(Ordering::Relaxed), 0, "map must be lazy");
+        ds.count();
+        assert_eq!(CALLS.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn cache_avoids_recomputation() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let calls = Arc::new(AtomicU64::new(0));
+        let c = Arc::clone(&calls);
+        let ds = Dataset::from_vec((0..10).collect::<Vec<i32>>(), 2)
+            .map(move |x| {
+                c.fetch_add(1, Ordering::Relaxed);
+                x
+            })
+            .cache();
+        ds.count();
+        ds.count();
+        ds.collect();
+        assert_eq!(
+            calls.load(Ordering::Relaxed),
+            10,
+            "parent computed exactly once"
+        );
+    }
+
+    #[test]
+    fn uncached_recomputes() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let calls = Arc::new(AtomicU64::new(0));
+        let c = Arc::clone(&calls);
+        let ds = Dataset::from_vec((0..10).collect::<Vec<i32>>(), 2).map(move |x| {
+            c.fetch_add(1, Ordering::Relaxed);
+            x
+        });
+        ds.count();
+        ds.count();
+        assert_eq!(calls.load(Ordering::Relaxed), 20, "no cache → recompute");
+    }
+
+    #[test]
+    fn repartition_preserves_rows() {
+        let ds = Dataset::from_vec((0..20).collect::<Vec<i32>>(), 2).repartition(5);
+        assert_eq!(ds.num_partitions(), 5);
+        let mut rows = ds.collect();
+        rows.sort_unstable();
+        assert_eq!(rows, (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn explain_shows_lineage() {
+        let ds = Dataset::from_vec(vec![1, 2, 3], 2)
+            .map(|x| x)
+            .filter(|_| true);
+        let plan = ds.explain();
+        assert!(plan.contains("Filter"));
+        assert!(plan.contains("Map"));
+        assert!(plan.contains("Source"));
+    }
+
+    #[test]
+    fn stage_counting() {
+        let base = Dataset::from_vec((0..50).collect::<Vec<i32>>(), 4);
+        assert_eq!(base.num_stages(), 1);
+        assert_eq!(
+            base.map(|x| x).filter(|_| true).num_stages(),
+            1,
+            "narrow ops fuse"
+        );
+        assert_eq!(base.repartition(2).num_stages(), 2);
+        let shuffled = base
+            .key_by(|&x| x % 3)
+            .reduce_by_key(|a, b| a + b)
+            .rows()
+            .map(|(_, v)| v);
+        assert_eq!(shuffled.num_stages(), 2, "one shuffle boundary");
+        let twice = shuffled
+            .key_by(|&x| x)
+            .group_by_key()
+            .rows()
+            .map(|(k, _)| k);
+        assert_eq!(twice.num_stages(), 3, "two shuffle boundaries");
+        // Union takes the deeper side.
+        assert_eq!(base.union_with(&shuffled).num_stages(), 2);
+    }
+}

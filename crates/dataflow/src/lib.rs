@@ -1,0 +1,49 @@
+//! # peachy-dataflow
+//!
+//! A Spark-like dataflow engine: the substrate for the §4 "Data Science
+//! Pipeline" assignment, where students "design, construct, and improve
+//! data analysis pipelines using Hadoop, MapReduce, and Spark".
+//!
+//! The engine reproduces the concepts the assignment teaches, at laptop
+//! scale:
+//!
+//! * **Lazy lineage** — a [`Dataset<T>`] is a recipe, not data. Narrow
+//!   transformations ([`Dataset::map`], [`Dataset::filter`],
+//!   [`Dataset::flat_map`], [`Dataset::union_with`]) extend the lineage
+//!   without computing anything.
+//! * **Partitions** — every dataset is split into partitions, the unit of
+//!   parallelism; actions evaluate partitions concurrently on the rayon
+//!   pool.
+//! * **Stage pipelining** — chains of narrow ops fuse: one pass per
+//!   partition, no intermediate materialization.
+//! * **Wide transformations & the shuffle** — [`keyed::KeyedDataset`]
+//!   provides `reduce_by_key`, `group_by_key`, `join`, … implemented with a
+//!   hash-partitioned shuffle whose map-side output is materialized once
+//!   (like Spark's shuffle files) and whose record volume is observable via
+//!   [`ShuffleStats`] — so the "improve the pipeline" exercise (map-side
+//!   combining, partition sizing) is measurable.
+//! * **Caching** — [`Dataset::cache`] pins a dataset's partitions in memory
+//!   after first evaluation, cutting recomputation exactly as `RDD.cache()`
+//!   does.
+//! * **Explain** — [`Dataset::explain`] prints the lineage tree with stage
+//!   boundaries, the mental model the course builds.
+//!
+//! ```
+//! use peachy_dataflow::Dataset;
+//!
+//! let words = Dataset::from_vec(vec!["a b", "b c c"], 2)
+//!     .flat_map(|line| line.split_whitespace().map(str::to_string).collect::<Vec<_>>());
+//! let counts = words.key_by(|w| w.clone()).map_values(|_| 1u64).reduce_by_key(|a, b| a + b);
+//! let mut table = counts.collect();
+//! table.sort();
+//! assert_eq!(table, vec![("a".into(), 1), ("b".into(), 2), ("c".into(), 2)]);
+//! ```
+
+pub mod dataset;
+pub mod keyed;
+pub mod ops;
+pub mod shuffle;
+
+pub use dataset::Dataset;
+pub use keyed::KeyedDataset;
+pub use shuffle::ShuffleStats;

@@ -1,0 +1,156 @@
+//! The shuffle: hash partitioning of keyed rows, materialized once.
+//!
+//! Wide transformations cannot pipeline — every output partition may need
+//! rows from every input partition. Like Spark's shuffle files, the map
+//! side here runs once (all input partitions in parallel, each bucketing
+//! its rows by `hash(key) % partitions`) and the bucketed output is kept
+//! for the reduce side to consume. [`ShuffleStats`] counts the records
+//! crossing the boundary so pipelines can be *measured* while being
+//! improved — the §4 exercise.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use rayon::prelude::*;
+
+use crate::dataset::{explain_into, Op};
+
+/// Counters shared by all shuffles in a lineage (attach one per pipeline
+/// run to compare variants).
+#[derive(Debug, Default)]
+pub struct ShuffleStats {
+    /// Records that crossed a shuffle boundary.
+    pub records: AtomicU64,
+    /// Number of shuffle materializations performed.
+    pub shuffles: AtomicU64,
+}
+
+impl ShuffleStats {
+    /// New zeroed counters.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Records shuffled so far.
+    pub fn records(&self) -> u64 {
+        self.records.load(Ordering::Relaxed)
+    }
+
+    /// Shuffles executed so far.
+    pub fn shuffles(&self) -> u64 {
+        self.shuffles.load(Ordering::Relaxed)
+    }
+}
+
+/// Stable key → partition routing.
+pub(crate) fn partition_of<K: Hash>(key: &K, partitions: usize) -> usize {
+    let mut h = DefaultHasher::new();
+    key.hash(&mut h);
+    (h.finish() % partitions as u64) as usize
+}
+
+/// The wide lineage node: hash-shuffles `(K, V)` rows into `partitions`
+/// buckets, then applies `post` to each bucket (group, reduce, …).
+pub(crate) struct ShuffleOp<K, V, T, F> {
+    pub parent: Arc<dyn Op<(K, V)>>,
+    pub partitions: usize,
+    pub post: F,
+    pub name: &'static str,
+    pub stats: Option<Arc<ShuffleStats>>,
+    pub materialized: OnceLock<Vec<Vec<(K, V)>>>,
+    pub _marker: std::marker::PhantomData<fn() -> T>,
+}
+
+impl<K, V, T, F> ShuffleOp<K, V, T, F>
+where
+    K: Clone + Send + Sync + Hash + Eq + 'static,
+    V: Clone + Send + Sync + 'static,
+    F: Send + Sync,
+{
+    fn buckets(&self) -> &Vec<Vec<(K, V)>> {
+        self.materialized.get_or_init(|| {
+            // Map side: every parent partition bucketed in parallel.
+            let per_input: Vec<Vec<Vec<(K, V)>>> = (0..self.parent.partitions())
+                .into_par_iter()
+                .map(|i| {
+                    let rows = self.parent.compute_partition(i);
+                    let mut buckets: Vec<Vec<(K, V)>> =
+                        (0..self.partitions).map(|_| Vec::new()).collect();
+                    for (k, v) in rows {
+                        let p = partition_of(&k, self.partitions);
+                        buckets[p].push((k, v));
+                    }
+                    buckets
+                })
+                .collect();
+            // Merge per-input buckets, preserving input-partition order so
+            // downstream grouping is deterministic.
+            let mut merged: Vec<Vec<(K, V)>> = (0..self.partitions).map(|_| Vec::new()).collect();
+            let mut moved = 0u64;
+            for input in per_input {
+                for (p, bucket) in input.into_iter().enumerate() {
+                    moved += bucket.len() as u64;
+                    merged[p].extend(bucket);
+                }
+            }
+            if let Some(stats) = &self.stats {
+                stats.records.fetch_add(moved, Ordering::Relaxed);
+                stats.shuffles.fetch_add(1, Ordering::Relaxed);
+            }
+            merged
+        })
+    }
+}
+
+impl<K, V, T, F> Op<T> for ShuffleOp<K, V, T, F>
+where
+    K: Clone + Send + Sync + Hash + Eq + 'static,
+    V: Clone + Send + Sync + 'static,
+    T: Send + Sync,
+    F: Fn(Vec<(K, V)>) -> Vec<T> + Send + Sync,
+{
+    fn partitions(&self) -> usize {
+        self.partitions
+    }
+    fn compute_partition(&self, idx: usize) -> Vec<T> {
+        (self.post)(self.buckets()[idx].clone())
+    }
+    fn label(&self) -> String {
+        format!(
+            "{}[{} partitions] === stage boundary (shuffle) ===",
+            self.name, self.partitions
+        )
+    }
+    fn explain_children(&self, indent: usize, out: &mut String) {
+        explain_into(&*self.parent, indent, out);
+    }
+    fn stages(&self) -> usize {
+        self.parent.stages() + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_of_is_stable_and_in_range() {
+        for key in 0..1000u64 {
+            let p = partition_of(&key, 7);
+            assert!(p < 7);
+            assert_eq!(p, partition_of(&key, 7));
+        }
+    }
+
+    #[test]
+    fn partition_spreads_keys() {
+        let mut counts = vec![0usize; 8];
+        for key in 0..10_000u64 {
+            counts[partition_of(&key, 8)] += 1;
+        }
+        let (min, max) = (counts.iter().min().unwrap(), counts.iter().max().unwrap());
+        assert!(*min > 800 && *max < 1800, "skewed: {counts:?}");
+    }
+}

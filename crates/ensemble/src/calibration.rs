@@ -1,0 +1,198 @@
+//! Confidence calibration — the quantitative face of the assignment's
+//! motivation: "Often ML provides high-confidence output for
+//! out-of-distribution input that should have been classified as 'I don't
+//! know'." A calibrated model's confidence matches its accuracy; the
+//! Expected Calibration Error (ECE) measures the gap, and deep ensembles
+//! are the assignment's remedy.
+
+use peachy_data::matrix::LabeledDataset;
+
+use crate::ensemble::Ensemble;
+use crate::nn::DenseNet;
+
+/// One confidence bin of a reliability diagram.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReliabilityBin {
+    /// Bin lower edge (upper edge is `lo + 1/bins`).
+    pub lo: f64,
+    /// Predictions whose confidence fell in this bin.
+    pub count: usize,
+    /// Mean confidence of those predictions.
+    pub mean_confidence: f64,
+    /// Fraction of those predictions that were correct.
+    pub accuracy: f64,
+}
+
+/// A calibration report: the reliability diagram plus summary scores.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CalibrationReport {
+    /// Equal-width confidence bins over [0, 1].
+    pub bins: Vec<ReliabilityBin>,
+    /// Expected Calibration Error: Σ (nᵢ/n)·|acc − conf| over bins.
+    pub ece: f64,
+    /// Overall accuracy.
+    pub accuracy: f64,
+    /// Mean confidence.
+    pub mean_confidence: f64,
+}
+
+/// Build the report from per-example `(confidence, correct)` pairs.
+pub fn calibration_from_pairs(pairs: &[(f64, bool)], bins: usize) -> CalibrationReport {
+    assert!(bins >= 1 && !pairs.is_empty());
+    let width = 1.0 / bins as f64;
+    let mut count = vec![0usize; bins];
+    let mut conf_sum = vec![0.0f64; bins];
+    let mut correct = vec![0usize; bins];
+    for &(conf, ok) in pairs {
+        assert!(
+            (0.0..=1.0).contains(&conf),
+            "confidence out of range: {conf}"
+        );
+        let b = ((conf / width) as usize).min(bins - 1);
+        count[b] += 1;
+        conf_sum[b] += conf;
+        correct[b] += usize::from(ok);
+    }
+    let n = pairs.len() as f64;
+    let mut ece = 0.0;
+    let bins_out: Vec<ReliabilityBin> = (0..bins)
+        .map(|b| {
+            let c = count[b];
+            let mean_confidence = if c > 0 { conf_sum[b] / c as f64 } else { 0.0 };
+            let accuracy = if c > 0 {
+                correct[b] as f64 / c as f64
+            } else {
+                0.0
+            };
+            if c > 0 {
+                ece += (c as f64 / n) * (accuracy - mean_confidence).abs();
+            }
+            ReliabilityBin {
+                lo: b as f64 * width,
+                count: c,
+                mean_confidence,
+                accuracy,
+            }
+        })
+        .collect();
+    CalibrationReport {
+        bins: bins_out,
+        ece,
+        accuracy: pairs.iter().filter(|(_, ok)| *ok).count() as f64 / n,
+        mean_confidence: pairs.iter().map(|(c, _)| c).sum::<f64>() / n,
+    }
+}
+
+/// Calibration of an ensemble on a labelled set (confidence = max mean
+/// probability).
+pub fn ensemble_calibration(
+    ens: &Ensemble,
+    data: &LabeledDataset,
+    bins: usize,
+) -> CalibrationReport {
+    let pairs: Vec<(f64, bool)> = (0..data.len())
+        .map(|i| {
+            let r = ens.predict_with_uncertainty(data.points.row(i));
+            (r.confidence, r.predicted == data.labels[i])
+        })
+        .collect();
+    calibration_from_pairs(&pairs, bins)
+}
+
+/// Calibration of a single network on a labelled set.
+pub fn model_calibration(net: &DenseNet, data: &LabeledDataset, bins: usize) -> CalibrationReport {
+    let pairs: Vec<(f64, bool)> = (0..data.len())
+        .map(|i| {
+            let probs = net.predict_proba(data.points.row(i));
+            let predicted = crate::nn::argmax(&probs);
+            (probs[predicted as usize], predicted == data.labels[i])
+        })
+        .collect();
+    calibration_from_pairs(&pairs, bins)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nn::{NetConfig, TrainConfig};
+    use peachy_data::synth::gaussian_blobs;
+
+    #[test]
+    fn perfectly_calibrated_pairs_have_zero_ece() {
+        // Confidence c, correct with probability exactly c, bin-aligned.
+        let mut pairs = Vec::new();
+        for bin in 0..10 {
+            let conf = bin as f64 / 10.0 + 0.05;
+            let total = 100;
+            let hits = (conf * total as f64).round() as usize;
+            for i in 0..total {
+                pairs.push((conf, i < hits));
+            }
+        }
+        let report = calibration_from_pairs(&pairs, 10);
+        assert!(report.ece < 0.01, "ece = {}", report.ece);
+    }
+
+    #[test]
+    fn overconfident_pairs_have_high_ece() {
+        // Always 99% confident, right half the time.
+        let pairs: Vec<(f64, bool)> = (0..200).map(|i| (0.99, i % 2 == 0)).collect();
+        let report = calibration_from_pairs(&pairs, 10);
+        assert!((report.ece - 0.49).abs() < 0.01, "ece = {}", report.ece);
+        assert_eq!(report.accuracy, 0.5);
+    }
+
+    #[test]
+    fn bin_bookkeeping() {
+        let pairs = vec![(0.05, true), (0.05, false), (0.95, true)];
+        let report = calibration_from_pairs(&pairs, 10);
+        assert_eq!(report.bins[0].count, 2);
+        assert_eq!(report.bins[9].count, 1);
+        assert_eq!(report.bins[0].accuracy, 0.5);
+        let total: usize = report.bins.iter().map(|b| b.count).sum();
+        assert_eq!(total, 3);
+    }
+
+    #[test]
+    fn confidence_one_lands_in_last_bin() {
+        let report = calibration_from_pairs(&[(1.0, true)], 10);
+        assert_eq!(report.bins[9].count, 1);
+    }
+
+    #[test]
+    fn ensemble_and_model_reports_are_structurally_sound() {
+        let all = gaussian_blobs(400, 5, 3, 1.8, 160); // overlapping → errors exist
+        let train = all.select(&(0..300).collect::<Vec<_>>());
+        let test = all.select(&(300..400).collect::<Vec<_>>());
+        let tc = TrainConfig {
+            epochs: 6,
+            batch: 16,
+            lr: 0.08,
+            momentum: 0.9,
+            seed: 161,
+        };
+        let ens = Ensemble::train(
+            &NetConfig {
+                layers: vec![5, 16, 3],
+            },
+            &tc,
+            4,
+            &train,
+        );
+        let ens_report = ensemble_calibration(&ens, &test, 10);
+        let model_report = model_calibration(&ens.members()[0], &test, 10);
+        for r in [&ens_report, &model_report] {
+            assert!((0.0..=1.0).contains(&r.ece));
+            assert!((0.0..=1.0).contains(&r.accuracy));
+            assert_eq!(r.bins.iter().map(|b| b.count).sum::<usize>(), test.len());
+        }
+        // Mean ensemble confidence is softened relative to a single
+        // (typically overconfident) member.
+        assert!(
+            ens_report.mean_confidence <= model_report.mean_confidence + 0.05,
+            "ensemble {} vs member {}",
+            ens_report.mean_confidence,
+            model_report.mean_confidence
+        );
+    }
+}

@@ -1,0 +1,175 @@
+//! The deep ensemble: M independently-seeded networks trained on the same
+//! data, predictions aggregated by probability averaging.
+
+use peachy_data::matrix::LabeledDataset;
+use rayon::prelude::*;
+
+use crate::nn::{DenseNet, NetConfig, TrainConfig};
+use crate::uncertainty::{report, UncertaintyReport};
+
+/// An ensemble of trained networks.
+#[derive(Debug, Clone)]
+pub struct Ensemble {
+    members: Vec<DenseNet>,
+}
+
+impl Ensemble {
+    /// Wrap pre-trained members (used by the distributed trainer).
+    pub fn from_members(members: Vec<DenseNet>) -> Self {
+        assert!(!members.is_empty(), "empty ensemble");
+        let classes = members[0].classes();
+        assert!(
+            members.iter().all(|m| m.classes() == classes),
+            "mismatched member outputs"
+        );
+        Self { members }
+    }
+
+    /// Train `m` members in parallel on the rayon pool — the shared-memory
+    /// analogue of the assignment's task farm. "Each NN is trained in
+    /// parallel using the entire training set"; members differ only in
+    /// their seed (weight init + batch order).
+    pub fn train(config: &NetConfig, tc: &TrainConfig, m: usize, data: &LabeledDataset) -> Self {
+        assert!(m >= 1, "need at least one member");
+        let members: Vec<DenseNet> = (0..m)
+            .into_par_iter()
+            .map(|i| {
+                let seed = tc
+                    .seed
+                    .wrapping_add(i as u64)
+                    .wrapping_mul(0x9e3779b97f4a7c15);
+                let mut net = DenseNet::new(config, seed);
+                net.train(data, &TrainConfig { seed, ..*tc });
+                net
+            })
+            .collect();
+        Self { members }
+    }
+
+    /// Ensemble size.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Never empty by construction.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Borrow the members.
+    pub fn members(&self) -> &[DenseNet] {
+        &self.members
+    }
+
+    /// Per-member probability vectors for one input.
+    pub fn member_probs(&self, x: &[f64]) -> Vec<Vec<f64>> {
+        self.members.iter().map(|m| m.predict_proba(x)).collect()
+    }
+
+    /// Aggregated prediction with the full uncertainty decomposition.
+    pub fn predict_with_uncertainty(&self, x: &[f64]) -> UncertaintyReport {
+        report(&self.member_probs(x))
+    }
+
+    /// Aggregated arg-max prediction.
+    pub fn predict(&self, x: &[f64]) -> u32 {
+        self.predict_with_uncertainty(x).predicted
+    }
+
+    /// Ensemble accuracy over a dataset (mean-probability voting).
+    pub fn accuracy(&self, data: &LabeledDataset) -> f64 {
+        let correct = (0..data.len())
+            .into_par_iter()
+            .filter(|&i| self.predict(data.points.row(i)) == data.labels[i])
+            .count();
+        correct as f64 / data.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peachy_data::synth::gaussian_blobs;
+
+    fn blob_split() -> (LabeledDataset, LabeledDataset) {
+        let all = gaussian_blobs(500, 6, 3, 0.8, 10);
+        (
+            all.select(&(0..400).collect::<Vec<_>>()),
+            all.select(&(400..500).collect::<Vec<_>>()),
+        )
+    }
+
+    fn quick_tc(seed: u64) -> TrainConfig {
+        TrainConfig {
+            epochs: 8,
+            batch: 16,
+            lr: 0.08,
+            momentum: 0.9,
+            seed,
+        }
+    }
+
+    #[test]
+    fn members_differ_but_agree_on_easy_data() {
+        let (train, test) = blob_split();
+        let config = NetConfig {
+            layers: vec![6, 16, 3],
+        };
+        let ens = Ensemble::train(&config, &quick_tc(1), 4, &train);
+        assert_eq!(ens.len(), 4);
+        // Members are genuinely different models…
+        let x = test.points.row(0);
+        let probs = ens.member_probs(x);
+        assert_ne!(probs[0], probs[1]);
+        // …but the ensemble is accurate.
+        let acc = ens.accuracy(&test);
+        assert!(acc > 0.85, "accuracy = {acc}");
+    }
+
+    #[test]
+    fn ensemble_at_least_as_good_as_typical_member() {
+        let (train, test) = blob_split();
+        let config = NetConfig {
+            layers: vec![6, 16, 3],
+        };
+        let ens = Ensemble::train(&config, &quick_tc(2), 5, &train);
+        let mean_member: f64 =
+            ens.members().iter().map(|m| m.accuracy(&test)).sum::<f64>() / ens.len() as f64;
+        let ens_acc = ens.accuracy(&test);
+        assert!(
+            ens_acc >= mean_member - 0.03,
+            "ensemble {ens_acc} vs mean member {mean_member}"
+        );
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let (train, _) = blob_split();
+        let config = NetConfig {
+            layers: vec![6, 8, 3],
+        };
+        let a = Ensemble::train(&config, &quick_tc(3), 3, &train);
+        let b = Ensemble::train(&config, &quick_tc(3), 3, &train);
+        let x = train.points.row(0);
+        assert_eq!(a.member_probs(x), b.member_probs(x));
+    }
+
+    #[test]
+    fn uncertainty_report_is_consistent() {
+        let (train, test) = blob_split();
+        let config = NetConfig {
+            layers: vec![6, 12, 3],
+        };
+        let ens = Ensemble::train(&config, &quick_tc(4), 3, &train);
+        let r = ens.predict_with_uncertainty(test.points.row(0));
+        assert!((r.mean_probs.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(r.mutual_information >= 0.0);
+        assert!(r.predictive_entropy + 1e-12 >= r.mutual_information);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty ensemble")]
+    fn empty_members_rejected() {
+        Ensemble::from_members(vec![]);
+    }
+}

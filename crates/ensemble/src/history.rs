@@ -1,0 +1,233 @@
+//! Periodic evaluation during training — the §7 variation "adding the
+//! ability to check the accuracy of the model at regular intervals".
+//!
+//! [`train_with_history`] interleaves training epochs with held-out
+//! evaluation, recording a [`TrainingCurve`]; [`EarlyStop`] turns the
+//! interval checks into a stopping rule (no improvement for `patience`
+//! checks → stop), which is what interval checking is usually *for*.
+
+use peachy_data::matrix::LabeledDataset;
+
+use crate::nn::{DenseNet, TrainConfig};
+
+/// One evaluation checkpoint.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Checkpoint {
+    /// Epochs completed when this checkpoint was taken.
+    pub epoch: usize,
+    /// Mean training loss of the last epoch trained.
+    pub train_loss: f64,
+    /// Held-out accuracy.
+    pub val_accuracy: f64,
+    /// Held-out loss.
+    pub val_loss: f64,
+}
+
+/// A recorded training run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainingCurve {
+    /// Checkpoints in epoch order.
+    pub checkpoints: Vec<Checkpoint>,
+    /// Whether early stopping fired (vs exhausting the epoch budget).
+    pub stopped_early: bool,
+}
+
+impl TrainingCurve {
+    /// The best validation accuracy observed.
+    pub fn best_accuracy(&self) -> f64 {
+        self.checkpoints
+            .iter()
+            .map(|c| c.val_accuracy)
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Early-stopping policy applied at each checkpoint.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EarlyStop {
+    /// Checkpoints without improvement tolerated before stopping.
+    pub patience: usize,
+    /// Minimum accuracy improvement that counts.
+    pub min_delta: f64,
+}
+
+/// Train `net` for up to `max_epochs`, evaluating on `validation` every
+/// `eval_interval` epochs; optionally stop early.
+pub fn train_with_history(
+    net: &mut DenseNet,
+    train: &LabeledDataset,
+    validation: &LabeledDataset,
+    tc: &TrainConfig,
+    max_epochs: usize,
+    eval_interval: usize,
+    early_stop: Option<EarlyStop>,
+) -> TrainingCurve {
+    assert!(max_epochs >= 1 && eval_interval >= 1);
+    let mut checkpoints = Vec::new();
+    let mut best = f64::NEG_INFINITY;
+    let mut stale = 0usize;
+    let mut epoch = 0usize;
+    let mut stopped_early = false;
+    while epoch < max_epochs {
+        let chunk = eval_interval.min(max_epochs - epoch);
+        // Each chunk gets a distinct shuffling seed so resuming is not
+        // replaying the same batch order.
+        let train_loss = net.train(
+            train,
+            &TrainConfig {
+                epochs: chunk,
+                seed: tc.seed.wrapping_add(epoch as u64),
+                ..*tc
+            },
+        );
+        epoch += chunk;
+        let val_accuracy = net.accuracy(validation);
+        let val_loss = net.loss(validation);
+        checkpoints.push(Checkpoint {
+            epoch,
+            train_loss,
+            val_accuracy,
+            val_loss,
+        });
+        if let Some(es) = early_stop {
+            if val_accuracy > best + es.min_delta {
+                best = val_accuracy;
+                stale = 0;
+            } else {
+                stale += 1;
+                if stale >= es.patience {
+                    stopped_early = true;
+                    break;
+                }
+            }
+        }
+    }
+    TrainingCurve {
+        checkpoints,
+        stopped_early,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nn::NetConfig;
+    use peachy_data::synth::gaussian_blobs;
+
+    fn split() -> (LabeledDataset, LabeledDataset) {
+        let all = gaussian_blobs(400, 5, 3, 0.7, 90);
+        (
+            all.select(&(0..320).collect::<Vec<_>>()),
+            all.select(&(320..400).collect::<Vec<_>>()),
+        )
+    }
+
+    fn tc() -> TrainConfig {
+        TrainConfig {
+            epochs: 1,
+            batch: 16,
+            lr: 0.08,
+            momentum: 0.9,
+            seed: 91,
+        }
+    }
+
+    #[test]
+    fn checkpoints_at_requested_interval() {
+        let (train, val) = split();
+        let mut net = DenseNet::new(
+            &NetConfig {
+                layers: vec![5, 12, 3],
+            },
+            92,
+        );
+        let curve = train_with_history(&mut net, &train, &val, &tc(), 9, 3, None);
+        let epochs: Vec<usize> = curve.checkpoints.iter().map(|c| c.epoch).collect();
+        assert_eq!(epochs, vec![3, 6, 9]);
+        assert!(!curve.stopped_early);
+    }
+
+    #[test]
+    fn uneven_final_interval() {
+        let (train, val) = split();
+        let mut net = DenseNet::new(
+            &NetConfig {
+                layers: vec![5, 12, 3],
+            },
+            93,
+        );
+        let curve = train_with_history(&mut net, &train, &val, &tc(), 7, 3, None);
+        let epochs: Vec<usize> = curve.checkpoints.iter().map(|c| c.epoch).collect();
+        assert_eq!(epochs, vec![3, 6, 7]);
+    }
+
+    #[test]
+    fn accuracy_improves_over_curve() {
+        let (train, val) = split();
+        let mut net = DenseNet::new(
+            &NetConfig {
+                layers: vec![5, 16, 3],
+            },
+            94,
+        );
+        let curve = train_with_history(&mut net, &train, &val, &tc(), 12, 2, None);
+        let first = curve.checkpoints.first().unwrap().val_accuracy;
+        let best = curve.best_accuracy();
+        assert!(best >= first);
+        assert!(best > 0.8, "best accuracy = {best}");
+    }
+
+    #[test]
+    fn early_stopping_fires_on_plateau() {
+        let (train, val) = split();
+        let mut net = DenseNet::new(
+            &NetConfig {
+                layers: vec![5, 16, 3],
+            },
+            95,
+        );
+        // Impossible improvement bar: min_delta > 1 means nothing ever
+        // counts as improvement, so patience is exhausted immediately.
+        let curve = train_with_history(
+            &mut net,
+            &train,
+            &val,
+            &tc(),
+            50,
+            1,
+            Some(EarlyStop {
+                patience: 3,
+                min_delta: 2.0,
+            }),
+        );
+        assert!(curve.stopped_early);
+        // First checkpoint counts as improvement over −∞, then `patience`
+        // stale checks: 1 + 3 checkpoints total.
+        assert_eq!(curve.checkpoints.len(), 4);
+    }
+
+    #[test]
+    fn no_early_stop_when_improving() {
+        let (train, val) = split();
+        let mut net = DenseNet::new(
+            &NetConfig {
+                layers: vec![5, 16, 3],
+            },
+            96,
+        );
+        let curve = train_with_history(
+            &mut net,
+            &train,
+            &val,
+            &tc(),
+            6,
+            2,
+            Some(EarlyStop {
+                patience: 10,
+                min_delta: 0.0,
+            }),
+        );
+        assert!(!curve.stopped_early);
+        assert_eq!(curve.checkpoints.len(), 3);
+    }
+}

@@ -1,0 +1,227 @@
+//! Random-search hyper-parameter optimization.
+//!
+//! The assignment's framing: "we generate these intermediate models while
+//! performing Hyper-parameter Optimization (HPO) so uncertainty evaluation
+//! is essentially free … we use the best-performing models to identify
+//! both the uncertainty and optimal hyperparameters." [`random_search`]
+//! trains every sampled configuration (in parallel), scores on a
+//! validation set, and returns both the best configuration *and* an
+//! ensemble of the top-M models.
+
+use peachy_data::matrix::LabeledDataset;
+use peachy_prng::{Lcg64, RandomStream, UniformF64, UniformU64};
+use rayon::prelude::*;
+
+use crate::ensemble::Ensemble;
+use crate::nn::{DenseNet, NetConfig, TrainConfig};
+
+/// Search-space bounds and budget.
+#[derive(Debug, Clone, Copy)]
+pub struct HpoConfig {
+    /// Configurations to sample.
+    pub candidates: usize,
+    /// Ensemble size assembled from the best candidates.
+    pub ensemble_size: usize,
+    /// Hidden-layer width range (inclusive, exclusive).
+    pub hidden: (usize, usize),
+    /// Log₁₀ learning-rate range.
+    pub log10_lr: (f64, f64),
+    /// Batch-size choices.
+    pub batches: &'static [usize],
+    /// Epochs per candidate (fixed training budget).
+    pub epochs: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for HpoConfig {
+    fn default() -> Self {
+        Self {
+            candidates: 8,
+            ensemble_size: 4,
+            hidden: (8, 64),
+            log10_lr: (-2.0, -0.5),
+            batches: &[8, 16, 32],
+            epochs: 3,
+            seed: 1,
+        }
+    }
+}
+
+/// One evaluated candidate.
+#[derive(Debug, Clone)]
+pub struct Candidate {
+    /// Hidden width sampled.
+    pub hidden: usize,
+    /// Learning rate sampled.
+    pub lr: f64,
+    /// Batch size sampled.
+    pub batch: usize,
+    /// Validation accuracy after training.
+    pub val_accuracy: f64,
+}
+
+/// Outcome of a search: the scored candidates (descending accuracy) and
+/// the free ensemble of the best models.
+#[derive(Debug)]
+pub struct HpoResult {
+    /// All candidates, best first.
+    pub candidates: Vec<Candidate>,
+    /// Ensemble of the top `ensemble_size` models.
+    pub ensemble: Ensemble,
+}
+
+impl HpoResult {
+    /// The winning configuration.
+    pub fn best(&self) -> &Candidate {
+        &self.candidates[0]
+    }
+}
+
+/// Run the search: sample, train all candidates in parallel, score, keep
+/// the top models as the ensemble.
+pub fn random_search(
+    hpo: &HpoConfig,
+    input_dim: usize,
+    classes: usize,
+    train: &LabeledDataset,
+    validation: &LabeledDataset,
+) -> HpoResult {
+    assert!(hpo.candidates >= 1);
+    assert!(hpo.ensemble_size >= 1 && hpo.ensemble_size <= hpo.candidates);
+    assert!(!hpo.batches.is_empty());
+    // Sample configurations up front (sequential, deterministic).
+    let mut rng = Lcg64::seed_from(hpo.seed);
+    let hidden_dist = UniformU64::new(hpo.hidden.0 as u64, hpo.hidden.1 as u64);
+    let lr_dist = UniformF64::new(hpo.log10_lr.0, hpo.log10_lr.1);
+    let batch_dist = UniformU64::new(0, hpo.batches.len() as u64);
+    let samples: Vec<(usize, f64, usize, u64)> = (0..hpo.candidates)
+        .map(|i| {
+            (
+                hidden_dist.sample(&mut rng) as usize,
+                10f64.powf(lr_dist.sample(&mut rng)),
+                hpo.batches[batch_dist.sample(&mut rng) as usize],
+                hpo.seed
+                    .wrapping_add(i as u64 + 1)
+                    .wrapping_mul(0x9e3779b97f4a7c15),
+            )
+        })
+        .collect();
+
+    // Train and score candidates in parallel — each is an independent task.
+    let mut scored: Vec<(Candidate, DenseNet)> = samples
+        .into_par_iter()
+        .map(|(hidden, lr, batch, seed)| {
+            let config = NetConfig {
+                layers: vec![input_dim, hidden, classes],
+            };
+            let mut net = DenseNet::new(&config, seed);
+            net.train(
+                train,
+                &TrainConfig {
+                    epochs: hpo.epochs,
+                    batch,
+                    lr,
+                    momentum: 0.9,
+                    seed,
+                },
+            );
+            let val_accuracy = net.accuracy(validation);
+            (
+                Candidate {
+                    hidden,
+                    lr,
+                    batch,
+                    val_accuracy,
+                },
+                net,
+            )
+        })
+        .collect();
+    scored.sort_by(|a, b| {
+        b.0.val_accuracy
+            .partial_cmp(&a.0.val_accuracy)
+            .expect("finite accuracy")
+            .then(a.0.hidden.cmp(&b.0.hidden))
+    });
+    let members: Vec<DenseNet> = scored
+        .iter()
+        .take(hpo.ensemble_size)
+        .map(|(_, net)| net.clone())
+        .collect();
+    HpoResult {
+        candidates: scored.into_iter().map(|(c, _)| c).collect(),
+        ensemble: Ensemble::from_members(members),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peachy_data::synth::gaussian_blobs;
+
+    fn split() -> (LabeledDataset, LabeledDataset) {
+        let all = gaussian_blobs(400, 5, 3, 0.7, 40);
+        (
+            all.select(&(0..300).collect::<Vec<_>>()),
+            all.select(&(300..400).collect::<Vec<_>>()),
+        )
+    }
+
+    fn quick_hpo(seed: u64) -> HpoConfig {
+        HpoConfig {
+            candidates: 5,
+            ensemble_size: 3,
+            hidden: (6, 20),
+            log10_lr: (-1.5, -0.7),
+            batches: &[16],
+            epochs: 3,
+            seed,
+        }
+    }
+
+    #[test]
+    fn search_returns_sorted_candidates() {
+        let (train, val) = split();
+        let result = random_search(&quick_hpo(1), 5, 3, &train, &val);
+        assert_eq!(result.candidates.len(), 5);
+        for w in result.candidates.windows(2) {
+            assert!(w[0].val_accuracy >= w[1].val_accuracy);
+        }
+        assert_eq!(result.ensemble.len(), 3);
+    }
+
+    #[test]
+    fn candidates_within_bounds() {
+        let (train, val) = split();
+        let hpo = quick_hpo(2);
+        let result = random_search(&hpo, 5, 3, &train, &val);
+        for c in &result.candidates {
+            assert!(c.hidden >= 6 && c.hidden < 20);
+            assert!(c.lr >= 10f64.powf(-1.5) && c.lr <= 10f64.powf(-0.7));
+            assert_eq!(c.batch, 16);
+        }
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        let (train, val) = split();
+        let a = random_search(&quick_hpo(3), 5, 3, &train, &val);
+        let b = random_search(&quick_hpo(3), 5, 3, &train, &val);
+        assert_eq!(a.best().hidden, b.best().hidden);
+        assert_eq!(a.best().val_accuracy, b.best().val_accuracy);
+        let x = val.points.row(0);
+        assert_eq!(a.ensemble.member_probs(x), b.ensemble.member_probs(x));
+    }
+
+    #[test]
+    fn best_candidate_learns_something() {
+        let (train, val) = split();
+        let result = random_search(&quick_hpo(4), 5, 3, &train, &val);
+        assert!(
+            result.best().val_accuracy > 0.7,
+            "best = {:?}",
+            result.best()
+        );
+    }
+}

@@ -1,0 +1,50 @@
+//! # peachy-ensemble
+//!
+//! Deep-ensemble uncertainty estimation with hyper-parameter optimization —
+//! the §7 Peachy assignment, built from scratch:
+//!
+//! * [`nn`] — a dense neural network (ReLU hidden layers, softmax output,
+//!   cross-entropy loss, SGD with momentum), gradient-checked against
+//!   finite differences in the test-suite. This is the "simple Fully
+//!   Connected Neural Network that classifies the MNIST handwritten
+//!   digits" of the assignment (the MNIST substitute lives in
+//!   [`peachy_data::digits`]).
+//! * [`ensemble`] — M independently-trained models whose "predictions are
+//!   aggregated by averaging the predicted probabilities".
+//! * [`uncertainty`] — predictive entropy, expected member entropy, mutual
+//!   information (the epistemic part) and inter-member variance: the
+//!   quantities behind Figure 4's "output 4 with uncertainty 0.4".
+//! * [`schedule`] — the PDC concept of the assignment: "how to distribute
+//!   independent tasks to different nodes in MPI when the number of nodes
+//!   is not evenly divisible by the number of tasks", plus the
+//!   [`peachy_cluster`]-backed distributed trainer and the assignment's
+//!   suggested variation (killing the lowest-performing models and
+//!   reassigning their resources).
+//! * [`hpo`] — random-search hyper-parameter optimization whose
+//!   intermediate models *are* the ensemble, "so uncertainty evaluation is
+//!   essentially free".
+
+// Numeric kernels below use explicit index loops deliberately: they mirror
+// the assignments' pseudocode and keep stencil/neighbour indexing visible.
+#![allow(clippy::needless_range_loop)]
+
+pub mod calibration;
+pub mod ensemble;
+pub mod history;
+pub mod hpo;
+pub mod nn;
+pub mod schedule;
+pub mod uncertainty;
+
+pub use calibration::{
+    calibration_from_pairs, ensemble_calibration, model_calibration, CalibrationReport,
+};
+pub use ensemble::Ensemble;
+pub use history::{train_with_history, Checkpoint, EarlyStop, TrainingCurve};
+pub use hpo::{random_search, HpoConfig, HpoResult};
+pub use nn::{DenseNet, NetConfig, TrainConfig};
+pub use schedule::{
+    block_assignment, distribute_training, master_worker, round_robin_assignment,
+    train_with_culling,
+};
+pub use uncertainty::{entropy, UncertaintyReport};

@@ -1,0 +1,476 @@
+//! A dense neural network from scratch: forward, backward, SGD+momentum.
+//!
+//! Sized for the assignment's setting — a small fully-connected classifier
+//! over 28×28 images — with no external numerics. Weights are flat
+//! row-major `Vec<f64>`s; the backward pass is hand-derived and verified
+//! against finite differences in the tests.
+
+use peachy_data::matrix::LabeledDataset;
+use peachy_prng::{Lcg64, Normal, RandomStream};
+
+/// Network architecture: layer widths from input to output.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetConfig {
+    /// Sizes `[input, hidden…, output]`; at least `[in, out]`.
+    pub layers: Vec<usize>,
+}
+
+impl NetConfig {
+    /// The assignment's default: one hidden layer over digit images.
+    pub fn digits_default(hidden: usize) -> Self {
+        Self {
+            layers: vec![peachy_data::digits::PIXELS, hidden, 10],
+        }
+    }
+}
+
+/// Training hyper-parameters — the space HPO searches over.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainConfig {
+    /// Full passes over the training set.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch: usize,
+    /// Learning rate.
+    pub lr: f64,
+    /// Momentum coefficient (0 = plain SGD).
+    pub momentum: f64,
+    /// Seed for weight init and batch shuffling.
+    pub seed: u64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        Self {
+            epochs: 4,
+            batch: 16,
+            lr: 0.05,
+            momentum: 0.9,
+            seed: 1,
+        }
+    }
+}
+
+/// One dense layer: `out = W·x + b`, with momentum buffers.
+#[derive(Debug, Clone)]
+struct Layer {
+    w: Vec<f64>, // rows = outputs, cols = inputs (row-major)
+    b: Vec<f64>,
+    vw: Vec<f64>, // momentum velocity
+    vb: Vec<f64>,
+    inputs: usize,
+    outputs: usize,
+}
+
+impl Layer {
+    fn new(inputs: usize, outputs: usize, rng: &mut Lcg64) -> Self {
+        // He initialization for ReLU layers.
+        let mut normal = Normal::new(0.0, (2.0 / inputs as f64).sqrt());
+        let w = (0..inputs * outputs).map(|_| normal.sample(rng)).collect();
+        Self {
+            w,
+            b: vec![0.0; outputs],
+            vw: vec![0.0; inputs * outputs],
+            vb: vec![0.0; outputs],
+            inputs,
+            outputs,
+        }
+    }
+
+    fn forward(&self, x: &[f64], out: &mut Vec<f64>) {
+        debug_assert_eq!(x.len(), self.inputs);
+        out.clear();
+        for o in 0..self.outputs {
+            let row = &self.w[o * self.inputs..(o + 1) * self.inputs];
+            let mut acc = self.b[o];
+            for (wi, xi) in row.iter().zip(x) {
+                acc += wi * xi;
+            }
+            out.push(acc);
+        }
+    }
+}
+
+/// Softmax in place, numerically stabilized.
+fn softmax(z: &mut [f64]) {
+    let max = z.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let mut sum = 0.0;
+    for v in z.iter_mut() {
+        *v = (*v - max).exp();
+        sum += *v;
+    }
+    for v in z.iter_mut() {
+        *v /= sum;
+    }
+}
+
+/// A trained (or trainable) dense network.
+#[derive(Debug, Clone)]
+pub struct DenseNet {
+    layers: Vec<Layer>,
+    config: NetConfig,
+}
+
+/// Per-layer gradient accumulators for one mini-batch.
+struct Grads {
+    dw: Vec<Vec<f64>>,
+    db: Vec<Vec<f64>>,
+}
+
+impl DenseNet {
+    /// Fresh network with He-initialized weights.
+    pub fn new(config: &NetConfig, seed: u64) -> Self {
+        assert!(
+            config.layers.len() >= 2,
+            "need at least input and output layers"
+        );
+        assert!(config.layers.iter().all(|&l| l > 0), "zero-width layer");
+        let mut rng = Lcg64::seed_from(seed);
+        let layers = config
+            .layers
+            .windows(2)
+            .map(|w| Layer::new(w[0], w[1], &mut rng))
+            .collect();
+        Self {
+            layers,
+            config: config.clone(),
+        }
+    }
+
+    /// The architecture.
+    pub fn config(&self) -> &NetConfig {
+        &self.config
+    }
+
+    /// Number of classes (output width).
+    pub fn classes(&self) -> usize {
+        *self.config.layers.last().expect("non-empty")
+    }
+
+    /// Total parameter count.
+    pub fn parameter_count(&self) -> usize {
+        self.layers.iter().map(|l| l.w.len() + l.b.len()).sum()
+    }
+
+    /// Class probabilities for one input.
+    pub fn predict_proba(&self, x: &[f64]) -> Vec<f64> {
+        let (activations, _) = self.forward_all(x);
+        activations.last().expect("output layer").clone()
+    }
+
+    /// Arg-max class for one input.
+    pub fn predict(&self, x: &[f64]) -> u32 {
+        let probs = self.predict_proba(x);
+        argmax(&probs)
+    }
+
+    /// Mean accuracy over a dataset.
+    pub fn accuracy(&self, data: &LabeledDataset) -> f64 {
+        let correct = (0..data.len())
+            .filter(|&i| self.predict(data.points.row(i)) == data.labels[i])
+            .count();
+        correct as f64 / data.len() as f64
+    }
+
+    /// Mean cross-entropy loss over a dataset.
+    pub fn loss(&self, data: &LabeledDataset) -> f64 {
+        let mut total = 0.0;
+        for i in 0..data.len() {
+            let probs = self.predict_proba(data.points.row(i));
+            total -= probs[data.labels[i] as usize].max(1e-300).ln();
+        }
+        total / data.len() as f64
+    }
+
+    /// Forward pass keeping (post-activation) values per layer plus the
+    /// pre-activation of each hidden layer for the backward pass.
+    /// Returns `(activations, pre_relu_masks)` where `activations[0] = x`.
+    fn forward_all(&self, x: &[f64]) -> (Vec<Vec<f64>>, Vec<Vec<bool>>) {
+        let mut activations: Vec<Vec<f64>> = Vec::with_capacity(self.layers.len() + 1);
+        activations.push(x.to_vec());
+        let mut masks = Vec::with_capacity(self.layers.len().saturating_sub(1));
+        let mut buf = Vec::new();
+        for (li, layer) in self.layers.iter().enumerate() {
+            layer.forward(activations.last().expect("input"), &mut buf);
+            let last = li + 1 == self.layers.len();
+            if last {
+                softmax(&mut buf);
+            } else {
+                // ReLU + mask for backprop.
+                let mask = buf.iter().map(|&v| v > 0.0).collect::<Vec<bool>>();
+                for v in buf.iter_mut() {
+                    if *v < 0.0 {
+                        *v = 0.0;
+                    }
+                }
+                masks.push(mask);
+            }
+            activations.push(buf.clone());
+        }
+        (activations, masks)
+    }
+
+    /// Accumulate gradients for one example into `grads`; returns its loss.
+    fn backward_one(&self, x: &[f64], label: u32, grads: &mut Grads) -> f64 {
+        let (activations, masks) = self.forward_all(x);
+        let probs = activations.last().expect("output");
+        let loss = -probs[label as usize].max(1e-300).ln();
+        // dL/dz for softmax+CE: p − one_hot.
+        let mut delta: Vec<f64> = probs.clone();
+        delta[label as usize] -= 1.0;
+        // Walk layers backwards.
+        for li in (0..self.layers.len()).rev() {
+            let layer = &self.layers[li];
+            let input = &activations[li];
+            // Gradients for this layer.
+            let dw = &mut grads.dw[li];
+            let db = &mut grads.db[li];
+            for o in 0..layer.outputs {
+                db[o] += delta[o];
+                let row = &mut dw[o * layer.inputs..(o + 1) * layer.inputs];
+                let d = delta[o];
+                for (g, xi) in row.iter_mut().zip(input) {
+                    *g += d * xi;
+                }
+            }
+            if li > 0 {
+                // Propagate: delta_prev = Wᵀ·delta, gated by the ReLU mask.
+                let mut prev = vec![0.0f64; layer.inputs];
+                for o in 0..layer.outputs {
+                    let row = &layer.w[o * layer.inputs..(o + 1) * layer.inputs];
+                    let d = delta[o];
+                    for (p, wi) in prev.iter_mut().zip(row) {
+                        *p += d * wi;
+                    }
+                }
+                let mask = &masks[li - 1];
+                for (p, &alive) in prev.iter_mut().zip(mask) {
+                    if !alive {
+                        *p = 0.0;
+                    }
+                }
+                delta = prev;
+            }
+        }
+        loss
+    }
+
+    /// Train with mini-batch SGD + momentum; returns the mean training loss
+    /// of the final epoch.
+    pub fn train(&mut self, data: &LabeledDataset, tc: &TrainConfig) -> f64 {
+        assert!(!data.is_empty(), "empty training set");
+        assert_eq!(data.dims(), self.config.layers[0], "input width mismatch");
+        assert!(
+            data.classes as usize <= self.classes(),
+            "more classes than output units"
+        );
+        assert!(tc.batch >= 1 && tc.epochs >= 1);
+        let n = data.len();
+        let mut rng = Lcg64::seed_from(tc.seed ^ 0x7261696e);
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut last_epoch_loss = 0.0;
+        for _epoch in 0..tc.epochs {
+            // Seeded shuffle per epoch.
+            for i in (1..n).rev() {
+                let j = rng.next_below((i + 1) as u64) as usize;
+                order.swap(i, j);
+            }
+            let mut epoch_loss = 0.0;
+            for batch in order.chunks(tc.batch) {
+                let mut grads = Grads {
+                    dw: self.layers.iter().map(|l| vec![0.0; l.w.len()]).collect(),
+                    db: self.layers.iter().map(|l| vec![0.0; l.b.len()]).collect(),
+                };
+                for &i in batch {
+                    epoch_loss += self.backward_one(data.points.row(i), data.labels[i], &mut grads);
+                }
+                let scale = tc.lr / batch.len() as f64;
+                for (li, layer) in self.layers.iter_mut().enumerate() {
+                    for (w, (v, g)) in layer
+                        .w
+                        .iter_mut()
+                        .zip(layer.vw.iter_mut().zip(&grads.dw[li]))
+                    {
+                        *v = tc.momentum * *v - scale * g;
+                        *w += *v;
+                    }
+                    for (b, (v, g)) in layer
+                        .b
+                        .iter_mut()
+                        .zip(layer.vb.iter_mut().zip(&grads.db[li]))
+                    {
+                        *v = tc.momentum * *v - scale * g;
+                        *b += *v;
+                    }
+                }
+            }
+            last_epoch_loss = epoch_loss / n as f64;
+        }
+        last_epoch_loss
+    }
+}
+
+/// Index of the maximum element (first on ties).
+pub fn argmax(v: &[f64]) -> u32 {
+    let mut best = 0usize;
+    for (i, &x) in v.iter().enumerate() {
+        if x > v[best] {
+            best = i;
+        }
+    }
+    best as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peachy_data::matrix::Matrix;
+    use peachy_data::synth::gaussian_blobs;
+
+    fn tiny_config() -> NetConfig {
+        NetConfig {
+            layers: vec![4, 8, 3],
+        }
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let net = DenseNet::new(&tiny_config(), 1);
+        let p = net.predict_proba(&[0.1, -0.2, 0.3, 0.4]);
+        assert_eq!(p.len(), 3);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(p.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        let a = DenseNet::new(&tiny_config(), 7);
+        let b = DenseNet::new(&tiny_config(), 7);
+        let x = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(a.predict_proba(&x), b.predict_proba(&x));
+        let c = DenseNet::new(&tiny_config(), 8);
+        assert_ne!(a.predict_proba(&x), c.predict_proba(&x));
+    }
+
+    #[test]
+    fn parameter_count() {
+        let net = DenseNet::new(&tiny_config(), 1);
+        assert_eq!(net.parameter_count(), 4 * 8 + 8 + 8 * 3 + 3);
+    }
+
+    #[test]
+    fn gradient_check_against_finite_differences() {
+        // Core correctness: analytic gradients ≈ numeric gradients.
+        let config = NetConfig {
+            layers: vec![3, 5, 2],
+        };
+        let net = DenseNet::new(&config, 3);
+        let x = [0.4, -0.7, 0.2];
+        let label = 1u32;
+        let mut grads = Grads {
+            dw: net.layers.iter().map(|l| vec![0.0; l.w.len()]).collect(),
+            db: net.layers.iter().map(|l| vec![0.0; l.b.len()]).collect(),
+        };
+        net.backward_one(&x, label, &mut grads);
+        let eps = 1e-6;
+        let loss_of = |n: &DenseNet| -> f64 { -n.predict_proba(&x)[label as usize].ln() };
+        for li in 0..net.layers.len() {
+            for wi in 0..net.layers[li].w.len() {
+                let mut plus = net.clone();
+                plus.layers[li].w[wi] += eps;
+                let mut minus = net.clone();
+                minus.layers[li].w[wi] -= eps;
+                let numeric = (loss_of(&plus) - loss_of(&minus)) / (2.0 * eps);
+                let analytic = grads.dw[li][wi];
+                assert!(
+                    (numeric - analytic).abs() < 1e-5,
+                    "layer {li} w[{wi}]: numeric {numeric} vs analytic {analytic}"
+                );
+            }
+            for bi in 0..net.layers[li].b.len() {
+                let mut plus = net.clone();
+                plus.layers[li].b[bi] += eps;
+                let mut minus = net.clone();
+                minus.layers[li].b[bi] -= eps;
+                let numeric = (loss_of(&plus) - loss_of(&minus)) / (2.0 * eps);
+                let analytic = grads.db[li][bi];
+                assert!(
+                    (numeric - analytic).abs() < 1e-5,
+                    "layer {li} b[{bi}]: numeric {numeric} vs analytic {analytic}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let data = gaussian_blobs(300, 4, 3, 1.0, 5);
+        let mut net = DenseNet::new(
+            &NetConfig {
+                layers: vec![4, 16, 3],
+            },
+            2,
+        );
+        let before = net.loss(&data);
+        net.train(
+            &data,
+            &TrainConfig {
+                epochs: 8,
+                batch: 8,
+                lr: 0.1,
+                momentum: 0.9,
+                seed: 3,
+            },
+        );
+        let after = net.loss(&data);
+        assert!(after < before * 0.5, "loss {before} → {after}");
+    }
+
+    #[test]
+    fn learns_separable_blobs() {
+        let all = gaussian_blobs(600, 6, 4, 0.6, 9);
+        let train = all.select(&(0..450).collect::<Vec<_>>());
+        let test = all.select(&(450..600).collect::<Vec<_>>());
+        let mut net = DenseNet::new(
+            &NetConfig {
+                layers: vec![6, 24, 4],
+            },
+            4,
+        );
+        net.train(
+            &train,
+            &TrainConfig {
+                epochs: 15,
+                batch: 16,
+                lr: 0.08,
+                momentum: 0.9,
+                seed: 5,
+            },
+        );
+        let acc = net.accuracy(&test);
+        assert!(acc > 0.9, "test accuracy = {acc}");
+    }
+
+    #[test]
+    fn softmax_stability_with_large_logits() {
+        let mut z = vec![1000.0, 1001.0, 999.0];
+        softmax(&mut z);
+        assert!((z.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(z.iter().all(|v| v.is_finite()));
+        assert!(z[1] > z[0] && z[0] > z[2]);
+    }
+
+    #[test]
+    fn argmax_ties_break_first() {
+        assert_eq!(argmax(&[0.5, 0.5, 0.1]), 0);
+        assert_eq!(argmax(&[0.1, 0.2, 0.9]), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "input width mismatch")]
+    fn train_rejects_wrong_width() {
+        let data = LabeledDataset::new(Matrix::from_rows(&[vec![0.0; 5]]), vec![0], 1);
+        let mut net = DenseNet::new(&tiny_config(), 1);
+        net.train(&data, &TrainConfig::default());
+    }
+}

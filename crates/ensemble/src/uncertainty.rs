@@ -1,0 +1,125 @@
+//! Uncertainty measures over ensemble predictions.
+//!
+//! Given member probability vectors `p₁…p_M` and their mean `p̄`:
+//!
+//! * **predictive entropy** `H(p̄)` — total uncertainty;
+//! * **expected entropy** `E[H(p_m)]` — aleatoric (data) uncertainty;
+//! * **mutual information** `H(p̄) − E[H(p_m)]` — epistemic (model)
+//!   uncertainty, the part an ensemble exposes and a single net cannot;
+//! * **mean variance** — average per-class variance across members.
+
+/// Shannon entropy in nats of a probability vector.
+pub fn entropy(p: &[f64]) -> f64 {
+    p.iter().filter(|&&x| x > 0.0).map(|&x| -x * x.ln()).sum()
+}
+
+/// Full uncertainty decomposition of an ensemble's output on one input.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UncertaintyReport {
+    /// Mean probabilities across members.
+    pub mean_probs: Vec<f64>,
+    /// Arg-max class of the mean.
+    pub predicted: u32,
+    /// Confidence: max of the mean probabilities.
+    pub confidence: f64,
+    /// Predictive entropy `H(p̄)` (total).
+    pub predictive_entropy: f64,
+    /// Expected member entropy (aleatoric part).
+    pub expected_entropy: f64,
+    /// Mutual information (epistemic part), ≥ 0 up to rounding.
+    pub mutual_information: f64,
+    /// Mean per-class variance across members.
+    pub mean_variance: f64,
+}
+
+/// Compute the report from per-member probability vectors.
+pub fn report(member_probs: &[Vec<f64>]) -> UncertaintyReport {
+    assert!(!member_probs.is_empty(), "empty ensemble");
+    let classes = member_probs[0].len();
+    assert!(
+        member_probs.iter().all(|p| p.len() == classes),
+        "ragged member outputs"
+    );
+    let m = member_probs.len() as f64;
+    let mut mean = vec![0.0f64; classes];
+    for p in member_probs {
+        for (acc, &v) in mean.iter_mut().zip(p) {
+            *acc += v / m;
+        }
+    }
+    let predictive_entropy = entropy(&mean);
+    let expected_entropy = member_probs.iter().map(|p| entropy(p)).sum::<f64>() / m;
+    let mut var = vec![0.0f64; classes];
+    for p in member_probs {
+        for ((v, &x), &mu) in var.iter_mut().zip(p).zip(&mean) {
+            *v += (x - mu) * (x - mu) / m;
+        }
+    }
+    let predicted = crate::nn::argmax(&mean);
+    UncertaintyReport {
+        confidence: mean[predicted as usize],
+        predicted,
+        predictive_entropy,
+        expected_entropy,
+        mutual_information: (predictive_entropy - expected_entropy).max(0.0),
+        mean_variance: var.iter().sum::<f64>() / classes as f64,
+        mean_probs: mean,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entropy_extremes() {
+        assert_eq!(entropy(&[1.0, 0.0, 0.0]), 0.0);
+        let uniform = entropy(&[0.25; 4]);
+        assert!((uniform - 4.0f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn agreeing_members_have_zero_mutual_information() {
+        let p = vec![0.7, 0.2, 0.1];
+        let r = report(&[p.clone(), p.clone(), p]);
+        assert!(r.mutual_information < 1e-12);
+        assert!(r.mean_variance < 1e-18);
+        assert_eq!(r.predicted, 0);
+    }
+
+    #[test]
+    fn disagreeing_members_have_high_mutual_information() {
+        // Two confident members that disagree: total entropy high, member
+        // entropy low → MI high.
+        let r = report(&[vec![0.98, 0.02], vec![0.02, 0.98]]);
+        assert!(r.mutual_information > 0.5, "MI = {}", r.mutual_information);
+        assert!((r.mean_probs[0] - 0.5).abs() < 1e-12);
+        assert!(r.confidence < 0.51);
+    }
+
+    #[test]
+    fn aleatoric_vs_epistemic_separation() {
+        // Members agree on a *flat* distribution: total entropy high, but
+        // MI ≈ 0 (pure aleatoric) — the decomposition must distinguish this
+        // from disagreement.
+        let flat = vec![0.5, 0.5];
+        let agree_flat = report(&[flat.clone(), flat]);
+        let disagree = report(&[vec![0.98, 0.02], vec![0.02, 0.98]]);
+        assert!(agree_flat.predictive_entropy > 0.6);
+        assert!(agree_flat.mutual_information < 1e-12);
+        assert!(disagree.mutual_information > agree_flat.mutual_information);
+    }
+
+    #[test]
+    fn report_mean_is_probability_vector() {
+        let r = report(&[vec![0.6, 0.3, 0.1], vec![0.2, 0.5, 0.3]]);
+        assert!((r.mean_probs.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert_eq!(r.predicted, crate::nn::argmax(&r.mean_probs));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty ensemble")]
+    fn empty_ensemble_rejected() {
+        report(&[]);
+    }
+}

@@ -1,0 +1,70 @@
+//! Property tests: scheduling coverage and uncertainty invariants.
+
+use peachy_ensemble::{block_assignment, round_robin_assignment, uncertainty};
+use proptest::prelude::*;
+
+/// Random probability vector of the given length.
+fn prob_vec(len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(1e-6f64..1.0, len).prop_map(|raw| {
+        let sum: f64 = raw.iter().sum();
+        raw.into_iter().map(|v| v / sum).collect()
+    })
+}
+
+proptest! {
+    /// Block assignment partitions tasks for every (tasks, ranks) pair —
+    /// including the assignment's "not evenly divisible" cases.
+    #[test]
+    fn block_partitions(tasks in 0usize..500, ranks in 1usize..32) {
+        let mut seen = vec![0u32; tasks];
+        let mut loads = Vec::with_capacity(ranks);
+        for r in 0..ranks {
+            let range = block_assignment(tasks, ranks, r);
+            loads.push(range.len());
+            for t in range {
+                seen[t] += 1;
+            }
+        }
+        prop_assert!(seen.iter().all(|&c| c == 1));
+        let max = loads.iter().max().unwrap();
+        let min = loads.iter().min().unwrap();
+        prop_assert!(max - min <= 1, "block loads must differ by ≤ 1: {:?}", loads);
+    }
+
+    /// Round-robin also partitions, with the same balance bound.
+    #[test]
+    fn round_robin_partitions(tasks in 0usize..500, ranks in 1usize..32) {
+        let mut seen = vec![0u32; tasks];
+        for r in 0..ranks {
+            for t in round_robin_assignment(tasks, ranks, r) {
+                seen[t] += 1;
+            }
+        }
+        prop_assert!(seen.iter().all(|&c| c == 1));
+    }
+
+    /// Uncertainty decomposition invariants for arbitrary ensembles:
+    /// MI ≥ 0, MI ≤ H(mean), mean is a distribution, ln(C) bounds entropy.
+    #[test]
+    fn uncertainty_invariants(
+        members in prop::collection::vec(prob_vec(4), 1..8),
+    ) {
+        let r = uncertainty::report(&members);
+        prop_assert!((r.mean_probs.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        prop_assert!(r.mutual_information >= 0.0);
+        prop_assert!(r.mutual_information <= r.predictive_entropy + 1e-12);
+        prop_assert!(r.predictive_entropy <= 4f64.ln() + 1e-12);
+        prop_assert!(r.confidence > 0.0 && r.confidence <= 1.0);
+        prop_assert!((0..4).contains(&(r.predicted as usize)));
+        // Jensen: H(mean) >= mean(H) for the entropy function (concavity).
+        prop_assert!(r.predictive_entropy + 1e-9 >= r.expected_entropy);
+    }
+
+    /// Entropy is maximal for the uniform distribution.
+    #[test]
+    fn entropy_bounded_by_uniform(p in prob_vec(6)) {
+        let h = uncertainty::entropy(&p);
+        prop_assert!(h >= 0.0);
+        prop_assert!(h <= 6f64.ln() + 1e-12);
+    }
+}

@@ -1,0 +1,209 @@
+//! The launch engine: grids, blocks, threads, phase barriers.
+
+use rayon::prelude::*;
+
+use crate::memory::GlobalBuffer;
+
+/// A phase index; the engine guarantees a block-wide barrier between
+/// consecutive phases (CUDA's `__syncthreads()`).
+pub type Phase = usize;
+
+/// A thread's coordinates within a launch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThreadCtx {
+    /// Block index in `[0, grid)`.
+    pub block: usize,
+    /// Thread index within the block, `[0, block_dim)`.
+    pub thread: usize,
+    /// Threads per block.
+    pub block_dim: usize,
+    /// Blocks in the grid.
+    pub grid_dim: usize,
+}
+
+impl ThreadCtx {
+    /// Flat global thread id (`blockIdx.x * blockDim.x + threadIdx.x`).
+    #[inline]
+    pub fn global_id(&self) -> usize {
+        self.block * self.block_dim + self.thread
+    }
+
+    /// Total threads in the launch — the stride of a grid-stride loop.
+    #[inline]
+    pub fn grid_span(&self) -> usize {
+        self.block_dim * self.grid_dim
+    }
+}
+
+/// A phase-structured kernel.
+///
+/// Contract (the CUDA contract, restated): within one phase, distinct
+/// threads must write disjoint shared/global locations or use atomics;
+/// values written in phase `p` are visible to all of the block's threads
+/// in phase `p + 1`.
+pub trait Kernel: Sync {
+    /// Number of barrier-separated phases. May depend on `block_dim`
+    /// via [`Kernel::phases_for`].
+    fn phases(&self) -> usize;
+
+    /// Override when the phase count depends on the launch geometry
+    /// (e.g. tree reductions need `log2(block_dim)` rounds).
+    fn phases_for(&self, _block_dim: usize) -> usize {
+        self.phases()
+    }
+
+    /// Execute one thread's slice of one phase. `shared` is this block's
+    /// shared memory (zeroed at block start, persistent across phases).
+    fn run(&self, phase: Phase, ctx: ThreadCtx, shared: &mut [f64], global: &GlobalBuffer);
+}
+
+/// Launch geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Launch {
+    /// Number of blocks.
+    pub grid: usize,
+    /// Threads per block.
+    pub block: usize,
+    /// Shared-memory words per block.
+    pub shared: usize,
+}
+
+impl Launch {
+    /// Run `kernel` over `global`. Blocks run concurrently; inside a
+    /// block, threads of each phase run in thread order, with a barrier
+    /// between phases. Deterministic for contract-abiding kernels.
+    pub fn run<K: Kernel>(&self, kernel: &K, global: &GlobalBuffer) {
+        assert!(self.grid >= 1 && self.block >= 1, "empty launch");
+        let phases = kernel.phases_for(self.block);
+        (0..self.grid).into_par_iter().for_each(|block| {
+            let mut shared = vec![0.0f64; self.shared];
+            for phase in 0..phases {
+                for thread in 0..self.block {
+                    let ctx = ThreadCtx {
+                        block,
+                        thread,
+                        block_dim: self.block,
+                        grid_dim: self.grid,
+                    };
+                    kernel.run(phase, ctx, &mut shared, global);
+                }
+                // Implicit __syncthreads(): the next phase's threads see
+                // everything this phase wrote (trivially true under
+                // serialization; blocks never share `shared`).
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Each thread writes its global id — exercises geometry.
+    struct WriteIds;
+    impl Kernel for WriteIds {
+        fn phases(&self) -> usize {
+            1
+        }
+        fn run(&self, _p: Phase, t: ThreadCtx, _s: &mut [f64], g: &GlobalBuffer) {
+            g.store(t.global_id(), t.global_id() as f64);
+        }
+    }
+
+    #[test]
+    fn geometry_covers_all_threads() {
+        let g = GlobalBuffer::zeroed(12);
+        Launch {
+            grid: 3,
+            block: 4,
+            shared: 0,
+        }
+        .run(&WriteIds, &g);
+        assert_eq!(g.to_f64(), (0..12).map(|i| i as f64).collect::<Vec<_>>());
+    }
+
+    /// Two-phase kernel: phase 0 writes shared, phase 1 reads another
+    /// thread's value — fails without a real barrier between phases.
+    struct SwapViaShared;
+    impl Kernel for SwapViaShared {
+        fn phases(&self) -> usize {
+            2
+        }
+        fn run(&self, p: Phase, t: ThreadCtx, s: &mut [f64], g: &GlobalBuffer) {
+            match p {
+                0 => s[t.thread] = (t.global_id() * 10) as f64,
+                _ => {
+                    let partner = t.block_dim - 1 - t.thread;
+                    g.store(t.global_id(), s[partner]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn phase_barrier_makes_shared_writes_visible() {
+        let g = GlobalBuffer::zeroed(8);
+        Launch {
+            grid: 2,
+            block: 4,
+            shared: 4,
+        }
+        .run(&SwapViaShared, &g);
+        // Block 0 threads 0..4 read partners 3..0 → 30,20,10,0.
+        assert_eq!(g.to_f64()[..4], [30.0, 20.0, 10.0, 0.0]);
+        // Block 1: global ids 4..8 → 70,60,50,40.
+        assert_eq!(g.to_f64()[4..], [70.0, 60.0, 50.0, 40.0]);
+    }
+
+    /// Histogram with global atomics: racy by design, correct via atomics.
+    struct Histogram {
+        n: usize,
+        bins: usize,
+    }
+    impl Kernel for Histogram {
+        fn phases(&self) -> usize {
+            1
+        }
+        fn run(&self, _p: Phase, t: ThreadCtx, _s: &mut [f64], g: &GlobalBuffer) {
+            let mut i = t.global_id();
+            while i < self.n {
+                let value = g.load_u64(i) as usize % self.bins;
+                g.atomic_add_u64(self.n + value, 1);
+                i += t.grid_span();
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_via_atomics() {
+        let n = 1000;
+        let bins = 7;
+        let data: Vec<u64> = (0..n as u64).map(|i| i * 13 % 100).collect();
+        let mut init = data.clone();
+        init.extend(vec![0u64; bins]);
+        let g = GlobalBuffer::from_u64(&init);
+        Launch {
+            grid: 8,
+            block: 32,
+            shared: 0,
+        }
+        .run(&Histogram { n, bins }, &g);
+        let got = &g.to_u64()[n..];
+        let mut expected = vec![0u64; bins];
+        for &v in &data {
+            expected[v as usize % bins] += 1;
+        }
+        assert_eq!(got, &expected[..]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty launch")]
+    fn zero_grid_rejected() {
+        Launch {
+            grid: 0,
+            block: 1,
+            shared: 0,
+        }
+        .run(&WriteIds, &GlobalBuffer::zeroed(1));
+    }
+}

@@ -1,0 +1,162 @@
+//! Reference kernels: the building blocks the GPU assignments compose.
+//!
+//! [`BlockReduceSum`] is the canonical shared-memory tree reduction — the
+//! pattern §3 asks students to weigh against atomics ("determine the
+//! situations when atomic operations or reductions are more profitable").
+
+use crate::exec::{Kernel, Launch, Phase, ThreadCtx};
+use crate::memory::GlobalBuffer;
+
+/// Grid-stride sum with **global atomics**: every thread atomically adds
+/// its partial sum straight into `global[out]`.
+pub struct AtomicSum {
+    /// Input length (words `0..n` are the input).
+    pub n: usize,
+    /// Output word index.
+    pub out: usize,
+}
+
+impl Kernel for AtomicSum {
+    fn phases(&self) -> usize {
+        1
+    }
+    fn run(&self, _p: Phase, t: ThreadCtx, _s: &mut [f64], g: &GlobalBuffer) {
+        let mut acc = 0.0;
+        let mut i = t.global_id();
+        while i < self.n {
+            acc += g.load(i);
+            i += t.grid_span();
+        }
+        g.atomic_add(self.out, acc);
+    }
+}
+
+/// Grid-stride sum with a **shared-memory tree reduction** per block:
+/// phase 0 accumulates per-thread partials into shared memory; phases
+/// `1..=log2(block)` halve the active threads each round; the final phase
+/// has thread 0 add the block total to `global[out]` (one atomic per
+/// block instead of one per thread).
+pub struct BlockReduceSum {
+    /// Input length.
+    pub n: usize,
+    /// Output word index.
+    pub out: usize,
+}
+
+impl BlockReduceSum {
+    fn rounds(block_dim: usize) -> usize {
+        // ceil(log2(block_dim))
+        (usize::BITS - (block_dim - 1).leading_zeros()) as usize
+    }
+}
+
+impl Kernel for BlockReduceSum {
+    fn phases(&self) -> usize {
+        unreachable!("phase count depends on block_dim; use phases_for")
+    }
+    fn phases_for(&self, block_dim: usize) -> usize {
+        // load + log2(block) tree rounds + final write.
+        1 + Self::rounds(block_dim) + 1
+    }
+    fn run(&self, phase: Phase, t: ThreadCtx, shared: &mut [f64], g: &GlobalBuffer) {
+        let rounds = Self::rounds(t.block_dim);
+        if phase == 0 {
+            let mut acc = 0.0;
+            let mut i = t.global_id();
+            while i < self.n {
+                acc += g.load(i);
+                i += t.grid_span();
+            }
+            shared[t.thread] = acc;
+        } else if phase <= rounds {
+            // Tree round r (1-based): active half adds the upper half.
+            let width = (t.block_dim.next_power_of_two() >> phase).max(1);
+            if t.thread < width && t.thread + width < t.block_dim {
+                shared[t.thread] += shared[t.thread + width];
+            }
+        } else if t.thread == 0 {
+            g.atomic_add(self.out, shared[0]);
+        }
+    }
+}
+
+/// Convenience: sum `data` on the device with the chosen kernel shape;
+/// returns the total.
+pub fn device_sum(data: &[f64], grid: usize, block: usize, tree: bool) -> f64 {
+    let mut init = data.to_vec();
+    init.push(0.0); // the accumulator
+    let g = GlobalBuffer::from_f64(&init);
+    let out = data.len();
+    if tree {
+        Launch {
+            grid,
+            block,
+            shared: block,
+        }
+        .run(&BlockReduceSum { n: data.len(), out }, &g);
+    } else {
+        Launch {
+            grid,
+            block,
+            shared: 0,
+        }
+        .run(&AtomicSum { n: data.len(), out }, &g);
+    }
+    g.load(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data(n: usize) -> Vec<f64> {
+        (0..n).map(|i| ((i * 37) % 11) as f64 - 5.0).collect()
+    }
+
+    #[test]
+    fn atomic_sum_correct() {
+        let xs = data(10_000);
+        let expected: f64 = xs.iter().sum();
+        for (grid, block) in [(1usize, 1usize), (4, 32), (16, 64)] {
+            let got = device_sum(&xs, grid, block, false);
+            assert!((got - expected).abs() < 1e-9, "grid={grid} block={block}");
+        }
+    }
+
+    #[test]
+    fn tree_sum_correct() {
+        let xs = data(10_000);
+        let expected: f64 = xs.iter().sum();
+        for (grid, block) in [(1usize, 1usize), (4, 32), (8, 128), (3, 33)] {
+            let got = device_sum(&xs, grid, block, true);
+            assert!(
+                (got - expected).abs() < 1e-9,
+                "grid={grid} block={block}: {got} vs {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn tree_and_atomic_agree() {
+        let xs = data(5_000);
+        let a = device_sum(&xs, 8, 64, false);
+        let b = device_sum(&xs, 8, 64, true);
+        assert!((a - b).abs() < 1e-9);
+    }
+
+    #[test]
+    fn non_power_of_two_blocks() {
+        let xs = data(1_000);
+        let expected: f64 = xs.iter().sum();
+        for block in [3usize, 7, 17, 100] {
+            let got = device_sum(&xs, 5, block, true);
+            assert!((got - expected).abs() < 1e-9, "block={block}");
+        }
+    }
+
+    #[test]
+    fn empty_input_sums_to_zero() {
+        assert_eq!(device_sum(&[], 2, 8, true), 0.0);
+        assert_eq!(device_sum(&[], 2, 8, false), 0.0);
+    }
+}

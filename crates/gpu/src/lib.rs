@@ -1,0 +1,60 @@
+//! # peachy-gpu
+//!
+//! A deterministic **SIMT-style GPU execution model** — the substitute for
+//! the CUDA/OpenCL leg of the Peachy assignment series (§3's three-model
+//! progression, and the "accelerator programming models like CUDA"
+//! adaptation of §2). No GPU is available or required: the crate models
+//! the *programming concepts* the assignments teach —
+//!
+//! * a **grid** of **thread blocks**, each with `block_dim` threads
+//!   ([`Launch`]);
+//! * per-block **shared memory** visible to the block's threads;
+//! * **barrier phases**: a kernel is written as numbered phases with an
+//!   implicit `__syncthreads()` between consecutive phases (the idiom of
+//!   every shared-memory tree reduction);
+//! * **global memory** with relaxed atomics ([`GlobalBuffer::atomic_add`],
+//!   `atomic_add_f64` via CAS — exactly the trick real CUDA code used
+//!   before native double atomics);
+//! * **coalescing diagnostics**: [`AccessTracker`] scores whether
+//!   consecutive threads touched consecutive addresses, so the
+//!   "coalesced memory accesses" lesson is measurable.
+//!
+//! ## Execution semantics (and why they are faithful where it matters)
+//!
+//! Blocks execute independently (parallel over the rayon pool); within a
+//! block, the threads of one phase run to completion before the next phase
+//! starts — i.e. every phase boundary is a block-wide barrier. Inside a
+//! phase, threads are *serialized in thread order*. CUDA's contract is
+//! that correct kernels must not race between barriers (distinct
+//! locations, or atomics); any kernel that honours that contract computes
+//! the same result under serialization, and the engine is deterministic —
+//! which is what lets the test-suite `assert_eq!` GPU results against CPU
+//! references.
+//!
+//! ```
+//! use peachy_gpu::{GlobalBuffer, Kernel, Launch, Phase, ThreadCtx};
+//!
+//! // y[i] += a * x[i], one thread per element, grid-stride loop.
+//! struct Axpy { a: f64, n: usize }
+//! impl Kernel for Axpy {
+//!     fn phases(&self) -> usize { 1 }
+//!     fn run(&self, _phase: Phase, t: ThreadCtx, _shared: &mut [f64], g: &GlobalBuffer) {
+//!         let mut i = t.global_id();
+//!         while i < self.n {
+//!             g.store(self.n + i, g.load(self.n + i) + self.a * g.load(i));
+//!             i += t.grid_span();
+//!         }
+//!     }
+//! }
+//!
+//! let g = GlobalBuffer::from_f64(&[1.0, 2.0, 10.0, 20.0]); // x ++ y
+//! Launch { grid: 2, block: 2, shared: 0 }.run(&Axpy { a: 3.0, n: 2 }, &g);
+//! assert_eq!(g.to_f64()[2..], [13.0, 26.0]);
+//! ```
+
+pub mod exec;
+pub mod kernels;
+pub mod memory;
+
+pub use exec::{Kernel, Launch, Phase, ThreadCtx};
+pub use memory::{AccessTracker, GlobalBuffer};

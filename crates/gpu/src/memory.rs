@@ -1,0 +1,230 @@
+//! Global device memory and access diagnostics.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Global (device) memory: a flat array of 64-bit words shared by every
+/// block, with relaxed atomic operations. Words are interpreted as `f64`
+/// or `u64` per call — like a raw device allocation viewed through typed
+/// pointers.
+pub struct GlobalBuffer {
+    words: Vec<AtomicU64>,
+    tracker: Option<AccessTracker>,
+}
+
+impl GlobalBuffer {
+    /// Allocate `len` zeroed words.
+    pub fn zeroed(len: usize) -> Self {
+        Self {
+            words: (0..len).map(|_| AtomicU64::new(0.0f64.to_bits())).collect(),
+            tracker: None,
+        }
+    }
+
+    /// Allocate from f64 contents.
+    pub fn from_f64(data: &[f64]) -> Self {
+        Self {
+            words: data.iter().map(|&x| AtomicU64::new(x.to_bits())).collect(),
+            tracker: None,
+        }
+    }
+
+    /// Allocate from u64 contents.
+    pub fn from_u64(data: &[u64]) -> Self {
+        Self {
+            words: data.iter().map(|&x| AtomicU64::new(x)).collect(),
+            tracker: None,
+        }
+    }
+
+    /// Enable access tracking (for coalescing diagnostics).
+    pub fn with_tracking(mut self) -> Self {
+        self.tracker = Some(AccessTracker::default());
+        self
+    }
+
+    /// Number of words.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Load word `i` as `f64`.
+    #[inline]
+    pub fn load(&self, i: usize) -> f64 {
+        self.note(i);
+        f64::from_bits(self.words[i].load(Ordering::Relaxed))
+    }
+
+    /// Store `f64` into word `i`.
+    #[inline]
+    pub fn store(&self, i: usize, v: f64) {
+        self.note(i);
+        self.words[i].store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Load word `i` as `u64`.
+    #[inline]
+    pub fn load_u64(&self, i: usize) -> u64 {
+        self.note(i);
+        self.words[i].load(Ordering::Relaxed)
+    }
+
+    /// Store `u64` into word `i`.
+    #[inline]
+    pub fn store_u64(&self, i: usize, v: u64) {
+        self.note(i);
+        self.words[i].store(v, Ordering::Relaxed);
+    }
+
+    /// Atomic integer add; returns the previous value.
+    #[inline]
+    pub fn atomic_add_u64(&self, i: usize, v: u64) -> u64 {
+        self.note(i);
+        self.words[i].fetch_add(v, Ordering::Relaxed)
+    }
+
+    /// Atomic `f64` add via compare-and-swap — the classic pre-Pascal CUDA
+    /// `atomicAdd(double*)` emulation.
+    #[inline]
+    pub fn atomic_add(&self, i: usize, v: f64) {
+        self.note(i);
+        let cell = &self.words[i];
+        let mut cur = cell.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + v).to_bits();
+            match cell.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => return,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Atomic compare-and-swap on raw bits; returns the previous value.
+    #[inline]
+    pub fn compare_exchange_u64(&self, i: usize, expect: u64, new: u64) -> Result<u64, u64> {
+        self.note(i);
+        self.words[i].compare_exchange(expect, new, Ordering::Relaxed, Ordering::Relaxed)
+    }
+
+    /// Snapshot as `f64`s.
+    pub fn to_f64(&self) -> Vec<f64> {
+        self.words
+            .iter()
+            .map(|w| f64::from_bits(w.load(Ordering::Relaxed)))
+            .collect()
+    }
+
+    /// Snapshot as `u64`s.
+    pub fn to_u64(&self) -> Vec<u64> {
+        self.words
+            .iter()
+            .map(|w| w.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// The access tracker, if tracking was enabled.
+    pub fn tracker(&self) -> Option<&AccessTracker> {
+        self.tracker.as_ref()
+    }
+
+    #[inline]
+    fn note(&self, i: usize) {
+        if let Some(t) = &self.tracker {
+            t.note(i);
+        }
+    }
+}
+
+/// Coalescing diagnostics: counts accesses and how many were "adjacent"
+/// (address exactly one past the previous access from the engine's
+/// serialized thread order — consecutive threads reading consecutive
+/// addresses score high; strided or random patterns score low).
+#[derive(Debug, Default)]
+pub struct AccessTracker {
+    accesses: AtomicU64,
+    adjacent: AtomicU64,
+    last: AtomicU64,
+}
+
+impl AccessTracker {
+    fn note(&self, i: usize) {
+        let prev = self.last.swap(i as u64, Ordering::Relaxed);
+        self.accesses.fetch_add(1, Ordering::Relaxed);
+        if i as u64 == prev.wrapping_add(1) {
+            self.adjacent.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Total accesses observed.
+    pub fn accesses(&self) -> u64 {
+        self.accesses.load(Ordering::Relaxed)
+    }
+
+    /// Fraction of accesses whose address followed the previous one — the
+    /// coalescing score in [0, 1].
+    pub fn coalescing(&self) -> f64 {
+        let a = self.accesses();
+        if a == 0 {
+            return 0.0;
+        }
+        self.adjacent.load(Ordering::Relaxed) as f64 / a as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f64_roundtrip() {
+        let g = GlobalBuffer::from_f64(&[1.5, -2.5]);
+        assert_eq!(g.load(0), 1.5);
+        g.store(1, 7.25);
+        assert_eq!(g.to_f64(), vec![1.5, 7.25]);
+    }
+
+    #[test]
+    fn u64_and_f64_views_coexist() {
+        let g = GlobalBuffer::zeroed(2);
+        g.store_u64(0, 42);
+        assert_eq!(g.load_u64(0), 42);
+        g.store(1, 3.0);
+        assert_eq!(g.load(1), 3.0);
+    }
+
+    #[test]
+    fn atomic_f64_add_accumulates() {
+        use rayon::prelude::*;
+        let g = GlobalBuffer::from_f64(&[0.0]);
+        (0..2000)
+            .into_par_iter()
+            .for_each(|_| g.atomic_add(0, 0.25));
+        assert_eq!(g.load(0), 500.0);
+    }
+
+    #[test]
+    fn atomic_u64_add_returns_previous() {
+        let g = GlobalBuffer::from_u64(&[10]);
+        assert_eq!(g.atomic_add_u64(0, 5), 10);
+        assert_eq!(g.load_u64(0), 15);
+    }
+
+    #[test]
+    fn coalescing_score_distinguishes_patterns() {
+        let seq = GlobalBuffer::zeroed(1000).with_tracking();
+        for i in 0..1000 {
+            seq.load(i);
+        }
+        assert!(seq.tracker().unwrap().coalescing() > 0.99);
+
+        let strided = GlobalBuffer::zeroed(1000).with_tracking();
+        for i in (0..1000).step_by(32) {
+            strided.load(i);
+        }
+        assert!(strided.tracker().unwrap().coalescing() < 0.1);
+    }
+}

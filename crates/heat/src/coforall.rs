@@ -1,0 +1,207 @@
+//! Part 2: the `coforall` solver — persistent tasks, local arrays, halo
+//! cells, and a reusable barrier.
+//!
+//! Mirrors `Example2.chpl` and its distributed completion:
+//!
+//! * `coforall loc in Locales do on loc { taskSimulate(...) }` — one task
+//!   per locale, spawned **once** for the whole simulation (here: one OS
+//!   thread per locale);
+//! * each task owns a *local* array covering its block plus two ghost
+//!   cells ("array and range slices are used to copy the initial
+//!   conditions into each task's local array");
+//! * a global array of **halo cells** carries edge values: "at each time
+//!   step, tasks store the values along their edges in their neighbors'
+//!   halo cells, then copy the neighbors' values into their own local
+//!   array";
+//! * a **barrier** separates the write-halo and read-halo phases (and the
+//!   read phase from the next step's writes).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Barrier;
+
+use crate::dist::BlockDist;
+use crate::problem::HeatProblem;
+
+/// One locale's pair of incoming halo cells, written by its neighbours.
+struct Halo {
+    /// Value arriving from the left neighbour (its rightmost edge value).
+    from_left: AtomicU64,
+    /// Value arriving from the right neighbour (its leftmost edge value).
+    from_right: AtomicU64,
+}
+
+impl Halo {
+    fn new() -> Self {
+        Self {
+            from_left: AtomicU64::new(0.0f64.to_bits()),
+            from_right: AtomicU64::new(0.0f64.to_bits()),
+        }
+    }
+}
+
+/// Solve with one persistent task per locale and explicit halo exchange.
+pub fn solve_coforall(problem: &HeatProblem, locales: usize) -> Vec<f64> {
+    let initial = problem.initial();
+    let n = problem.n;
+    let alpha = problem.alpha;
+    let interior = n - 2;
+    let dist = BlockDist::new(interior, locales);
+    let nl = dist.locales();
+
+    let halos: Vec<Halo> = (0..nl).map(|_| Halo::new()).collect();
+    let barrier = Barrier::new(nl);
+
+    // Each locale returns its final local block; blocks reassemble in
+    // locale order.
+    let mut blocks: Vec<Option<Vec<f64>>> = (0..nl).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..nl)
+            .map(|l| {
+                let range = dist.local_range(l); // interior-relative
+                let initial = &initial;
+                let halos = &halos;
+                let barrier = &barrier;
+                scope.spawn(move || {
+                    // Local array: [left ghost, block..., right ghost].
+                    let len = range.len();
+                    let mut local = vec![0.0f64; len + 2];
+                    let mut local_new = vec![0.0f64; len + 2];
+                    // Copy initial conditions via slices (global interior
+                    // index range.start..range.end maps to global array
+                    // 1+range.start..1+range.end).
+                    local[1..=len].copy_from_slice(&initial[1 + range.start..1 + range.end]);
+                    local[0] = initial[range.start]; // left ghost (global idx range.start)
+                    local[len + 1] = initial[1 + range.end]; // right ghost
+
+                    for _ in 0..problem.nt {
+                        // Compute the new block from the old block + ghosts.
+                        for i in 1..=len {
+                            local_new[i] =
+                                local[i] + alpha * (local[i - 1] - 2.0 * local[i] + local[i + 1]);
+                        }
+                        // Store edge values in the neighbours' halo cells.
+                        if l > 0 {
+                            halos[l - 1]
+                                .from_right
+                                .store(local_new[1].to_bits(), Ordering::Release);
+                        }
+                        if l + 1 < nl {
+                            halos[l + 1]
+                                .from_left
+                                .store(local_new[len].to_bits(), Ordering::Release);
+                        }
+                        // All edges written before anyone reads.
+                        barrier.wait();
+                        // Copy the neighbours' values into the local ghosts;
+                        // physical boundaries are the Dirichlet constants.
+                        local_new[0] = if l == 0 {
+                            problem.left
+                        } else {
+                            f64::from_bits(halos[l].from_left.load(Ordering::Acquire))
+                        };
+                        local_new[len + 1] = if l + 1 == nl {
+                            problem.right
+                        } else {
+                            f64::from_bits(halos[l].from_right.load(Ordering::Acquire))
+                        };
+                        std::mem::swap(&mut local, &mut local_new);
+                        // Everyone has read their halos before the next
+                        // step's writes overwrite them.
+                        barrier.wait();
+                    }
+                    local[1..=len].to_vec()
+                })
+            })
+            .collect();
+        for (l, h) in handles.into_iter().enumerate() {
+            blocks[l] = Some(h.join().expect("locale task panicked"));
+        }
+    });
+
+    // Reassemble the global array.
+    let mut out = Vec::with_capacity(n);
+    out.push(problem.left);
+    for b in blocks {
+        out.extend(b.expect("all locales completed"));
+    }
+    out.push(problem.right);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::forall::solve_forall;
+    use crate::problem::{HeatProblem, InitialCondition};
+    use crate::serial::solve_serial;
+
+    #[test]
+    fn bit_identical_to_serial_any_locales() {
+        let p = HeatProblem {
+            n: 200,
+            alpha: 0.3,
+            nt: 60,
+            left: 1.0,
+            right: 0.5,
+            ic: InitialCondition::StepPulse,
+        };
+        let reference = solve_serial(&p);
+        for locales in [1usize, 2, 3, 5, 8, 64] {
+            let got = solve_coforall(&p, locales);
+            assert_eq!(got, reference, "locales = {locales}");
+        }
+    }
+
+    #[test]
+    fn matches_exact_solution() {
+        let p = HeatProblem::validation(129, 250);
+        let got = solve_coforall(&p, 6);
+        let exact = p.exact_sine_solution().unwrap();
+        for (g, e) in got.iter().zip(&exact) {
+            assert!((g - e).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn agrees_with_forall() {
+        let p = HeatProblem {
+            n: 150,
+            alpha: 0.25,
+            nt: 40,
+            left: -0.5,
+            right: 0.25,
+            ic: InitialCondition::Gaussian(0.1),
+        };
+        assert_eq!(solve_coforall(&p, 5), solve_forall(&p, 5));
+    }
+
+    #[test]
+    fn single_locale_is_serial() {
+        let p = HeatProblem::validation(65, 30);
+        assert_eq!(solve_coforall(&p, 1), solve_serial(&p));
+    }
+
+    #[test]
+    fn tiny_blocks() {
+        // Interior of 4 points over 4 locales: every block has length 1,
+        // both ghosts of a block come from halos.
+        let p = HeatProblem {
+            n: 6,
+            alpha: 0.25,
+            nt: 25,
+            left: 1.0,
+            right: 0.0,
+            ic: InitialCondition::Zero,
+        };
+        assert_eq!(solve_coforall(&p, 4), solve_serial(&p));
+    }
+
+    #[test]
+    fn zero_steps() {
+        let p = HeatProblem {
+            nt: 0,
+            ..HeatProblem::validation(33, 0)
+        };
+        assert_eq!(solve_coforall(&p, 3), p.initial());
+    }
+}

@@ -1,0 +1,116 @@
+//! Chapel-style Block distribution over simulated locales.
+//!
+//! `Block.createDomain({0..<n})` maps a 1-D index space onto `numLocales`
+//! evenly-sized contiguous blocks. [`BlockDist`] is that map: given a
+//! global index, which locale owns it; given a locale, which contiguous
+//! range it owns.
+
+/// A block distribution of `0..n` over `locales` memory domains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockDist {
+    n: usize,
+    locales: usize,
+}
+
+impl BlockDist {
+    /// Create a distribution; requires at least one index and one locale.
+    pub fn new(n: usize, locales: usize) -> Self {
+        assert!(n > 0, "empty domain");
+        assert!(locales > 0, "need at least one locale");
+        Self {
+            n,
+            locales: locales.min(n),
+        }
+    }
+
+    /// Domain size.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Never empty by construction.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Number of locales actually used (clipped to `n`).
+    pub fn locales(&self) -> usize {
+        self.locales
+    }
+
+    /// The contiguous range owned by `locale` (first `n % locales` locales
+    /// hold one extra element — Chapel's balanced block rule).
+    pub fn local_range(&self, locale: usize) -> std::ops::Range<usize> {
+        assert!(locale < self.locales, "locale {locale} out of range");
+        let base = self.n / self.locales;
+        let extra = self.n % self.locales;
+        let start = locale * base + locale.min(extra);
+        start..(start + base + usize::from(locale < extra))
+    }
+
+    /// The locale owning global index `i`.
+    pub fn locale_of(&self, i: usize) -> usize {
+        assert!(i < self.n, "index {i} out of domain");
+        let base = self.n / self.locales;
+        let extra = self.n % self.locales;
+        let boundary = extra * (base + 1);
+        if i < boundary {
+            i / (base + 1)
+        } else {
+            extra + (i - boundary) / base
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_partition_domain() {
+        for n in [1usize, 7, 10, 100, 1001] {
+            for locales in [1usize, 2, 3, 8, 16] {
+                let dist = BlockDist::new(n, locales);
+                let mut next = 0;
+                for l in 0..dist.locales() {
+                    let r = dist.local_range(l);
+                    assert_eq!(r.start, next, "n={n} locales={locales} l={l}");
+                    next = r.end;
+                    assert!(!r.is_empty(), "every used locale owns something");
+                }
+                assert_eq!(next, n);
+            }
+        }
+    }
+
+    #[test]
+    fn locale_of_agrees_with_ranges() {
+        for n in [5usize, 17, 64] {
+            for locales in [1usize, 2, 5, 7] {
+                let dist = BlockDist::new(n, locales);
+                for i in 0..n {
+                    let l = dist.locale_of(i);
+                    assert!(
+                        dist.local_range(l).contains(&i),
+                        "n={n} locales={locales} i={i}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn more_locales_than_indices_clipped() {
+        let dist = BlockDist::new(3, 10);
+        assert_eq!(dist.locales(), 3);
+        assert_eq!(dist.local_range(0), 0..1);
+        assert_eq!(dist.local_range(2), 2..3);
+    }
+
+    #[test]
+    fn balanced_sizes() {
+        let dist = BlockDist::new(10, 4);
+        let sizes: Vec<usize> = (0..4).map(|l| dist.local_range(l).len()).collect();
+        assert_eq!(sizes, vec![3, 3, 2, 2]);
+    }
+}

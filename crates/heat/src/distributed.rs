@@ -1,0 +1,147 @@
+//! The truly distributed solver: locales as message-passing ranks.
+//!
+//! The Chapel assignment's part 2 runs "across multiple compute nodes";
+//! [`solve_distributed`] takes the [`crate::coforall`] structure the rest
+//! of the way — each locale is a [`peachy_cluster`] rank owning its block
+//! in a *separate address space*, halo values travel as point-to-point
+//! **messages** instead of shared halo cells, and the per-step barrier is
+//! implicit in the blocking receives (a rank cannot start step `t+1`
+//! before its neighbours' step-`t` edges arrive). Results remain
+//! bit-identical to the serial solver for any rank count.
+
+use peachy_cluster::Cluster;
+
+use crate::dist::BlockDist;
+use crate::problem::HeatProblem;
+
+/// Tags for the edge-value exchange: a value travelling to the sender's
+/// right neighbour vs to its left neighbour.
+const TAG_TO_RIGHT: u32 = 1;
+const TAG_TO_LEFT: u32 = 2;
+
+/// Solve over `locales` message-passing ranks; the root assembles and
+/// returns the final global array.
+pub fn solve_distributed(problem: &HeatProblem, locales: usize) -> Vec<f64> {
+    let initial = problem.initial();
+    let n = problem.n;
+    let alpha = problem.alpha;
+    let interior = n - 2;
+    let dist = BlockDist::new(interior, locales);
+    let nl = dist.locales();
+
+    let mut results = Cluster::run(nl, |comm| {
+        let l = comm.rank();
+        let range = dist.local_range(l);
+        let len = range.len();
+        // Local array with ghost cells, initialized from the (replicated)
+        // initial condition — in a real cluster this would be a scatter;
+        // each rank slices only its own region.
+        let mut local = vec![0.0f64; len + 2];
+        let mut local_new = vec![0.0f64; len + 2];
+        local[1..=len].copy_from_slice(&initial[1 + range.start..1 + range.end]);
+        local[0] = initial[range.start];
+        local[len + 1] = initial[1 + range.end];
+
+        for _ in 0..problem.nt {
+            for i in 1..=len {
+                local_new[i] = local[i] + alpha * (local[i - 1] - 2.0 * local[i] + local[i + 1]);
+            }
+            // Halo exchange by message: send edges, then receive ghosts.
+            if l > 0 {
+                comm.send(l - 1, TAG_TO_LEFT, local_new[1]);
+            }
+            if l + 1 < nl {
+                comm.send(l + 1, TAG_TO_RIGHT, local_new[len]);
+            }
+            local_new[0] = if l == 0 {
+                problem.left
+            } else {
+                comm.recv::<f64>(l - 1, TAG_TO_RIGHT)
+            };
+            local_new[len + 1] = if l + 1 == nl {
+                problem.right
+            } else {
+                comm.recv::<f64>(l + 1, TAG_TO_LEFT)
+            };
+            std::mem::swap(&mut local, &mut local_new);
+        }
+
+        comm.gather(0, local[1..=len].to_vec())
+    });
+
+    let blocks = results.swap_remove(0).expect("root gathered blocks");
+    let mut out = Vec::with_capacity(n);
+    out.push(problem.left);
+    for b in blocks {
+        out.extend(b);
+    }
+    out.push(problem.right);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{HeatProblem, InitialCondition};
+    use crate::serial::solve_serial;
+
+    #[test]
+    fn bit_identical_to_serial_any_rank_count() {
+        let p = HeatProblem {
+            n: 300,
+            alpha: 0.25,
+            nt: 80,
+            left: 0.7,
+            right: -0.3,
+            ic: InitialCondition::StepPulse,
+        };
+        let reference = solve_serial(&p);
+        for locales in [1usize, 2, 3, 5, 8] {
+            assert_eq!(
+                solve_distributed(&p, locales),
+                reference,
+                "locales = {locales}"
+            );
+        }
+    }
+
+    #[test]
+    fn matches_coforall_and_forall() {
+        let p = HeatProblem::validation(129, 60);
+        let a = solve_distributed(&p, 4);
+        assert_eq!(a, crate::coforall::solve_coforall(&p, 4));
+        assert_eq!(a, crate::forall::solve_forall(&p, 4));
+    }
+
+    #[test]
+    fn matches_exact_solution() {
+        let p = HeatProblem::validation(65, 150);
+        let got = solve_distributed(&p, 3);
+        let exact = p.exact_sine_solution().unwrap();
+        for (g, e) in got.iter().zip(&exact) {
+            assert!((g - e).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn block_of_length_one_per_rank() {
+        let p = HeatProblem {
+            n: 7,
+            alpha: 0.3,
+            nt: 30,
+            left: 1.0,
+            right: 0.0,
+            ic: InitialCondition::Zero,
+        };
+        assert_eq!(solve_distributed(&p, 5), solve_serial(&p));
+    }
+
+    #[test]
+    fn zero_steps() {
+        let p = HeatProblem {
+            nt: 0,
+            ..HeatProblem::validation(33, 0)
+        };
+        assert_eq!(solve_distributed(&p, 4), p.initial());
+    }
+}

@@ -1,0 +1,112 @@
+//! Part 1: the `forall` + Block-distribution solver.
+//!
+//! Every time step spawns one task per locale block (Chapel's `forall`
+//! creates and destroys its tasks each time it runs — the overhead the
+//! assignment's part 2 eliminates). Blocks are disjoint slices of the
+//! global array, so the step is data-race-free by construction.
+
+use crate::dist::BlockDist;
+use crate::problem::HeatProblem;
+
+/// Statistics of a `forall` run, for the overhead comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ForallStats {
+    /// Total tasks spawned (steps × locales).
+    pub tasks_spawned: u64,
+}
+
+/// Solve with per-step task spawning over `locales` blocks.
+pub fn solve_forall(problem: &HeatProblem, locales: usize) -> Vec<f64> {
+    solve_forall_stats(problem, locales).0
+}
+
+/// As [`solve_forall`], also returning spawn statistics.
+pub fn solve_forall_stats(problem: &HeatProblem, locales: usize) -> (Vec<f64>, ForallStats) {
+    let mut u = problem.initial();
+    let mut un = u.clone();
+    let n = problem.n;
+    let alpha = problem.alpha;
+    let interior = n - 2;
+    let dist = BlockDist::new(interior, locales);
+    let mut tasks_spawned = 0u64;
+
+    for _ in 0..problem.nt {
+        std::mem::swap(&mut u, &mut un);
+        let src = &un;
+        // Carve the interior of `u` into per-locale disjoint slices.
+        let mut rest = &mut u[1..n - 1];
+        let mut blocks: Vec<(usize, &mut [f64])> = Vec::with_capacity(dist.locales());
+        let mut offset = 0;
+        for l in 0..dist.locales() {
+            let range = dist.local_range(l);
+            let (block, tail) = rest.split_at_mut(range.len());
+            blocks.push((offset, block));
+            rest = tail;
+            offset += range.len();
+        }
+        // The forall: one task per block, spawned this step, joined at the
+        // end of the step (scope exit).
+        rayon::scope(|s| {
+            for (start, block) in blocks {
+                tasks_spawned += 1;
+                s.spawn(move |_| {
+                    for (i, cell) in block.iter_mut().enumerate() {
+                        let x = 1 + start + i; // global index
+                        *cell = src[x] + alpha * (src[x - 1] - 2.0 * src[x] + src[x + 1]);
+                    }
+                });
+            }
+        });
+        u[0] = problem.left;
+        u[n - 1] = problem.right;
+    }
+    (u, ForallStats { tasks_spawned })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{HeatProblem, InitialCondition};
+    use crate::serial::solve_serial;
+
+    #[test]
+    fn bit_identical_to_serial_any_locales() {
+        let p = HeatProblem {
+            n: 257,
+            alpha: 0.25,
+            nt: 50,
+            left: 0.3,
+            right: -0.2,
+            ic: InitialCondition::Gaussian(0.08),
+        };
+        let reference = solve_serial(&p);
+        for locales in [1usize, 2, 3, 7, 16, 255] {
+            let got = solve_forall(&p, locales);
+            assert_eq!(got, reference, "locales = {locales}");
+        }
+    }
+
+    #[test]
+    fn matches_exact_solution() {
+        let p = HeatProblem::validation(129, 300);
+        let got = solve_forall(&p, 4);
+        let exact = p.exact_sine_solution().unwrap();
+        for (g, e) in got.iter().zip(&exact) {
+            assert!((g - e).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn spawn_count_is_steps_times_locales() {
+        let p = HeatProblem::validation(64, 25);
+        let (_, stats) = solve_forall_stats(&p, 4);
+        assert_eq!(stats.tasks_spawned, 25 * 4);
+    }
+
+    #[test]
+    fn more_locales_than_interior_points() {
+        let p = HeatProblem::validation(5, 10); // 3 interior points
+        let got = solve_forall(&p, 64);
+        assert_eq!(got, solve_serial(&p));
+    }
+}

@@ -1,0 +1,200 @@
+//! Problem definition and exact discrete reference solutions.
+
+/// Initial conditions for the rod.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum InitialCondition {
+    /// `sin(k·π·x/(n−1))` — an exact eigenmode of the discrete operator,
+    /// used for validation.
+    SineMode(u32),
+    /// A hot middle third, cold elsewhere.
+    StepPulse,
+    /// A Gaussian bump centred mid-rod with the given width fraction.
+    Gaussian(f64),
+    /// Everything zero (boundary-driven problems).
+    Zero,
+}
+
+/// A 1-D heat problem: rod discretization, diffusivity, step count,
+/// Dirichlet boundary values.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HeatProblem {
+    /// Number of grid points (including the two boundary points).
+    pub n: usize,
+    /// Diffusion number `α = κ·Δt/Δx²`; stable iff `α ≤ 0.5`.
+    pub alpha: f64,
+    /// Number of time steps.
+    pub nt: usize,
+    /// Fixed value at the left boundary.
+    pub left: f64,
+    /// Fixed value at the right boundary.
+    pub right: f64,
+    /// Initial interior condition.
+    pub ic: InitialCondition,
+}
+
+impl HeatProblem {
+    /// A standard validation problem: first sine eigenmode, zero
+    /// boundaries.
+    pub fn validation(n: usize, nt: usize) -> Self {
+        Self {
+            n,
+            alpha: 0.25,
+            nt,
+            left: 0.0,
+            right: 0.0,
+            ic: InitialCondition::SineMode(1),
+        }
+    }
+
+    /// Materialize the initial array (boundaries included).
+    pub fn initial(&self) -> Vec<f64> {
+        assert!(self.n >= 3, "need at least one interior point");
+        assert!(
+            self.alpha > 0.0 && self.alpha <= 0.5,
+            "explicit scheme unstable for alpha > 0.5"
+        );
+        let n = self.n;
+        let mut u = vec![0.0; n];
+        match self.ic {
+            InitialCondition::SineMode(k) => {
+                let k = k as f64;
+                for (x, v) in u.iter_mut().enumerate() {
+                    *v = (k * std::f64::consts::PI * x as f64 / (n - 1) as f64).sin();
+                }
+            }
+            InitialCondition::StepPulse => {
+                for (x, v) in u.iter_mut().enumerate() {
+                    *v = if x >= n / 3 && x < 2 * n / 3 {
+                        1.0
+                    } else {
+                        0.0
+                    };
+                }
+            }
+            InitialCondition::Gaussian(width) => {
+                let c = (n - 1) as f64 / 2.0;
+                let w = width * (n - 1) as f64;
+                for (x, v) in u.iter_mut().enumerate() {
+                    let d = (x as f64 - c) / w;
+                    *v = (-d * d).exp();
+                }
+            }
+            InitialCondition::Zero => {}
+        }
+        u[0] = self.left;
+        u[n - 1] = self.right;
+        u
+    }
+
+    /// The exact solution after `nt` steps for [`InitialCondition::SineMode`]
+    /// with zero boundaries: the mode decays by
+    /// `λ = 1 − 4α·sin²(kπ / (2(n−1)))` per step.
+    pub fn exact_sine_solution(&self) -> Option<Vec<f64>> {
+        let k = match self.ic {
+            InitialCondition::SineMode(k) if self.left == 0.0 && self.right == 0.0 => k as f64,
+            _ => return None,
+        };
+        let n = self.n;
+        let half_angle = k * std::f64::consts::PI / (2.0 * (n - 1) as f64);
+        let lambda = 1.0 - 4.0 * self.alpha * half_angle.sin().powi(2);
+        let decay = lambda.powi(self.nt as i32);
+        Some(
+            (0..n)
+                .map(|x| decay * (k * std::f64::consts::PI * x as f64 / (n - 1) as f64).sin())
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_respects_boundaries() {
+        let p = HeatProblem {
+            n: 11,
+            alpha: 0.25,
+            nt: 1,
+            left: 3.0,
+            right: -2.0,
+            ic: InitialCondition::StepPulse,
+        };
+        let u = p.initial();
+        assert_eq!(u[0], 3.0);
+        assert_eq!(u[10], -2.0);
+    }
+
+    #[test]
+    fn sine_mode_zero_at_ends() {
+        let p = HeatProblem::validation(65, 10);
+        let u = p.initial();
+        assert_eq!(u[0], 0.0);
+        assert!((u[64]).abs() < 1e-12);
+        // Peak near the middle.
+        assert!(u[32] > 0.99);
+    }
+
+    #[test]
+    fn gaussian_peak_at_centre() {
+        let p = HeatProblem {
+            n: 101,
+            alpha: 0.25,
+            nt: 1,
+            left: 0.0,
+            right: 0.0,
+            ic: InitialCondition::Gaussian(0.1),
+        };
+        let u = p.initial();
+        assert!((u[50] - 1.0).abs() < 1e-9);
+        assert!(u[10] < 0.01);
+    }
+
+    #[test]
+    fn exact_solution_decays() {
+        let p = HeatProblem::validation(33, 100);
+        let exact = p.exact_sine_solution().unwrap();
+        let initial = p.initial();
+        assert!(exact[16].abs() < initial[16].abs());
+        assert!(
+            exact[16] > 0.0,
+            "first mode keeps its sign under stable stepping"
+        );
+    }
+
+    #[test]
+    fn exact_only_for_sine_zero_bc() {
+        let p = HeatProblem {
+            n: 11,
+            alpha: 0.25,
+            nt: 1,
+            left: 1.0,
+            right: 0.0,
+            ic: InitialCondition::SineMode(1),
+        };
+        assert!(p.exact_sine_solution().is_none());
+        let p = HeatProblem {
+            n: 11,
+            alpha: 0.25,
+            nt: 1,
+            left: 0.0,
+            right: 0.0,
+            ic: InitialCondition::Zero,
+        };
+        assert!(p.exact_sine_solution().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "unstable")]
+    fn unstable_alpha_rejected() {
+        HeatProblem {
+            n: 10,
+            alpha: 0.6,
+            nt: 1,
+            left: 0.0,
+            right: 0.0,
+            ic: InitialCondition::Zero,
+        }
+        .initial();
+    }
+}

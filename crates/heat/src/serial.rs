@@ -1,0 +1,117 @@
+//! The serial reference solver (the assignment's `Example1.chpl` before
+//! distribution).
+
+use crate::problem::HeatProblem;
+
+/// Solve by explicit stepping with double buffering ("swap u and un").
+pub fn solve_serial(problem: &HeatProblem) -> Vec<f64> {
+    let mut u = problem.initial();
+    let mut un = u.clone();
+    let n = problem.n;
+    let alpha = problem.alpha;
+    for _ in 0..problem.nt {
+        std::mem::swap(&mut u, &mut un);
+        // Compute the new step (in u) from the old (in un), interior only.
+        for x in 1..n - 1 {
+            u[x] = un[x] + alpha * (un[x - 1] - 2.0 * un[x] + un[x + 1]);
+        }
+        // Dirichlet boundaries persist.
+        u[0] = problem.left;
+        u[n - 1] = problem.right;
+    }
+    u
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{HeatProblem, InitialCondition};
+
+    #[test]
+    fn matches_exact_eigenmode_solution() {
+        let p = HeatProblem::validation(65, 200);
+        let got = solve_serial(&p);
+        let exact = p.exact_sine_solution().unwrap();
+        for (g, e) in got.iter().zip(&exact) {
+            assert!((g - e).abs() < 1e-12, "{g} vs {e}");
+        }
+    }
+
+    #[test]
+    fn zero_steps_returns_initial() {
+        let p = HeatProblem {
+            nt: 0,
+            ..HeatProblem::validation(33, 0)
+        };
+        assert_eq!(solve_serial(&p), p.initial());
+    }
+
+    #[test]
+    fn heat_diffuses_towards_uniform() {
+        let p = HeatProblem {
+            n: 101,
+            alpha: 0.25,
+            nt: 20_000,
+            left: 0.0,
+            right: 0.0,
+            ic: InitialCondition::StepPulse,
+        };
+        let u = solve_serial(&p);
+        // The slowest mode decays as (1 − 4α sin²(π/200))^nt ≈ e^{-4.9}:
+        // long after, the rod is nearly uniform zero.
+        assert!(
+            u.iter().all(|&v| v.abs() < 0.05),
+            "max = {}",
+            u.iter().fold(0.0f64, |a, &b| a.max(b.abs()))
+        );
+    }
+
+    #[test]
+    fn boundary_driving_heats_the_rod() {
+        let p = HeatProblem {
+            n: 51,
+            alpha: 0.25,
+            nt: 20_000,
+            left: 1.0,
+            right: 1.0,
+            ic: InitialCondition::Zero,
+        };
+        let u = solve_serial(&p);
+        // Steady state of constant boundaries is the constant itself.
+        for &v in &u {
+            assert!((v - 1.0).abs() < 1e-3, "steady state: {v}");
+        }
+    }
+
+    #[test]
+    fn maximum_principle() {
+        // Values stay within [min, max] of initial+boundary data.
+        let p = HeatProblem {
+            n: 64,
+            alpha: 0.5,
+            nt: 300,
+            left: 0.2,
+            right: -0.1,
+            ic: InitialCondition::Gaussian(0.05),
+        };
+        let u = solve_serial(&p);
+        for &v in &u {
+            assert!(
+                (-0.1 - 1e-12..=1.0 + 1e-12).contains(&v),
+                "principle violated: {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn total_heat_decays_monotonically_with_zero_bc() {
+        let mut p = HeatProblem::validation(65, 0);
+        let mut last = f64::INFINITY;
+        for nt in [0usize, 10, 50, 200] {
+            p.nt = nt;
+            let total: f64 = solve_serial(&p).iter().sum();
+            assert!(total <= last + 1e-12);
+            last = total;
+        }
+    }
+}

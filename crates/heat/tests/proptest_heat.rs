@@ -1,0 +1,93 @@
+//! Property tests: solver equivalence and PDE invariants for arbitrary
+//! problems and locale counts.
+
+use peachy_heat::{
+    solve_coforall, solve_forall, solve_serial, BlockDist, HeatProblem, InitialCondition,
+};
+use proptest::prelude::*;
+
+fn problem_strategy() -> impl Strategy<Value = HeatProblem> {
+    (
+        4usize..120,
+        0.05f64..0.5,
+        0usize..60,
+        -2.0f64..2.0,
+        -2.0f64..2.0,
+        prop_oneof![
+            (1u32..4).prop_map(InitialCondition::SineMode),
+            Just(InitialCondition::StepPulse),
+            (0.02f64..0.3).prop_map(InitialCondition::Gaussian),
+            Just(InitialCondition::Zero),
+        ],
+    )
+        .prop_map(|(n, alpha, nt, left, right, ic)| HeatProblem {
+            n,
+            alpha,
+            nt,
+            left,
+            right,
+            ic,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// All three solvers agree bitwise for any problem and locale count.
+    #[test]
+    fn solvers_bit_identical(p in problem_strategy(), locales in 1usize..10) {
+        let serial = solve_serial(&p);
+        prop_assert_eq!(&solve_forall(&p, locales), &serial);
+        prop_assert_eq!(&solve_coforall(&p, locales), &serial);
+    }
+
+    /// Maximum principle: the solution stays inside the hull of initial +
+    /// boundary data (for stable alpha).
+    #[test]
+    fn maximum_principle(p in problem_strategy()) {
+        let initial = p.initial();
+        let lo = initial.iter().cloned().fold(f64::INFINITY, f64::min).min(p.left).min(p.right);
+        let hi = initial.iter().cloned().fold(f64::NEG_INFINITY, f64::max).max(p.left).max(p.right);
+        for v in solve_serial(&p) {
+            prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9, "{} outside [{}, {}]", v, lo, hi);
+        }
+    }
+
+    /// Boundaries hold their Dirichlet values at every step count.
+    #[test]
+    fn boundaries_pinned(p in problem_strategy(), locales in 1usize..6) {
+        let u = solve_coforall(&p, locales);
+        prop_assert_eq!(u[0], p.left);
+        prop_assert_eq!(u[p.n - 1], p.right);
+    }
+
+    /// The block distribution partitions any domain for any locale count.
+    #[test]
+    fn blockdist_partitions(n in 1usize..5000, locales in 1usize..64) {
+        let dist = BlockDist::new(n, locales);
+        let mut covered = 0;
+        for l in 0..dist.locales() {
+            let r = dist.local_range(l);
+            prop_assert_eq!(r.start, covered);
+            prop_assert!(!r.is_empty());
+            covered = r.end;
+        }
+        prop_assert_eq!(covered, n);
+        // locale_of is the inverse of local_range.
+        for probe in [0, n / 3, n / 2, n - 1] {
+            let l = dist.locale_of(probe);
+            prop_assert!(dist.local_range(l).contains(&probe));
+        }
+    }
+
+    /// Exact eigenmode decay for arbitrary mode numbers and sizes.
+    #[test]
+    fn eigenmode_exactness(n in 8usize..100, k in 1u32..4, nt in 1usize..200) {
+        let p = HeatProblem { n, alpha: 0.25, nt, left: 0.0, right: 0.0, ic: InitialCondition::SineMode(k) };
+        let got = solve_serial(&p);
+        let exact = p.exact_sine_solution().unwrap();
+        for (g, e) in got.iter().zip(&exact) {
+            prop_assert!((g - e).abs() < 1e-10, "{} vs {}", g, e);
+        }
+    }
+}

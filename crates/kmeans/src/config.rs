@@ -1,0 +1,67 @@
+//! Configuration, termination criteria and results.
+
+use peachy_data::Matrix;
+
+/// Stopping thresholds, mirroring the assignment's three criteria: "the
+/// program ends if thresholds on the number of iterations, number of
+/// cluster changes, or centroid displacement are reached".
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KMeansConfig {
+    /// Hard cap on iterations.
+    pub max_iters: usize,
+    /// Stop when an iteration changes at most this many assignments.
+    pub min_changes: usize,
+    /// Stop when the largest centroid displacement (Euclidean) in an
+    /// iteration is at most this.
+    pub min_shift: f64,
+}
+
+impl Default for KMeansConfig {
+    fn default() -> Self {
+        Self {
+            max_iters: 100,
+            min_changes: 0,
+            min_shift: 1e-9,
+        }
+    }
+}
+
+/// Why the main loop stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Termination {
+    /// Hit the iteration cap.
+    MaxIters,
+    /// Assignment churn fell to `min_changes` or below.
+    FewChanges,
+    /// Largest centroid displacement fell to `min_shift` or below.
+    SmallShift,
+}
+
+/// Outcome of a k-means run.
+#[derive(Debug, Clone)]
+pub struct KMeansResult {
+    /// Final centroid positions, one per row.
+    pub centroids: Matrix,
+    /// Cluster index per point.
+    pub assignments: Vec<u32>,
+    /// Iterations executed.
+    pub iterations: usize,
+    /// Which criterion fired.
+    pub termination: Termination,
+    /// Assignment changes in the final iteration.
+    pub last_changes: usize,
+    /// Largest centroid displacement in the final iteration.
+    pub last_shift: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_sane() {
+        let c = KMeansConfig::default();
+        assert!(c.max_iters > 0);
+        assert!(c.min_shift >= 0.0);
+    }
+}

@@ -1,0 +1,136 @@
+//! The "dynamic buffers" alternative the assignment compares against.
+//!
+//! From §3: "Other educational proposals use dynamic buffers to store the
+//! points in each cluster. This achieves better locality when traversing
+//! buffers in the second step, but adds complexity." This module is that
+//! design, implemented so the trade-off can actually be measured (see the
+//! `E3_layout_ablation` bench): after the assignment phase, point indices
+//! are *gathered per cluster*, and the update phase walks each cluster's
+//! buffer sequentially.
+//!
+//! Results are identical to the static-layout sequential reference
+//! whenever summation order per cluster matches — which it does, because
+//! the gather preserves point order within each cluster.
+
+use peachy_data::Matrix;
+
+use crate::config::{KMeansConfig, KMeansResult, Termination};
+use crate::metrics::{nearest_centroid, point_dist2};
+
+/// Run k-means with per-cluster gather buffers (the locality layout).
+pub fn fit_buffers(points: &Matrix, config: &KMeansConfig, init: Matrix) -> KMeansResult {
+    let k = init.rows();
+    assert!(k >= 1, "need at least one centroid");
+    assert!(points.rows() >= 1, "need at least one point");
+    assert_eq!(points.cols(), init.cols(), "dimensionality mismatch");
+    let d = points.cols();
+    let n = points.rows();
+
+    let mut centroids = init;
+    let mut assignments: Vec<u32> = vec![u32::MAX; n];
+    // Reused gather buffers: one Vec of point indices per cluster.
+    let mut buffers: Vec<Vec<usize>> = vec![Vec::new(); k];
+    let mut iterations = 0;
+
+    loop {
+        // Phase 1: assignment, gathering indices into cluster buffers.
+        for b in buffers.iter_mut() {
+            b.clear();
+        }
+        let mut changes = 0usize;
+        for i in 0..n {
+            let a = nearest_centroid(points.row(i), &centroids);
+            if assignments[i] != a {
+                changes += 1;
+                assignments[i] = a;
+            }
+            buffers[a as usize].push(i);
+        }
+
+        // Phase 2: per-cluster sequential traversal — the locality win.
+        let mut shift: f64 = 0.0;
+        let mut sum = vec![0.0f64; d];
+        for (c, buffer) in buffers.iter().enumerate() {
+            if buffer.is_empty() {
+                continue;
+            }
+            sum.iter_mut().for_each(|s| *s = 0.0);
+            for &i in buffer {
+                for (s, &v) in sum.iter_mut().zip(points.row(i)) {
+                    *s += v;
+                }
+            }
+            let inv = 1.0 / buffer.len() as f64;
+            let new: Vec<f64> = sum.iter().map(|s| s * inv).collect();
+            shift = shift.max(point_dist2(&new, centroids.row(c)).sqrt());
+            centroids.row_mut(c).copy_from_slice(&new);
+        }
+        iterations += 1;
+
+        let termination = if changes <= config.min_changes {
+            Some(Termination::FewChanges)
+        } else if shift <= config.min_shift {
+            Some(Termination::SmallShift)
+        } else if iterations >= config.max_iters {
+            Some(Termination::MaxIters)
+        } else {
+            None
+        };
+        if let Some(termination) = termination {
+            return KMeansResult {
+                centroids,
+                assignments,
+                iterations,
+                termination,
+                last_changes: changes,
+                last_shift: shift,
+            };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::random_init;
+    use crate::seq::fit_seq;
+    use peachy_data::synth::gaussian_blobs;
+
+    #[test]
+    fn identical_to_static_layout() {
+        // Same per-cluster summation order → bit-identical results.
+        let data = gaussian_blobs(2_000, 3, 5, 1.2, 81);
+        let init = random_init(&data.points, 5, 82);
+        let cfg = KMeansConfig::default();
+        let a = fit_seq(&data.points, &cfg, init.clone());
+        let b = fit_buffers(&data.points, &cfg, init);
+        assert_eq!(a.assignments, b.assignments);
+        assert_eq!(a.centroids, b.centroids, "bit-identical expected");
+        assert_eq!(a.iterations, b.iterations);
+        assert_eq!(a.termination, b.termination);
+    }
+
+    #[test]
+    fn empty_cluster_kept() {
+        let p = Matrix::from_rows(&[vec![0.0], vec![0.5]]);
+        let init = Matrix::from_rows(&[vec![0.0], vec![50.0]]);
+        let r = fit_buffers(&p, &KMeansConfig::default(), init);
+        assert_eq!(r.centroids.get(1, 0), 50.0);
+    }
+
+    #[test]
+    fn single_iteration_cap() {
+        let data = gaussian_blobs(200, 2, 3, 2.0, 83);
+        let init = random_init(&data.points, 3, 84);
+        let r = fit_buffers(
+            &data.points,
+            &KMeansConfig {
+                max_iters: 1,
+                min_changes: 0,
+                min_shift: 0.0,
+            },
+            init,
+        );
+        assert_eq!(r.iterations, 1);
+    }
+}

@@ -1,0 +1,68 @@
+//! Clustering quality metrics and small shared kernels.
+
+use peachy_data::Matrix;
+
+/// Squared Euclidean distance between two points.
+#[inline]
+pub fn point_dist2(a: &[f64], b: &[f64]) -> f64 {
+    peachy_data::matrix::squared_distance(a, b)
+}
+
+/// Index of the nearest centroid to `point` (ties break to the lowest
+/// index — deterministic across all implementations).
+#[inline]
+pub fn nearest_centroid(point: &[f64], centroids: &Matrix) -> u32 {
+    let mut best = 0u32;
+    let mut best_d = f64::INFINITY;
+    for c in 0..centroids.rows() {
+        let d = point_dist2(point, centroids.row(c));
+        if d < best_d {
+            best_d = d;
+            best = c as u32;
+        }
+    }
+    best
+}
+
+/// Inertia: total squared distance of each point to its assigned centroid
+/// (the objective k-means minimizes).
+pub fn inertia(points: &Matrix, centroids: &Matrix, assignments: &[u32]) -> f64 {
+    assert_eq!(points.rows(), assignments.len());
+    let mut acc = 0.0;
+    for (i, &a) in assignments.iter().enumerate() {
+        acc += point_dist2(points.row(i), centroids.row(a as usize));
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nearest_centroid_picks_closest() {
+        let c = Matrix::from_rows(&[vec![0.0], vec![10.0]]);
+        assert_eq!(nearest_centroid(&[1.0], &c), 0);
+        assert_eq!(nearest_centroid(&[9.0], &c), 1);
+    }
+
+    #[test]
+    fn nearest_centroid_tie_breaks_low_index() {
+        let c = Matrix::from_rows(&[vec![-1.0], vec![1.0]]);
+        assert_eq!(nearest_centroid(&[0.0], &c), 0);
+    }
+
+    #[test]
+    fn inertia_zero_when_points_on_centroids() {
+        let p = Matrix::from_rows(&[vec![0.0], vec![5.0]]);
+        let c = p.clone();
+        assert_eq!(inertia(&p, &c, &[0, 1]), 0.0);
+    }
+
+    #[test]
+    fn inertia_sums_squares() {
+        let p = Matrix::from_rows(&[vec![1.0], vec![4.0]]);
+        let c = Matrix::from_rows(&[vec![0.0]]);
+        assert_eq!(inertia(&p, &c, &[0, 0]), 1.0 + 16.0);
+    }
+}

@@ -1,0 +1,353 @@
+//! The shared-memory parallelization-strategy ladder.
+//!
+//! All strategies parallelize the same two phases and differ only in how
+//! they resolve the races the assignment asks students to find:
+//!
+//! * the **write race** on the per-point assignment array (benign once
+//!   points are partitioned — each point is written by exactly one task);
+//! * the **update races** on the shared `changes` counter and the
+//!   per-cluster `counts`/`sums` accumulators.
+//!
+//! [`Strategy::Critical`] serializes every accumulator update through one
+//! mutex (stage 2 of the ladder); [`Strategy::Atomic`] replaces the lock
+//! with atomic fetch-adds and CAS loops on bit-cast `f64`s (stage 3);
+//! [`Strategy::Reduction`] gives each chunk its own private accumulators
+//! and merges them after the parallel region (stage 4) — and, because the
+//! chunk decomposition is fixed and the merge is ordered, its output is
+//! **bit-identical regardless of thread count**, unlike the other two whose
+//! floating-point sums depend on interleaving (by about 1 ulp).
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+use parking_lot::Mutex;
+use peachy_data::Matrix;
+use rayon::prelude::*;
+
+use crate::config::{KMeansConfig, KMeansResult, Termination};
+use crate::metrics::{nearest_centroid, point_dist2};
+
+/// Which race-resolution strategy to use for the shared accumulators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// One mutex (critical region) around every accumulator update.
+    Critical,
+    /// Lock-free atomic updates (CAS loop for the f64 sums).
+    Atomic,
+    /// Per-chunk private accumulators merged deterministically.
+    Reduction,
+}
+
+/// Fixed chunk count for the reduction strategy: independent of the rayon
+/// pool size, so results do not depend on the number of threads.
+const REDUCTION_CHUNKS: usize = 64;
+
+/// Accumulators produced by one iteration's phases.
+struct IterStats {
+    changes: usize,
+    counts: Vec<u64>,
+    sums: Vec<f64>,
+}
+
+/// Run parallel k-means from the given initial centroids.
+pub fn fit(
+    points: &Matrix,
+    config: &KMeansConfig,
+    init: Matrix,
+    strategy: Strategy,
+) -> KMeansResult {
+    let k = init.rows();
+    assert!(k >= 1, "need at least one centroid");
+    assert!(points.rows() >= 1, "need at least one point");
+    assert_eq!(points.cols(), init.cols(), "dimensionality mismatch");
+    assert!(config.max_iters >= 1, "need at least one iteration");
+    let d = points.cols();
+    let n = points.rows();
+
+    let mut centroids = init;
+    let mut assignments: Vec<u32> = vec![u32::MAX; n];
+    let mut iterations = 0;
+
+    loop {
+        let stats = match strategy {
+            Strategy::Critical => iter_critical(points, &centroids, &mut assignments),
+            Strategy::Atomic => iter_atomic(points, &centroids, &mut assignments),
+            Strategy::Reduction => iter_reduction(points, &centroids, &mut assignments),
+        };
+
+        let mut shift: f64 = 0.0;
+        for c in 0..k {
+            if stats.counts[c] == 0 {
+                continue;
+            }
+            let inv = 1.0 / stats.counts[c] as f64;
+            let new: Vec<f64> = stats.sums[c * d..(c + 1) * d]
+                .iter()
+                .map(|s| s * inv)
+                .collect();
+            shift = shift.max(point_dist2(&new, centroids.row(c)).sqrt());
+            centroids.row_mut(c).copy_from_slice(&new);
+        }
+        iterations += 1;
+
+        let termination = if stats.changes <= config.min_changes {
+            Some(Termination::FewChanges)
+        } else if shift <= config.min_shift {
+            Some(Termination::SmallShift)
+        } else if iterations >= config.max_iters {
+            Some(Termination::MaxIters)
+        } else {
+            None
+        };
+        if let Some(termination) = termination {
+            return KMeansResult {
+                centroids,
+                assignments,
+                iterations,
+                termination,
+                last_changes: stats.changes,
+                last_shift: shift,
+            };
+        }
+    }
+}
+
+/// Stage 2: every shared update inside a critical region.
+fn iter_critical(points: &Matrix, centroids: &Matrix, assignments: &mut [u32]) -> IterStats {
+    let k = centroids.rows();
+    let d = points.cols();
+    let shared = Mutex::new((0usize, vec![0u64; k], vec![0.0f64; k * d]));
+    assignments
+        .par_iter_mut()
+        .enumerate()
+        .for_each(|(i, slot)| {
+            let row = points.row(i);
+            let a = nearest_centroid(row, centroids);
+            let changed = *slot != a;
+            *slot = a;
+            // The critical region: counter, count and coordinate sums together.
+            let mut guard = shared.lock();
+            if changed {
+                guard.0 += 1;
+            }
+            guard.1[a as usize] += 1;
+            let s = &mut guard.2[a as usize * d..(a as usize + 1) * d];
+            for (acc, &v) in s.iter_mut().zip(row) {
+                *acc += v;
+            }
+        });
+    let (changes, counts, sums) = shared.into_inner();
+    IterStats {
+        changes,
+        counts,
+        sums,
+    }
+}
+
+/// Atomic f64 add by CAS on the bit pattern — the "substitute critical
+/// regions with atomic operations" stage.
+#[inline]
+fn atomic_f64_add(cell: &AtomicU64, v: f64) {
+    let mut cur = cell.load(Ordering::Relaxed);
+    loop {
+        let next = f64::from_bits(cur) + v;
+        match cell.compare_exchange_weak(cur, next.to_bits(), Ordering::Relaxed, Ordering::Relaxed)
+        {
+            Ok(_) => return,
+            Err(actual) => cur = actual,
+        }
+    }
+}
+
+/// Stage 3: atomics instead of locks.
+fn iter_atomic(points: &Matrix, centroids: &Matrix, assignments: &mut [u32]) -> IterStats {
+    let k = centroids.rows();
+    let d = points.cols();
+    let changes = AtomicUsize::new(0);
+    let counts: Vec<AtomicU64> = (0..k).map(|_| AtomicU64::new(0)).collect();
+    let sums: Vec<AtomicU64> = (0..k * d)
+        .map(|_| AtomicU64::new(0.0f64.to_bits()))
+        .collect();
+    assignments
+        .par_iter_mut()
+        .enumerate()
+        .for_each(|(i, slot)| {
+            let row = points.row(i);
+            let a = nearest_centroid(row, centroids);
+            if *slot != a {
+                changes.fetch_add(1, Ordering::Relaxed);
+            }
+            *slot = a;
+            counts[a as usize].fetch_add(1, Ordering::Relaxed);
+            for (j, &v) in row.iter().enumerate() {
+                atomic_f64_add(&sums[a as usize * d + j], v);
+            }
+        });
+    IterStats {
+        changes: changes.into_inner(),
+        counts: counts.into_iter().map(AtomicU64::into_inner).collect(),
+        sums: sums
+            .into_iter()
+            .map(|c| f64::from_bits(c.into_inner()))
+            .collect(),
+    }
+}
+
+/// Stage 4: reduction over fixed chunks, merged in chunk order.
+fn iter_reduction(points: &Matrix, centroids: &Matrix, assignments: &mut [u32]) -> IterStats {
+    let k = centroids.rows();
+    let d = points.cols();
+    let n = points.rows();
+    let chunk = n.div_ceil(REDUCTION_CHUNKS).max(1);
+    // Each chunk owns a disjoint slice of the assignment array and its own
+    // accumulators; no shared mutable state exists inside the parallel region.
+    let partials: Vec<IterStats> = assignments
+        .par_chunks_mut(chunk)
+        .enumerate()
+        .map(|(ci, slots)| {
+            let base = ci * chunk;
+            let mut changes = 0usize;
+            let mut counts = vec![0u64; k];
+            let mut sums = vec![0.0f64; k * d];
+            for (off, slot) in slots.iter_mut().enumerate() {
+                let row = points.row(base + off);
+                let a = nearest_centroid(row, centroids);
+                if *slot != a {
+                    changes += 1;
+                }
+                *slot = a;
+                counts[a as usize] += 1;
+                let s = &mut sums[a as usize * d..(a as usize + 1) * d];
+                for (acc, &v) in s.iter_mut().zip(row) {
+                    *acc += v;
+                }
+            }
+            IterStats {
+                changes,
+                counts,
+                sums,
+            }
+        })
+        .collect();
+    // Ordered, sequential merge: deterministic whatever the pool size.
+    let mut total = IterStats {
+        changes: 0,
+        counts: vec![0; k],
+        sums: vec![0.0; k * d],
+    };
+    for p in partials {
+        total.changes += p.changes;
+        for (t, v) in total.counts.iter_mut().zip(p.counts) {
+            *t += v;
+        }
+        for (t, v) in total.sums.iter_mut().zip(p.sums) {
+            *t += v;
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::random_init;
+    use crate::seq::fit_seq;
+    use peachy_data::synth::gaussian_blobs;
+
+    fn cfg() -> KMeansConfig {
+        KMeansConfig {
+            max_iters: 50,
+            min_changes: 0,
+            min_shift: 1e-12,
+        }
+    }
+
+    fn assert_matches_seq(strategy: Strategy) {
+        let data = gaussian_blobs(2_000, 4, 5, 1.0, 33);
+        let init = random_init(&data.points, 5, 44);
+        let seq = fit_seq(&data.points, &cfg(), init.clone());
+        let par = fit(&data.points, &cfg(), init, strategy);
+        assert_eq!(par.assignments, seq.assignments, "{strategy:?} assignments");
+        assert_eq!(par.iterations, seq.iterations, "{strategy:?} iterations");
+        assert_eq!(par.termination, seq.termination, "{strategy:?} termination");
+        for c in 0..5 {
+            for j in 0..4 {
+                let a = par.centroids.get(c, j);
+                let b = seq.centroids.get(c, j);
+                assert!(
+                    (a - b).abs() < 1e-9,
+                    "{strategy:?} centroid ({c},{j}): {a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn critical_matches_sequential() {
+        assert_matches_seq(Strategy::Critical);
+    }
+
+    #[test]
+    fn atomic_matches_sequential() {
+        assert_matches_seq(Strategy::Atomic);
+    }
+
+    #[test]
+    fn reduction_matches_sequential() {
+        assert_matches_seq(Strategy::Reduction);
+    }
+
+    #[test]
+    fn reduction_bit_identical_across_thread_counts() {
+        let data = gaussian_blobs(3_000, 3, 4, 1.5, 55);
+        let init = random_init(&data.points, 4, 66);
+        let run = |threads: usize| {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            let init = init.clone();
+            let points = &data.points;
+            pool.install(move || fit(points, &cfg(), init, Strategy::Reduction))
+        };
+        let r1 = run(1);
+        let r4 = run(4);
+        assert_eq!(r1.assignments, r4.assignments);
+        assert_eq!(
+            r1.centroids, r4.centroids,
+            "bit-identical centroids required"
+        );
+        assert_eq!(r1.iterations, r4.iterations);
+    }
+
+    #[test]
+    fn atomic_f64_add_accumulates() {
+        let cell = AtomicU64::new(0.0f64.to_bits());
+        (0..1000)
+            .into_par_iter()
+            .for_each(|_| atomic_f64_add(&cell, 0.5));
+        assert_eq!(f64::from_bits(cell.into_inner()), 500.0);
+    }
+
+    #[test]
+    fn single_point_single_cluster() {
+        let p = Matrix::from_rows(&[vec![3.0, 4.0]]);
+        for s in [Strategy::Critical, Strategy::Atomic, Strategy::Reduction] {
+            let r = fit(&p, &cfg(), p.clone(), s);
+            assert_eq!(r.assignments, vec![0]);
+            assert_eq!(r.centroids.row(0), &[3.0, 4.0]);
+        }
+    }
+
+    #[test]
+    fn strategies_agree_with_each_other() {
+        let data = gaussian_blobs(1_000, 2, 3, 0.8, 77);
+        let init = random_init(&data.points, 3, 88);
+        let a = fit(&data.points, &cfg(), init.clone(), Strategy::Critical);
+        let b = fit(&data.points, &cfg(), init.clone(), Strategy::Atomic);
+        let c = fit(&data.points, &cfg(), init, Strategy::Reduction);
+        assert_eq!(a.assignments, b.assignments);
+        assert_eq!(b.assignments, c.assignments);
+    }
+
+    use peachy_data::Matrix;
+}

@@ -1,0 +1,111 @@
+//! Property tests: strategy equivalence and k-means invariants.
+
+use peachy_data::synth::gaussian_blobs;
+use peachy_data::Matrix;
+use peachy_kmeans::{fit, fit_distributed, fit_seq, inertia, random_init, KMeansConfig, Strategy};
+use proptest::prelude::*;
+
+fn cfg(max_iters: usize) -> KMeansConfig {
+    KMeansConfig {
+        max_iters,
+        min_changes: 0,
+        min_shift: 1e-12,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Every parallel strategy produces the sequential assignments.
+    #[test]
+    fn strategies_equal_sequential(
+        n in 20usize..400,
+        d in 1usize..5,
+        k in 1usize..6,
+        seed in any::<u64>(),
+    ) {
+        prop_assume!(n >= k);
+        let data = gaussian_blobs(n, d, k as u32, 1.0, seed);
+        let init = random_init(&data.points, k, seed ^ 0xabcd);
+        let seq = fit_seq(&data.points, &cfg(30), init.clone());
+        for strategy in [Strategy::Critical, Strategy::Atomic, Strategy::Reduction] {
+            let par = fit(&data.points, &cfg(30), init.clone(), strategy);
+            prop_assert_eq!(&par.assignments, &seq.assignments);
+            prop_assert_eq!(par.iterations, seq.iterations);
+        }
+    }
+
+    /// Distributed equals sequential for arbitrary rank counts.
+    #[test]
+    fn distributed_equals_sequential(
+        n in 20usize..300,
+        k in 1usize..5,
+        ranks in 1usize..6,
+        seed in any::<u64>(),
+    ) {
+        prop_assume!(n >= k);
+        let data = gaussian_blobs(n, 2, k as u32, 1.0, seed);
+        let init = random_init(&data.points, k, seed ^ 0x1234);
+        let seq = fit_seq(&data.points, &cfg(25), init.clone());
+        let dist = fit_distributed(&data.points, &cfg(25), init, ranks);
+        prop_assert_eq!(dist.assignments, seq.assignments);
+    }
+
+    /// Each point's final assignment really is its nearest final centroid
+    /// when the run converged by assignment stability.
+    #[test]
+    fn converged_assignments_are_nearest(
+        n in 20usize..300,
+        k in 1usize..5,
+        seed in any::<u64>(),
+    ) {
+        prop_assume!(n >= k);
+        let data = gaussian_blobs(n, 3, k as u32, 0.8, seed);
+        let init = random_init(&data.points, k, seed ^ 0x77);
+        let r = fit_seq(&data.points, &KMeansConfig::default(), init);
+        if r.termination == peachy_kmeans::Termination::FewChanges {
+            for i in 0..n {
+                let mut best = 0u32;
+                let mut best_d = f64::INFINITY;
+                for c in 0..k {
+                    let d2 = peachy_data::matrix::squared_distance(
+                        data.points.row(i),
+                        r.centroids.row(c),
+                    );
+                    if d2 < best_d {
+                        best_d = d2;
+                        best = c as u32;
+                    }
+                }
+                prop_assert_eq!(r.assignments[i], best, "point {}", i);
+            }
+        }
+    }
+
+    /// Inertia decreases (weakly) with more iterations of the same run.
+    #[test]
+    fn inertia_monotone(n in 30usize..200, k in 2usize..5, seed in any::<u64>()) {
+        prop_assume!(n >= k);
+        let data = gaussian_blobs(n, 2, k as u32, 1.5, seed);
+        let mut centroids = random_init(&data.points, k, seed ^ 0x5a);
+        let mut last = f64::INFINITY;
+        for _ in 0..6 {
+            let r = fit_seq(&data.points, &cfg(1), centroids.clone());
+            let obj = inertia(&data.points, &r.centroids, &r.assignments);
+            prop_assert!(obj <= last + 1e-9);
+            last = obj;
+            centroids = r.centroids;
+        }
+    }
+
+    /// k = n converges to zero inertia with each point its own centroid.
+    #[test]
+    fn k_equals_n(n in 2usize..20, seed in any::<u64>()) {
+        // Distinct 1-D points.
+        let rows: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64 * 2.0]).collect();
+        let m = Matrix::from_rows(&rows);
+        let r = fit_seq(&m, &KMeansConfig::default(), m.clone());
+        prop_assert_eq!(inertia(&m, &r.centroids, &r.assignments), 0.0);
+        let _ = seed;
+    }
+}

@@ -1,0 +1,105 @@
+//! The "whole application" variant of §2: "The new assignment would be to
+//! write the whole application: parsing the database and queries from a
+//! CSV file, implement the distance function with a loop and use the
+//! language's built-in sorting function."
+//!
+//! This module is that end-to-end program as a library function: CSV text
+//! in, CSV predictions out, with accuracy when the query file carries
+//! ground-truth labels. Selection uses the built-in sort (per the
+//! assignment text), so this is also the simplest possible reference
+//! implementation for the fancier variants to be tested against.
+
+use peachy_data::csv::{read_labeled, CsvError};
+
+use crate::brute::classify_sort;
+
+/// Result of one application run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AppOutput {
+    /// Predicted class per query, in input order.
+    pub predictions: Vec<u32>,
+    /// Accuracy against the query file's label column.
+    pub accuracy: f64,
+    /// Rendered output CSV: one `query_index,predicted_class` row per query.
+    pub csv: String,
+}
+
+/// Run the full pipeline: parse both CSVs (features…, label), classify
+/// every query against the database with sort-based k-NN, render output.
+///
+/// The query file's label column doubles as ground truth for the reported
+/// accuracy (as with the datahub.io evaluation splits).
+pub fn run(database_csv: &str, queries_csv: &str, k: usize) -> Result<AppOutput, CsvError> {
+    assert!(k >= 1, "k must be positive");
+    let db = read_labeled(database_csv)?;
+    let queries = read_labeled(queries_csv)?;
+    assert_eq!(
+        db.dims(),
+        queries.dims(),
+        "database and query dimensionality differ"
+    );
+
+    let predictions: Vec<u32> = (0..queries.len())
+        .map(|q| classify_sort(&db, queries.points.row(q), k))
+        .collect();
+
+    let correct = predictions
+        .iter()
+        .zip(&queries.labels)
+        .filter(|(p, l)| p == l)
+        .count();
+    let mut csv = String::with_capacity(predictions.len() * 8);
+    for (i, p) in predictions.iter().enumerate() {
+        csv.push_str(&format!("{i},{p}\n"));
+    }
+    Ok(AppOutput {
+        accuracy: correct as f64 / predictions.len() as f64,
+        predictions,
+        csv,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peachy_data::csv::write_labeled;
+    use peachy_data::split::train_test_split;
+    use peachy_data::synth::gaussian_blobs;
+
+    #[test]
+    fn end_to_end_on_generated_csv() {
+        let all = gaussian_blobs(400, 4, 3, 0.5, 70);
+        let tt = train_test_split(&all, 0.75, 71);
+        let out = run(&write_labeled(&tt.train), &write_labeled(&tt.test), 7).unwrap();
+        assert_eq!(out.predictions.len(), tt.test.len());
+        assert!(out.accuracy > 0.9, "accuracy = {}", out.accuracy);
+        // Output CSV has one row per query and parses back.
+        assert_eq!(out.csv.lines().count(), tt.test.len());
+        for (i, line) in out.csv.lines().enumerate() {
+            let (idx, pred) = line.split_once(',').unwrap();
+            assert_eq!(idx.parse::<usize>().unwrap(), i);
+            assert_eq!(pred.parse::<u32>().unwrap(), out.predictions[i]);
+        }
+    }
+
+    #[test]
+    fn matches_heap_based_library_path() {
+        let all = gaussian_blobs(300, 3, 3, 1.0, 72);
+        let tt = train_test_split(&all, 0.8, 73);
+        let out = run(&write_labeled(&tt.train), &write_labeled(&tt.test), 5).unwrap();
+        let lib = crate::classify_batch_seq(&tt.train, &tt.test, 5);
+        assert_eq!(out.predictions, lib);
+    }
+
+    #[test]
+    fn propagates_csv_errors() {
+        assert!(run("definitely,not,numbers\n", "1,2,0\n", 3).is_err());
+        assert!(run("", "1,2,0\n", 3).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensionality differ")]
+    fn dimension_mismatch_panics() {
+        let _ = run("1,2,0\n", "1,2,3,0\n", 1);
+    }
+}

@@ -1,0 +1,109 @@
+//! Cross-validation for choosing `k` — how the classroom actually decides
+//! the hyper-parameter the assignment leaves open ("k = ?" is the first
+//! question every student asks).
+
+use peachy_data::matrix::LabeledDataset;
+use peachy_data::split::k_folds;
+use rayon::prelude::*;
+
+use crate::brute::classify_heap;
+
+/// Mean accuracy of `folds`-fold cross-validation at a given `k`.
+pub fn cv_accuracy(data: &LabeledDataset, k: usize, folds: usize, seed: u64) -> f64 {
+    assert!(k >= 1 && folds >= 2);
+    assert!(data.len() >= folds, "need at least one point per fold");
+    let partition = k_folds(data.len(), folds, seed);
+    let mut correct = 0usize;
+    let mut total = 0usize;
+    for held_out in 0..folds {
+        let test_idx = &partition[held_out];
+        let train_idx: Vec<usize> = partition
+            .iter()
+            .enumerate()
+            .filter(|(f, _)| *f != held_out)
+            .flat_map(|(_, idx)| idx.iter().copied())
+            .collect();
+        let train = data.select(&train_idx);
+        let hits: usize = test_idx
+            .par_iter()
+            .filter(|&&i| classify_heap(&train, data.points.row(i), k) == data.labels[i])
+            .count();
+        correct += hits;
+        total += test_idx.len();
+    }
+    correct as f64 / total as f64
+}
+
+/// Evaluate a range of `k` values and return `(k, cv_accuracy)` rows plus
+/// the best `k` (ties break toward smaller `k` — simpler model wins).
+pub fn select_k(
+    data: &LabeledDataset,
+    candidates: &[usize],
+    folds: usize,
+    seed: u64,
+) -> (Vec<(usize, f64)>, usize) {
+    assert!(!candidates.is_empty());
+    let table: Vec<(usize, f64)> = candidates
+        .iter()
+        .map(|&k| (k, cv_accuracy(data, k, folds, seed)))
+        .collect();
+    let mut best = table[0];
+    for &(k, acc) in &table[1..] {
+        if acc > best.1 {
+            best = (k, acc);
+        }
+    }
+    (table, best.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peachy_data::iris::iris;
+    use peachy_data::synth::gaussian_blobs;
+
+    #[test]
+    fn cv_accuracy_high_on_separable_data() {
+        let data = gaussian_blobs(300, 4, 3, 0.4, 140);
+        let acc = cv_accuracy(&data, 5, 5, 141);
+        assert!(acc > 0.95, "cv accuracy = {acc}");
+    }
+
+    #[test]
+    fn cv_accuracy_near_chance_on_random_labels() {
+        // Shuffle-destroyed labels: CV must not report spurious skill.
+        let mut data = gaussian_blobs(200, 3, 2, 1.0, 142);
+        // Blobs label round-robin (i % 2); pairing consecutive points puts
+        // both blobs in both label groups — labels decoupled from geometry.
+        for (i, l) in data.labels.iter_mut().enumerate() {
+            *l = ((i / 2) % 2) as u32;
+        }
+        let acc = cv_accuracy(&data, 5, 4, 143);
+        assert!((0.3..0.7).contains(&acc), "should be ≈ chance: {acc}");
+    }
+
+    #[test]
+    fn select_k_on_iris_is_reasonable() {
+        let data = iris();
+        let (table, best) = select_k(&data, &[1, 3, 5, 9, 15, 31], 5, 144);
+        assert_eq!(table.len(), 6);
+        assert!(table.iter().all(|&(_, acc)| acc > 0.85), "{table:?}");
+        assert!(
+            (1..=15).contains(&best),
+            "iris favours small-to-moderate k, got {best}"
+        );
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        let data = gaussian_blobs(150, 3, 3, 0.8, 145);
+        assert_eq!(cv_accuracy(&data, 3, 5, 7), cv_accuracy(&data, 3, 5, 7));
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one point per fold")]
+    fn tiny_data_rejected() {
+        let data = gaussian_blobs(3, 2, 2, 1.0, 146);
+        cv_accuracy(&data, 1, 5, 1);
+    }
+}

@@ -1,0 +1,261 @@
+//! A bounded max-heap for top-*k* smallest selection.
+//!
+//! The assignment's cost analysis hinges on this structure: "a heap-based
+//! implementation reduces this to Θ(n log k)". The heap holds at most `k`
+//! candidates with the *worst* (largest) at the root; a new candidate
+//! replaces the root iff it beats it, costing O(log k).
+
+use crate::Neighbor;
+
+/// Max-heap of at most `k` [`Neighbor`]s, ordered by `(dist2, index)`.
+#[derive(Debug, Clone)]
+pub struct BoundedMaxHeap {
+    k: usize,
+    items: Vec<Neighbor>,
+}
+
+impl BoundedMaxHeap {
+    /// Create an empty heap with capacity `k > 0`.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "k must be positive");
+        Self {
+            k,
+            items: Vec::with_capacity(k),
+        }
+    }
+
+    /// Capacity.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Current number of stored candidates.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the heap holds no candidates.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Whether the heap has reached capacity.
+    #[inline]
+    pub fn is_full(&self) -> bool {
+        self.items.len() == self.k
+    }
+
+    /// The current worst retained candidate, if any.
+    #[inline]
+    pub fn worst(&self) -> Option<&Neighbor> {
+        self.items.first()
+    }
+
+    /// Offer a candidate: inserted if the heap has room or the candidate
+    /// beats the current worst. Returns whether it was retained.
+    pub fn offer(&mut self, n: Neighbor) -> bool {
+        if self.items.len() < self.k {
+            self.items.push(n);
+            self.sift_up(self.items.len() - 1);
+            true
+        } else if n.cmp_key() < self.items[0].cmp_key() {
+            self.items[0] = n;
+            self.sift_down(0);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Quick rejection test without mutation: would this distance be kept?
+    ///
+    /// Candidates *equal* to the current worst are reported as not kept;
+    /// callers that must preserve index tie-breaks (equal distance, smaller
+    /// index wins) should call [`BoundedMaxHeap::offer`] directly or use
+    /// [`BoundedMaxHeap::prunable`] for subtree pruning.
+    #[inline]
+    pub fn would_keep(&self, dist2: f64) -> bool {
+        self.items.len() < self.k || dist2 < self.items[0].dist2
+    }
+
+    /// Whether a whole candidate set with lower-bound distance `bound` can
+    /// be skipped: true only when the heap is full and the bound *strictly*
+    /// exceeds the current worst (equal-distance candidates may still win
+    /// tie-breaks by index, so they cannot be pruned).
+    #[inline]
+    pub fn prunable(&self, bound: f64) -> bool {
+        self.items.len() == self.k && bound > self.items[0].dist2
+    }
+
+    /// Consume the heap and return candidates sorted ascending by
+    /// `(dist2, index)` — the final k nearest neighbours.
+    pub fn into_sorted(mut self) -> Vec<Neighbor> {
+        self.items
+            .sort_by(|a, b| a.cmp_key().partial_cmp(&b.cmp_key()).expect("finite"));
+        self.items
+    }
+
+    /// Merge another heap's contents into this one (used by the MapReduce
+    /// combiner to fuse per-block top-k sets).
+    pub fn merge(&mut self, other: BoundedMaxHeap) {
+        for n in other.items {
+            self.offer(n);
+        }
+    }
+
+    fn sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if self.items[i].cmp_key() > self.items[parent].cmp_key() {
+                self.items.swap(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        let n = self.items.len();
+        loop {
+            let (l, r) = (2 * i + 1, 2 * i + 2);
+            let mut largest = i;
+            if l < n && self.items[l].cmp_key() > self.items[largest].cmp_key() {
+                largest = l;
+            }
+            if r < n && self.items[r].cmp_key() > self.items[largest].cmp_key() {
+                largest = r;
+            }
+            if largest == i {
+                break;
+            }
+            self.items.swap(i, largest);
+            i = largest;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nb(dist2: f64, index: usize) -> Neighbor {
+        Neighbor {
+            dist2,
+            index,
+            label: 0,
+        }
+    }
+
+    #[test]
+    fn keeps_k_smallest() {
+        let mut h = BoundedMaxHeap::new(3);
+        for (i, d) in [9.0, 1.0, 8.0, 2.0, 7.0, 3.0].iter().enumerate() {
+            h.offer(nb(*d, i));
+        }
+        let sorted = h.into_sorted();
+        let dists: Vec<f64> = sorted.iter().map(|n| n.dist2).collect();
+        assert_eq!(dists, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn underfull_heap_returns_everything() {
+        let mut h = BoundedMaxHeap::new(10);
+        h.offer(nb(5.0, 0));
+        h.offer(nb(1.0, 1));
+        let sorted = h.into_sorted();
+        assert_eq!(sorted.len(), 2);
+        assert_eq!(sorted[0].dist2, 1.0);
+    }
+
+    #[test]
+    fn rejects_worse_when_full() {
+        let mut h = BoundedMaxHeap::new(2);
+        assert!(h.offer(nb(1.0, 0)));
+        assert!(h.offer(nb(2.0, 1)));
+        assert!(!h.offer(nb(3.0, 2)));
+        assert!(h.offer(nb(0.5, 3)));
+        let d: Vec<f64> = h.into_sorted().iter().map(|n| n.dist2).collect();
+        assert_eq!(d, vec![0.5, 1.0]);
+    }
+
+    #[test]
+    fn worst_tracks_root() {
+        let mut h = BoundedMaxHeap::new(2);
+        assert!(h.worst().is_none());
+        h.offer(nb(4.0, 0));
+        h.offer(nb(2.0, 1));
+        assert_eq!(h.worst().unwrap().dist2, 4.0);
+        h.offer(nb(1.0, 2));
+        assert_eq!(h.worst().unwrap().dist2, 2.0);
+    }
+
+    #[test]
+    fn equal_distances_tie_break_by_index() {
+        let mut h = BoundedMaxHeap::new(2);
+        h.offer(nb(1.0, 5));
+        h.offer(nb(1.0, 2));
+        h.offer(nb(1.0, 9)); // rejected: same dist, larger index than worst
+        let sorted = h.into_sorted();
+        let idx: Vec<usize> = sorted.iter().map(|n| n.index).collect();
+        assert_eq!(idx, vec![2, 5]);
+    }
+
+    #[test]
+    fn would_keep_is_consistent_with_offer() {
+        let mut h = BoundedMaxHeap::new(2);
+        h.offer(nb(1.0, 0));
+        h.offer(nb(2.0, 1));
+        assert!(h.would_keep(1.5));
+        assert!(!h.would_keep(2.5));
+        // Boundary: equal distance is rejected (index would decide, but
+        // would_keep is conservative on pure distance).
+        assert!(!h.would_keep(2.0));
+    }
+
+    #[test]
+    fn merge_equals_offering_all() {
+        let mut a = BoundedMaxHeap::new(3);
+        let mut b = BoundedMaxHeap::new(3);
+        let mut reference = BoundedMaxHeap::new(3);
+        for i in 0..10 {
+            let n = nb((i as f64 * 7.0) % 5.0, i);
+            if i % 2 == 0 {
+                a.offer(n);
+            } else {
+                b.offer(n);
+            }
+            reference.offer(n);
+        }
+        a.merge(b);
+        assert_eq!(a.into_sorted(), reference.into_sorted());
+    }
+
+    #[test]
+    fn matches_sort_selection_randomized() {
+        use peachy_prng::{Lcg64, RandomStream};
+        let mut rng = Lcg64::seed_from(11);
+        for _ in 0..50 {
+            let n = 1 + rng.next_below(200) as usize;
+            let k = 1 + rng.next_below(20) as usize;
+            let cands: Vec<Neighbor> = (0..n).map(|i| nb((rng.next_below(50)) as f64, i)).collect();
+            let mut heap = BoundedMaxHeap::new(k);
+            for &c in &cands {
+                heap.offer(c);
+            }
+            let mut by_sort = cands.clone();
+            by_sort.sort_by(|a, b| a.cmp_key().partial_cmp(&b.cmp_key()).unwrap());
+            by_sort.truncate(k);
+            assert_eq!(heap.into_sorted(), by_sort);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_rejected() {
+        BoundedMaxHeap::new(0);
+    }
+}

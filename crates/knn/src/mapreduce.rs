@@ -1,0 +1,258 @@
+//! k-NN on MapReduce — the §2 assignment proper.
+//!
+//! Mirrors the "typical implementation" the paper describes:
+//!
+//! * every rank loads the full query set ("assumed not to be large");
+//! * the database is parsed in parallel by map tasks over blocks, each
+//!   computing distances and emitting `(query → (distance, class))` pairs;
+//! * the reduction phase takes each query's pairs, extracts the k nearest
+//!   neighbours' classes, and emits `(query → predicted_class)`.
+//!
+//! The `combine` switch enables the communication optimization the
+//! assignment teaches: each map block pre-selects its local top-k per
+//! query, so the shuffle moves `O(q·k·blocks)` pairs instead of `O(q·n)`.
+
+use peachy_cluster::Cluster;
+use peachy_data::matrix::{squared_distance, LabeledDataset};
+use peachy_mapreduce::MapReduce;
+
+use crate::heap::BoundedMaxHeap;
+use crate::{majority_vote, Neighbor};
+
+/// Configuration for a distributed k-NN job.
+#[derive(Debug, Clone, Copy)]
+pub struct KnnMrConfig {
+    /// Neighbours per query.
+    pub k: usize,
+    /// Cluster size (ranks).
+    pub ranks: usize,
+    /// Database blocks mapped independently (≥ ranks for load balance).
+    pub map_blocks: usize,
+    /// Per-block local top-k pre-selection (the combiner optimization).
+    pub combine: bool,
+}
+
+impl Default for KnnMrConfig {
+    fn default() -> Self {
+        Self {
+            k: 15,
+            ranks: 4,
+            map_blocks: 16,
+            combine: true,
+        }
+    }
+}
+
+/// Outcome of a distributed k-NN job.
+#[derive(Debug, Clone)]
+pub struct KnnMrOutput {
+    /// Predicted class per query, in query order.
+    pub predictions: Vec<u32>,
+    /// Key–value pairs that crossed the shuffle (communication volume).
+    pub shuffled_pairs: u64,
+}
+
+/// Run the distributed k-NN job: classify every `queries` row against `db`.
+pub fn knn_mapreduce(
+    db: &LabeledDataset,
+    queries: &LabeledDataset,
+    config: KnnMrConfig,
+) -> KnnMrOutput {
+    assert!(!db.is_empty() && !queries.is_empty(), "need data");
+    assert_eq!(db.dims(), queries.dims(), "dimensionality mismatch");
+    assert!(config.k > 0 && config.ranks > 0 && config.map_blocks > 0);
+    let k = config.k.min(db.len());
+    let n_queries = queries.len();
+    let blocks = config.map_blocks.min(db.len());
+    let classes = db.classes;
+
+    let mut outputs = Cluster::run(config.ranks, |comm| {
+        let mut mr = MapReduce::new(comm);
+
+        // Map: each task owns a contiguous database block and emits, per
+        // query, candidate neighbours from that block.
+        let kv = mr.map(blocks, |block, emit| {
+            let range = peachy_mapreduce::engine::block_range(db.len(), blocks, block);
+            if config.combine {
+                // Local reduction: only the block-local top-k leaves the map task.
+                for q in 0..n_queries {
+                    let query = queries.points.row(q);
+                    let mut heap = BoundedMaxHeap::new(k);
+                    for i in range.clone() {
+                        let d2 = squared_distance(db.points.row(i), query);
+                        if heap.would_keep(d2) {
+                            heap.offer(Neighbor {
+                                dist2: d2,
+                                index: i,
+                                label: db.labels[i],
+                            });
+                        }
+                    }
+                    for n in heap.into_sorted() {
+                        emit(q, (n.dist2, n.index, n.label));
+                    }
+                }
+            } else {
+                // Naïve: every (query, db-point) pair is emitted.
+                for q in 0..n_queries {
+                    let query = queries.points.row(q);
+                    for i in range.clone() {
+                        let d2 = squared_distance(db.points.row(i), query);
+                        emit(q, (d2, i, db.labels[i]));
+                    }
+                }
+            }
+        });
+
+        let shuffled = mr.global_pair_count(&kv);
+
+        // Collate: all candidates for a query land on its owner rank.
+        let grouped = mr.collate(kv);
+
+        // Reduce: per query, keep the k nearest and vote.
+        let predictions = grouped.reduce(|_, candidates| {
+            let mut heap = BoundedMaxHeap::new(k);
+            for (dist2, index, label) in candidates {
+                heap.offer(Neighbor {
+                    dist2,
+                    index,
+                    label,
+                });
+            }
+            majority_vote(&heap.into_sorted(), classes)
+        });
+
+        let all = mr.gather_results(0, predictions);
+        (all, shuffled)
+    });
+
+    let (gathered, shuffled_pairs) = outputs.swap_remove(0);
+    let mut predictions = vec![0u32; n_queries];
+    let pairs = gathered.expect("root gathered predictions");
+    assert_eq!(pairs.len(), n_queries, "one prediction per query");
+    for (q, label) in pairs {
+        predictions[q] = label;
+    }
+    KnnMrOutput {
+        predictions,
+        shuffled_pairs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute::classify_batch_seq;
+    use peachy_data::synth::gaussian_blobs;
+
+    fn data() -> (LabeledDataset, LabeledDataset) {
+        (
+            gaussian_blobs(300, 8, 4, 2.0, 31),
+            gaussian_blobs(60, 8, 4, 2.0, 32),
+        )
+    }
+
+    #[test]
+    fn matches_sequential_reference() {
+        let (db, q) = data();
+        let reference = classify_batch_seq(&db, &q, 7);
+        for ranks in [1, 2, 4] {
+            for combine in [false, true] {
+                let out = knn_mapreduce(
+                    &db,
+                    &q,
+                    KnnMrConfig {
+                        k: 7,
+                        ranks,
+                        map_blocks: 8,
+                        combine,
+                    },
+                );
+                assert_eq!(
+                    out.predictions, reference,
+                    "ranks={ranks} combine={combine}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn combiner_slashes_shuffle_volume() {
+        let (db, q) = data();
+        let naive = knn_mapreduce(
+            &db,
+            &q,
+            KnnMrConfig {
+                k: 5,
+                ranks: 4,
+                map_blocks: 8,
+                combine: false,
+            },
+        );
+        let combined = knn_mapreduce(
+            &db,
+            &q,
+            KnnMrConfig {
+                k: 5,
+                ranks: 4,
+                map_blocks: 8,
+                combine: true,
+            },
+        );
+        assert_eq!(naive.predictions, combined.predictions);
+        // Naive shuffles q·n pairs; combined shuffles ≤ q·k·blocks.
+        assert_eq!(naive.shuffled_pairs, (q.len() * db.len()) as u64);
+        assert!(combined.shuffled_pairs <= (q.len() * 5 * 8) as u64);
+        assert!(combined.shuffled_pairs * 4 < naive.shuffled_pairs);
+    }
+
+    #[test]
+    fn single_block_single_rank() {
+        let (db, q) = data();
+        let out = knn_mapreduce(
+            &db,
+            &q,
+            KnnMrConfig {
+                k: 3,
+                ranks: 1,
+                map_blocks: 1,
+                combine: true,
+            },
+        );
+        assert_eq!(out.predictions, classify_batch_seq(&db, &q, 3));
+    }
+
+    #[test]
+    fn more_blocks_than_db_points() {
+        let db = gaussian_blobs(5, 2, 2, 1.0, 1);
+        let q = gaussian_blobs(4, 2, 2, 1.0, 2);
+        let out = knn_mapreduce(
+            &db,
+            &q,
+            KnnMrConfig {
+                k: 3,
+                ranks: 2,
+                map_blocks: 64,
+                combine: true,
+            },
+        );
+        assert_eq!(out.predictions, classify_batch_seq(&db, &q, 3));
+    }
+
+    #[test]
+    fn k_exceeding_database_is_clamped() {
+        let db = gaussian_blobs(4, 2, 2, 1.0, 5);
+        let q = gaussian_blobs(3, 2, 2, 1.0, 6);
+        let out = knn_mapreduce(
+            &db,
+            &q,
+            KnnMrConfig {
+                k: 99,
+                ranks: 2,
+                map_blocks: 2,
+                combine: true,
+            },
+        );
+        assert_eq!(out.predictions, classify_batch_seq(&db, &q, 99));
+    }
+}

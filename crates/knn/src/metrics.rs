@@ -1,0 +1,66 @@
+//! Classification quality metrics.
+
+/// Fraction of predictions equal to the true labels.
+pub fn accuracy(predicted: &[u32], truth: &[u32]) -> f64 {
+    assert_eq!(predicted.len(), truth.len(), "length mismatch");
+    assert!(!predicted.is_empty(), "empty prediction set");
+    let correct = predicted.iter().zip(truth).filter(|(p, t)| p == t).count();
+    correct as f64 / predicted.len() as f64
+}
+
+/// Row-major confusion matrix: `m[truth][predicted]`.
+pub fn confusion_matrix(predicted: &[u32], truth: &[u32], classes: u32) -> Vec<Vec<u64>> {
+    assert_eq!(predicted.len(), truth.len(), "length mismatch");
+    let c = classes as usize;
+    let mut m = vec![vec![0u64; c]; c];
+    for (&p, &t) in predicted.iter().zip(truth) {
+        assert!((p as usize) < c && (t as usize) < c, "label out of range");
+        m[t as usize][p as usize] += 1;
+    }
+    m
+}
+
+/// Per-class recall (diagonal over row sums); `None` for absent classes.
+pub fn per_class_recall(confusion: &[Vec<u64>]) -> Vec<Option<f64>> {
+    confusion
+        .iter()
+        .enumerate()
+        .map(|(i, row)| {
+            let total: u64 = row.iter().sum();
+            (total > 0).then(|| row[i] as f64 / total as f64)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_basics() {
+        assert_eq!(accuracy(&[1, 2, 3], &[1, 2, 3]), 1.0);
+        assert_eq!(accuracy(&[1, 0, 3], &[1, 2, 3]), 2.0 / 3.0);
+        assert_eq!(accuracy(&[0], &[1]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn accuracy_length_mismatch() {
+        accuracy(&[1], &[1, 2]);
+    }
+
+    #[test]
+    fn confusion_counts() {
+        let m = confusion_matrix(&[0, 1, 1, 0], &[0, 1, 0, 0], 2);
+        assert_eq!(m, vec![vec![2, 1], vec![0, 1]]);
+    }
+
+    #[test]
+    fn recall_handles_absent_class() {
+        let m = confusion_matrix(&[0, 0], &[0, 0], 3);
+        let r = per_class_recall(&m);
+        assert_eq!(r[0], Some(1.0));
+        assert_eq!(r[1], None);
+        assert_eq!(r[2], None);
+    }
+}

@@ -1,0 +1,92 @@
+//! Property tests: all k-NN implementations must agree exactly.
+
+use peachy_data::matrix::{LabeledDataset, Matrix};
+use peachy_knn::{
+    brute::{nearest_heap, nearest_sort},
+    knn_mapreduce, KdTree, KnnMrConfig,
+};
+use proptest::prelude::*;
+
+/// Arbitrary small labelled dataset with integer-ish coordinates (to
+/// exercise distance ties) plus a query set.
+fn dataset_strategy() -> impl Strategy<Value = (LabeledDataset, Vec<Vec<f64>>)> {
+    (2usize..40, 1usize..4, 1usize..6).prop_flat_map(|(n, d, q)| {
+        let point = prop::collection::vec(-8i32..8, d)
+            .prop_map(|v| v.into_iter().map(|x| x as f64 / 2.0).collect::<Vec<f64>>());
+        (
+            prop::collection::vec((point.clone(), 0u32..3), n),
+            prop::collection::vec(point, q),
+        )
+            .prop_map(|(rows, queries)| {
+                let points =
+                    Matrix::from_rows(&rows.iter().map(|(p, _)| p.clone()).collect::<Vec<_>>());
+                let labels: Vec<u32> = rows.iter().map(|(_, l)| *l).collect();
+                (LabeledDataset::new(points, labels, 3), queries)
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Heap selection equals sort selection for every query and k.
+    #[test]
+    fn heap_equals_sort((db, queries) in dataset_strategy(), k in 1usize..10) {
+        for q in &queries {
+            prop_assert_eq!(nearest_heap(&db, q, k), nearest_sort(&db, q, k));
+        }
+    }
+
+    /// KD-tree equals brute force (including tie-breaks on duplicates).
+    #[test]
+    fn kdtree_equals_brute((db, queries) in dataset_strategy(), k in 1usize..10) {
+        let tree = KdTree::build(&db);
+        for q in &queries {
+            prop_assert_eq!(tree.nearest(q, k), nearest_heap(&db, q, k));
+        }
+    }
+
+    /// Quad-tree equals brute force on any 2-D dataset.
+    #[test]
+    fn quadtree_equals_brute((db, queries) in dataset_strategy(), k in 1usize..10) {
+        prop_assume!(db.dims() == 2);
+        let tree = peachy_knn::QuadTree::build(&db);
+        for q in &queries {
+            prop_assert_eq!(tree.nearest(q, k), nearest_heap(&db, q, k));
+        }
+    }
+
+    /// Neighbour distances are sorted ascending and are true distances.
+    #[test]
+    fn neighbours_sorted_and_consistent((db, queries) in dataset_strategy(), k in 1usize..10) {
+        for q in &queries {
+            let nn = nearest_heap(&db, q, k);
+            prop_assert_eq!(nn.len(), k.min(db.len()));
+            for w in nn.windows(2) {
+                prop_assert!(w[0].cmp_key() <= w[1].cmp_key());
+            }
+            for n in &nn {
+                let d2 = peachy_data::matrix::squared_distance(db.points.row(n.index), q);
+                prop_assert_eq!(n.dist2, d2);
+                prop_assert_eq!(n.label, db.labels[n.index]);
+            }
+        }
+    }
+
+    /// MapReduce k-NN equals sequential classification for any rank/block
+    /// configuration, with or without the combiner.
+    #[test]
+    fn mapreduce_equals_sequential(
+        (db, queries) in dataset_strategy(),
+        k in 1usize..6,
+        ranks in 1usize..5,
+        blocks in 1usize..7,
+        combine in any::<bool>(),
+    ) {
+        let qm = Matrix::from_rows(&queries);
+        let qds = LabeledDataset::new(qm, vec![0; queries.len()], 1);
+        let expected = peachy_knn::classify_batch_seq(&db, &qds, k);
+        let out = knn_mapreduce(&db, &qds, KnnMrConfig { k, ranks, map_blocks: blocks, combine });
+        prop_assert_eq!(out.predictions, expected);
+    }
+}

@@ -1,0 +1,149 @@
+//! Inverted index: the second classic MapReduce teaching job.
+//!
+//! Word counting shows per-key *reduction*; the inverted index (word →
+//! sorted list of documents containing it) shows per-key *collection*,
+//! where the combiner merges posting lists instead of adding counters —
+//! the same map/collate/reduce skeleton with a different value algebra,
+//! which is exactly how MapReduce-MPI courses sequence the two.
+
+use peachy_cluster::Cluster;
+
+use crate::engine::MapReduce;
+
+/// Build the inverted index of `documents` on `ranks` ranks: for every
+/// word, the ascending list of document ids containing it (each id once).
+pub fn inverted_index(documents: &[String], ranks: usize) -> Vec<(String, Vec<usize>)> {
+    let docs: Vec<String> = documents.to_vec();
+    let mut out = Cluster::run(ranks, move |comm| {
+        let mut mr = MapReduce::new(comm);
+        let kv = mr.map(docs.len(), |doc_id, emit| {
+            // Each word emitted once per document (local dedup).
+            let mut seen = std::collections::HashSet::new();
+            for token in docs[doc_id].split_whitespace() {
+                let word: String = token
+                    .trim_matches(|c: char| !c.is_alphanumeric())
+                    .to_lowercase();
+                if !word.is_empty() && seen.insert(word.clone()) {
+                    emit(word, vec![doc_id]);
+                }
+            }
+        });
+        // Combiner: merge posting lists before the shuffle.
+        let kv = kv.combine(merge_postings);
+        let grouped = mr.collate(kv);
+        let reduced =
+            grouped.reduce(|_, lists| lists.into_iter().reduce(merge_postings).unwrap_or_default());
+        mr.gather_results(0, reduced)
+    });
+    let mut table = out.swap_remove(0).expect("root gathered index");
+    table.sort_by(|a, b| a.0.cmp(&b.0));
+    table
+}
+
+/// Merge two ascending, duplicate-free posting lists.
+fn merge_postings(a: Vec<usize>, b: Vec<usize>) -> Vec<usize> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => {
+                out.push(a[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(b[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+/// Sequential reference for verification.
+pub fn inverted_index_seq(documents: &[String]) -> Vec<(String, Vec<usize>)> {
+    let mut index: std::collections::HashMap<String, Vec<usize>> = std::collections::HashMap::new();
+    for (doc_id, doc) in documents.iter().enumerate() {
+        let mut seen = std::collections::HashSet::new();
+        for token in doc.split_whitespace() {
+            let word: String = token
+                .trim_matches(|c: char| !c.is_alphanumeric())
+                .to_lowercase();
+            if !word.is_empty() && seen.insert(word.clone()) {
+                index.entry(word).or_default().push(doc_id);
+            }
+        }
+    }
+    let mut table: Vec<(String, Vec<usize>)> = index.into_iter().collect();
+    table.sort_by(|a, b| a.0.cmp(&b.0));
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corpus() -> Vec<String> {
+        vec![
+            "the cat sat on the mat".into(),
+            "the dog sat".into(),
+            "cat and dog and cat".into(),
+            "".into(),
+            "MAT mat Mat".into(),
+        ]
+    }
+
+    #[test]
+    fn matches_sequential_reference() {
+        let seq = inverted_index_seq(&corpus());
+        for ranks in [1usize, 2, 3, 7] {
+            assert_eq!(inverted_index(&corpus(), ranks), seq, "ranks = {ranks}");
+        }
+    }
+
+    #[test]
+    fn postings_are_correct() {
+        let index = inverted_index(&corpus(), 3);
+        let get = |w: &str| index.iter().find(|(k, _)| k == w).map(|(_, v)| v.clone());
+        assert_eq!(get("cat"), Some(vec![0, 2]));
+        assert_eq!(get("the"), Some(vec![0, 1]));
+        assert_eq!(
+            get("mat"),
+            Some(vec![0, 4]),
+            "case folded, deduped within doc"
+        );
+        assert_eq!(get("dog"), Some(vec![1, 2]));
+        assert_eq!(get("zebra"), None);
+    }
+
+    #[test]
+    fn postings_sorted_and_unique() {
+        let index = inverted_index(&corpus(), 4);
+        for (word, postings) in &index {
+            for w in postings.windows(2) {
+                assert!(
+                    w[0] < w[1],
+                    "postings of {word:?} not strictly ascending: {postings:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn merge_postings_cases() {
+        assert_eq!(merge_postings(vec![1, 3], vec![2, 3, 5]), vec![1, 2, 3, 5]);
+        assert_eq!(merge_postings(vec![], vec![7]), vec![7]);
+        assert_eq!(merge_postings(vec![1, 2], vec![]), vec![1, 2]);
+    }
+
+    #[test]
+    fn empty_corpus() {
+        assert!(inverted_index(&[], 2).is_empty());
+    }
+}

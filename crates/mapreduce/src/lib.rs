@@ -1,0 +1,53 @@
+//! # peachy-mapreduce
+//!
+//! A MapReduce engine in the style of **MapReduce-MPI** (Plimpton & Devine,
+//! *Parallel Computing* 2011) — the library the §2 k-NN assignment is built
+//! on — implemented over [`peachy_cluster`]'s rank/message substrate.
+//!
+//! Like MapReduce-MPI (and unlike Hadoop), the engine is a *library inside
+//! an SPMD program*: every rank participates in each phase, and the phases
+//! are explicit calls the application composes:
+//!
+//! 1. [`MapReduce::map`] — each rank maps its block of the global input,
+//!    emitting key–value pairs into a local [`Kv`] store. This is where
+//!    "multiple map tasks parse the database file in parallel" happens.
+//! 2. [`Kv::combine`] — *optional* local pre-reduction on each rank before
+//!    any communication; the "local reductions at each rank … noticeably
+//!    improve the communication cost" optimization the assignment
+//!    highlights.
+//! 3. [`MapReduce::collate`] — the shuffle: pairs are routed to the owner
+//!    rank of `hash(key) % size` (MapReduce's "load balancing through
+//!    hashing") via an all-to-all exchange, then grouped per key into a
+//!    [`Grouped`] store.
+//! 4. [`Grouped::reduce`] — each rank reduces its keys locally.
+//! 5. [`MapReduce::gather_results`] — collect all reduced pairs at a root
+//!    rank (or use [`MapReduce::allgather_results`] for every rank).
+//!
+//! ```
+//! use peachy_cluster::Cluster;
+//! use peachy_mapreduce::MapReduce;
+//!
+//! // Count word lengths across 4 ranks.
+//! let docs = vec!["a bb a", "bb ccc a"];
+//! let out = Cluster::run(4, |comm| {
+//!     let docs = docs.clone();
+//!     let mut mr = MapReduce::new(comm);
+//!     let kv = mr.map(docs.len(), |i, emit| {
+//!         for w in docs[i].split_whitespace() {
+//!             emit(w.to_string(), 1u64);
+//!         }
+//!     });
+//!     let grouped = mr.collate(kv);
+//!     let counts = grouped.reduce(|_, vs| vs.iter().sum::<u64>());
+//!     mr.gather_results(0, counts)
+//! });
+//! let mut table = out[0].clone().unwrap();
+//! table.sort();
+//! assert_eq!(table, vec![("a".into(), 3), ("bb".into(), 2), ("ccc".into(), 1)]);
+//! ```
+
+pub mod engine;
+pub mod invertedindex;
+pub mod wordcount;
+
+pub use engine::{Grouped, Kv, MapReduce};

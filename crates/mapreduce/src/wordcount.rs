@@ -1,0 +1,122 @@
+//! Word counting: the warm-up job of the §2 assignment materials.
+//!
+//! The UNC Charlotte assignment ships "a classic problem, Word Counting, to
+//! familiarize the students with programming using MapReduce MPI" before
+//! they tackle k-NN. This module is that job, end to end, with the combiner
+//! on or off.
+
+use peachy_cluster::Cluster;
+
+use crate::engine::MapReduce;
+
+/// Count word occurrences across `documents` using `ranks` ranks.
+///
+/// Words are whitespace-separated tokens lower-cased with punctuation
+/// trimmed. Results are returned sorted by descending count, then word.
+pub fn word_count(documents: &[String], ranks: usize, use_combiner: bool) -> Vec<(String, u64)> {
+    let docs: Vec<String> = documents.to_vec();
+    let mut out = Cluster::run(ranks, move |comm| {
+        let mut mr = MapReduce::new(comm);
+        let kv = mr.map(docs.len(), |i, emit| {
+            for token in docs[i].split_whitespace() {
+                let word: String = token
+                    .trim_matches(|c: char| !c.is_alphanumeric())
+                    .to_lowercase();
+                if !word.is_empty() {
+                    emit(word, 1u64);
+                }
+            }
+        });
+        let kv = if use_combiner {
+            kv.combine(|a, b| a + b)
+        } else {
+            kv
+        };
+        let grouped = mr.collate(kv);
+        let reduced = grouped.reduce(|_, vs| vs.iter().sum::<u64>());
+        mr.gather_results(0, reduced)
+    });
+    let mut table = out.swap_remove(0).expect("root gathered results");
+    table.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    table
+}
+
+/// Sequential reference implementation for verification.
+pub fn word_count_seq(documents: &[String]) -> Vec<(String, u64)> {
+    let mut counts = std::collections::HashMap::<String, u64>::new();
+    for doc in documents {
+        for token in doc.split_whitespace() {
+            let word: String = token
+                .trim_matches(|c: char| !c.is_alphanumeric())
+                .to_lowercase();
+            if !word.is_empty() {
+                *counts.entry(word).or_insert(0) += 1;
+            }
+        }
+    }
+    let mut table: Vec<(String, u64)> = counts.into_iter().collect();
+    table.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corpus() -> Vec<String> {
+        vec![
+            "the quick brown fox jumps over the lazy dog".into(),
+            "The dog barks; the fox runs.".into(),
+            "Lazy, lazy dog!".into(),
+            "".into(),
+        ]
+    }
+
+    #[test]
+    fn matches_sequential_reference() {
+        let seq = word_count_seq(&corpus());
+        for ranks in [1, 2, 4, 7] {
+            assert_eq!(word_count(&corpus(), ranks, false), seq, "ranks = {ranks}");
+            assert_eq!(
+                word_count(&corpus(), ranks, true),
+                seq,
+                "ranks = {ranks} (combiner)"
+            );
+        }
+    }
+
+    #[test]
+    fn counts_are_correct() {
+        let table = word_count(&corpus(), 3, true);
+        let get = |w: &str| table.iter().find(|(k, _)| k == w).map(|(_, c)| *c);
+        assert_eq!(get("the"), Some(4));
+        assert_eq!(get("lazy"), Some(3));
+        assert_eq!(get("dog"), Some(3));
+        assert_eq!(get("fox"), Some(2));
+        assert_eq!(get("barks"), Some(1));
+        assert_eq!(get("dog!"), None, "punctuation trimmed");
+    }
+
+    #[test]
+    fn sorted_by_count_then_word() {
+        let table = word_count(&corpus(), 2, true);
+        for pair in table.windows(2) {
+            assert!(
+                pair[0].1 > pair[1].1 || (pair[0].1 == pair[1].1 && pair[0].0 < pair[1].0),
+                "ordering violated: {pair:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_corpus() {
+        assert!(word_count(&[], 2, false).is_empty());
+        assert!(word_count(&["...".into(), "  ".into()], 2, true).is_empty());
+    }
+
+    #[test]
+    fn more_ranks_than_documents() {
+        let docs = vec!["one two".to_string()];
+        assert_eq!(word_count(&docs, 6, false), word_count_seq(&docs));
+    }
+}

@@ -1,0 +1,53 @@
+//! Property tests: MapReduce jobs equal their sequential references for
+//! arbitrary corpora, rank counts, and combiner settings.
+
+use peachy_mapreduce::engine::block_range;
+use peachy_mapreduce::invertedindex::{inverted_index, inverted_index_seq};
+use peachy_mapreduce::wordcount::{word_count, word_count_seq};
+use proptest::prelude::*;
+
+fn corpus_strategy() -> impl Strategy<Value = Vec<String>> {
+    prop::collection::vec(
+        prop::collection::vec("[a-c]{1,3}", 0..8).prop_map(|words| words.join(" ")),
+        0..10,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn word_count_equals_sequential(docs in corpus_strategy(), ranks in 1usize..6, combine in any::<bool>()) {
+        prop_assert_eq!(word_count(&docs, ranks, combine), word_count_seq(&docs));
+    }
+
+    #[test]
+    fn inverted_index_equals_sequential(docs in corpus_strategy(), ranks in 1usize..6) {
+        prop_assert_eq!(inverted_index(&docs, ranks), inverted_index_seq(&docs));
+    }
+
+    #[test]
+    fn inverted_index_is_consistent_with_word_count(docs in corpus_strategy()) {
+        // A word is in the count table iff it has postings, and its posting
+        // count never exceeds its occurrence count.
+        let counts = word_count_seq(&docs);
+        let index = inverted_index_seq(&docs);
+        prop_assert_eq!(counts.len(), index.len());
+        for (word, postings) in &index {
+            let count = counts.iter().find(|(w, _)| w == word).map(|(_, c)| *c).unwrap_or(0);
+            prop_assert!(postings.len() as u64 <= count, "{}: {} docs > {} occurrences", word, postings.len(), count);
+            prop_assert!(!postings.is_empty());
+        }
+    }
+
+    #[test]
+    fn block_range_partitions(n in 0usize..1000, size in 1usize..32) {
+        let mut covered = 0;
+        for r in 0..size {
+            let range = block_range(n, size, r);
+            prop_assert_eq!(range.start, covered);
+            covered = range.end;
+        }
+        prop_assert_eq!(covered, n);
+    }
+}

@@ -1,0 +1,39 @@
+//! # peachy
+//!
+//! Umbrella crate for the Rust reproduction of **Peachy Parallel
+//! Assignments (EduHPC 2023)** — re-exports all six assignment libraries
+//! and their substrates, and hosts the cross-crate pipelines:
+//!
+//! | Paper § | Assignment | Crate |
+//! |---------|------------|-------|
+//! | §2 | k-Nearest Neighbor on MapReduce | [`knn`] (+ [`mapreduce`], [`cluster`], [`gpu`]) |
+//! | §3 | K-means clustering strategy ladder (OpenMP/MPI/CUDA) | [`kmeans`] (+ [`cluster`], [`gpu`]) |
+//! | §4 | Data science pipeline | [`dataflow`] (+ [`city`]) |
+//! | §5 | Nagel–Schreckenberg traffic model | [`traffic`] (+ [`prng`], [`gpu`]) |
+//! | §6 | 1-D heat equation, Chapel-style | [`heat`] |
+//! | §7 | Ensemble uncertainty / HPO | [`ensemble`] |
+//!
+//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
+//! paper-versus-measured record of every figure and table.
+
+pub use peachy_cluster as cluster;
+pub use peachy_data as data;
+pub use peachy_dataflow as dataflow;
+pub use peachy_ensemble as ensemble;
+pub use peachy_gpu as gpu;
+pub use peachy_heat as heat;
+pub use peachy_kmeans as kmeans;
+pub use peachy_knn as knn;
+pub use peachy_mapreduce as mapreduce;
+pub use peachy_prng as prng;
+pub use peachy_traffic as traffic;
+
+pub mod city;
+
+/// Common imports for examples and integration tests.
+pub mod prelude {
+    pub use peachy_cluster::{Cluster, Comm};
+    pub use peachy_data::matrix::{LabeledDataset, Matrix};
+    pub use peachy_dataflow::{Dataset, KeyedDataset};
+    pub use peachy_prng::{FastForward, Lcg64, RandomStream};
+}

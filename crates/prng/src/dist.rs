@@ -1,0 +1,249 @@
+//! Distributions over any [`RandomStream`].
+//!
+//! Small, allocation-free samplers covering exactly what the six
+//! assignments need: uniform integers (dataset shuffling, task assignment),
+//! uniform floats (k-means init, traffic decelerations), Bernoulli (the
+//! Nagel–Schreckenberg random slow-down with probability `p`), and normal
+//! variates (Gaussian blob datasets, NN weight init).
+
+use crate::stream::RandomStream;
+
+/// Uniform integers in `[lo, hi)` (half-open), bias-free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UniformU64 {
+    lo: u64,
+    span: u64,
+}
+
+impl UniformU64 {
+    /// Create a sampler over `[lo, hi)`. Panics if `lo >= hi`.
+    #[inline]
+    pub fn new(lo: u64, hi: u64) -> Self {
+        assert!(lo < hi, "empty range [{lo}, {hi})");
+        Self { lo, span: hi - lo }
+    }
+
+    /// Draw one value.
+    #[inline]
+    pub fn sample<R: RandomStream>(&self, rng: &mut R) -> u64 {
+        self.lo + rng.next_below(self.span)
+    }
+}
+
+/// Uniform floats in `[lo, hi)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UniformF64 {
+    lo: f64,
+    scale: f64,
+}
+
+impl UniformF64 {
+    /// Create a sampler over `[lo, hi)`. Panics unless `lo < hi` and both
+    /// bounds are finite.
+    #[inline]
+    pub fn new(lo: f64, hi: f64) -> Self {
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo < hi,
+            "bad range [{lo}, {hi})"
+        );
+        Self { lo, scale: hi - lo }
+    }
+
+    /// Draw one value.
+    #[inline]
+    pub fn sample<R: RandomStream>(&self, rng: &mut R) -> f64 {
+        self.lo + rng.next_f64() * self.scale
+    }
+}
+
+/// Bernoulli trials with success probability `p`.
+///
+/// Implemented by comparing a 53-bit uniform draw against `p`, exactly as
+/// the traffic model's `rand01() < p` idiom; this consumes **one** draw per
+/// trial, which is what makes the per-car random-deceleration draw count
+/// predictable (one draw per car per step) — the property the fast-forward
+/// parallelization of §5 depends on.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bernoulli {
+    p: f64,
+}
+
+impl Bernoulli {
+    /// Create a sampler; `p` is clamped to `[0, 1]`.
+    #[inline]
+    pub fn new(p: f64) -> Self {
+        assert!(p.is_finite(), "p must be finite");
+        Self {
+            p: p.clamp(0.0, 1.0),
+        }
+    }
+
+    /// The success probability.
+    #[inline]
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// Draw one trial, consuming exactly one generator draw.
+    #[inline]
+    pub fn sample<R: RandomStream>(&self, rng: &mut R) -> bool {
+        rng.next_f64() < self.p
+    }
+}
+
+/// Normal (Gaussian) variates via the Marsaglia polar method.
+///
+/// The sampler caches the spare variate, so on average it consumes ~1.27
+/// uniform draws per normal draw. Code that requires a *fixed* draw count
+/// per event (like the traffic model) must not use this sampler; it is for
+/// dataset generation and NN weight init where draw-count invariance is not
+/// needed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+    spare: Option<f64>,
+}
+
+impl Normal {
+    /// Create a sampler with the given mean and standard deviation.
+    /// Panics if `std_dev` is negative or either parameter is non-finite.
+    #[inline]
+    pub fn new(mean: f64, std_dev: f64) -> Self {
+        assert!(
+            mean.is_finite() && std_dev.is_finite() && std_dev >= 0.0,
+            "bad normal params"
+        );
+        Self {
+            mean,
+            std_dev,
+            spare: None,
+        }
+    }
+
+    /// Standard normal (mean 0, std 1).
+    #[inline]
+    pub fn standard() -> Self {
+        Self::new(0.0, 1.0)
+    }
+
+    /// Draw one variate.
+    pub fn sample<R: RandomStream>(&mut self, rng: &mut R) -> f64 {
+        if let Some(z) = self.spare.take() {
+            return self.mean + self.std_dev * z;
+        }
+        loop {
+            let u = 2.0 * rng.next_f64() - 1.0;
+            let v = 2.0 * rng.next_f64() - 1.0;
+            let s = u * u + v * v;
+            if s > 0.0 && s < 1.0 {
+                let factor = (-2.0 * s.ln() / s).sqrt();
+                self.spare = Some(v * factor);
+                return self.mean + self.std_dev * u * factor;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Lcg64, RandomStream};
+
+    #[test]
+    fn uniform_u64_in_range() {
+        let mut rng = Lcg64::seed_from(1);
+        let d = UniformU64::new(10, 20);
+        for _ in 0..5000 {
+            let x = d.sample(&mut rng);
+            assert!((10..20).contains(&x));
+        }
+    }
+
+    #[test]
+    fn uniform_u64_hits_all_values() {
+        let mut rng = Lcg64::seed_from(2);
+        let d = UniformU64::new(0, 8);
+        let mut seen = [false; 8];
+        for _ in 0..1000 {
+            seen[d.sample(&mut rng) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn uniform_u64_empty_range_panics() {
+        UniformU64::new(5, 5);
+    }
+
+    #[test]
+    fn uniform_f64_in_range() {
+        let mut rng = Lcg64::seed_from(3);
+        let d = UniformF64::new(-2.5, 7.5);
+        for _ in 0..5000 {
+            let x = d.sample(&mut rng);
+            assert!((-2.5..7.5).contains(&x));
+        }
+    }
+
+    #[test]
+    fn bernoulli_edge_probabilities() {
+        let mut rng = Lcg64::seed_from(4);
+        let never = Bernoulli::new(0.0);
+        let always = Bernoulli::new(1.0);
+        for _ in 0..1000 {
+            assert!(!never.sample(&mut rng));
+            assert!(always.sample(&mut rng));
+        }
+    }
+
+    #[test]
+    fn bernoulli_rate_close_to_p() {
+        let mut rng = Lcg64::seed_from(5);
+        let d = Bernoulli::new(0.13); // the paper's traffic probability
+        let n = 100_000;
+        let hits = (0..n).filter(|_| d.sample(&mut rng)).count();
+        let rate = hits as f64 / n as f64;
+        assert!((rate - 0.13).abs() < 0.01, "rate = {rate}");
+    }
+
+    #[test]
+    fn bernoulli_consumes_one_draw() {
+        let mut a = Lcg64::seed_from(6);
+        let mut b = Lcg64::seed_from(6);
+        let d = Bernoulli::new(0.5);
+        for _ in 0..100 {
+            d.sample(&mut a);
+            b.next_f64();
+        }
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn bernoulli_clamps_out_of_range() {
+        assert_eq!(Bernoulli::new(2.0).p(), 1.0);
+        assert_eq!(Bernoulli::new(-1.0).p(), 0.0);
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = Lcg64::seed_from(7);
+        let mut d = Normal::new(3.0, 2.0);
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.05, "mean = {mean}");
+        assert!((var - 4.0).abs() < 0.1, "var = {var}");
+    }
+
+    #[test]
+    fn normal_zero_std_is_constant() {
+        let mut rng = Lcg64::seed_from(8);
+        let mut d = Normal::new(5.0, 0.0);
+        for _ in 0..100 {
+            assert_eq!(d.sample(&mut rng), 5.0);
+        }
+    }
+}

@@ -1,0 +1,313 @@
+//! Linear congruential generators with `O(log n)` fast-forward.
+//!
+//! An LCG's update `x ← a·x + c (mod m)` is an affine map, and affine maps
+//! compose into affine maps:
+//!
+//! ```text
+//! f(x)      = a·x + c
+//! f²(x)     = a²·x + c·(a + 1)
+//! fⁿ(x)     = aⁿ·x + c·(aⁿ⁻¹ + … + a + 1)
+//! ```
+//!
+//! So `n` steps can be taken at once by computing the composed coefficients
+//! `(aⁿ, c·Σaⁱ)` with `O(log n)` squarings — the "fast-forward" trick the
+//! EduHPC 2023 traffic assignment implements for one of the C++ linear
+//! congruential generators. [`Lcg64`] does this with wrapping arithmetic
+//! (modulus 2⁶⁴); [`Lcg31`] is the multiplicative MINSTD generator where the
+//! same idea reduces to modular exponentiation of the multiplier.
+
+use crate::stream::{FastForward, RandomStream, StreamSplit};
+use crate::SplitMix64;
+
+/// 64-bit LCG, `x ← a·x + c (mod 2⁶⁴)`, with MMIX multiplier.
+///
+/// Raw output is the full state; consumers wanting high-quality low bits
+/// should use [`RandomStream::next_u32`] / [`RandomStream::next_f64`],
+/// which take the high bits. The generator is `Clone + Copy`-cheap, and
+/// [`FastForward::jump`] runs in `O(log n)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Lcg64 {
+    state: u64,
+}
+
+impl Lcg64 {
+    /// Knuth's MMIX multiplier.
+    pub const A: u64 = 6364136223846793005;
+    /// Knuth's MMIX increment.
+    pub const C: u64 = 1442695040888963407;
+
+    /// Construct with an explicit raw state (no seed mixing).
+    #[inline]
+    pub fn from_state(state: u64) -> Self {
+        Self { state }
+    }
+
+    /// Current raw state — exposed so tests can assert exact positions.
+    #[inline]
+    pub fn state(&self) -> u64 {
+        self.state
+    }
+
+    /// Compose the affine update with itself `n` times:
+    /// returns `(a_n, c_n)` such that `state_after = a_n·state + c_n`.
+    #[inline]
+    pub fn affine_power(n: u64) -> (u64, u64) {
+        // Binary decomposition of n over the monoid of affine maps.
+        let (mut a_acc, mut c_acc) = (1u64, 0u64); // identity map
+        let (mut a, mut c) = (Self::A, Self::C); // single step
+        let mut n = n;
+        while n > 0 {
+            if n & 1 == 1 {
+                // acc ∘ step: x ↦ a·(a_acc·x + c_acc) + c
+                a_acc = a.wrapping_mul(a_acc);
+                c_acc = a.wrapping_mul(c_acc).wrapping_add(c);
+            }
+            // step ∘ step
+            c = a.wrapping_mul(c).wrapping_add(c);
+            a = a.wrapping_mul(a);
+            n >>= 1;
+        }
+        (a_acc, c_acc)
+    }
+}
+
+impl RandomStream for Lcg64 {
+    #[inline]
+    fn seed_from(seed: u64) -> Self {
+        // Mix the seed so that seeds 0,1,2,… start in well-separated states.
+        Self {
+            state: SplitMix64::new(seed).next(),
+        }
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        self.state = Self::A.wrapping_mul(self.state).wrapping_add(Self::C);
+        // Output mixing (xorshift of the high bits) so that raw state's weak
+        // low bits do not leak into consumers that use the full word.
+        let x = self.state;
+        let x = x ^ (x >> 33);
+        x.wrapping_mul(0xff51afd7ed558ccd)
+    }
+}
+
+impl FastForward for Lcg64 {
+    #[inline]
+    fn jump(&mut self, n: u64) {
+        let (a_n, c_n) = Self::affine_power(n);
+        self.state = a_n.wrapping_mul(self.state).wrapping_add(c_n);
+    }
+}
+
+impl StreamSplit for Lcg64 {
+    fn substream(&self, i: u64) -> Self {
+        // Independent substream: re-mix (state, i) through SplitMix64.
+        let mut mixer = SplitMix64::new(self.state ^ i.wrapping_mul(0x9e3779b97f4a7c15));
+        Self {
+            state: mixer.next(),
+        }
+    }
+}
+
+/// The MINSTD Lehmer generator: `x ← 48271·x mod (2³¹ − 1)`.
+///
+/// This mirrors C++'s `std::minstd_rand`, the generator family for which the
+/// assignment's starter code implements fast-forwarding. Because the map is
+/// purely multiplicative, `n` steps compose to multiplication by
+/// `48271ⁿ mod m`, computed by modular exponentiation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Lcg31 {
+    state: u32,
+}
+
+impl Lcg31 {
+    /// MINSTD multiplier (Park–Miller revised).
+    pub const A: u32 = 48271;
+    /// Mersenne prime modulus 2³¹ − 1.
+    pub const M: u32 = 0x7fff_ffff;
+
+    /// Construct from a raw state in `[1, M)`. Values are reduced and a zero
+    /// state (which would be absorbing) is remapped to 1.
+    #[inline]
+    pub fn from_state(state: u32) -> Self {
+        let s = state % Self::M;
+        Self {
+            state: if s == 0 { 1 } else { s },
+        }
+    }
+
+    /// Current raw state.
+    #[inline]
+    pub fn state(&self) -> u32 {
+        self.state
+    }
+
+    /// `A^n mod M` by repeated squaring.
+    #[inline]
+    pub fn mult_power(n: u64) -> u32 {
+        let m = Self::M as u64;
+        let mut result = 1u64;
+        let mut base = Self::A as u64;
+        let mut n = n;
+        while n > 0 {
+            if n & 1 == 1 {
+                result = result * base % m;
+            }
+            base = base * base % m;
+            n >>= 1;
+        }
+        result as u32
+    }
+
+    /// One raw MINSTD step, returning the new state in `[1, M)`.
+    #[inline]
+    pub fn raw_next(&mut self) -> u32 {
+        self.state = ((self.state as u64 * Self::A as u64) % Self::M as u64) as u32;
+        self.state
+    }
+}
+
+impl RandomStream for Lcg31 {
+    #[inline]
+    fn seed_from(seed: u64) -> Self {
+        let mixed = SplitMix64::new(seed).next();
+        Self::from_state((mixed % (Self::M as u64 - 1) + 1) as u32)
+    }
+
+    /// Each 64-bit output consumes **two** raw 31-bit draws (high ∥ low),
+    /// zero-padded to 62 significant bits then spread by a finalizer.
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let hi = self.raw_next() as u64;
+        let lo = self.raw_next() as u64;
+        let x = (hi << 31) | lo;
+        // Finalize to use all 64 output bits.
+        let x = x ^ (x >> 30);
+        x.wrapping_mul(0xbf58476d1ce4e5b9)
+    }
+}
+
+impl FastForward for Lcg31 {
+    #[inline]
+    fn jump(&mut self, n: u64) {
+        // Each logical draw is two raw steps.
+        let raw_steps = n.checked_mul(2).expect("jump distance overflow");
+        let a_n = Self::mult_power(raw_steps) as u64;
+        self.state = ((self.state as u64 * a_n) % Self::M as u64) as u32;
+    }
+}
+
+impl StreamSplit for Lcg31 {
+    fn substream(&self, i: u64) -> Self {
+        let mut mixer = SplitMix64::new(self.state as u64 ^ i.wrapping_mul(0x9e3779b97f4a7c15));
+        Self::from_state((mixer.next() % (Self::M as u64 - 1) + 1) as u32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lcg64_jump_equals_stepping() {
+        for n in [0u64, 1, 2, 3, 7, 64, 1000, 123_456] {
+            let mut stepped = Lcg64::seed_from(99);
+            for _ in 0..n {
+                stepped.next_u64();
+            }
+            let mut jumped = Lcg64::seed_from(99);
+            jumped.jump(n);
+            assert_eq!(stepped.state(), jumped.state(), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn lcg64_jump_is_additive() {
+        let mut a = Lcg64::seed_from(5);
+        a.jump(300);
+        let mut b = Lcg64::seed_from(5);
+        b.jump(100);
+        b.jump(200);
+        assert_eq!(a.state(), b.state());
+    }
+
+    #[test]
+    fn lcg64_affine_power_identity() {
+        assert_eq!(Lcg64::affine_power(0), (1, 0));
+        assert_eq!(Lcg64::affine_power(1), (Lcg64::A, Lcg64::C));
+    }
+
+    #[test]
+    fn lcg64_jump_huge_distance_terminates() {
+        let mut rng = Lcg64::seed_from(1);
+        rng.jump(u64::MAX); // must be O(log n), instant
+        rng.next_u64();
+    }
+
+    #[test]
+    fn lcg31_state_stays_in_range() {
+        let mut rng = Lcg31::seed_from(3);
+        for _ in 0..10_000 {
+            let s = rng.raw_next();
+            assert!((1..Lcg31::M).contains(&s));
+        }
+    }
+
+    #[test]
+    fn lcg31_jump_equals_stepping() {
+        for n in [0u64, 1, 2, 5, 33, 1000] {
+            let mut stepped = Lcg31::seed_from(7);
+            for _ in 0..n {
+                stepped.next_u64();
+            }
+            let mut jumped = Lcg31::seed_from(7);
+            jumped.jump(n);
+            assert_eq!(stepped.state(), jumped.state(), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn lcg31_zero_state_remapped() {
+        let rng = Lcg31::from_state(0);
+        assert_eq!(rng.state(), 1);
+        let rng = Lcg31::from_state(Lcg31::M);
+        assert_eq!(rng.state(), 1);
+    }
+
+    #[test]
+    fn lcg31_matches_minstd_reference() {
+        // First values of std::minstd_rand from state 1: 48271, 182605794, …
+        let mut rng = Lcg31::from_state(1);
+        assert_eq!(rng.raw_next(), 48271);
+        assert_eq!(rng.raw_next(), 182605794);
+        assert_eq!(rng.raw_next(), 1291394886);
+    }
+
+    #[test]
+    fn substreams_differ() {
+        let base = Lcg64::seed_from(11);
+        let mut s0 = base.substream(0);
+        let mut s1 = base.substream(1);
+        let a: Vec<u64> = (0..16).map(|_| s0.next_u64()).collect();
+        let b: Vec<u64> = (0..16).map(|_| s1.next_u64()).collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn same_seed_same_sequence() {
+        let mut a = Lcg64::seed_from(123);
+        let mut b = Lcg64::seed_from(123);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_different_sequences() {
+        let mut a = Lcg64::seed_from(123);
+        let mut b = Lcg64::seed_from(124);
+        let va: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_ne!(va, vb);
+    }
+}

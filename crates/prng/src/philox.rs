@@ -1,0 +1,224 @@
+//! Philox4x32-10: a counter-based PRNG (Salmon et al., SC 2011).
+//!
+//! Counter-based generators are the standard answer to the traffic
+//! assignment's problem *on GPUs*: the n-th draw is a pure function of
+//! `(key, counter = n)`, so "fast-forward" is a single assignment and any
+//! thread can produce any element of the stream independently — no state
+//! to carry, no jump algebra needed. This implementation passes the
+//! reference test vectors from the Random123 distribution.
+
+use crate::stream::{FastForward, RandomStream, StreamSplit};
+
+/// Number of bumped-key rounds.
+const ROUNDS: usize = 10;
+/// Round multipliers.
+const M0: u32 = 0xD2511F53;
+const M1: u32 = 0xCD9E8D57;
+/// Weyl key increments.
+const W0: u32 = 0x9E3779B9;
+const W1: u32 = 0xBB67AE85;
+
+/// One Philox4x32-10 block function: 4 words of counter, 2 words of key →
+/// 4 words of output.
+pub fn philox4x32(counter: [u32; 4], key: [u32; 2]) -> [u32; 4] {
+    let mut ctr = counter;
+    let mut k = key;
+    for _ in 0..ROUNDS {
+        let p0 = (M0 as u64) * (ctr[0] as u64);
+        let p1 = (M1 as u64) * (ctr[2] as u64);
+        ctr = [
+            ((p1 >> 32) as u32) ^ ctr[1] ^ k[0],
+            p1 as u32,
+            ((p0 >> 32) as u32) ^ ctr[3] ^ k[1],
+            p0 as u32,
+        ];
+        k[0] = k[0].wrapping_add(W0);
+        k[1] = k[1].wrapping_add(W1);
+    }
+    ctr
+}
+
+/// A Philox stream: key = seed, counter = draw index. Each counter value
+/// yields four 32-bit words = two 64-bit outputs; the generator caches the
+/// second.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Philox {
+    key: [u32; 2],
+    /// Next block index (counter words 0..1; words 2..3 are the substream id).
+    block: u64,
+    substream: u64,
+    /// Cached second half of the current block.
+    spare: Option<u64>,
+}
+
+impl Philox {
+    /// Construct with an explicit key and substream.
+    pub fn with_key(key: u64, substream: u64) -> Self {
+        Self {
+            key: [key as u32, (key >> 32) as u32],
+            block: 0,
+            substream,
+            spare: None,
+        }
+    }
+
+    /// The n-th 64-bit output of this stream, *statelessly* — what a GPU
+    /// thread computes to get draw `n` without any shared state.
+    pub fn at(&self, n: u64) -> u64 {
+        let block = n / 2;
+        let counter = [
+            block as u32,
+            (block >> 32) as u32,
+            self.substream as u32,
+            (self.substream >> 32) as u32,
+        ];
+        let out = philox4x32(counter, self.key);
+        if n.is_multiple_of(2) {
+            (out[0] as u64) << 32 | out[1] as u64
+        } else {
+            (out[2] as u64) << 32 | out[3] as u64
+        }
+    }
+
+    /// Current position (draws consumed).
+    pub fn position(&self) -> u64 {
+        self.block * 2 - u64::from(self.spare.is_some())
+    }
+}
+
+impl RandomStream for Philox {
+    fn seed_from(seed: u64) -> Self {
+        Self::with_key(seed, 0)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        if let Some(v) = self.spare.take() {
+            return v;
+        }
+        let counter = [
+            self.block as u32,
+            (self.block >> 32) as u32,
+            self.substream as u32,
+            (self.substream >> 32) as u32,
+        ];
+        let out = philox4x32(counter, self.key);
+        self.block += 1;
+        self.spare = Some((out[2] as u64) << 32 | out[3] as u64);
+        (out[0] as u64) << 32 | out[1] as u64
+    }
+}
+
+impl FastForward for Philox {
+    fn jump(&mut self, n: u64) {
+        // Counter arithmetic: position += n.
+        let pos = self.position() + n;
+        self.block = pos / 2;
+        self.spare = None;
+        if pos % 2 == 1 {
+            // Mid-block: regenerate the block and keep its second half.
+            let counter = [
+                self.block as u32,
+                (self.block >> 32) as u32,
+                self.substream as u32,
+                (self.substream >> 32) as u32,
+            ];
+            let out = philox4x32(counter, self.key);
+            self.block += 1;
+            self.spare = Some((out[2] as u64) << 32 | out[3] as u64);
+        }
+    }
+}
+
+impl StreamSplit for Philox {
+    fn substream(&self, i: u64) -> Self {
+        let mut s = self.clone();
+        s.substream = i;
+        s.block = 0;
+        s.spare = None;
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_vectors() {
+        // Random123 kat_vectors: philox4x32-10.
+        // counter = 0, key = 0:
+        assert_eq!(
+            philox4x32([0, 0, 0, 0], [0, 0]),
+            [0x6627e8d5, 0xe169c58d, 0xbc57ac4c, 0x9b00dbd8]
+        );
+        // counter = ff.., key = ff..:
+        assert_eq!(
+            philox4x32(
+                [0xffffffff, 0xffffffff, 0xffffffff, 0xffffffff],
+                [0xffffffff, 0xffffffff]
+            ),
+            [0x408f276d, 0x41c83b0e, 0xa20bc7c6, 0x6d5451fd]
+        );
+        // counter = 243f6a88 85a308d3 13198a2e 03707344, key = a4093822 299f31d0:
+        assert_eq!(
+            philox4x32(
+                [0x243f6a88, 0x85a308d3, 0x13198a2e, 0x03707344],
+                [0xa4093822, 0x299f31d0]
+            ),
+            [0xd16cfe09, 0x94fdcceb, 0x5001e420, 0x24126ea1]
+        );
+    }
+
+    #[test]
+    fn stateless_at_matches_stream() {
+        let reference = Philox::seed_from(42);
+        let mut stream = Philox::seed_from(42);
+        for n in 0..64 {
+            assert_eq!(stream.next_u64(), reference.at(n), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn jump_matches_stepping() {
+        for n in [0u64, 1, 2, 3, 7, 100, 12345] {
+            let mut stepped = Philox::seed_from(9);
+            for _ in 0..n {
+                stepped.next_u64();
+            }
+            let mut jumped = Philox::seed_from(9);
+            jumped.jump(n);
+            assert_eq!(stepped.next_u64(), jumped.next_u64(), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn jump_after_consuming_odd_count() {
+        let mut a = Philox::seed_from(5);
+        let mut b = Philox::seed_from(5);
+        a.next_u64();
+        a.jump(3);
+        for _ in 0..4 {
+            b.next_u64();
+        }
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn substreams_are_independent() {
+        let base = Philox::seed_from(7);
+        let mut s0 = base.substream(0);
+        let mut s1 = base.substream(1);
+        let w0: Vec<u64> = (0..8).map(|_| s0.next_u64()).collect();
+        let w1: Vec<u64> = (0..8).map(|_| s1.next_u64()).collect();
+        assert_ne!(w0, w1);
+    }
+
+    #[test]
+    fn passes_stat_battery() {
+        let mut rng = Philox::seed_from(2023);
+        let chi = crate::stats::chi_square_uniform(&mut rng, 64, 64_000);
+        assert!(chi.is_plausible(4.5), "{chi:?}");
+        let d = crate::stats::ks_uniform(&mut rng, 10_000);
+        assert!(d < crate::stats::ks_critical(10_000, 1.95));
+    }
+}

@@ -1,0 +1,181 @@
+//! Statistical self-tests for generators.
+//!
+//! The traffic assignment (§5) notes that a PRNG's output "should be nearly
+//! indistinguishable from being uniformly distributed". These helpers give
+//! the test-suite teeth: a χ² test for equidistribution over bins, a
+//! Kolmogorov–Smirnov statistic for the `[0,1)` float stream, and a lag-1
+//! serial-correlation estimate. They are deliberately simple, dependency-free
+//! implementations — the goal is sanity enforcement, not TestU01.
+
+use crate::stream::RandomStream;
+
+/// Result of a χ² equidistribution test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChiSquare {
+    /// The test statistic Σ (observed − expected)² / expected.
+    pub statistic: f64,
+    /// Degrees of freedom (bins − 1).
+    pub dof: usize,
+}
+
+impl ChiSquare {
+    /// Whether the statistic is within `z` standard deviations of its mean
+    /// under H₀ (χ² with `dof` degrees of freedom has mean `dof` and
+    /// variance `2·dof`). `z = 4.0` is a forgiving bound suitable for CI.
+    pub fn is_plausible(&self, z: f64) -> bool {
+        let mean = self.dof as f64;
+        let sd = (2.0 * self.dof as f64).sqrt();
+        (self.statistic - mean).abs() <= z * sd
+    }
+}
+
+/// χ² test of `n` draws bucketed into `bins` equal-width bins via
+/// [`RandomStream::next_below`].
+pub fn chi_square_uniform<R: RandomStream>(rng: &mut R, bins: usize, n: usize) -> ChiSquare {
+    assert!(bins >= 2, "need at least two bins");
+    let mut counts = vec![0u64; bins];
+    for _ in 0..n {
+        counts[rng.next_below(bins as u64) as usize] += 1;
+    }
+    let expected = n as f64 / bins as f64;
+    let statistic = counts
+        .iter()
+        .map(|&c| {
+            let d = c as f64 - expected;
+            d * d / expected
+        })
+        .sum();
+    ChiSquare {
+        statistic,
+        dof: bins - 1,
+    }
+}
+
+/// One-sample Kolmogorov–Smirnov statistic of `n` draws of
+/// [`RandomStream::next_f64`] against the uniform CDF.
+pub fn ks_uniform<R: RandomStream>(rng: &mut R, n: usize) -> f64 {
+    assert!(n > 0);
+    let mut xs: Vec<f64> = (0..n).map(|_| rng.next_f64()).collect();
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs from next_f64"));
+    let n_f = n as f64;
+    let mut d = 0.0f64;
+    for (i, &x) in xs.iter().enumerate() {
+        let lo = i as f64 / n_f;
+        let hi = (i + 1) as f64 / n_f;
+        d = d.max((x - lo).abs()).max((hi - x).abs());
+    }
+    d
+}
+
+/// Critical KS value at significance ~α for sample size n (asymptotic
+/// formula `c(α)/√n`, with c(0.001) ≈ 1.95).
+pub fn ks_critical(n: usize, c_alpha: f64) -> f64 {
+    c_alpha / (n as f64).sqrt()
+}
+
+/// Lag-1 serial correlation of the float stream. Near 0 for a good
+/// generator.
+pub fn serial_correlation<R: RandomStream>(rng: &mut R, n: usize) -> f64 {
+    assert!(n >= 3);
+    let xs: Vec<f64> = (0..n).map(|_| rng.next_f64()).collect();
+    let mean = xs.iter().sum::<f64>() / n as f64;
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for i in 0..n {
+        let d = xs[i] - mean;
+        den += d * d;
+        if i + 1 < n {
+            num += d * (xs[i + 1] - mean);
+        }
+    }
+    num / den
+}
+
+/// Count of monotone runs in the float stream, normalized as a z-score
+/// against the expected `(2n−1)/3` runs with variance `(16n−29)/90`.
+pub fn runs_test_z<R: RandomStream>(rng: &mut R, n: usize) -> f64 {
+    assert!(n >= 10);
+    let xs: Vec<f64> = (0..n).map(|_| rng.next_f64()).collect();
+    let mut runs = 1usize;
+    for i in 2..n {
+        let up_prev = xs[i - 1] > xs[i - 2];
+        let up_now = xs[i] > xs[i - 1];
+        if up_prev != up_now {
+            runs += 1;
+        }
+    }
+    let n_f = n as f64;
+    let mean = (2.0 * n_f - 1.0) / 3.0;
+    let var = (16.0 * n_f - 29.0) / 90.0;
+    (runs as f64 - mean) / var.sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Lcg31, Lcg64, RandomStream, SplitMix64, XorShift64Star};
+
+    fn check_generator<R: RandomStream>(mut rng: R, name: &str) {
+        let chi = chi_square_uniform(&mut rng, 64, 64_000);
+        assert!(chi.is_plausible(4.5), "{name}: chi² = {:?}", chi);
+        let d = ks_uniform(&mut rng, 10_000);
+        assert!(d < ks_critical(10_000, 1.95), "{name}: KS d = {d}");
+        let r = serial_correlation(&mut rng, 20_000);
+        assert!(r.abs() < 0.03, "{name}: serial corr = {r}");
+        let z = runs_test_z(&mut rng, 20_000);
+        assert!(z.abs() < 4.5, "{name}: runs z = {z}");
+    }
+
+    #[test]
+    fn lcg64_passes_battery() {
+        check_generator(Lcg64::seed_from(2023), "Lcg64");
+    }
+
+    #[test]
+    fn lcg31_passes_battery() {
+        check_generator(Lcg31::seed_from(2023), "Lcg31");
+    }
+
+    #[test]
+    fn splitmix_passes_battery() {
+        check_generator(SplitMix64::seed_from(2023), "SplitMix64");
+    }
+
+    #[test]
+    fn xorshift_passes_battery() {
+        check_generator(XorShift64Star::seed_from(2023), "XorShift64Star");
+    }
+
+    #[test]
+    fn chi_square_detects_constant_stream() {
+        struct Stuck;
+        impl RandomStream for Stuck {
+            fn seed_from(_: u64) -> Self {
+                Stuck
+            }
+            fn next_u64(&mut self) -> u64 {
+                0
+            }
+        }
+        let chi = chi_square_uniform(&mut Stuck, 16, 1600);
+        assert!(!chi.is_plausible(4.0), "constant stream must fail χ²");
+    }
+
+    #[test]
+    fn ks_detects_skewed_stream() {
+        struct Skewed(Lcg64);
+        impl RandomStream for Skewed {
+            fn seed_from(s: u64) -> Self {
+                Skewed(Lcg64::seed_from(s))
+            }
+            fn next_u64(&mut self) -> u64 {
+                self.0.next_u64() | (1 << 63) // force next_f64 >= 0.5
+            }
+        }
+        let d = ks_uniform(&mut Skewed::seed_from(1), 2000);
+        assert!(
+            d > ks_critical(2000, 1.95) * 5.0,
+            "skewed stream must fail KS, d = {d}"
+        );
+    }
+}

@@ -1,0 +1,168 @@
+//! Core generator traits.
+//!
+//! The traffic assignment distinguishes between generators that can merely
+//! produce numbers ([`RandomStream`]) and generators that can additionally
+//! *move ahead* in their own sequence in sub-linear time ([`FastForward`]) —
+//! the property that makes thread-count-invariant parallel simulation
+//! practical. [`StreamSplit`] covers the alternative (non-reproducible
+//! across thread counts) strategy of handing each worker an independent
+//! substream; it is provided so the two strategies can be compared, as the
+//! assignment asks students to do.
+
+/// A deterministic stream of pseudo-random numbers.
+///
+/// Implementations must be *reproducible*: two generators constructed with
+/// the same seed yield identical sequences.
+pub trait RandomStream {
+    /// Construct from a raw seed. Implementations should tolerate any value
+    /// (including 0) and internally remap degenerate seeds.
+    fn seed_from(seed: u64) -> Self
+    where
+        Self: Sized;
+
+    /// Next raw 64-bit output.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32-bit output (upper bits of [`Self::next_u64`] by default —
+    /// for LCGs the high bits are the good ones).
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    fn next_f64(&mut self) -> f64 {
+        // Take the top 53 bits; divide by 2^53.
+        const SCALE: f64 = 1.0 / (1u64 << 53) as f64;
+        (self.next_u64() >> 11) as f64 * SCALE
+    }
+
+    /// Uniform integer in `[0, bound)` without modulo bias, by rejection on
+    /// the widening-multiply method (Lemire).
+    #[inline]
+    fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128) * (bound as u128);
+            let lo = m as u64;
+            if lo >= bound || lo >= bound.wrapping_neg() % bound {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// Fill a slice with raw outputs.
+    fn fill_u64(&mut self, out: &mut [u64]) {
+        for v in out {
+            *v = self.next_u64();
+        }
+    }
+
+    /// Fill a slice with uniform `[0,1)` doubles.
+    fn fill_f64(&mut self, out: &mut [f64]) {
+        for v in out {
+            *v = self.next_f64();
+        }
+    }
+}
+
+/// Generators whose state can be advanced by `n` steps in `O(log n)`.
+///
+/// Law: `jump(n)` must leave the generator in exactly the state reached by
+/// calling [`RandomStream::next_u64`] `n` times (this is property-tested in
+/// the crate's test-suite for every implementation).
+pub trait FastForward: RandomStream {
+    /// Advance the internal state by `n` draws without producing output.
+    fn jump(&mut self, n: u64);
+
+    /// A copy of this generator already advanced by `n` draws.
+    #[inline]
+    fn jumped(&self, n: u64) -> Self
+    where
+        Self: Clone + Sized,
+    {
+        let mut c = self.clone();
+        c.jump(n);
+        c
+    }
+}
+
+/// Generators that can spawn statistically-independent substreams.
+///
+/// This models the "give each thread its own seed" strategy the assignment
+/// contrasts with fast-forwarding: simple, but the program's output then
+/// depends on the number of threads.
+pub trait StreamSplit: RandomStream {
+    /// Derive the `i`-th substream of this generator. Substreams with
+    /// different `i` must produce (statistically) independent sequences.
+    fn substream(&self, i: u64) -> Self
+    where
+        Self: Sized;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Lcg64;
+
+    #[test]
+    fn next_f64_in_unit_interval() {
+        let mut rng = Lcg64::seed_from(1);
+        for _ in 0..10_000 {
+            let x = rng.next_f64();
+            assert!((0.0..1.0).contains(&x), "out of range: {x}");
+        }
+    }
+
+    #[test]
+    fn next_below_respects_bound() {
+        let mut rng = Lcg64::seed_from(2);
+        for bound in [1u64, 2, 3, 7, 100, 1 << 33] {
+            for _ in 0..1000 {
+                assert!(rng.next_below(bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    fn next_below_bound_one_is_zero() {
+        let mut rng = Lcg64::seed_from(3);
+        for _ in 0..100 {
+            assert_eq!(rng.next_below(1), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bound must be positive")]
+    fn next_below_zero_panics() {
+        let mut rng = Lcg64::seed_from(4);
+        rng.next_below(0);
+    }
+
+    #[test]
+    fn fill_matches_individual_draws() {
+        let mut a = Lcg64::seed_from(5);
+        let mut b = Lcg64::seed_from(5);
+        let mut buf = [0u64; 32];
+        a.fill_u64(&mut buf);
+        for v in buf {
+            assert_eq!(v, b.next_u64());
+        }
+    }
+
+    #[test]
+    fn jumped_leaves_original_untouched() {
+        let rng = Lcg64::seed_from(6);
+        let mut orig = rng.clone();
+        let mut j = rng.jumped(10);
+        let mut manual = rng.clone();
+        for _ in 0..10 {
+            manual.next_u64();
+        }
+        assert_eq!(j.next_u64(), manual.next_u64());
+        // Original still at position 0.
+        assert_eq!(orig.next_u64(), Lcg64::seed_from(6).next_u64());
+    }
+}

@@ -1,0 +1,109 @@
+//! XorShift64*: a fast generator **without** a practical fast-forward.
+//!
+//! Included as the negative control the assignment implies: a generator
+//! that is perfectly fine statistically and very fast, but whose state
+//! update is not an affine map, so reproducible chunked parallelism would
+//! require replaying the stream (O(n) "jump"). Benchmarks use it to show
+//! why the LCG-with-jump design is the one that scales.
+
+use crate::stream::{RandomStream, StreamSplit};
+use crate::SplitMix64;
+
+/// Marsaglia's xorshift64* generator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XorShift64Star {
+    state: u64,
+}
+
+impl XorShift64Star {
+    /// Construct from a raw nonzero state; zero is remapped (an all-zero
+    /// xorshift state is absorbing).
+    #[inline]
+    pub fn from_state(state: u64) -> Self {
+        Self {
+            state: if state == 0 {
+                0x9e3779b97f4a7c15
+            } else {
+                state
+            },
+        }
+    }
+
+    /// Advance by `n` steps the only way possible: one at a time. Provided
+    /// (deliberately) as `slow_jump` rather than `FastForward::jump` so the
+    /// type system records that this generator cannot fast-forward.
+    pub fn slow_jump(&mut self, n: u64) {
+        for _ in 0..n {
+            self.next_u64();
+        }
+    }
+}
+
+impl RandomStream for XorShift64Star {
+    #[inline]
+    fn seed_from(seed: u64) -> Self {
+        Self::from_state(SplitMix64::new(seed).next())
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545f4914f6cdd1d)
+    }
+}
+
+impl StreamSplit for XorShift64Star {
+    fn substream(&self, i: u64) -> Self {
+        let mut mixer = SplitMix64::new(self.state ^ SplitMix64::mix(i));
+        Self::from_state(mixer.next())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_state_remapped() {
+        let mut rng = XorShift64Star::from_state(0);
+        assert_ne!(rng.next_u64(), 0);
+        // And the sequence keeps moving.
+        let a = rng.next_u64();
+        let b = rng.next_u64();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn deterministic() {
+        let mut a = XorShift64Star::seed_from(42);
+        let mut b = XorShift64Star::seed_from(42);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn slow_jump_matches_stepping() {
+        let mut a = XorShift64Star::seed_from(7);
+        let mut b = XorShift64Star::seed_from(7);
+        a.slow_jump(100);
+        for _ in 0..100 {
+            b.next_u64();
+        }
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn nonzero_forever_spot_check() {
+        // xorshift never reaches the zero state from a nonzero one.
+        let mut rng = XorShift64Star::seed_from(1);
+        for _ in 0..100_000 {
+            rng.next_u64();
+        }
+        assert_ne!(rng.state, 0);
+    }
+}

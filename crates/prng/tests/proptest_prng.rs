@@ -1,0 +1,119 @@
+//! Property-based tests for the PRNG crate's core laws.
+
+use peachy_prng::{
+    Bernoulli, FastForward, Lcg31, Lcg64, RandomStream, SplitMix64, StreamSplit, UniformU64,
+};
+use proptest::prelude::*;
+
+proptest! {
+    /// jump(n) must land exactly where n sequential draws land (Lcg64).
+    #[test]
+    fn lcg64_jump_law(seed in any::<u64>(), n in 0u64..5_000) {
+        let mut stepped = Lcg64::seed_from(seed);
+        for _ in 0..n { stepped.next_u64(); }
+        let mut jumped = Lcg64::seed_from(seed);
+        jumped.jump(n);
+        prop_assert_eq!(stepped.next_u64(), jumped.next_u64());
+    }
+
+    /// jump(a); jump(b) == jump(a + b) (Lcg64).
+    #[test]
+    fn lcg64_jump_additive(seed in any::<u64>(), a in 0u64..1u64 << 30, b in 0u64..1u64 << 30) {
+        let mut two = Lcg64::seed_from(seed);
+        two.jump(a);
+        two.jump(b);
+        let mut one = Lcg64::seed_from(seed);
+        one.jump(a + b);
+        prop_assert_eq!(two.state(), one.state());
+    }
+
+    /// jump(n) law for the MINSTD generator.
+    #[test]
+    fn lcg31_jump_law(seed in any::<u64>(), n in 0u64..2_000) {
+        let mut stepped = Lcg31::seed_from(seed);
+        for _ in 0..n { stepped.next_u64(); }
+        let mut jumped = Lcg31::seed_from(seed);
+        jumped.jump(n);
+        prop_assert_eq!(stepped.state(), jumped.state());
+    }
+
+    /// jump law for SplitMix64.
+    #[test]
+    fn splitmix_jump_law(seed in any::<u64>(), n in 0u64..5_000) {
+        let mut stepped = SplitMix64::seed_from(seed);
+        for _ in 0..n { stepped.next_u64(); }
+        let mut jumped = SplitMix64::seed_from(seed);
+        jumped.jump(n);
+        prop_assert_eq!(stepped.next_u64(), jumped.next_u64());
+    }
+
+    /// Chunked generation over any partition reproduces the serial stream.
+    #[test]
+    fn chunked_equals_serial(seed in any::<u64>(), chunks in prop::collection::vec(1usize..50, 1..8)) {
+        let total: usize = chunks.iter().sum();
+        let mut serial = Lcg64::seed_from(seed);
+        let reference: Vec<u64> = (0..total).map(|_| serial.next_u64()).collect();
+
+        let mut out = Vec::with_capacity(total);
+        let mut offset = 0u64;
+        for &len in &chunks {
+            let mut rng = Lcg64::seed_from(seed);
+            rng.jump(offset);
+            for _ in 0..len { out.push(rng.next_u64()); }
+            offset += len as u64;
+        }
+        prop_assert_eq!(reference, out);
+    }
+
+    /// next_below is always within bounds.
+    #[test]
+    fn next_below_in_bounds(seed in any::<u64>(), bound in 1u64..u64::MAX) {
+        let mut rng = Lcg64::seed_from(seed);
+        prop_assert!(rng.next_below(bound) < bound);
+    }
+
+    /// UniformU64 stays in its half-open range.
+    #[test]
+    fn uniform_in_range(seed in any::<u64>(), lo in 0u64..1000, width in 1u64..1000) {
+        let mut rng = Lcg64::seed_from(seed);
+        let d = UniformU64::new(lo, lo + width);
+        let x = d.sample(&mut rng);
+        prop_assert!(x >= lo && x < lo + width);
+    }
+
+    /// Bernoulli consumes exactly one draw regardless of outcome.
+    #[test]
+    fn bernoulli_draw_count(seed in any::<u64>(), p in 0.0f64..=1.0, n in 1usize..200) {
+        let mut a = Lcg64::seed_from(seed);
+        let mut b = Lcg64::seed_from(seed);
+        let d = Bernoulli::new(p);
+        for _ in 0..n {
+            d.sample(&mut a);
+            b.next_f64();
+        }
+        prop_assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    /// Substreams with distinct indices start with distinct outputs.
+    #[test]
+    fn substreams_distinct(seed in any::<u64>(), i in 0u64..1000, j in 0u64..1000) {
+        prop_assume!(i != j);
+        let base = Lcg64::seed_from(seed);
+        let mut a = base.substream(i);
+        let mut b = base.substream(j);
+        // Compare a window, not a single draw, to make collision essentially impossible.
+        let wa: Vec<u64> = (0..4).map(|_| a.next_u64()).collect();
+        let wb: Vec<u64> = (0..4).map(|_| b.next_u64()).collect();
+        prop_assert_ne!(wa, wb);
+    }
+
+    /// MINSTD raw state remains in [1, M).
+    #[test]
+    fn lcg31_state_range(seed in any::<u64>(), n in 0usize..500) {
+        let mut rng = Lcg31::seed_from(seed);
+        for _ in 0..n {
+            let s = rng.raw_next();
+            prop_assert!((1..Lcg31::M).contains(&s));
+        }
+    }
+}

@@ -1,0 +1,199 @@
+//! Distributed-memory Nagel–Schreckenberg — the §5 variation "students
+//! could implement a distributed-memory parallel code using MPI".
+//!
+//! Cars are block-partitioned over ranks. Each step, a rank needs exactly
+//! one remote datum: the *old* position of the first car of the next block
+//! (to compute its last car's gap), exchanged point-to-point around the
+//! ring. Velocities use the same fast-forward stream addressing as the
+//! shared-memory stepper, so the distributed simulation is **bit-identical
+//! to the serial one for any rank count** — the reproducibility
+//! requirement carried over to distributed memory.
+
+use peachy_cluster::Cluster;
+use peachy_prng::{Bernoulli, FastForward, Lcg64, RandomStream};
+
+use crate::road::{AgentRoad, RoadConfig};
+
+/// Tag for the per-step neighbour-position exchange.
+const TAG_FIRST_POS: u32 = 1;
+/// Tag for shipping a block's car positions at the start.
+const TAG_INIT: u32 = 0;
+
+/// Run `steps` steps on `ranks` simulated distributed-memory ranks and
+/// return the final road state (gathered at rank 0). Requires
+/// `ranks <= config.cars` so every rank owns at least one car.
+pub fn run_distributed(config: &RoadConfig, steps: u64, ranks: usize) -> AgentRoad {
+    assert!(ranks >= 1, "need at least one rank");
+    assert!(ranks <= config.cars, "every rank must own at least one car");
+    let n = config.cars;
+    let length = config.length;
+    let v_max = config.v_max;
+    let slow = Bernoulli::new(config.p);
+    let seed = config.seed;
+
+    let mut results = Cluster::run(ranks, |comm| {
+        let size = comm.size();
+        let rank = comm.rank();
+        let range = block_range(n, size, rank);
+        let block_len = range.len();
+
+        // Rank 0 owns the initial layout and scatters blocks.
+        let mut positions: Vec<usize> = if rank == 0 {
+            let initial = AgentRoad::new(config);
+            for dst in 1..size {
+                let r = block_range(n, size, dst);
+                comm.send(dst, TAG_INIT, initial.positions()[r].to_vec());
+            }
+            initial.positions()[range.clone()].to_vec()
+        } else {
+            comm.recv::<Vec<usize>>(0, TAG_INIT)
+        };
+        let mut velocities: Vec<u32> = vec![0; block_len];
+
+        let next_rank = (rank + 1) % size;
+        let prev_rank = (rank + size - 1) % size;
+
+        for step in 0..steps {
+            // Exchange: my first car's old position goes to the previous
+            // rank; I receive my successor's first position.
+            comm.send(prev_rank, TAG_FIRST_POS, positions[0]);
+            let succ_first: usize = comm.recv(next_rank, TAG_FIRST_POS);
+
+            // Fast-forward to this block's slice of the shared stream.
+            let mut rng = Lcg64::seed_from(seed);
+            rng.jump(step * n as u64 + range.start as u64);
+
+            // Phase 1: velocities from old state.
+            let mut new_v = vec![0u32; block_len];
+            for i in 0..block_len {
+                let ahead_pos = if i + 1 < block_len {
+                    positions[i + 1]
+                } else {
+                    succ_first
+                };
+                let gap = if n == 1 {
+                    length - 1
+                } else {
+                    (ahead_pos + length - positions[i]) % length - 1
+                };
+                let mut v = (velocities[i] + 1).min(v_max);
+                v = v.min(gap as u32);
+                if slow.sample(&mut rng) && v > 0 {
+                    v -= 1;
+                }
+                new_v[i] = v;
+            }
+            // Phase 2: move.
+            for i in 0..block_len {
+                velocities[i] = new_v[i];
+                positions[i] = (positions[i] + new_v[i] as usize) % length;
+            }
+        }
+
+        // Gather blocks at the root, in rank order.
+        comm.gather(0, (positions, velocities))
+    });
+
+    let blocks = results.swap_remove(0).expect("root gathered blocks");
+    let mut positions = Vec::with_capacity(n);
+    let mut velocities = Vec::with_capacity(n);
+    for (p, v) in blocks {
+        positions.extend(p);
+        velocities.extend(v);
+    }
+    AgentRoad::from_state(*config, positions, velocities)
+}
+
+/// Balanced contiguous block of `n` items for `rank` of `size`.
+fn block_range(n: usize, size: usize, rank: usize) -> std::ops::Range<usize> {
+    let base = n / size;
+    let extra = n % size;
+    let start = rank * base + rank.min(extra);
+    start..(start + base + usize::from(rank < extra))
+}
+
+impl AgentRoad {
+    /// Reconstruct a road from explicit state (used by the distributed
+    /// gather; positions must be collision-free).
+    pub fn from_state(config: RoadConfig, positions: Vec<usize>, velocities: Vec<u32>) -> Self {
+        assert_eq!(positions.len(), config.cars);
+        assert_eq!(velocities.len(), config.cars);
+        let unique: std::collections::HashSet<_> = positions.iter().collect();
+        assert_eq!(unique.len(), positions.len(), "cars collide");
+        Self::from_parts(config, positions, velocities)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> RoadConfig {
+        RoadConfig {
+            length: 400,
+            cars: 90,
+            v_max: 5,
+            p: 0.22,
+            seed: 17,
+        }
+    }
+
+    #[test]
+    fn bit_identical_to_serial_for_all_rank_counts() {
+        let mut serial = AgentRoad::new(&config());
+        serial.run_serial(0, 80);
+        for ranks in [1usize, 2, 3, 5, 8] {
+            let dist = run_distributed(&config(), 80, ranks);
+            assert_eq!(dist.positions(), serial.positions(), "ranks = {ranks}");
+            assert_eq!(dist.velocities(), serial.velocities(), "ranks = {ranks}");
+        }
+    }
+
+    #[test]
+    fn matches_shared_memory_parallel() {
+        let mut shared = AgentRoad::new(&config());
+        shared.run_parallel(0, 50, 4);
+        let dist = run_distributed(&config(), 50, 3);
+        assert_eq!(dist.positions(), shared.positions());
+    }
+
+    #[test]
+    fn figure3_configuration() {
+        let fig3 = RoadConfig::figure3(7);
+        let mut serial = AgentRoad::new(&fig3);
+        serial.run_serial(0, 30);
+        let dist = run_distributed(&fig3, 30, 8);
+        assert_eq!(dist.positions(), serial.positions());
+    }
+
+    #[test]
+    fn single_rank_degenerates_to_serial() {
+        let mut serial = AgentRoad::new(&config());
+        serial.run_serial(0, 40);
+        let dist = run_distributed(&config(), 40, 1);
+        assert_eq!(dist.positions(), serial.positions());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one car")]
+    fn too_many_ranks_rejected() {
+        run_distributed(
+            &RoadConfig {
+                length: 10,
+                cars: 3,
+                v_max: 2,
+                p: 0.1,
+                seed: 1,
+            },
+            1,
+            5,
+        );
+    }
+
+    #[test]
+    fn zero_steps_returns_initial() {
+        let dist = run_distributed(&config(), 0, 4);
+        let initial = AgentRoad::new(&config());
+        assert_eq!(dist.positions(), initial.positions());
+    }
+}

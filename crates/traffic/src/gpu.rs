@@ -1,0 +1,341 @@
+//! Nagel–Schreckenberg on the simulated GPU — the §5 variation "port the
+//! code to use GPUs".
+//!
+//! One thread per car. Each step is **two kernel launches**: a compute
+//! kernel writing next-step state into fresh arrays, then a commit kernel
+//! copying next → current. Two launches, not two phases, because phase
+//! barriers only synchronize *within* a block — a block that raced ahead
+//! to the commit while another block still read old state would corrupt
+//! the update. Grid-wide synchronization in CUDA *is* the kernel
+//! boundary; this module makes that classic lesson executable.
+//!
+//! Random decelerations use the same `t·N + i` fast-forward stream as the
+//! serial stepper; the host fast-forwards and uploads this step's draws
+//! (real CUDA code would use a counter-based generator on-device — the
+//! *addressing* is the part that matters for reproducibility, and it is
+//! identical). Output is **bit-identical to the serial simulation** for
+//! any launch geometry.
+
+use peachy_gpu::{GlobalBuffer, Kernel, Launch, Phase, ThreadCtx};
+use peachy_prng::{FastForward, Lcg64, RandomStream};
+
+use crate::road::{AgentRoad, RoadConfig};
+
+/// Word offsets in the device buffer.
+struct Layout {
+    n: usize,
+    length: usize,
+    v_max: u32,
+    p: f64,
+    vel: usize,
+    draws: usize,
+    new_pos: usize,
+    new_vel: usize,
+}
+
+impl Layout {
+    fn new(config: &RoadConfig) -> Self {
+        let n = config.cars;
+        Self {
+            n,
+            length: config.length,
+            v_max: config.v_max,
+            p: config.p,
+            vel: n,
+            draws: 2 * n,
+            new_pos: 3 * n,
+            new_vel: 4 * n,
+        }
+    }
+    fn total(&self) -> usize {
+        5 * self.n
+    }
+}
+
+/// Launch 1: compute next positions/velocities from current state.
+struct ComputeStep<'a>(&'a Layout);
+
+impl Kernel for ComputeStep<'_> {
+    fn phases(&self) -> usize {
+        1
+    }
+    fn run(&self, _p: Phase, t: ThreadCtx, _s: &mut [f64], g: &GlobalBuffer) {
+        let l = self.0;
+        let mut i = t.global_id();
+        while i < l.n {
+            let pos = g.load_u64(i) as usize;
+            let ahead = g.load_u64((i + 1) % l.n) as usize;
+            let gap = if l.n == 1 {
+                l.length - 1
+            } else {
+                (ahead + l.length - pos) % l.length - 1
+            };
+            let mut v = (g.load_u64(l.vel + i) as u32 + 1).min(l.v_max);
+            v = v.min(gap as u32);
+            if g.load(l.draws + i) < l.p && v > 0 {
+                v -= 1;
+            }
+            g.store_u64(l.new_vel + i, v as u64);
+            g.store_u64(l.new_pos + i, ((pos + v as usize) % l.length) as u64);
+            i += t.grid_span();
+        }
+    }
+}
+
+/// Launch 2: commit next → current (runs only after every block of the
+/// compute launch has finished — the kernel boundary is the sync).
+struct CommitStep<'a>(&'a Layout);
+
+impl Kernel for CommitStep<'_> {
+    fn phases(&self) -> usize {
+        1
+    }
+    fn run(&self, _p: Phase, t: ThreadCtx, _s: &mut [f64], g: &GlobalBuffer) {
+        let l = self.0;
+        let mut i = t.global_id();
+        while i < l.n {
+            g.store_u64(i, g.load_u64(l.new_pos + i));
+            g.store_u64(l.vel + i, g.load_u64(l.new_vel + i));
+            i += t.grid_span();
+        }
+    }
+}
+
+/// Run `steps` steps on the device; returns the final road, bit-identical
+/// to [`AgentRoad::run_serial`] from the same configuration.
+pub fn run_gpu(config: &RoadConfig, steps: u64, grid: usize, block: usize) -> AgentRoad {
+    assert!(grid >= 1 && block >= 1);
+    let initial = AgentRoad::new(config);
+    let layout = Layout::new(config);
+    let g = GlobalBuffer::zeroed(layout.total());
+    for (i, &p) in initial.positions().iter().enumerate() {
+        g.store_u64(i, p as u64);
+        g.store_u64(layout.vel + i, 0);
+    }
+
+    let n = config.cars as u64;
+    let compute = ComputeStep(&layout);
+    let commit = CommitStep(&layout);
+    for step in 0..steps {
+        // Host uploads this step's slice of the shared draw stream.
+        let mut rng = Lcg64::seed_from(config.seed);
+        rng.jump(step * n);
+        for i in 0..config.cars {
+            g.store(layout.draws + i, rng.next_f64());
+        }
+        Launch {
+            grid,
+            block,
+            shared: 0,
+        }
+        .run(&compute, &g);
+        Launch {
+            grid,
+            block,
+            shared: 0,
+        }
+        .run(&commit, &g);
+    }
+
+    let positions: Vec<usize> = (0..config.cars).map(|i| g.load_u64(i) as usize).collect();
+    let velocities: Vec<u32> = (0..config.cars)
+        .map(|i| g.load_u64(layout.vel + i) as u32)
+        .collect();
+    AgentRoad::from_state(*config, positions, velocities)
+}
+
+/// Compute kernel with **on-device RNG**: instead of host-uploaded draws,
+/// every thread derives car `i`'s step-`t` draw statelessly from the
+/// counter-based Philox generator (`Philox::at(t·N + i)`) — the way real
+/// CUDA codes solve the reproducible-stream problem (Random123 et al.).
+/// No draw upload, no RNG state: the draw is a pure function of its index.
+struct ComputeStepOnboard<'a> {
+    layout: &'a Layout,
+    seed: u64,
+    step: u64,
+}
+
+impl Kernel for ComputeStepOnboard<'_> {
+    fn phases(&self) -> usize {
+        1
+    }
+    fn run(&self, _p: Phase, t: ThreadCtx, _s: &mut [f64], g: &GlobalBuffer) {
+        let l = self.layout;
+        let rng = peachy_prng::Philox::with_key(self.seed, 0);
+        let mut i = t.global_id();
+        while i < l.n {
+            let pos = g.load_u64(i) as usize;
+            let ahead = g.load_u64((i + 1) % l.n) as usize;
+            let gap = if l.n == 1 {
+                l.length - 1
+            } else {
+                (ahead + l.length - pos) % l.length - 1
+            };
+            let mut v = (g.load_u64(l.vel + i) as u32 + 1).min(l.v_max);
+            v = v.min(gap as u32);
+            // Stateless draw for (step, car): top 53 bits → [0, 1).
+            let word = rng.at(self.step * l.n as u64 + i as u64);
+            let u = (word >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            if u < l.p && v > 0 {
+                v -= 1;
+            }
+            g.store_u64(l.new_vel + i, v as u64);
+            g.store_u64(l.new_pos + i, ((pos + v as usize) % l.length) as u64);
+            i += t.grid_span();
+        }
+    }
+}
+
+/// GPU run with on-device Philox draws. Bit-identical to
+/// [`run_serial_philox`] (the host reference with the same stream
+/// addressing), for any launch geometry.
+pub fn run_gpu_onboard_rng(
+    config: &RoadConfig,
+    steps: u64,
+    grid: usize,
+    block: usize,
+) -> AgentRoad {
+    assert!(grid >= 1 && block >= 1);
+    let initial = AgentRoad::new(config);
+    let layout = Layout::new(config);
+    let g = GlobalBuffer::zeroed(layout.total());
+    for (i, &p) in initial.positions().iter().enumerate() {
+        g.store_u64(i, p as u64);
+    }
+    let commit = CommitStep(&layout);
+    for step in 0..steps {
+        let compute = ComputeStepOnboard {
+            layout: &layout,
+            seed: config.seed,
+            step,
+        };
+        Launch {
+            grid,
+            block,
+            shared: 0,
+        }
+        .run(&compute, &g);
+        Launch {
+            grid,
+            block,
+            shared: 0,
+        }
+        .run(&commit, &g);
+    }
+    let positions: Vec<usize> = (0..config.cars).map(|i| g.load_u64(i) as usize).collect();
+    let velocities: Vec<u32> = (0..config.cars)
+        .map(|i| g.load_u64(layout.vel + i) as u32)
+        .collect();
+    AgentRoad::from_state(*config, positions, velocities)
+}
+
+/// Host reference for the Philox-addressed stream: serial stepping that
+/// draws car `i`'s step-`t` value as `Philox::at(t·N + i)`.
+pub fn run_serial_philox(config: &RoadConfig, steps: u64) -> AgentRoad {
+    let mut road = AgentRoad::new(config);
+    let rng = peachy_prng::Philox::with_key(config.seed, 0);
+    let n = config.cars as u64;
+    for step in 0..steps {
+        road.step_with_draws(|i, _| {
+            let word = rng.at(step * n + i as u64);
+            (word >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        });
+    }
+    road
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> RoadConfig {
+        RoadConfig {
+            length: 300,
+            cars: 80,
+            v_max: 5,
+            p: 0.2,
+            seed: 55,
+        }
+    }
+
+    #[test]
+    fn bit_identical_to_serial() {
+        let mut serial = AgentRoad::new(&config());
+        serial.run_serial(0, 60);
+        for (grid, block) in [(1usize, 1usize), (2, 16), (8, 32), (3, 7)] {
+            let gpu = run_gpu(&config(), 60, grid, block);
+            assert_eq!(
+                gpu.positions(),
+                serial.positions(),
+                "grid={grid} block={block}"
+            );
+            assert_eq!(
+                gpu.velocities(),
+                serial.velocities(),
+                "grid={grid} block={block}"
+            );
+        }
+    }
+
+    #[test]
+    fn matches_all_other_backends() {
+        let fig3 = RoadConfig::figure3(4);
+        let mut serial = AgentRoad::new(&fig3);
+        serial.run_serial(0, 25);
+        let mut shared = AgentRoad::new(&fig3);
+        shared.run_parallel(0, 25, 4);
+        let distributed = crate::distributed::run_distributed(&fig3, 25, 4);
+        let gpu = run_gpu(&fig3, 25, 4, 64);
+        assert_eq!(gpu.positions(), serial.positions());
+        assert_eq!(gpu.positions(), shared.positions());
+        assert_eq!(gpu.positions(), distributed.positions());
+    }
+
+    #[test]
+    fn single_car() {
+        let c = RoadConfig {
+            length: 50,
+            cars: 1,
+            v_max: 5,
+            p: 0.3,
+            seed: 9,
+        };
+        let mut serial = AgentRoad::new(&c);
+        serial.run_serial(0, 40);
+        assert_eq!(run_gpu(&c, 40, 2, 8).positions(), serial.positions());
+    }
+
+    #[test]
+    fn zero_steps() {
+        let gpu = run_gpu(&config(), 0, 2, 8);
+        assert_eq!(gpu.positions(), AgentRoad::new(&config()).positions());
+    }
+
+    #[test]
+    fn onboard_rng_matches_philox_host_reference() {
+        let host = run_serial_philox(&config(), 50);
+        for (grid, block) in [(1usize, 1usize), (4, 16), (8, 32)] {
+            let gpu = run_gpu_onboard_rng(&config(), 50, grid, block);
+            assert_eq!(
+                gpu.positions(),
+                host.positions(),
+                "grid={grid} block={block}"
+            );
+            assert_eq!(gpu.velocities(), host.velocities());
+        }
+    }
+
+    #[test]
+    fn onboard_rng_is_a_valid_simulation() {
+        // Different stream family than Lcg64, so trajectories differ from
+        // the host-upload path — but the physics invariants hold.
+        let a = run_gpu_onboard_rng(&config(), 80, 4, 16);
+        let b = run_gpu(&config(), 80, 4, 16);
+        assert_ne!(a.positions(), b.positions(), "distinct RNG families");
+        let mut seen = std::collections::HashSet::new();
+        for &p in a.positions() {
+            assert!(seen.insert(p), "collision");
+            assert!(p < 300);
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! The grid representation: "a value to every point on the circular road".
+//!
+//! Equivalent to the agent representation but with O(v_max) gap lookups by
+//! cell scanning. Kept as a cross-check (the test-suite asserts
+//! step-for-step equality with [`AgentRoad`]) and because the assignment
+//! discusses the trade-off between the two representations explicitly.
+
+use peachy_prng::{FastForward, Lcg64, RandomStream};
+
+use crate::road::{AgentRoad, RoadConfig};
+
+/// Grid state: cell occupancy plus per-car bookkeeping. Cars are numbered
+/// as in [`AgentRoad`], and draws are consumed in car order, so the two
+/// representations consume identical streams.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GridRoad {
+    config: RoadConfig,
+    /// `cell[x]` is the id of the car occupying cell `x`, if any.
+    cells: Vec<Option<u32>>,
+    /// Car id → current cell.
+    car_cell: Vec<usize>,
+    /// Car id → current velocity.
+    car_v: Vec<u32>,
+}
+
+impl GridRoad {
+    /// Same even initial placement as [`AgentRoad::new`].
+    pub fn new(config: &RoadConfig) -> Self {
+        let agents = AgentRoad::new(config);
+        let mut cells = vec![None; config.length];
+        let car_cell: Vec<usize> = agents.positions().to_vec();
+        for (id, &cell) in car_cell.iter().enumerate() {
+            cells[cell] = Some(id as u32);
+        }
+        Self {
+            config: *config,
+            cells,
+            car_cell,
+            car_v: vec![0; config.cars],
+        }
+    }
+
+    /// Car id → cell mapping.
+    pub fn positions(&self) -> &[usize] {
+        &self.car_cell
+    }
+
+    /// Car id → velocity mapping.
+    pub fn velocities(&self) -> &[u32] {
+        &self.car_v
+    }
+
+    /// Gap ahead of car `id`, by scanning at most `v_max + 1` cells.
+    fn gap_ahead(&self, id: usize) -> usize {
+        let start = self.car_cell[id];
+        for d in 1..=(self.config.v_max as usize + 1) {
+            let cell = (start + d) % self.config.length;
+            if self.cells[cell].is_some() {
+                return d - 1;
+            }
+        }
+        // No car within reach: gap is at least v_max + 1, which the speed
+        // rule can never exceed anyway.
+        self.config.v_max as usize + 1
+    }
+
+    /// One serial step, consuming draw `step_index·N + id` per car.
+    pub fn step_serial(&mut self, step_index: u64) {
+        let n = self.car_cell.len();
+        let mut rng = Lcg64::seed_from(self.config.seed);
+        rng.jump(step_index * n as u64);
+        // Phase 1: velocities from old state.
+        let mut new_v = vec![0u32; n];
+        for id in 0..n {
+            let mut v = (self.car_v[id] + 1).min(self.config.v_max);
+            v = v.min(self.gap_ahead(id) as u32);
+            let u = rng.next_f64();
+            if u < self.config.p && v > 0 {
+                v -= 1;
+            }
+            new_v[id] = v;
+        }
+        // Phase 2: move.
+        for id in 0..n {
+            let from = self.car_cell[id];
+            let to = (from + new_v[id] as usize) % self.config.length;
+            if to != from {
+                debug_assert!(self.cells[to].is_none(), "collision in grid step");
+                self.cells[from] = None;
+                self.cells[to] = Some(id as u32);
+                self.car_cell[id] = to;
+            }
+            self.car_v[id] = new_v[id];
+        }
+    }
+
+    /// Run `steps` steps from `start`.
+    pub fn run_serial(&mut self, start: u64, steps: u64) {
+        for s in 0..steps {
+            self.step_serial(start + s);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> RoadConfig {
+        RoadConfig {
+            length: 200,
+            cars: 60,
+            v_max: 5,
+            p: 0.2,
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn grid_matches_agent_step_for_step() {
+        let config = config();
+        let mut grid = GridRoad::new(&config);
+        let mut agent = AgentRoad::new(&config);
+        for step in 0..200 {
+            grid.step_serial(step);
+            agent.step_serial(step);
+            assert_eq!(grid.positions(), agent.positions(), "step {step}");
+            assert_eq!(grid.velocities(), agent.velocities(), "step {step}");
+        }
+    }
+
+    #[test]
+    fn occupancy_stays_consistent() {
+        let mut grid = GridRoad::new(&config());
+        for step in 0..100 {
+            grid.step_serial(step);
+            let occupied = grid.cells.iter().filter(|c| c.is_some()).count();
+            assert_eq!(occupied, 60, "step {step}");
+            for (id, &cell) in grid.car_cell.iter().enumerate() {
+                assert_eq!(grid.cells[cell], Some(id as u32));
+            }
+        }
+    }
+
+    #[test]
+    fn dense_road_no_movement_without_space() {
+        // Completely full road: every gap is 0, nobody moves, ever.
+        let config = RoadConfig {
+            length: 10,
+            cars: 10,
+            v_max: 5,
+            p: 0.5,
+            seed: 7,
+        };
+        let mut grid = GridRoad::new(&config);
+        let initial = grid.positions().to_vec();
+        grid.run_serial(0, 50);
+        assert_eq!(grid.positions(), &initial[..]);
+        assert!(grid.velocities().iter().all(|&v| v == 0));
+    }
+}

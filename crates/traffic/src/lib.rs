@@ -1,0 +1,69 @@
+//! # peachy-traffic
+//!
+//! The Nagel–Schreckenberg stochastic traffic model — the §5 Peachy
+//! assignment: "creating a shared-memory parallel **and reproducible**
+//! version of a serial code implementing this model".
+//!
+//! The model simulates `N` cars on a circular road of `L` cells. Each time
+//! step applies, synchronously to every car:
+//!
+//! 1. **Accelerate**: `v ← min(v + 1, v_max)`;
+//! 2. **Brake**: `v ← min(v, gap)` where `gap` is the number of empty
+//!    cells to the car ahead;
+//! 3. **Randomize**: with probability `p`, `v ← max(v − 1, 0)` — the
+//!    stochastic element "without which it would lack realistic phenomena
+//!    such as traffic jams";
+//! 4. **Move**: `x ← (x + v) mod L`.
+//!
+//! ## The reproducibility contract
+//!
+//! Each car consumes **exactly one** random draw per step, in car order, so
+//! the simulation's draw stream is addressable: car `i` at step `t` uses
+//! draw `t·N + i`. The parallel stepper exploits this with the fast-forward
+//! generator of [`peachy_prng`]: each worker jumps its own generator copy
+//! directly to its chunk's offset, making the parallel output **bit
+//! -identical to the serial code for any number of threads** — the
+//! assignment's central requirement. The contrast case (each thread with
+//! its own seed — simple but thread-count-dependent) is also provided as
+//! [`parallel::step_parallel_substreams`].
+//!
+//! Two state representations are implemented, as the assignment discusses:
+//! the **agent-based** [`AgentRoad`] (positions + velocities of N cars —
+//! "significantly simplifies the parallelization of PRNG") and the **grid**
+//! [`grid::GridRoad`] (a value for every road cell). They are equivalent,
+//! and the test-suite asserts step-for-step agreement.
+//!
+//! ```
+//! use peachy_traffic::{AgentRoad, RoadConfig};
+//!
+//! let config = RoadConfig { length: 100, cars: 20, v_max: 5, p: 0.13, seed: 1 };
+//! let mut serial = AgentRoad::new(&config);
+//! let mut parallel = AgentRoad::new(&config);
+//! for step in 0..50 {
+//!     serial.step_serial(step);
+//!     parallel.step_parallel(step, 4); // 4 chunks
+//! }
+//! assert_eq!(serial.positions(), parallel.positions());
+//! ```
+
+// Numeric kernels below use explicit index loops deliberately: they mirror
+// the assignments' pseudocode and keep stencil/neighbour indexing visible.
+#![allow(clippy::needless_range_loop)]
+
+pub mod distributed;
+pub mod gpu;
+pub mod grid;
+pub mod measure;
+pub mod open;
+pub mod output;
+pub mod parallel;
+pub mod raster;
+pub mod road;
+pub mod sweep;
+
+pub use distributed::run_distributed;
+pub use measure::{flow, fundamental_diagram, jam_fraction, FlowStats};
+pub use open::{OpenRoad, OpenRoadConfig};
+pub use raster::SpaceTime;
+pub use road::{AgentRoad, RoadConfig};
+pub use sweep::{capacity_curve, run_sweep, SweepPoint};

@@ -1,0 +1,153 @@
+//! Flow measurements: mean velocity, flow, jam detection, and the
+//! fundamental diagram (flow vs. density) sweep.
+
+use crate::road::{AgentRoad, RoadConfig};
+
+/// Aggregate flow statistics over a measured window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlowStats {
+    /// Mean velocity per car per step.
+    pub mean_velocity: f64,
+    /// Flow `q = ρ·v̄` — cars passing a fixed point per step.
+    pub flow: f64,
+    /// Density `ρ = N/L`.
+    pub density: f64,
+    /// Mean fraction of stopped cars per step (jam indicator).
+    pub stopped_fraction: f64,
+}
+
+/// Run `warmup` steps, then measure `window` steps, returning aggregates.
+/// (Serial stepping; the measurement is representation-independent.)
+pub fn flow(config: &RoadConfig, warmup: u64, window: u64) -> FlowStats {
+    assert!(window > 0, "need a measuring window");
+    let mut road = AgentRoad::new(config);
+    road.run_serial(0, warmup);
+    let mut velocity_sum = 0u64;
+    let mut stopped_sum = 0usize;
+    for s in 0..window {
+        road.step_serial(warmup + s);
+        velocity_sum += road.total_velocity();
+        stopped_sum += road.stopped();
+    }
+    let steps = window as f64;
+    let n = config.cars as f64;
+    let mean_velocity = velocity_sum as f64 / (steps * n);
+    let density = config.density();
+    FlowStats {
+        mean_velocity,
+        flow: density * mean_velocity,
+        density,
+        stopped_fraction: stopped_sum as f64 / (steps * n),
+    }
+}
+
+/// Mean fraction of stopped cars after warmup — the jam metric used by the
+/// "no randomness → no jams" experiment.
+pub fn jam_fraction(config: &RoadConfig, warmup: u64, window: u64) -> f64 {
+    flow(config, warmup, window).stopped_fraction
+}
+
+/// Sweep density and measure steady-state flow: the fundamental diagram of
+/// traffic theory (free-flow branch rising, congested branch falling).
+pub fn fundamental_diagram(
+    length: usize,
+    v_max: u32,
+    p: f64,
+    seed: u64,
+    densities: &[f64],
+    warmup: u64,
+    window: u64,
+) -> Vec<FlowStats> {
+    densities
+        .iter()
+        .map(|&rho| {
+            let cars = ((length as f64 * rho).round() as usize).clamp(1, length);
+            let config = RoadConfig {
+                length,
+                cars,
+                v_max,
+                p,
+                seed,
+            };
+            flow(&config, warmup, window)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn free_flow_speed_without_randomness() {
+        // Low density, p = 0: everyone reaches v_max.
+        let config = RoadConfig {
+            length: 300,
+            cars: 20,
+            v_max: 5,
+            p: 0.0,
+            seed: 1,
+        };
+        let stats = flow(&config, 100, 50);
+        assert!((stats.mean_velocity - 5.0).abs() < 1e-12, "{stats:?}");
+        assert_eq!(stats.stopped_fraction, 0.0);
+    }
+
+    #[test]
+    fn randomness_reduces_mean_velocity() {
+        let base = RoadConfig {
+            length: 300,
+            cars: 20,
+            v_max: 5,
+            p: 0.0,
+            seed: 1,
+        };
+        let noisy = RoadConfig { p: 0.3, ..base };
+        let v0 = flow(&base, 100, 100).mean_velocity;
+        let v1 = flow(&noisy, 100, 100).mean_velocity;
+        assert!(v1 < v0, "random slowdowns must cost speed: {v1} vs {v0}");
+    }
+
+    #[test]
+    fn jams_require_randomness_at_figure3_density() {
+        // The paper's central claim, at its own parameters: with p = 0.13
+        // jams occur; with p = 0 they do not.
+        let with_noise = RoadConfig::figure3(11);
+        let without = RoadConfig {
+            p: 0.0,
+            ..with_noise
+        };
+        let jam_noisy = jam_fraction(&with_noise, 300, 200);
+        let jam_quiet = jam_fraction(&without, 300, 200);
+        assert!(
+            jam_noisy > 0.01,
+            "expected jams with p = 0.13, got {jam_noisy}"
+        );
+        assert_eq!(jam_quiet, 0.0, "no jams without randomness");
+    }
+
+    #[test]
+    fn fundamental_diagram_rises_then_falls() {
+        let densities = [0.05, 0.1, 0.15, 0.3, 0.6, 0.9];
+        let stats = fundamental_diagram(400, 5, 0.2, 3, &densities, 200, 200);
+        assert_eq!(stats.len(), 6);
+        // Free-flow branch: flow grows with density at low density.
+        assert!(stats[1].flow > stats[0].flow * 1.5);
+        // Congested branch: flow at 0.9 density far below the peak.
+        let peak = stats.iter().map(|s| s.flow).fold(0.0, f64::max);
+        assert!(stats[5].flow < peak * 0.5, "congestion must collapse flow");
+    }
+
+    #[test]
+    fn flow_is_density_times_velocity() {
+        let config = RoadConfig {
+            length: 200,
+            cars: 50,
+            v_max: 5,
+            p: 0.1,
+            seed: 2,
+        };
+        let s = flow(&config, 50, 50);
+        assert!((s.flow - s.density * s.mean_velocity).abs() < 1e-12);
+    }
+}

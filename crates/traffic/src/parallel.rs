@@ -1,0 +1,156 @@
+//! Parallel stepping: the reproducible (fast-forward) scheme and the
+//! non-reproducible (per-thread substream) contrast case.
+
+use peachy_prng::{FastForward, Lcg64, RandomStream, StreamSplit};
+use rayon::prelude::*;
+
+use crate::road::AgentRoad;
+
+impl AgentRoad {
+    /// One parallel step, **bit-identical to [`AgentRoad::step_serial`]**
+    /// for any `chunks ≥ 1`.
+    ///
+    /// Cars are split into `chunks` contiguous blocks. Every block gets a
+    /// fresh generator seeded like the serial one and fast-forwarded to
+    /// `step_index·N + block_start` — so block `b`'s cars consume exactly
+    /// the draws the serial loop would have given them. Blocks run on the
+    /// rayon pool; the thread count is irrelevant to the output.
+    pub fn step_parallel(&mut self, step_index: u64, chunks: usize) {
+        assert!(chunks >= 1, "need at least one chunk");
+        let n = self.positions().len();
+        let seed = self.config().seed;
+        let chunk_len = n.div_ceil(chunks);
+        // Pre-draw all decelerations in parallel, indexed by car. The
+        // synchronous state update itself reads only old state, so it is
+        // done with the same shared kernel as the serial path.
+        let mut draws = vec![0.0f64; n];
+        draws
+            .par_chunks_mut(chunk_len)
+            .enumerate()
+            .for_each(|(b, chunk)| {
+                let start = b * chunk_len;
+                let mut rng = Lcg64::seed_from(seed);
+                rng.jump(step_index * n as u64 + start as u64);
+                for d in chunk.iter_mut() {
+                    *d = rng.next_f64();
+                }
+            });
+        self.step_with_draws(|i, _| draws[i]);
+    }
+
+    /// One parallel step using **per-chunk independent substreams** — the
+    /// simple strategy the assignment contrasts: correct as a stochastic
+    /// simulation, but "this gives different results when the number of
+    /// threads changes". Exposed so benchmarks and tests can demonstrate
+    /// exactly that failure.
+    pub fn step_parallel_substreams(&mut self, step_index: u64, chunks: usize) {
+        assert!(chunks >= 1, "need at least one chunk");
+        let n = self.positions().len();
+        let seed = self.config().seed;
+        let chunk_len = n.div_ceil(chunks);
+        let mut draws = vec![0.0f64; n];
+        draws
+            .par_chunks_mut(chunk_len)
+            .enumerate()
+            .for_each(|(b, chunk)| {
+                // Each chunk's stream depends on the chunk index — and
+                // therefore on how many chunks there are.
+                let base = Lcg64::seed_from(seed);
+                let mut rng = base.substream(b as u64);
+                rng.jump(step_index * chunk_len as u64);
+                for d in chunk.iter_mut() {
+                    *d = rng.next_f64();
+                }
+            });
+        self.step_with_draws(|i, _| draws[i]);
+    }
+
+    /// Run `steps` parallel (reproducible) steps from step index `start`.
+    pub fn run_parallel(&mut self, start: u64, steps: u64, chunks: usize) {
+        for s in 0..steps {
+            self.step_parallel(start + s, chunks);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::road::{AgentRoad, RoadConfig};
+
+    fn config() -> RoadConfig {
+        RoadConfig {
+            length: 500,
+            cars: 120,
+            v_max: 5,
+            p: 0.25,
+            seed: 77,
+        }
+    }
+
+    #[test]
+    fn parallel_equals_serial_for_every_chunking() {
+        let mut serial = AgentRoad::new(&config());
+        serial.run_serial(0, 100);
+        for chunks in [1usize, 2, 3, 5, 8, 120, 999] {
+            let mut par = AgentRoad::new(&config());
+            par.run_parallel(0, 100, chunks);
+            assert_eq!(par, serial, "chunks = {chunks}");
+        }
+    }
+
+    #[test]
+    fn chunk_count_can_change_mid_run() {
+        // Reproducibility must hold even when the "thread count" varies
+        // between steps — the stream addressing is purely positional.
+        let mut serial = AgentRoad::new(&config());
+        serial.run_serial(0, 60);
+        let mut par = AgentRoad::new(&config());
+        for step in 0..60u64 {
+            par.step_parallel(step, 1 + (step as usize % 7));
+        }
+        assert_eq!(par, serial);
+    }
+
+    #[test]
+    fn substreams_depend_on_chunk_count() {
+        // The contrast case: different chunkings → different trajectories.
+        let mut a = AgentRoad::new(&config());
+        let mut b = AgentRoad::new(&config());
+        for step in 0..50 {
+            a.step_parallel_substreams(step, 2);
+            b.step_parallel_substreams(step, 4);
+        }
+        assert_ne!(
+            a.positions(),
+            b.positions(),
+            "per-thread seeding should be thread-count-dependent"
+        );
+    }
+
+    #[test]
+    fn substreams_still_a_valid_simulation() {
+        // Same chunking → deterministic; cars still never collide.
+        let mut a = AgentRoad::new(&config());
+        let mut b = AgentRoad::new(&config());
+        for step in 0..50 {
+            a.step_parallel_substreams(step, 4);
+            b.step_parallel_substreams(step, 4);
+            let mut seen = std::collections::HashSet::new();
+            for &p in a.positions() {
+                assert!(seen.insert(p), "collision");
+            }
+        }
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn figure3_scale_parallel_reproducibility() {
+        // The paper's exact Figure-3 configuration.
+        let config = RoadConfig::figure3(2023);
+        let mut serial = AgentRoad::new(&config);
+        serial.run_serial(0, 50);
+        let mut par = AgentRoad::new(&config);
+        par.run_parallel(0, 50, 8);
+        assert_eq!(par, serial);
+    }
+}

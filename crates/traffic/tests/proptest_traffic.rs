@@ -1,0 +1,99 @@
+//! Property tests: the reproducibility contract and physical invariants of
+//! the Nagel–Schreckenberg implementation.
+
+use peachy_traffic::{AgentRoad, RoadConfig};
+use proptest::prelude::*;
+
+fn config_strategy() -> impl Strategy<Value = RoadConfig> {
+    (10usize..200, 1u32..6, 0.0f64..0.9, any::<u64>()).prop_flat_map(|(length, v_max, p, seed)| {
+        (1usize..=length.min(50)).prop_map(move |cars| RoadConfig {
+            length,
+            cars,
+            v_max,
+            p,
+            seed,
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The assignment's core requirement: parallel output is bit-identical
+    /// to serial for any chunk count.
+    #[test]
+    fn parallel_bit_identical(config in config_strategy(), chunks in 1usize..12, steps in 1u64..40) {
+        let mut serial = AgentRoad::new(&config);
+        serial.run_serial(0, steps);
+        let mut par = AgentRoad::new(&config);
+        par.run_parallel(0, steps, chunks);
+        prop_assert_eq!(serial.positions(), par.positions());
+        prop_assert_eq!(serial.velocities(), par.velocities());
+    }
+
+    /// No two cars ever occupy the same cell, and positions stay on-road.
+    #[test]
+    fn no_collisions(config in config_strategy(), steps in 1u64..60) {
+        let mut road = AgentRoad::new(&config);
+        for step in 0..steps {
+            road.step_serial(step);
+            let mut seen = std::collections::HashSet::new();
+            for &p in road.positions() {
+                prop_assert!(p < config.length);
+                prop_assert!(seen.insert(p));
+            }
+        }
+    }
+
+    /// Velocities never exceed v_max.
+    #[test]
+    fn speed_limit(config in config_strategy(), steps in 1u64..60) {
+        let mut road = AgentRoad::new(&config);
+        for step in 0..steps {
+            road.step_serial(step);
+            for &v in road.velocities() {
+                prop_assert!(v <= config.v_max);
+            }
+        }
+    }
+
+    /// The ring's cyclic car order is preserved (no overtaking): gaps+car
+    /// cells always tile the road exactly.
+    #[test]
+    fn ring_conserved(config in config_strategy(), steps in 1u64..40) {
+        let mut road = AgentRoad::new(&config);
+        for step in 0..steps {
+            road.step_serial(step);
+            if config.cars > 1 {
+                let total: usize = (0..config.cars).map(|i| road.gap_ahead(i) + 1).sum();
+                prop_assert_eq!(total, config.length);
+            }
+        }
+    }
+
+    /// Stepping is Markovian in (state, step_index): splitting a run at any
+    /// point yields the same trajectory.
+    #[test]
+    fn run_split_invariance(config in config_strategy(), total in 2u64..40, cut_sel in any::<u64>()) {
+        let cut = 1 + cut_sel % (total - 1);
+        let mut whole = AgentRoad::new(&config);
+        whole.run_serial(0, total);
+        let mut split = AgentRoad::new(&config);
+        split.run_serial(0, cut);
+        split.run_serial(cut, total - cut);
+        prop_assert_eq!(whole.positions(), split.positions());
+    }
+
+    /// With p = 0 and density low enough, every car eventually cruises at
+    /// v_max.
+    #[test]
+    fn deterministic_free_flow(seed in any::<u64>(), cars in 1usize..10) {
+        let length = cars * 10; // density 0.1 << 1/(v_max+1)
+        let config = RoadConfig { length, cars, v_max: 5, p: 0.0, seed };
+        let mut road = AgentRoad::new(&config);
+        road.run_serial(0, 200);
+        for &v in road.velocities() {
+            prop_assert_eq!(v, 5);
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! The "whole application" adaptation of §2 on real data: parse CSVs,
+//! classify with k-NN, report accuracy — Fisher's iris instead of a
+//! datahub.io download, exercising the same code path end to end
+//! (CSV ingestion → split → classify → output CSV).
+//!
+//! ```sh
+//! cargo run --release --example iris_classifier
+//! ```
+
+use peachy::data::csv::write_labeled;
+use peachy::data::iris::{iris, IRIS_CLASSES};
+use peachy::data::split::train_test_split;
+use peachy::knn::{self, app, KnnMrConfig};
+
+fn main() {
+    println!("=== §2 whole-application variant: k-NN on Fisher's iris ===\n");
+    let ds = iris();
+    println!(
+        "{} rows × {} features, classes: {:?}",
+        ds.len(),
+        ds.dims(),
+        IRIS_CLASSES
+    );
+    let tt = train_test_split(&ds, 0.7, 2023);
+    let (db_csv, q_csv) = (write_labeled(&tt.train), write_labeled(&tt.test));
+
+    // The simple application path (built-in sort, as the assignment says).
+    println!(
+        "\n{:>4} {:>10}  (sort-based application path)",
+        "k", "accuracy"
+    );
+    for k in [1usize, 3, 5, 9, 15] {
+        let out = app::run(&db_csv, &q_csv, k).expect("CSV parses");
+        println!("{k:>4} {:>10.3}", out.accuracy);
+    }
+
+    // Cross-check every other implementation on k = 5.
+    let k = 5;
+    let reference = knn::classify_batch_seq(&tt.train, &tt.test, k);
+    let kd = knn::KdTree::build(&tt.train);
+    let by_kd: Vec<u32> = (0..tt.test.len())
+        .map(|q| kd.classify(tt.test.points.row(q), k))
+        .collect();
+    let mr = knn::knn_mapreduce(
+        &tt.train,
+        &tt.test,
+        KnnMrConfig {
+            k,
+            ranks: 3,
+            map_blocks: 6,
+            combine: true,
+        },
+    );
+    let gpu = knn::gpu::classify_batch_gpu(&tt.train, &tt.test, k, 16);
+    println!("\nimplementation agreement at k = {k}:");
+    println!(
+        "  heap == sort-app:   {}",
+        app::run(&db_csv, &q_csv, k).unwrap().predictions == reference
+    );
+    println!("  kd-tree == brute:   {}", by_kd == reference);
+    println!("  mapreduce == brute: {}", mr.predictions == reference);
+    println!("  gpu == brute:       {}", gpu == reference);
+
+    // Confusion matrix for the curious.
+    let confusion = knn::metrics::confusion_matrix(&reference, &tt.test.labels, 3);
+    println!("\nconfusion matrix (rows = truth):");
+    print!("{:>12}", "");
+    for name in IRIS_CLASSES {
+        print!("{name:>12}");
+    }
+    println!();
+    for (i, row) in confusion.iter().enumerate() {
+        print!("{:>12}", IRIS_CLASSES[i]);
+        for &c in row {
+            print!("{c:>12}");
+        }
+        println!();
+    }
+}

@@ -1,0 +1,102 @@
+//! §2 — k-Nearest Neighbor with MapReduce (experiment E1).
+//!
+//! Reproduces the paper's quoted instance: "a 40-dimensional test case with
+//! 5,000 database points and 5,000 queries takes about 5 seconds
+//! sequentially", then shows the MapReduce speedup, the heap-vs-sort
+//! selection gap, and the combiner's effect on shuffle volume.
+//!
+//! ```sh
+//! cargo run --release --example knn_mapreduce
+//! ```
+
+use std::time::Instant;
+
+use peachy::data::synth::knn_paper_instance;
+use peachy::knn::{self, classify_batch_par, classify_batch_seq, KnnMrConfig};
+
+fn main() {
+    println!("=== E1: k-NN — the paper's 40-d, 5 000 × 5 000 instance ===\n");
+    let (db, queries) = knn_paper_instance(1);
+    let k = 15;
+
+    // Sequential baseline (heap top-k).
+    let t0 = Instant::now();
+    let seq = classify_batch_seq(&db, &queries, k);
+    let t_seq = t0.elapsed();
+    let acc = knn::metrics::accuracy(&seq, &queries.labels);
+    println!(
+        "sequential (heap, Θ(qn(d+log k))):  {:>8.2?}   accuracy {acc:.3}",
+        t_seq
+    );
+
+    // Sort-based per-query selection: the Θ(n log n) baseline.
+    let t0 = Instant::now();
+    let _sorted: Vec<u32> = (0..queries.len().min(500))
+        .map(|q| knn::classify_sort(&db, queries.points.row(q), k))
+        .collect();
+    let per_query_sort = t0.elapsed() / 500;
+    let per_query_heap = t_seq / queries.len() as u32;
+    println!(
+        "per-query: heap {:>8.2?} vs sort {:>8.2?}  (heap wins for k ≪ n)",
+        per_query_heap, per_query_sort
+    );
+
+    // Shared-memory parallel (rayon).
+    let t0 = Instant::now();
+    let par = classify_batch_par(&db, &queries, k);
+    let t_par = t0.elapsed();
+    assert_eq!(par, seq);
+    println!(
+        "rayon parallel batch:               {:>8.2?}   speedup {:.1}×",
+        t_par,
+        t_seq.as_secs_f64() / t_par.as_secs_f64()
+    );
+
+    // MapReduce over simulated ranks.
+    println!("\nMapReduce-MPI-style job (combiner ON):");
+    println!(
+        "{:>6} {:>12} {:>10} {:>14}",
+        "ranks", "time", "speedup", "pairs shuffled"
+    );
+    for ranks in [1usize, 2, 4, 8] {
+        let t0 = Instant::now();
+        let out = knn::knn_mapreduce(
+            &db,
+            &queries,
+            KnnMrConfig {
+                k,
+                ranks,
+                map_blocks: ranks * 4,
+                combine: true,
+            },
+        );
+        let t = t0.elapsed();
+        assert_eq!(out.predictions, seq);
+        println!(
+            "{ranks:>6} {t:>12.2?} {:>9.1}× {:>14}",
+            t_seq.as_secs_f64() / t.as_secs_f64(),
+            out.shuffled_pairs
+        );
+    }
+
+    // The communication optimization the assignment teaches.
+    println!("\ncombiner ablation (4 ranks, 16 blocks), small instance:");
+    let small_db = db.select(&(0..1000).collect::<Vec<_>>());
+    let small_q = queries.select(&(0..500).collect::<Vec<_>>());
+    for combine in [false, true] {
+        let out = knn::knn_mapreduce(
+            &small_db,
+            &small_q,
+            KnnMrConfig {
+                k,
+                ranks: 4,
+                map_blocks: 16,
+                combine,
+            },
+        );
+        println!(
+            "  combine = {combine:<5} → {:>10} pairs shuffled",
+            out.shuffled_pairs
+        );
+    }
+}

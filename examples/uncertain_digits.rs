@@ -1,0 +1,100 @@
+//! §7 — ensemble uncertainty on digits (experiment E9, Figure 4).
+//!
+//! Trains a deep ensemble during hyper-parameter optimization (so the
+//! ensemble is "free"), then probes it with a clean digit and a genuinely
+//! ambiguous 4/9 blend — reproducing Figure 4's high- vs low-uncertainty
+//! contrast. Also demonstrates the uneven task→rank distribution.
+//!
+//! ```sh
+//! cargo run --release --example uncertain_digits
+//! ```
+
+use peachy::data::digits::{ascii_art, digit_dataset, render, render_blend, Style};
+use peachy::data::split::train_test_split;
+use peachy::ensemble::{
+    block_assignment, distribute_training, random_search, HpoConfig, NetConfig, TrainConfig,
+};
+
+fn main() {
+    println!("=== E9 (Figure 4): ensemble uncertainty on procedural digits ===\n");
+
+    // Train/validation split of the MNIST substitute.
+    let all = digit_dataset(3_000, 0.05, 5);
+    let tt = train_test_split(&all, 0.8, 6);
+
+    // HPO: the intermediate models become the ensemble.
+    println!("running random-search HPO (8 candidates, top 4 → ensemble)…");
+    let hpo = HpoConfig {
+        candidates: 8,
+        ensemble_size: 4,
+        hidden: (16, 64),
+        log10_lr: (-1.6, -0.8),
+        batches: &[16, 32],
+        epochs: 3,
+        seed: 9,
+    };
+    let result = random_search(&hpo, peachy::data::digits::PIXELS, 10, &tt.train, &tt.test);
+    println!(
+        "{:>8} {:>10} {:>8} {:>10}",
+        "hidden", "lr", "batch", "val acc"
+    );
+    for c in &result.candidates {
+        println!(
+            "{:>8} {:>10.4} {:>8} {:>10.3}",
+            c.hidden, c.lr, c.batch, c.val_accuracy
+        );
+    }
+    let ens = &result.ensemble;
+    println!(
+        "\nbest config: hidden {} lr {:.4}; ensemble of {} has test accuracy {:.3}\n",
+        result.best().hidden,
+        result.best().lr,
+        ens.len(),
+        ens.accuracy(&tt.test)
+    );
+
+    // Figure 4's two probes.
+    let clean = render(4, &Style::clean());
+    let ambiguous = render_blend(4, 9, 0.5, &Style::clean());
+    for (name, img) in [
+        ("B) clean '4' — low uncertainty", &clean),
+        ("A) 4/9 blend — high uncertainty", &ambiguous),
+    ] {
+        let r = ens.predict_with_uncertainty(img);
+        println!("--- {name} ---");
+        println!("{}", ascii_art(img));
+        println!(
+            "predicted {} | confidence {:.2} | predictive entropy {:.3} | mutual information {:.3}\n",
+            r.predicted, r.confidence, r.predictive_entropy, r.mutual_information
+        );
+    }
+
+    // The PDC concept: 10 models over ranks that don't divide evenly.
+    println!("=== E10: distributing M = 10 models over R ranks (R ∤ M) ===\n");
+    for ranks in [3usize, 4, 6] {
+        let loads: Vec<usize> = (0..ranks)
+            .map(|r| block_assignment(10, ranks, r).len())
+            .collect();
+        println!("  R = {ranks}: per-rank model counts {loads:?}");
+    }
+    println!("\ntraining 6 models on 4 simulated ranks (block assignment)…");
+    let small_train = tt.train.select(&(0..800).collect::<Vec<_>>());
+    let dist_ens = distribute_training(
+        &NetConfig::digits_default(24),
+        &TrainConfig {
+            epochs: 2,
+            batch: 16,
+            lr: 0.08,
+            momentum: 0.9,
+            seed: 21,
+        },
+        6,
+        4,
+        &small_train,
+    );
+    println!(
+        "distributed ensemble of {} → test accuracy {:.3}",
+        dist_ens.len(),
+        dist_ens.accuracy(&tt.test)
+    );
+}

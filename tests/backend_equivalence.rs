@@ -1,0 +1,139 @@
+//! Cross-backend equivalence at integration scale: the same computation on
+//! serial / shared-memory / distributed / GPU backends must agree — the
+//! multi-programming-model thesis of the assignment series, enforced.
+
+use peachy::data::synth::gaussian_blobs;
+use peachy::kmeans::{
+    fit, fit_buffers, fit_distributed, fit_gpu, fit_seq, random_init, GpuLaunch, GpuStrategy,
+    KMeansConfig, Strategy,
+};
+use peachy::knn::{self, KnnMrConfig};
+use peachy::traffic::{self, AgentRoad, RoadConfig};
+
+#[test]
+fn traffic_four_backends_bit_identical() {
+    let config = RoadConfig {
+        length: 2_000,
+        cars: 400,
+        v_max: 5,
+        p: 0.18,
+        seed: 131,
+    };
+    let steps = 120;
+    let mut serial = AgentRoad::new(&config);
+    serial.run_serial(0, steps);
+
+    let mut shared = AgentRoad::new(&config);
+    shared.run_parallel(0, steps, 6);
+    assert_eq!(shared.positions(), serial.positions());
+
+    let distributed = traffic::run_distributed(&config, steps, 5);
+    assert_eq!(distributed.positions(), serial.positions());
+    assert_eq!(distributed.velocities(), serial.velocities());
+
+    let gpu = traffic::gpu::run_gpu(&config, steps, 4, 32);
+    assert_eq!(gpu.positions(), serial.positions());
+    assert_eq!(gpu.velocities(), serial.velocities());
+}
+
+#[test]
+fn kmeans_six_implementations_agree() {
+    let data = gaussian_blobs(3_000, 4, 6, 1.0, 132);
+    let init = random_init(&data.points, 6, 133);
+    let cfg = KMeansConfig {
+        max_iters: 30,
+        min_changes: 0,
+        min_shift: 1e-12,
+    };
+    let reference = fit_seq(&data.points, &cfg, init.clone());
+
+    let buffers = fit_buffers(&data.points, &cfg, init.clone());
+    assert_eq!(buffers.assignments, reference.assignments);
+    assert_eq!(
+        buffers.centroids, reference.centroids,
+        "buffer layout is bit-identical"
+    );
+
+    for strategy in [Strategy::Critical, Strategy::Atomic, Strategy::Reduction] {
+        let r = fit(&data.points, &cfg, init.clone(), strategy);
+        assert_eq!(r.assignments, reference.assignments, "{strategy:?}");
+    }
+
+    let dist = fit_distributed(&data.points, &cfg, init.clone(), 4);
+    assert_eq!(dist.assignments, reference.assignments);
+
+    for gpu_strategy in [GpuStrategy::Atomic, GpuStrategy::BlockReduction] {
+        let gpu = fit_gpu(
+            &data.points,
+            &cfg,
+            init.clone(),
+            gpu_strategy,
+            GpuLaunch::default(),
+        );
+        assert_eq!(gpu.assignments, reference.assignments, "{gpu_strategy:?}");
+        assert_eq!(gpu.iterations, reference.iterations, "{gpu_strategy:?}");
+    }
+}
+
+#[test]
+fn knn_five_implementations_agree() {
+    let all = gaussian_blobs(1_000, 2, 4, 1.5, 134);
+    let db = all.select(&(0..800).collect::<Vec<_>>());
+    let queries = all.select(&(800..1_000).collect::<Vec<_>>());
+    let k = 9;
+
+    let reference = knn::classify_batch_seq(&db, &queries, k);
+    assert_eq!(knn::classify_batch_par(&db, &queries, k), reference);
+
+    let kd = knn::KdTree::build(&db);
+    let by_kd: Vec<u32> = (0..queries.len())
+        .map(|q| kd.classify(queries.points.row(q), k))
+        .collect();
+    assert_eq!(by_kd, reference);
+
+    let quad = knn::QuadTree::build(&db);
+    let by_quad: Vec<u32> = (0..queries.len())
+        .map(|q| quad.classify(queries.points.row(q), k))
+        .collect();
+    assert_eq!(by_quad, reference);
+
+    let mr = knn::knn_mapreduce(
+        &db,
+        &queries,
+        KnnMrConfig {
+            k,
+            ranks: 3,
+            map_blocks: 6,
+            combine: true,
+        },
+    );
+    assert_eq!(mr.predictions, reference);
+
+    assert_eq!(
+        knn::gpu::classify_batch_gpu(&db, &queries, k, 32),
+        reference
+    );
+}
+
+#[test]
+fn heat_four_solvers_agree() {
+    use peachy::heat::{
+        solve_coforall, solve_distributed, solve_forall, solve_serial, HeatProblem,
+    };
+    let p = HeatProblem::validation(513, 120);
+    let reference = solve_serial(&p);
+    assert_eq!(solve_forall(&p, 6), reference);
+    assert_eq!(solve_coforall(&p, 6), reference);
+    assert_eq!(solve_distributed(&p, 6), reference);
+}
+
+#[test]
+fn gpu_atomics_vs_tree_reduction_sums_agree() {
+    use peachy::gpu::kernels::device_sum;
+    let xs: Vec<f64> = (0..50_000).map(|i| ((i * 31) % 17) as f64 - 8.0).collect();
+    let expected: f64 = xs.iter().sum();
+    let atomic = device_sum(&xs, 16, 64, false);
+    let tree = device_sum(&xs, 16, 64, true);
+    assert!((atomic - expected).abs() < 1e-6);
+    assert!((tree - expected).abs() < 1e-6);
+}

@@ -1,0 +1,166 @@
+//! Cross-crate integration: the assignment libraries composed with each
+//! other, exactly as a course would combine them.
+
+use peachy::data::synth::{concentric_rings, gaussian_blobs};
+use peachy::data::{csv, split::train_test_split};
+use peachy::dataflow::Dataset;
+use peachy::kmeans::{self, Strategy};
+use peachy::knn::{self, KdTree, KnnMrConfig};
+use peachy::mapreduce::wordcount;
+
+/// k-NN classifiers (brute, KD-tree, MapReduce) all agree on a dataset
+/// that has gone through a CSV round-trip and a train/test split.
+#[test]
+fn knn_stack_end_to_end() {
+    let raw = gaussian_blobs(600, 5, 3, 1.2, 50);
+    // Round-trip through CSV like the assignment's file-based ingestion.
+    let text = csv::write_labeled(&raw);
+    let data = csv::read_labeled(&text).expect("round-trip");
+    assert_eq!(data.points, raw.points);
+    let tt = train_test_split(&data, 0.8, 51);
+
+    let k = 7;
+    let brute: Vec<u32> = knn::classify_batch_seq(&tt.train, &tt.test, k);
+    let tree = KdTree::build(&tt.train);
+    let by_tree: Vec<u32> = (0..tt.test.len())
+        .map(|q| tree.classify(tt.test.points.row(q), k))
+        .collect();
+    let by_mr = knn::knn_mapreduce(
+        &tt.train,
+        &tt.test,
+        KnnMrConfig {
+            k,
+            ranks: 3,
+            map_blocks: 9,
+            combine: true,
+        },
+    );
+    assert_eq!(brute, by_tree);
+    assert_eq!(brute, by_mr.predictions);
+    let acc = knn::metrics::accuracy(&brute, &tt.test.labels);
+    assert!(acc > 0.9, "accuracy = {acc}");
+}
+
+/// k-means recovers ring-center structure on data k-NN can classify, and
+/// every parallel strategy plus the distributed version agree.
+#[test]
+fn kmeans_strategies_and_distributed_agree_on_shared_data() {
+    let data = gaussian_blobs(1_500, 3, 5, 0.6, 52);
+    let init = kmeans::kmeans_plus_plus(&data.points, 5, 53);
+    let config = kmeans::KMeansConfig::default();
+    let seq = kmeans::fit_seq(&data.points, &config, init.clone());
+    for strategy in [Strategy::Critical, Strategy::Atomic, Strategy::Reduction] {
+        let r = kmeans::fit(&data.points, &config, init.clone(), strategy);
+        assert_eq!(r.assignments, seq.assignments, "{strategy:?}");
+    }
+    let dist = kmeans::fit_distributed(&data.points, &config, init, 4);
+    assert_eq!(dist.assignments, seq.assignments);
+    // Clusters broadly correspond to the generating blobs: each blob's
+    // points mostly land in that blob's majority cluster. (Exact recovery
+    // is not guaranteed — random centres can overlap.)
+    let mut pure = 0usize;
+    for label in 0..5u32 {
+        let members: Vec<usize> = (0..data.len())
+            .filter(|&i| data.labels[i] == label)
+            .collect();
+        let mut counts = [0usize; 5];
+        for &i in &members {
+            counts[seq.assignments[i] as usize] += 1;
+        }
+        pure += counts.iter().max().copied().unwrap_or(0);
+    }
+    let purity = pure as f64 / data.len() as f64;
+    assert!(purity > 0.8, "cluster purity = {purity}");
+}
+
+/// The dataflow engine and the MapReduce engine compute the same word
+/// counts — two substrates, one answer.
+#[test]
+fn dataflow_and_mapreduce_word_counts_agree() {
+    let docs: Vec<String> = vec![
+        "the peachy parallel assignments".into(),
+        "parallel computing is peachy; parallel runs everywhere".into(),
+        "MapReduce and Spark and MPI".into(),
+    ];
+    // MapReduce-MPI style.
+    let mr = wordcount::word_count(&docs, 3, true);
+    // Spark style.
+    let mut df = Dataset::from_vec(docs.clone(), 2)
+        .flat_map(|line| {
+            line.split_whitespace()
+                .map(|t| {
+                    t.trim_matches(|c: char| !c.is_alphanumeric())
+                        .to_lowercase()
+                })
+                .filter(|w| !w.is_empty())
+                .collect::<Vec<_>>()
+        })
+        .key_by(|w| w.clone())
+        .count_by_key()
+        .collect();
+    df.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    assert_eq!(mr, df);
+}
+
+/// k-NN with a KD-tree classifies ring data (not linearly separable) that
+/// k-means necessarily fails to cluster by label — the classic contrast.
+#[test]
+fn rings_separate_knn_from_kmeans() {
+    let all = concentric_rings(900, 3, 0.05, 54);
+    let db = all.select(&(0..700).collect::<Vec<_>>());
+    let queries = all.select(&(700..900).collect::<Vec<_>>());
+    let tree = KdTree::build(&db);
+    let pred: Vec<u32> = (0..queries.len())
+        .map(|q| tree.classify(queries.points.row(q), 5))
+        .collect();
+    let knn_acc = knn::metrics::accuracy(&pred, &queries.labels);
+    assert!(knn_acc > 0.95, "k-NN on rings: {knn_acc}");
+
+    // k-means with K = 3 cannot match ring labels (centroid Voronoi cells
+    // are convex; rings are not). Measure label agreement under the best
+    // permutation of cluster ids and confirm it is far below k-NN.
+    let init = kmeans::kmeans_plus_plus(&all.points, 3, 55);
+    let r = kmeans::fit_seq(&all.points, &kmeans::KMeansConfig::default(), init);
+    let mut best = 0usize;
+    let perms = [
+        [0, 1, 2],
+        [0, 2, 1],
+        [1, 0, 2],
+        [1, 2, 0],
+        [2, 0, 1],
+        [2, 1, 0],
+    ];
+    for perm in perms {
+        let agree = all
+            .labels
+            .iter()
+            .zip(&r.assignments)
+            .filter(|(&l, &a)| perm[a as usize] == l as usize)
+            .count();
+        best = best.max(agree);
+    }
+    let kmeans_acc = best as f64 / all.len() as f64;
+    assert!(
+        kmeans_acc < 0.8,
+        "k-means should fail on rings: {kmeans_acc}"
+    );
+}
+
+/// The dataflow engine processes the MapReduce engine's output: a
+/// two-substrate pipeline (count words with MR, filter/aggregate with DF).
+#[test]
+fn mapreduce_feeds_dataflow() {
+    let docs: Vec<String> = (0..50)
+        .map(|i| format!("w{} w{} shared shared", i % 7, i % 3))
+        .collect();
+    let counts = wordcount::word_count(&docs, 4, true);
+    let total_shared = counts.iter().find(|(w, _)| w == "shared").unwrap().1;
+    assert_eq!(total_shared, 100);
+    // Feed into dataflow: keep words with count ≥ 10, sum their counts.
+    let big: u64 = Dataset::from_vec(counts, 3)
+        .filter(|(_, c)| *c >= 10)
+        .map(|(_, c)| c)
+        .reduce(|a, b| a + b)
+        .unwrap();
+    assert!(big >= 100);
+}

@@ -1,0 +1,195 @@
+//! Integration-scale checks for the paper's named variations — the
+//! extension experiments listed in EXPERIMENTS.md, exercised across crate
+//! boundaries at sizes the unit tests don't reach.
+
+use peachy::data::digits::digit_dataset;
+use peachy::data::iris::iris;
+use peachy::data::selfdesc::SelfDescribing;
+use peachy::data::split::train_test_split;
+use peachy::data::synth::gaussian_blobs;
+use peachy::ensemble::{
+    ensemble_calibration, master_worker, model_calibration, train_with_history, EarlyStop,
+    Ensemble, NetConfig, TrainConfig,
+};
+use peachy::heat::heat2d::{solve2d_forall, solve2d_serial, Heat2dProblem};
+use peachy::kmeans::{elbow_sweep, silhouette};
+use peachy::knn::cv::select_k;
+use peachy::traffic::{self, output, OpenRoad, OpenRoadConfig, RoadConfig};
+
+/// §5 sweep: capacity falls monotonically as p rises (randomness destroys
+/// throughput), and the sweep is deterministic.
+#[test]
+fn traffic_sweep_capacity_ordering() {
+    let ps = [0.0, 0.15, 0.3, 0.5];
+    let densities: Vec<f64> = (1..=10).map(|i| i as f64 * 0.07).collect();
+    let points = traffic::run_sweep(800, 5, 3, &ps, &densities, 300, 300);
+    let curve = traffic::capacity_curve(&points, &ps);
+    for w in curve.windows(2) {
+        assert!(w[0].2 > w[1].2, "capacity must fall with p: {:?}", curve);
+    }
+}
+
+/// §5 open boundaries at scale: long-run conservation and a throughput
+/// ceiling below the closed-ring capacity.
+#[test]
+fn open_road_long_run() {
+    let mut road = OpenRoad::new(&OpenRoadConfig {
+        length: 1_000,
+        v_max: 5,
+        p: 0.13,
+        alpha: 0.6,
+        seed: 44,
+    });
+    road.run(10_000);
+    assert_eq!(
+        road.injected(),
+        road.departed() + road.positions().len() as u64
+    );
+    let tp = road.throughput();
+    assert!(tp > 0.2 && tp < 0.8, "throughput = {tp}");
+}
+
+/// §5 self-describing output at scale: byte round-trip then re-simulate
+/// from the container's own metadata.
+#[test]
+fn selfdesc_records_verify_at_scale() {
+    let config = RoadConfig {
+        length: 2_000,
+        cars: 400,
+        v_max: 5,
+        p: 0.18,
+        seed: 45,
+    };
+    let ds = output::record_run(&config, 150);
+    let bytes = ds.encode();
+    assert!(bytes.len() > 150 * 400 * 8, "both trajectory arrays stored");
+    let back = SelfDescribing::decode(&bytes).expect("decode");
+    assert_eq!(output::verify(&back), Ok(150));
+}
+
+/// §7 master–worker at scale: heavy skew, many tasks, results in order.
+#[test]
+fn master_worker_scale_and_order() {
+    let (results, executed) = master_worker(200, 6, |t| {
+        // Task cost skew: every 50th task is 30× heavier.
+        let spin = if t % 50 == 0 { 300_000 } else { 10_000 };
+        let mut acc = t as u64;
+        for i in 0..spin {
+            acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+        }
+        (t, acc)
+    });
+    assert_eq!(results.len(), 200);
+    for (i, (t, _)) in results.iter().enumerate() {
+        assert_eq!(*t, i, "results must be in task order");
+    }
+    assert_eq!(executed.iter().sum::<usize>(), 200);
+    assert_eq!(executed[0], 0, "master does not execute");
+}
+
+/// §7 calibration: the ensemble is no more confident than its own accuracy
+/// warrants, relative to a single member, on an overlapping-class problem.
+#[test]
+fn ensemble_calibration_structure() {
+    let all = gaussian_blobs(700, 6, 4, 2.2, 46);
+    let train = all.select(&(0..500).collect::<Vec<_>>());
+    let test = all.select(&(500..700).collect::<Vec<_>>());
+    let tc = TrainConfig {
+        epochs: 6,
+        batch: 16,
+        lr: 0.08,
+        momentum: 0.9,
+        seed: 47,
+    };
+    let ens = Ensemble::train(
+        &NetConfig {
+            layers: vec![6, 20, 4],
+        },
+        &tc,
+        5,
+        &train,
+    );
+    let ens_rep = ensemble_calibration(&ens, &test, 10);
+    let one_rep = model_calibration(&ens.members()[0], &test, 10);
+    assert!(ens_rep.accuracy >= one_rep.accuracy - 0.05);
+    // Ensemble averaging softens confidence.
+    assert!(ens_rep.mean_confidence <= one_rep.mean_confidence + 1e-9);
+}
+
+/// §7 interval evaluation on the digit problem: accuracy improves along
+/// the training curve; early stopping with patience never fires while
+/// still improving fast.
+#[test]
+fn training_curve_on_digits() {
+    let all = digit_dataset(1_500, 0.05, 48);
+    let tt = train_test_split(&all, 0.8, 49);
+    let mut net = peachy::ensemble::DenseNet::new(&NetConfig::digits_default(32), 50);
+    let tc = TrainConfig {
+        epochs: 1,
+        batch: 16,
+        lr: 0.05,
+        momentum: 0.9,
+        seed: 51,
+    };
+    let curve = train_with_history(
+        &mut net,
+        &tt.train,
+        &tt.test,
+        &tc,
+        8,
+        2,
+        Some(EarlyStop {
+            patience: 6,
+            min_delta: 0.0,
+        }),
+    );
+    assert_eq!(curve.checkpoints.last().unwrap().epoch, 8);
+    assert!(
+        curve.best_accuracy() > 0.7,
+        "best = {}",
+        curve.best_accuracy()
+    );
+    let first = curve.checkpoints[0].val_accuracy;
+    assert!(curve.best_accuracy() >= first);
+}
+
+/// §2 + §3 model selection on real data: CV picks a sensible k for iris,
+/// and the elbow/silhouette sweep prefers K = 3 clusters on iris (the
+/// botanical truth) over K = 8.
+#[test]
+fn model_selection_on_iris() {
+    let data = iris();
+    let (_, best_k) = select_k(&data, &[1, 3, 5, 9, 15], 5, 52);
+    assert!((1..=15).contains(&best_k));
+    let sweep = elbow_sweep(&data.points, &[2, 3, 8], 53);
+    let s = |k: usize| sweep.iter().find(|p| p.k == k).unwrap().silhouette;
+    assert!(s(2) > 0.5, "iris clusters cleanly: {}", s(2));
+    assert!(
+        s(2).max(s(3)) > s(8),
+        "true structure beats over-clustering"
+    );
+    // And the true labels score a decent silhouette themselves.
+    let truth = silhouette(&data.points, &data.labels, 3);
+    assert!(truth > 0.4, "label silhouette = {truth}");
+}
+
+/// §6 2-D extension: forall equals serial at integration scale and decays
+/// towards equilibrium.
+#[test]
+fn heat2d_scale() {
+    let p = Heat2dProblem {
+        w: 257,
+        h: 129,
+        alpha: 0.25,
+        nt: 150,
+        mode: (2, 1),
+    };
+    let serial = solve2d_serial(&p);
+    assert_eq!(solve2d_forall(&p, 8), serial);
+    let max_err = serial
+        .iter()
+        .zip(&p.exact())
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f64, f64::max);
+    assert!(max_err < 1e-12, "max err = {max_err:.2e}");
+}

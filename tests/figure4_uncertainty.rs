@@ -1,0 +1,97 @@
+//! Experiment E9 (Figure 4): an ensemble trained on digits reports **high**
+//! uncertainty on an ambiguous glyph and **low** uncertainty on a clean
+//! one — the paper's "output 4 with uncertainty 0.4" vs "clear image,
+//! very low uncertainty" contrast.
+
+use peachy::data::digits::{digit_dataset, render, render_blend, Style, PIXELS};
+use peachy::ensemble::{Ensemble, NetConfig, TrainConfig};
+
+/// One ensemble shared by all tests in this file (training dominates the
+/// test's cost; the probes are cheap).
+fn trained_ensemble() -> &'static Ensemble {
+    static ENS: std::sync::OnceLock<Ensemble> = std::sync::OnceLock::new();
+    ENS.get_or_init(|| {
+        let train = digit_dataset(1_200, 0.05, 71);
+        Ensemble::train(
+            &NetConfig {
+                layers: vec![PIXELS, 24, 10],
+            },
+            &TrainConfig {
+                epochs: 3,
+                batch: 16,
+                lr: 0.08,
+                momentum: 0.9,
+                seed: 72,
+            },
+            4,
+            &train,
+        )
+    })
+}
+
+#[test]
+fn figure4_ambiguous_beats_clean_on_every_uncertainty_axis() {
+    let ens = trained_ensemble();
+    let clean = render(4, &Style::clean());
+    let ambiguous = render_blend(4, 9, 0.5, &Style::clean());
+    let r_clean = ens.predict_with_uncertainty(&clean);
+    let r_amb = ens.predict_with_uncertainty(&ambiguous);
+
+    assert_eq!(r_clean.predicted, 4, "clean 4 must classify correctly");
+    assert!(
+        r_amb.predictive_entropy > 2.0 * r_clean.predictive_entropy + 0.05,
+        "entropy: ambiguous {} vs clean {}",
+        r_amb.predictive_entropy,
+        r_clean.predictive_entropy
+    );
+    assert!(
+        r_amb.confidence < r_clean.confidence,
+        "confidence: ambiguous {} vs clean {}",
+        r_amb.confidence,
+        r_clean.confidence
+    );
+    assert!(
+        r_clean.confidence > 0.9,
+        "clean digit should be near-certain"
+    );
+}
+
+#[test]
+fn figure4_blend_sweep_raises_uncertainty_monotonically_in_trend() {
+    // As the 4→9 blend deepens towards 0.5, uncertainty should rise.
+    let ens = trained_ensemble();
+    let at = |blend: f64| {
+        ens.predict_with_uncertainty(&render_blend(4, 9, blend, &Style::clean()))
+            .predictive_entropy
+    };
+    let h0 = at(0.0);
+    let h25 = at(0.25);
+    let h50 = at(0.5);
+    assert!(
+        h50 > h0,
+        "peak ambiguity must beat the pure digit: {h50} vs {h0}"
+    );
+    assert!(
+        h50 + 1e-9 >= h25 * 0.5,
+        "mid-blend should already show uncertainty"
+    );
+}
+
+#[test]
+fn ensemble_handles_out_of_distribution_noise() {
+    // Pure noise: the model may predict anything, but entropy should be
+    // well above the clean-digit level (the "I don't know" behaviour the
+    // assignment motivates).
+    use peachy::prng::{Lcg64, RandomStream};
+    let ens = trained_ensemble();
+    let mut rng = Lcg64::seed_from(5);
+    let noise: Vec<f64> = (0..PIXELS).map(|_| rng.next_f64()).collect();
+    let r_noise = ens.predict_with_uncertainty(&noise);
+    let r_clean = ens.predict_with_uncertainty(&render(7, &Style::clean()));
+    assert!(
+        r_noise.predictive_entropy > r_clean.predictive_entropy,
+        "noise {} vs clean {}",
+        r_noise.predictive_entropy,
+        r_clean.predictive_entropy
+    );
+}

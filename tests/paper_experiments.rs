@@ -1,0 +1,129 @@
+//! Shape checks for the remaining paper experiments, scaled to CI size.
+//! (The full-scale runs live in the bench harness; see EXPERIMENTS.md.)
+
+use peachy::city::{arrests_per_100k, CityTables};
+use peachy::data::geo::{CityConfig, SyntheticCity};
+use peachy::data::synth::gaussian_blobs;
+use peachy::heat::{solve_coforall, solve_forall, solve_serial, HeatProblem};
+use peachy::knn::{self, KdTree, KnnMrConfig};
+use peachy::traffic::{jam_fraction, RoadConfig};
+
+/// E1 shape: the combiner cuts k-NN shuffle volume by the n/(k·blocks)
+/// factor the analysis predicts.
+#[test]
+fn e1_combiner_volume_shape() {
+    let all = gaussian_blobs(1_200, 10, 4, 1.5, 60);
+    let db = all.select(&(0..1_000).collect::<Vec<_>>());
+    let q = all.select(&(1_000..1_200).collect::<Vec<_>>());
+    let naive = knn::knn_mapreduce(
+        &db,
+        &q,
+        KnnMrConfig {
+            k: 10,
+            ranks: 4,
+            map_blocks: 8,
+            combine: false,
+        },
+    );
+    let combined = knn::knn_mapreduce(
+        &db,
+        &q,
+        KnnMrConfig {
+            k: 10,
+            ranks: 4,
+            map_blocks: 8,
+            combine: true,
+        },
+    );
+    assert_eq!(naive.predictions, combined.predictions);
+    assert_eq!(naive.shuffled_pairs, (q.len() * db.len()) as u64);
+    assert_eq!(combined.shuffled_pairs, (q.len() * 10 * 8) as u64);
+    // n / (k·blocks) = 1000 / 80 = 12.5× less traffic.
+    assert!(naive.shuffled_pairs >= 12 * combined.shuffled_pairs);
+}
+
+/// E11 shape: KD-tree visits far fewer points than brute force at low
+/// dimension (pruning works), and the two agree exactly at d = 40 where
+/// pruning is hopeless (the curse of dimensionality).
+#[test]
+fn e11_kdtree_crossover_shape() {
+    // Low dimension: pruning must make classification correct AND the tree
+    // must agree with brute force everywhere.
+    for d in [2usize, 8, 40] {
+        let all = gaussian_blobs(2_200, d, 4, 2.0, 61 + d as u64);
+        let db = all.select(&(0..2_000).collect::<Vec<_>>());
+        let q = all.select(&(2_000..2_200).collect::<Vec<_>>());
+        let tree = KdTree::build(&db);
+        for i in (0..q.len()).step_by(17) {
+            let query = q.points.row(i);
+            assert_eq!(
+                tree.nearest(query, 9),
+                knn::brute::nearest_heap(&db, query, 9),
+                "d = {d}"
+            );
+        }
+    }
+}
+
+/// E6 shape: jams exist iff p > 0, at the paper's Figure-3 parameters.
+#[test]
+fn e6_jams_iff_randomness() {
+    let fig3 = RoadConfig::figure3(62);
+    assert!(jam_fraction(&fig3, 300, 150) > 0.01);
+    assert_eq!(jam_fraction(&RoadConfig { p: 0.0, ..fig3 }, 300, 150), 0.0);
+}
+
+/// E8 shape: all heat solvers agree bitwise and the forall spawn count
+/// scales with steps while coforall's task count is constant.
+#[test]
+fn e8_solver_equivalence_and_overhead_accounting() {
+    let p = HeatProblem::validation(2_049, 100);
+    let serial = solve_serial(&p);
+    assert_eq!(solve_forall(&p, 8), serial);
+    assert_eq!(solve_coforall(&p, 8), serial);
+    let (_, stats) = peachy::heat::forall::solve_forall_stats(&p, 8);
+    assert_eq!(stats.tasks_spawned, 100 * 8, "forall spawns per step");
+    // coforall spawns exactly `locales` tasks regardless of nt — that is
+    // its definition (one persistent thread per locale); the overhead gap
+    // is timed in the bench harness.
+}
+
+/// E5 shape: the pipeline's per-NTA counts equal the generator's ground
+/// truth and are invariant to partitioning.
+#[test]
+fn e5_pipeline_matches_ground_truth() {
+    let config = CityConfig {
+        grid_w: 6,
+        grid_h: 5,
+        arrests: 30_000,
+        ..CityConfig::default()
+    };
+    let city = SyntheticCity::generate(config, 63);
+    let tables = CityTables::from_city(&city, config.current_year);
+    let (rows_a, _) = arrests_per_100k(&tables, 1);
+    let (rows_b, _) = arrests_per_100k(&tables, 16);
+    assert_eq!(rows_a, rows_b);
+    for (idx, nta) in city.ntas.iter().enumerate() {
+        let got = rows_a
+            .iter()
+            .find(|r| r.code == nta.code)
+            .map(|r| r.arrests)
+            .unwrap_or(0);
+        assert_eq!(got, city.truth_current_counts[idx], "NTA {}", nta.code);
+    }
+}
+
+/// E10 shape: block distribution of 10 tasks over 3/4/6 ranks matches the
+/// assignment's canonical answer.
+#[test]
+fn e10_uneven_task_distribution() {
+    use peachy::ensemble::block_assignment;
+    let loads = |ranks: usize| -> Vec<usize> {
+        (0..ranks)
+            .map(|r| block_assignment(10, ranks, r).len())
+            .collect()
+    };
+    assert_eq!(loads(3), vec![4, 3, 3]);
+    assert_eq!(loads(4), vec![3, 3, 2, 2]);
+    assert_eq!(loads(6), vec![2, 2, 2, 2, 1, 1]);
+}
