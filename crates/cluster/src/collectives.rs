@@ -38,6 +38,30 @@ impl Comm {
         MatchKey::Coll { seq, round }
     }
 
+    /// Send `value` to every destination `(round, dst)`, cloning for all
+    /// but the last, which receives the original allocation moved into the
+    /// message; the caller keeps a clone made just before that final send.
+    /// (The collective APIs return `T` at every rank, so the clone count
+    /// is unchanged — but the original buffer now travels to a child
+    /// instead of idling at the sender, and the send loop lives in one
+    /// place for all broadcast variants.)
+    fn fan_out<T: Send + Clone + 'static>(
+        &mut self,
+        seq: u64,
+        dsts: &[(u32, usize)],
+        value: T,
+    ) -> T {
+        let Some((&(last_round, last_dst), rest)) = dsts.split_last() else {
+            return value;
+        };
+        for &(round, dst) in rest {
+            self.send_keyed(dst, Self::coll_key(seq, round), Box::new(value.clone()));
+        }
+        let keep = value.clone();
+        self.send_keyed(last_dst, Self::coll_key(seq, last_round), Box::new(value));
+        keep
+    }
+
     /// Dissemination barrier: no rank leaves until every rank has entered.
     pub fn barrier(&mut self) {
         let n = self.size();
@@ -90,14 +114,14 @@ impl Comm {
         } else {
             usize::BITS - vrank.leading_zeros()
         };
+        let mut children: Vec<(u32, usize)> = Vec::new();
         for k in first_send_round..rounds {
             let dst_vrank = vrank + (1usize << k);
             if dst_vrank < n {
-                let dst = (dst_vrank + root) % n;
-                self.send_keyed(dst, Self::coll_key(seq, k), Box::new(value.clone()));
+                children.push((k, (dst_vrank + root) % n));
             }
         }
-        value
+        self.fan_out(seq, &children, value)
     }
 
     /// Linear broadcast (root sends to every rank): the naïve baseline.
@@ -106,12 +130,8 @@ impl Comm {
         assert!(root < n, "broadcast root {root} out of range");
         let seq = self.next_seq();
         if self.rank() == root {
-            for dst in 0..n {
-                if dst != root {
-                    self.send_keyed(dst, Self::coll_key(seq, 0), Box::new(value.clone()));
-                }
-            }
-            value
+            let dsts: Vec<(u32, usize)> = (0..n).filter(|&d| d != root).map(|d| (0, d)).collect();
+            self.fan_out(seq, &dsts, value)
         } else {
             self.recv_keyed::<T>(root, Self::coll_key(seq, 0))
         }
@@ -211,14 +231,14 @@ impl Comm {
         let src = (src_vrank + root) % n;
         let value = self.recv_keyed::<T>(src, Self::coll_key(seq, recv_round));
         let first_send_round = usize::BITS - vrank.leading_zeros();
+        let mut children: Vec<(u32, usize)> = Vec::new();
         for k in first_send_round..rounds {
             let dst_vrank = vrank + (1usize << k);
             if dst_vrank < n {
-                let dst = (dst_vrank + root) % n;
-                self.send_keyed(dst, Self::coll_key(seq, k), Box::new(value.clone()));
+                children.push((k, (dst_vrank + root) % n));
             }
         }
-        value
+        self.fan_out(seq, &children, value)
     }
 
     /// Scatter: root distributes one chunk per rank; every rank (including

@@ -8,6 +8,10 @@
 //! * [`matrix`] — dense row-major `f64` matrices and labelled point sets,
 //!   the common currency of the k-NN (§2), k-means (§3) and ensemble (§7)
 //!   assignments.
+//! * [`kernels`] — blocked, rayon-parallel distance/GEMM kernels (pairwise
+//!   distances, fused batch argmin, matvec/matmul) shared by every
+//!   distance-heavy hot path in the workspace, with scalar reference
+//!   implementations kept for equivalence testing.
 //! * [`csv`] — minimal, dependency-free CSV reading/writing, standing in
 //!   for the datahub.io / NYC-open-data ingestion steps.
 //! * [`synth`] — synthetic classification/clustering point clouds
@@ -27,6 +31,7 @@ pub mod csv;
 pub mod digits;
 pub mod geo;
 pub mod iris;
+pub mod kernels;
 pub mod matrix;
 pub mod selfdesc;
 pub mod split;

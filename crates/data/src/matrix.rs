@@ -151,15 +151,11 @@ impl fmt::Debug for Matrix {
 /// This is the Θ(d) kernel the k-NN assignment's cost model counts; the
 /// square root is deliberately omitted (monotone, so nearest-neighbour
 /// ordering is unchanged — a standard trick the assignment teaches).
+/// The canonical implementation lives in [`crate::kernels::dist2`]; this
+/// re-exported wrapper keeps the historical call sites working.
 #[inline]
 pub fn squared_distance(a: &[f64], b: &[f64]) -> f64 {
-    debug_assert_eq!(a.len(), b.len());
-    let mut acc = 0.0;
-    for (x, y) in a.iter().zip(b) {
-        let d = x - y;
-        acc += d * d;
-    }
-    acc
+    crate::kernels::dist2(a, b)
 }
 
 /// A labelled point set: points plus one class label per point.

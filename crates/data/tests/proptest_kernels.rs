@@ -1,0 +1,196 @@
+//! Property tests for the blocked kernel layer: the exact family must be
+//! bit-identical to the scalar loops, the decomposed family must agree
+//! within the documented rounding window and preserve the lowest-index
+//! tie-break — across ragged shapes (0/1/non-multiple-of-block sizes).
+
+use peachy_data::kernels::{
+    argmin_dist2, argmin_dist2_ref, dist2, dist2_scan, dot, matmul_nt, matmul_nt_ref,
+    pairwise_dist2, pairwise_dist2_ref, Candidates, LANES,
+};
+use peachy_data::matrix::Matrix;
+use proptest::prelude::*;
+
+fn coord() -> impl Strategy<Value = f64> {
+    // Continuous-ish values at mixed magnitudes, plus exact hits on zero.
+    prop_oneof![
+        5 => (-1_000_000i64..1_000_000).prop_map(|v| v as f64 / 1024.0),
+        1 => Just(0.0),
+    ]
+}
+
+fn matrix(rows: impl Strategy<Value = usize>, cols: usize) -> impl Strategy<Value = Matrix> {
+    rows.prop_flat_map(move |n| {
+        prop::collection::vec(coord(), n * cols)
+            .prop_map(move |data| Matrix::from_vec(n, cols, data))
+    })
+}
+
+/// Scale-aware tolerance for the ‖x‖² − 2x·c + ‖c‖² decomposition: the
+/// absolute error of either form is a few ulps of the norm magnitudes.
+fn dist2_tol(x: &[f64], c: &[f64]) -> f64 {
+    1e-9 * (1.0 + dot(x, x) + dot(c, c))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Exact family: the lane-blocked scan visits every index in order
+    /// with values bit-identical to the scalar pair kernel.
+    #[test]
+    fn dist2_scan_is_bit_exact(
+        (rows, x) in (0usize..20).prop_flat_map(|d| (matrix(0usize..70, d), prop::collection::vec(coord(), d))),
+    ) {
+        let mut visited = Vec::new();
+        dist2_scan(&rows, 0..rows.rows(), &x, |i, v| visited.push((i, v)));
+        prop_assert_eq!(visited.len(), rows.rows());
+        for (i, v) in visited {
+            prop_assert_eq!(v, dist2(rows.row(i), &x), "row {}", i);
+        }
+    }
+
+    /// Exact family: scanning an interior sub-range yields the same values
+    /// as the full scan (lane carve-up does not depend on the range start).
+    #[test]
+    fn dist2_scan_subrange_matches(
+        rows in matrix(1usize..60, 3),
+        x in prop::collection::vec(coord(), 3),
+        (lo, hi) in (0usize..60, 0usize..60),
+    ) {
+        let n = rows.rows();
+        let (lo, hi) = (lo.min(n), hi.min(n));
+        let (lo, hi) = (lo.min(hi), lo.max(hi));
+        let mut full = vec![f64::NAN; n];
+        dist2_scan(&rows, 0..n, &x, |i, v| full[i] = v);
+        dist2_scan(&rows, lo..hi, &x, |i, v| {
+            assert_eq!(v, full[i], "sub-range row {i} diverged");
+        });
+    }
+
+    /// Decomposed family: pairwise distances agree with the scalar
+    /// reference within the documented relative window, and are ≥ 0.
+    #[test]
+    fn pairwise_dist2_close_to_reference(
+        d in 1usize..10,
+        seedx in 0usize..50,
+        seedc in 0usize..40,
+    ) {
+        let mk = |n: usize, seed: usize| {
+            let v: Vec<f64> = (0..n * d)
+                .map(|i| (((seed * 7919 + i * 104729) % 2_000_001) as f64 - 1_000_000.0) / 1024.0)
+                .collect();
+            Matrix::from_vec(n, d, v)
+        };
+        let x = mk(seedx, seedx + 1);
+        let c = mk(seedc, seedc + 2);
+        let blocked = pairwise_dist2(&x, &c);
+        let exact = pairwise_dist2_ref(&x, &c);
+        prop_assert_eq!((blocked.rows(), blocked.cols()), (x.rows(), c.rows()));
+        for i in 0..x.rows() {
+            for j in 0..c.rows() {
+                let (a, b) = (blocked.get(i, j), exact.get(i, j));
+                prop_assert!(a >= 0.0);
+                prop_assert!(
+                    (a - b).abs() <= dist2_tol(x.row(i), c.row(j)),
+                    "({}, {}): blocked {} vs exact {}", i, j, a, b
+                );
+            }
+        }
+    }
+
+    /// Decomposed family: the fused batch argmin picks the same index as
+    /// the scalar reference, or — when the two scoring forms round a
+    /// near-tie differently — a candidate whose exact distance is within
+    /// the rounding window of the reference winner's.
+    #[test]
+    fn argmin_dist2_agrees_with_reference(
+        x in (1usize..8).prop_flat_map(|d| matrix(0usize..50, d)),
+        k in 1usize..30,
+    ) {
+        let d = x.cols();
+        let c = {
+            // Candidates drawn from the query rows (forces exact ties and
+            // duplicates) padded with shifted copies.
+            let mut rows: Vec<Vec<f64>> = Vec::with_capacity(k);
+            for j in 0..k {
+                if x.rows() > 0 && j % 2 == 0 {
+                    rows.push(x.row(j % x.rows()).to_vec());
+                } else {
+                    rows.push((0..d).map(|p| (j * d + p) as f64 / 8.0 - 1.5).collect());
+                }
+            }
+            Matrix::from_rows(&rows)
+        };
+        let blocked = argmin_dist2(&x, &c);
+        let reference = argmin_dist2_ref(&x, &c);
+        prop_assert_eq!(blocked.len(), reference.len());
+        for i in 0..x.rows() {
+            let (a, b) = (blocked[i] as usize, reference[i] as usize);
+            if a != b {
+                let da = dist2(x.row(i), c.row(a));
+                let db = dist2(x.row(i), c.row(b));
+                prop_assert!(
+                    (da - db).abs() <= dist2_tol(x.row(i), c.row(a)),
+                    "row {}: blocked chose {} (d2={}) vs reference {} (d2={})",
+                    i, a, da, b, db
+                );
+                // A legitimate near-tie flip must still not pick a higher
+                // index over an exactly-equal-scoring lower one.
+                prop_assert!(da != db || a < b, "row {} broke the tie upward", i);
+            }
+        }
+    }
+
+    /// Tie-break: with every candidate row duplicated, the decomposed
+    /// scores of the copies are bitwise equal, so the first copy must win.
+    #[test]
+    fn argmin_duplicate_candidates_break_low(
+        base in matrix(1usize..(LANES * 2 + 3), 3),
+        x in matrix(0usize..40, 3),
+    ) {
+        prop_assume!(base.rows() >= 1);
+        let mut rows: Vec<Vec<f64>> = Vec::new();
+        for i in 0..base.rows() {
+            rows.push(base.row(i).to_vec());
+        }
+        for i in 0..base.rows() {
+            rows.push(base.row(i).to_vec());
+        }
+        let c = Matrix::from_rows(&rows);
+        let cand = Candidates::new(&c);
+        for &a in &cand.assign(&x) {
+            prop_assert!(
+                (a as usize) < base.rows(),
+                "picked duplicate copy {} of {} candidates", a, c.rows()
+            );
+        }
+    }
+
+    /// Batch assignment is bit-identical to one-row-at-a-time queries,
+    /// whatever the shape (the row/candidate blocking is invisible).
+    #[test]
+    fn batch_assign_matches_single_rows(
+        x in matrix(0usize..40, 4),
+        c in matrix(1usize..25, 4),
+    ) {
+        let cand = Candidates::new(&c);
+        let batch = cand.assign(&x);
+        for i in 0..x.rows() {
+            prop_assert_eq!(batch[i], cand.nearest(x.row(i)), "row {}", i);
+        }
+    }
+
+    /// Exact family: the blocked GEMM is bit-identical to the scalar
+    /// reference (it reproduces the per-row accumulation order).
+    #[test]
+    fn matmul_nt_is_bit_exact(
+        a in matrix(0usize..40, 5),
+        w in matrix(0usize..20, 5),
+        with_bias in any::<bool>(),
+    ) {
+        let bias: Vec<f64> = (0..w.rows()).map(|o| o as f64 / 4.0 - 1.0).collect();
+        let b = with_bias.then_some(&bias[..]);
+        let blocked = matmul_nt(&a, w.as_slice(), w.rows(), b);
+        let exact = matmul_nt_ref(&a, w.as_slice(), w.rows(), b);
+        prop_assert_eq!(blocked, exact);
+    }
+}

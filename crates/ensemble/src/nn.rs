@@ -5,7 +5,8 @@
 //! row-major `Vec<f64>`s; the backward pass is hand-derived and verified
 //! against finite differences in the tests.
 
-use peachy_data::matrix::LabeledDataset;
+use peachy_data::kernels::{matmul_nt, matvec, matvec_t};
+use peachy_data::matrix::{LabeledDataset, Matrix};
 use peachy_prng::{Lcg64, Normal, RandomStream};
 
 /// Network architecture: layer widths from input to output.
@@ -79,15 +80,9 @@ impl Layer {
 
     fn forward(&self, x: &[f64], out: &mut Vec<f64>) {
         debug_assert_eq!(x.len(), self.inputs);
-        out.clear();
-        for o in 0..self.outputs {
-            let row = &self.w[o * self.inputs..(o + 1) * self.inputs];
-            let mut acc = self.b[o];
-            for (wi, xi) in row.iter().zip(x) {
-                acc += wi * xi;
-            }
-            out.push(acc);
-        }
+        // Lane-blocked GEMV; bias-first, ascending-column accumulation →
+        // bit-identical to the naïve two-loop version this replaced.
+        matvec(&self.w, self.outputs, self.inputs, x, Some(&self.b), out);
     }
 }
 
@@ -164,20 +159,56 @@ impl DenseNet {
         argmax(&probs)
     }
 
-    /// Mean accuracy over a dataset.
+    /// Class probabilities for every row of `x` — one rayon-blocked GEMM
+    /// per layer ([`matmul_nt`]) instead of per-row GEMVs. Each output
+    /// element reproduces the single-row accumulation order, so row `i`
+    /// is bit-identical to `predict_proba(x.row(i))`.
+    pub fn predict_proba_batch(&self, x: &Matrix) -> Matrix {
+        assert_eq!(x.cols(), self.config.layers[0], "input width mismatch");
+        let mut act = x.clone();
+        for (li, layer) in self.layers.iter().enumerate() {
+            let mut z = matmul_nt(&act, &layer.w, layer.outputs, Some(&layer.b));
+            let last = li + 1 == self.layers.len();
+            for i in 0..z.rows() {
+                let row = z.row_mut(i);
+                if last {
+                    softmax(row);
+                } else {
+                    for v in row.iter_mut() {
+                        if *v < 0.0 {
+                            *v = 0.0;
+                        }
+                    }
+                }
+            }
+            act = z;
+        }
+        act
+    }
+
+    /// Arg-max class for every row of `x` (batched forward pass).
+    pub fn predict_batch(&self, x: &Matrix) -> Vec<u32> {
+        let probs = self.predict_proba_batch(x);
+        (0..probs.rows()).map(|i| argmax(probs.row(i))).collect()
+    }
+
+    /// Mean accuracy over a dataset (batched forward pass).
     pub fn accuracy(&self, data: &LabeledDataset) -> f64 {
-        let correct = (0..data.len())
-            .filter(|&i| self.predict(data.points.row(i)) == data.labels[i])
+        let pred = self.predict_batch(&data.points);
+        let correct = pred
+            .iter()
+            .zip(&data.labels)
+            .filter(|(p, l)| p == l)
             .count();
         correct as f64 / data.len() as f64
     }
 
-    /// Mean cross-entropy loss over a dataset.
+    /// Mean cross-entropy loss over a dataset (batched forward pass).
     pub fn loss(&self, data: &LabeledDataset) -> f64 {
+        let probs = self.predict_proba_batch(&data.points);
         let mut total = 0.0;
-        for i in 0..data.len() {
-            let probs = self.predict_proba(data.points.row(i));
-            total -= probs[data.labels[i] as usize].max(1e-300).ln();
+        for (i, &label) in data.labels.iter().enumerate() {
+            total -= probs.get(i, label as usize).max(1e-300).ln();
         }
         total / data.len() as f64
     }
@@ -235,14 +266,8 @@ impl DenseNet {
             }
             if li > 0 {
                 // Propagate: delta_prev = Wᵀ·delta, gated by the ReLU mask.
-                let mut prev = vec![0.0f64; layer.inputs];
-                for o in 0..layer.outputs {
-                    let row = &layer.w[o * layer.inputs..(o + 1) * layer.inputs];
-                    let d = delta[o];
-                    for (p, wi) in prev.iter_mut().zip(row) {
-                        *p += d * wi;
-                    }
-                }
+                let mut prev = Vec::new();
+                matvec_t(&layer.w, layer.outputs, layer.inputs, &delta, &mut prev);
                 let mask = &masks[li - 1];
                 for (p, &alive) in prev.iter_mut().zip(mask) {
                     if !alive {
@@ -449,6 +474,24 @@ mod tests {
         );
         let acc = net.accuracy(&test);
         assert!(acc > 0.9, "test accuracy = {acc}");
+    }
+
+    #[test]
+    fn batch_forward_bit_identical_to_single_rows() {
+        let data = gaussian_blobs(150, 4, 3, 1.2, 13);
+        let net = DenseNet::new(&tiny_config(), 6);
+        let batch = net.predict_proba_batch(&data.points);
+        for i in 0..data.len() {
+            assert_eq!(
+                batch.row(i),
+                &net.predict_proba(data.points.row(i))[..],
+                "row {i}"
+            );
+        }
+        let preds = net.predict_batch(&data.points);
+        for i in 0..data.len() {
+            assert_eq!(preds[i], net.predict(data.points.row(i)));
+        }
     }
 
     #[test]

@@ -15,10 +15,11 @@
 //! * at the end, the root gathers the assignment blocks (`gather`).
 
 use peachy_cluster::Cluster;
+use peachy_data::kernels::Candidates;
 use peachy_data::Matrix;
 
 use crate::config::{KMeansConfig, KMeansResult, Termination};
-use crate::metrics::{nearest_centroid, point_dist2};
+use crate::metrics::point_dist2;
 
 /// Run k-means on `ranks` simulated distributed-memory ranks.
 ///
@@ -66,13 +67,16 @@ pub fn fit_distributed(
         let mut assignments = vec![u32::MAX; local_n];
         let mut iterations = 0usize;
         let (termination, last_changes, last_shift) = loop {
-            // Local assignment + local accumulators.
+            // Local assignment + local accumulators, via the same shared
+            // kernel as every other implementation (norms hoisted once per
+            // iteration → identical assignments to the sequential run).
+            let cand = Candidates::new(&centroids);
             let mut changes = 0u64;
             let mut counts = vec![0u64; k];
             let mut sums = vec![0.0f64; k * d];
             for i in 0..local_n {
                 let row = local.row(i);
-                let a = nearest_centroid(row, &centroids);
+                let a = cand.nearest(row);
                 if assignments[i] != a {
                     changes += 1;
                     assignments[i] = a;

@@ -12,10 +12,11 @@
 //! whenever summation order per cluster matches — which it does, because
 //! the gather preserves point order within each cluster.
 
+use peachy_data::kernels::Candidates;
 use peachy_data::Matrix;
 
 use crate::config::{KMeansConfig, KMeansResult, Termination};
-use crate::metrics::{nearest_centroid, point_dist2};
+use crate::metrics::point_dist2;
 
 /// Run k-means with per-cluster gather buffers (the locality layout).
 pub fn fit_buffers(points: &Matrix, config: &KMeansConfig, init: Matrix) -> KMeansResult {
@@ -37,9 +38,10 @@ pub fn fit_buffers(points: &Matrix, config: &KMeansConfig, init: Matrix) -> KMea
         for b in buffers.iter_mut() {
             b.clear();
         }
+        let cand = Candidates::new(&centroids);
         let mut changes = 0usize;
         for i in 0..n {
-            let a = nearest_centroid(points.row(i), &centroids);
+            let a = cand.nearest(points.row(i));
             if assignments[i] != a {
                 changes += 1;
                 assignments[i] = a;

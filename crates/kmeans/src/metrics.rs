@@ -1,38 +1,38 @@
-//! Clustering quality metrics and small shared kernels.
+//! Clustering quality metrics, delegating to the shared kernel layer.
+//!
+//! All distance arithmetic lives in [`peachy_data::kernels`]; this module
+//! keeps the k-means-flavoured names. Every k-means implementation in the
+//! crate (sequential, strategy ladder, distributed, locality) routes its
+//! assignment step through [`kernels::Candidates`], so assignments stay
+//! bit-identical across implementations by construction.
 
+use peachy_data::kernels;
 use peachy_data::Matrix;
 
-/// Squared Euclidean distance between two points.
+/// Squared Euclidean distance between two points (the exact scalar
+/// kernel, [`kernels::dist2`]).
 #[inline]
 pub fn point_dist2(a: &[f64], b: &[f64]) -> f64 {
-    peachy_data::matrix::squared_distance(a, b)
+    kernels::dist2(a, b)
 }
 
 /// Index of the nearest centroid to `point` (ties break to the lowest
 /// index — deterministic across all implementations).
+///
+/// One-shot convenience over [`kernels::Candidates`]; loops that query
+/// many points against the same centroids should build the `Candidates`
+/// once (hoisting the centroid norms) and call
+/// [`kernels::Candidates::nearest`] — the result is identical.
 #[inline]
 pub fn nearest_centroid(point: &[f64], centroids: &Matrix) -> u32 {
-    let mut best = 0u32;
-    let mut best_d = f64::INFINITY;
-    for c in 0..centroids.rows() {
-        let d = point_dist2(point, centroids.row(c));
-        if d < best_d {
-            best_d = d;
-            best = c as u32;
-        }
-    }
-    best
+    kernels::Candidates::new(centroids).nearest(point)
 }
 
 /// Inertia: total squared distance of each point to its assigned centroid
-/// (the objective k-means minimizes).
+/// (the objective k-means minimizes). Rayon-parallel over row blocks with
+/// a deterministic merge ([`kernels::assigned_dist2_sum`]).
 pub fn inertia(points: &Matrix, centroids: &Matrix, assignments: &[u32]) -> f64 {
-    assert_eq!(points.rows(), assignments.len());
-    let mut acc = 0.0;
-    for (i, &a) in assignments.iter().enumerate() {
-        acc += point_dist2(points.row(i), centroids.row(a as usize));
-    }
-    acc
+    kernels::assigned_dist2_sum(points, centroids, assignments)
 }
 
 #[cfg(test)]

@@ -13,10 +13,11 @@
 //!
 //! Termination checks, in order: few changes, small shift, max iterations.
 
+use peachy_data::kernels::Candidates;
 use peachy_data::Matrix;
 
 use crate::config::{KMeansConfig, KMeansResult, Termination};
-use crate::metrics::{nearest_centroid, point_dist2};
+use crate::metrics::point_dist2;
 
 /// Run k-means sequentially from the given initial centroids.
 pub fn fit_seq(points: &Matrix, config: &KMeansConfig, init: Matrix) -> KMeansResult {
@@ -33,10 +34,13 @@ pub fn fit_seq(points: &Matrix, config: &KMeansConfig, init: Matrix) -> KMeansRe
     let mut iterations = 0;
 
     loop {
-        // Phase 1: assignment (+ change counting).
+        // Phase 1: assignment (+ change counting). Centroid norms are
+        // hoisted once per iteration; the per-point scan is the same
+        // kernel every parallel implementation uses.
+        let cand = Candidates::new(&centroids);
         let mut changes = 0usize;
         for i in 0..n {
-            let a = nearest_centroid(points.row(i), &centroids);
+            let a = cand.nearest(points.row(i));
             if assignments[i] != a {
                 changes += 1;
                 assignments[i] = a;

@@ -20,11 +20,12 @@
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 use parking_lot::Mutex;
+use peachy_data::kernels::Candidates;
 use peachy_data::Matrix;
 use rayon::prelude::*;
 
 use crate::config::{KMeansConfig, KMeansResult, Termination};
-use crate::metrics::{nearest_centroid, point_dist2};
+use crate::metrics::point_dist2;
 
 /// Which race-resolution strategy to use for the shared accumulators.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -68,11 +69,16 @@ pub fn fit(
     let mut iterations = 0;
 
     loop {
+        // Hoist the centroid norms once per iteration; every strategy
+        // shares the same kernel, so assignments are identical across the
+        // whole ladder (and the sequential reference) by construction.
+        let cand = Candidates::new(&centroids);
         let stats = match strategy {
-            Strategy::Critical => iter_critical(points, &centroids, &mut assignments),
-            Strategy::Atomic => iter_atomic(points, &centroids, &mut assignments),
-            Strategy::Reduction => iter_reduction(points, &centroids, &mut assignments),
+            Strategy::Critical => iter_critical(points, &cand, &mut assignments),
+            Strategy::Atomic => iter_atomic(points, &cand, &mut assignments),
+            Strategy::Reduction => iter_reduction(points, &cand, &mut assignments),
         };
+        drop(cand);
 
         let mut shift: f64 = 0.0;
         for c in 0..k {
@@ -112,8 +118,8 @@ pub fn fit(
 }
 
 /// Stage 2: every shared update inside a critical region.
-fn iter_critical(points: &Matrix, centroids: &Matrix, assignments: &mut [u32]) -> IterStats {
-    let k = centroids.rows();
+fn iter_critical(points: &Matrix, cand: &Candidates<'_>, assignments: &mut [u32]) -> IterStats {
+    let k = cand.len();
     let d = points.cols();
     let shared = Mutex::new((0usize, vec![0u64; k], vec![0.0f64; k * d]));
     assignments
@@ -121,7 +127,7 @@ fn iter_critical(points: &Matrix, centroids: &Matrix, assignments: &mut [u32]) -
         .enumerate()
         .for_each(|(i, slot)| {
             let row = points.row(i);
-            let a = nearest_centroid(row, centroids);
+            let a = cand.nearest(row);
             let changed = *slot != a;
             *slot = a;
             // The critical region: counter, count and coordinate sums together.
@@ -159,8 +165,8 @@ fn atomic_f64_add(cell: &AtomicU64, v: f64) {
 }
 
 /// Stage 3: atomics instead of locks.
-fn iter_atomic(points: &Matrix, centroids: &Matrix, assignments: &mut [u32]) -> IterStats {
-    let k = centroids.rows();
+fn iter_atomic(points: &Matrix, cand: &Candidates<'_>, assignments: &mut [u32]) -> IterStats {
+    let k = cand.len();
     let d = points.cols();
     let changes = AtomicUsize::new(0);
     let counts: Vec<AtomicU64> = (0..k).map(|_| AtomicU64::new(0)).collect();
@@ -172,7 +178,7 @@ fn iter_atomic(points: &Matrix, centroids: &Matrix, assignments: &mut [u32]) -> 
         .enumerate()
         .for_each(|(i, slot)| {
             let row = points.row(i);
-            let a = nearest_centroid(row, centroids);
+            let a = cand.nearest(row);
             if *slot != a {
                 changes.fetch_add(1, Ordering::Relaxed);
             }
@@ -193,8 +199,8 @@ fn iter_atomic(points: &Matrix, centroids: &Matrix, assignments: &mut [u32]) -> 
 }
 
 /// Stage 4: reduction over fixed chunks, merged in chunk order.
-fn iter_reduction(points: &Matrix, centroids: &Matrix, assignments: &mut [u32]) -> IterStats {
-    let k = centroids.rows();
+fn iter_reduction(points: &Matrix, cand: &Candidates<'_>, assignments: &mut [u32]) -> IterStats {
+    let k = cand.len();
     let d = points.cols();
     let n = points.rows();
     let chunk = n.div_ceil(REDUCTION_CHUNKS).max(1);
@@ -210,7 +216,7 @@ fn iter_reduction(points: &Matrix, centroids: &Matrix, assignments: &mut [u32]) 
             let mut sums = vec![0.0f64; k * d];
             for (off, slot) in slots.iter_mut().enumerate() {
                 let row = points.row(base + off);
-                let a = nearest_centroid(row, centroids);
+                let a = cand.nearest(row);
                 if *slot != a {
                     changes += 1;
                 }

@@ -52,7 +52,11 @@ proptest! {
     }
 
     /// Each point's final assignment really is its nearest final centroid
-    /// when the run converged by assignment stability.
+    /// when the run converged by assignment stability. The assignment
+    /// kernel scores candidates via the ‖c‖² − 2x·c decomposition, which
+    /// can differ from the exact Σ(x−c)² by ~1 ulp — so a disagreement
+    /// with the exact argmin is tolerated only if the two candidates are
+    /// equidistant to within that rounding window.
     #[test]
     fn converged_assignments_are_nearest(
         n in 20usize..300,
@@ -77,7 +81,18 @@ proptest! {
                         best = c as u32;
                     }
                 }
-                prop_assert_eq!(r.assignments[i], best, "point {}", i);
+                let a = r.assignments[i];
+                if a != best {
+                    let da = peachy_data::matrix::squared_distance(
+                        data.points.row(i),
+                        r.centroids.row(a as usize),
+                    );
+                    prop_assert!(
+                        (da - best_d).abs() <= 1e-9 * (1.0 + da + best_d),
+                        "point {} assigned {} (d2={}) but nearest is {} (d2={})",
+                        i, a, da, best, best_d
+                    );
+                }
             }
         }
     }

@@ -1,21 +1,24 @@
 //! Brute-force k-NN: the direct Θ(nqd) algorithm with both top-k selection
 //! strategies and a rayon-parallel batch classifier.
 
-use peachy_data::matrix::{squared_distance, LabeledDataset};
+use peachy_data::kernels::dist2_scan;
+use peachy_data::matrix::LabeledDataset;
 use rayon::prelude::*;
 
 use crate::heap::BoundedMaxHeap;
 use crate::{majority_vote, Neighbor};
 
 /// The k nearest database neighbours of `query`, by bounded max-heap:
-/// Θ(n (d + log k)).
+/// Θ(n (d + log k)). Distances come from the lane-blocked
+/// [`dist2_scan`] kernel, which visits rows in ascending order with
+/// bit-identical values to the scalar loop — so heap contents (and the
+/// exact-agreement guarantees with the tree/GPU backends) are unchanged.
 pub fn nearest_heap(db: &LabeledDataset, query: &[f64], k: usize) -> Vec<Neighbor> {
     assert!(!db.is_empty(), "empty database");
     assert_eq!(query.len(), db.dims(), "query dimensionality mismatch");
     let k = k.min(db.len());
     let mut heap = BoundedMaxHeap::new(k);
-    for i in 0..db.len() {
-        let d2 = squared_distance(db.points.row(i), query);
+    dist2_scan(&db.points, 0..db.len(), query, |i, d2| {
         if heap.would_keep(d2) {
             heap.offer(Neighbor {
                 dist2: d2,
@@ -23,7 +26,7 @@ pub fn nearest_heap(db: &LabeledDataset, query: &[f64], k: usize) -> Vec<Neighbo
                 label: db.labels[i],
             });
         }
-    }
+    });
     heap.into_sorted()
 }
 
@@ -33,13 +36,14 @@ pub fn nearest_sort(db: &LabeledDataset, query: &[f64], k: usize) -> Vec<Neighbo
     assert!(!db.is_empty(), "empty database");
     assert_eq!(query.len(), db.dims(), "query dimensionality mismatch");
     let k = k.min(db.len());
-    let mut all: Vec<Neighbor> = (0..db.len())
-        .map(|i| Neighbor {
-            dist2: squared_distance(db.points.row(i), query),
+    let mut all: Vec<Neighbor> = Vec::with_capacity(db.len());
+    dist2_scan(&db.points, 0..db.len(), query, |i, d2| {
+        all.push(Neighbor {
+            dist2: d2,
             index: i,
             label: db.labels[i],
-        })
-        .collect();
+        });
+    });
     all.sort_by(|a, b| {
         a.cmp_key()
             .partial_cmp(&b.cmp_key())

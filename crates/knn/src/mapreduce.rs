@@ -13,7 +13,8 @@
 //! query, so the shuffle moves `O(q·k·blocks)` pairs instead of `O(q·n)`.
 
 use peachy_cluster::Cluster;
-use peachy_data::matrix::{squared_distance, LabeledDataset};
+use peachy_data::kernels::dist2_scan;
+use peachy_data::matrix::LabeledDataset;
 use peachy_mapreduce::MapReduce;
 
 use crate::heap::BoundedMaxHeap;
@@ -78,8 +79,7 @@ pub fn knn_mapreduce(
                 for q in 0..n_queries {
                     let query = queries.points.row(q);
                     let mut heap = BoundedMaxHeap::new(k);
-                    for i in range.clone() {
-                        let d2 = squared_distance(db.points.row(i), query);
+                    dist2_scan(&db.points, range.clone(), query, |i, d2| {
                         if heap.would_keep(d2) {
                             heap.offer(Neighbor {
                                 dist2: d2,
@@ -87,7 +87,7 @@ pub fn knn_mapreduce(
                                 label: db.labels[i],
                             });
                         }
-                    }
+                    });
                     for n in heap.into_sorted() {
                         emit(q, (n.dist2, n.index, n.label));
                     }
@@ -96,10 +96,9 @@ pub fn knn_mapreduce(
                 // Naïve: every (query, db-point) pair is emitted.
                 for q in 0..n_queries {
                     let query = queries.points.row(q);
-                    for i in range.clone() {
-                        let d2 = squared_distance(db.points.row(i), query);
+                    dist2_scan(&db.points, range.clone(), query, |i, d2| {
                         emit(q, (d2, i, db.labels[i]));
-                    }
+                    });
                 }
             }
         });
