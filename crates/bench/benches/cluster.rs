@@ -3,7 +3,7 @@
 //! "architectural knowledge" lesson of §2 made measurable.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use peachy::cluster::{Cluster, NodeMap};
+use peachy::cluster::{task_farm, Cluster, EdgeFault, FaultPlan, NodeMap, RetryPolicy};
 
 fn bench_broadcast(c: &mut Criterion) {
     let payload: Vec<u64> = (0..1_000).collect();
@@ -119,11 +119,62 @@ fn bench_barrier_and_allreduce(c: &mut Criterion) {
     group.finish();
 }
 
+/// E14: what surviving a worker death costs the §7 task farm — fault-free
+/// vs one killed worker vs benign (dup/reorder) chaos, same 64-task grid.
+/// All three produce bit-identical result tables; only the overhead moves.
+fn bench_farm_retry(c: &mut Criterion) {
+    // Deterministic, CPU-bound task: a short LCG-iterate sum.
+    fn farm_task(task: usize) -> u64 {
+        let mut x = task as u64 + 1;
+        let mut acc = 0u64;
+        for _ in 0..20_000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            acc = acc.wrapping_add(x >> 33);
+        }
+        acc
+    }
+
+    const RANKS: usize = 4;
+    const TASKS: usize = 64;
+    let plans: [(&str, FaultPlan); 3] = [
+        ("fault_free", FaultPlan::none()),
+        // Worker 2 dies after its 4th transport send, mid-farm.
+        ("kill_one_worker", FaultPlan::new(7).kill(2, 3)),
+        (
+            "benign_chaos",
+            FaultPlan::new(7).all_edges(EdgeFault {
+                drop_p: 0.0,
+                dup_p: 0.2,
+                reorder_p: 0.2,
+                delay: std::time::Duration::ZERO,
+            }),
+        ),
+    ];
+
+    let mut group = c.benchmark_group("E14_farm_retry");
+    group.sample_size(10);
+    for (id, plan) in plans {
+        group.bench_function(id, |b| {
+            b.iter(|| {
+                let mut results = Cluster::run_with_plan(RANKS, &plan, |comm| {
+                    task_farm(comm, TASKS, &RetryPolicy::default(), farm_task)
+                });
+                results
+                    .swap_remove(0)
+                    .expect("manager survives every E14 plan")
+                    .expect("manager reports the outcome")
+                    .results
+            })
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     name = benches;
     config = Criterion::default()
         .measurement_time(std::time::Duration::from_secs(2))
         .warm_up_time(std::time::Duration::from_millis(300));
-    targets = bench_broadcast, bench_reduce, bench_barrier_and_allreduce
+    targets = bench_broadcast, bench_reduce, bench_barrier_and_allreduce, bench_farm_retry
 );
 criterion_main!(benches);

@@ -16,6 +16,18 @@
 //! Linear variants ([`Comm::broadcast_linear`], [`Comm::reduce_linear`]) are
 //! kept for the ablation benchmark comparing flat vs. tree collectives — the
 //! "architectural knowledge can help design faster code" lesson of §2.
+//!
+//! **Failure semantics** (fail-stop, see DESIGN.md "Failure model"): a
+//! collective has no partial-completion story. If a participating rank dies
+//! mid-collective, every rank blocked on a message from it aborts with a
+//! peer-death classification instead of hanging; the abort cascades along
+//! the communication tree (each aborting rank broadcasts its own death
+//! notice), so under [`Cluster::run_fallible`](crate::Cluster::run_fallible)
+//! the whole job terminates with the victim reported as the primary failure
+//! and every survivor as a `PeerDead` casualty — mirroring how MPI tears
+//! down a communicator after a member fails. Plans that only delay,
+//! duplicate, or reorder messages leave collective results bit-identical:
+//! matching is by `(source, seq, round)`, never by arrival order.
 
 use crate::comm::Comm;
 use crate::message::MatchKey;

@@ -28,6 +28,15 @@
 //! a network). Latency/bandwidth of a cluster are not modelled; the crate
 //! is about *communication structure*, which is what the assignments teach.
 //!
+//! Beyond the happy path, the cluster is **failure-aware** (fail-stop
+//! model, see DESIGN.md "Failure model"): [`Cluster::run_fallible`] runs
+//! every rank under a supervisor that catches panics, broadcasts death
+//! notices so blocked peers wake instead of deadlocking, and reports a
+//! per-rank [`Result<T, RankError>`]. [`Cluster::run_with_plan`] injects
+//! reproducible transport chaos ([`FaultPlan`]: message drop / duplicate /
+//! reorder / delay plus scheduled rank death) for testing fault-tolerant
+//! protocols such as [`farm::task_farm`].
+//!
 //! ```
 //! use peachy_cluster::Cluster;
 //!
@@ -43,13 +52,22 @@
 
 pub mod collectives;
 pub mod comm;
+pub mod farm;
+pub mod fault;
 pub mod hierarchy;
 pub mod message;
 
 pub use collectives::ReduceOp;
 pub use comm::{Comm, ANY_SOURCE};
+pub use farm::{task_farm, FarmOutcome};
+pub use fault::{EdgeFault, FaultPlan, RankError, RankErrorKind, RecvError, RetryPolicy};
 pub use hierarchy::NodeMap;
 
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Once;
+
+use fault::{KilledByPlan, PeerDeadAbort};
 use message::Envelope;
 
 /// Entry point: run an SPMD function on `n` ranks and collect each rank's
@@ -59,37 +77,111 @@ pub struct Cluster;
 impl Cluster {
     /// Spawn `n` ranks, each executing `f(comm)` on its own thread.
     ///
-    /// Panics in any rank propagate to the caller after all threads have
-    /// been joined (mirroring `mpirun` aborting the job).
+    /// The panicking convenience wrapper around [`Cluster::run_fallible`]:
+    /// if any rank fails, panics with the primary failure's report (rank
+    /// id + panic message) after all threads have been joined — mirroring
+    /// `mpirun` aborting the whole job and naming the guilty rank.
     pub fn run<T, F>(n: usize, f: F) -> Vec<T>
     where
         T: Send,
         F: Fn(&mut Comm) -> T + Send + Sync,
     {
+        let results = Self::run_fallible(n, f);
+        let mut out = Vec::with_capacity(results.len());
+        let mut first_err: Option<RankError> = None;
+        for r in results {
+            match r {
+                Ok(v) => out.push(v),
+                Err(e) => {
+                    // Prefer the primary failure (a rank's own panic) over
+                    // secondary peer-death casualties it caused.
+                    let replace = match &first_err {
+                        None => true,
+                        Some(cur) => cur.is_peer_dead() && e.is_primary(),
+                    };
+                    if replace {
+                        first_err = Some(e);
+                    }
+                }
+            }
+        }
+        if let Some(e) = first_err {
+            panic!("{e}");
+        }
+        out
+    }
+
+    /// Supervised SPMD run: every rank's panic is caught, classified, and
+    /// returned as `Err(RankError)` in that rank's slot; surviving ranks
+    /// keep running. When a rank dies, a death notice is broadcast so
+    /// peers blocked on it wake up (their blocking receives abort with a
+    /// [`RankErrorKind::PeerDead`] classification; timeout-aware receives
+    /// get [`RecvError::PeerDead`]) — a failed job terminates instead of
+    /// deadlocking.
+    pub fn run_fallible<T, F>(n: usize, f: F) -> Vec<Result<T, RankError>>
+    where
+        T: Send,
+        F: Fn(&mut Comm) -> T + Send + Sync,
+    {
+        Self::run_with_plan(n, &FaultPlan::none(), f)
+    }
+
+    /// [`Cluster::run_fallible`] with reproducible transport chaos: every
+    /// rank's sends are filtered through `plan` (drop / duplicate /
+    /// reorder / delay per directed edge, plus scheduled fail-stop rank
+    /// deaths), seeded so the same plan replays the same faults.
+    pub fn run_with_plan<T, F>(n: usize, plan: &FaultPlan, f: F) -> Vec<Result<T, RankError>>
+    where
+        T: Send,
+        F: Fn(&mut Comm) -> T + Send + Sync,
+    {
         assert!(n > 0, "cluster needs at least one rank");
+        silence_intentional_panics();
         let (senders, receivers): (Vec<_>, Vec<_>) = (0..n)
             .map(|_| crossbeam::channel::unbounded::<Envelope>())
             .unzip();
 
-        let mut results: Vec<Option<T>> = (0..n).map(|_| None).collect();
+        let mut results: Vec<Option<Result<T, RankError>>> = (0..n).map(|_| None).collect();
         std::thread::scope(|scope| {
             let handles: Vec<_> = receivers
                 .into_iter()
                 .enumerate()
                 .map(|(rank, rx)| {
                     let senders = senders.clone();
+                    let fault = (!plan.is_empty()).then(|| plan.state_for(rank, n));
                     let f = &f;
                     scope.spawn(move || {
-                        let mut comm = Comm::new(rank, senders, rx);
-                        f(&mut comm)
+                        let notify = senders.clone();
+                        let outcome = catch_unwind(AssertUnwindSafe(|| {
+                            let mut comm = Comm::new(rank, senders, rx, fault);
+                            f(&mut comm)
+                        }));
+                        match outcome {
+                            Ok(v) => Ok(v),
+                            Err(payload) => {
+                                // Fail-stop: announce this rank's death so
+                                // peers blocked on it wake up. Channel FIFO
+                                // guarantees every message it actually sent
+                                // is seen before the notice.
+                                for (dst, tx) in notify.iter().enumerate() {
+                                    if dst != rank {
+                                        let _ = tx.send(Envelope::death(rank));
+                                    }
+                                }
+                                Err(classify_panic(rank, payload))
+                            }
+                        }
                     })
                 })
                 .collect();
             for (rank, handle) in handles.into_iter().enumerate() {
-                match handle.join() {
-                    Ok(v) => results[rank] = Some(v),
-                    Err(payload) => std::panic::resume_unwind(payload),
-                }
+                // The closure never unwinds (panics are caught inside), but
+                // classify defensively rather than poisoning the spawner.
+                results[rank] = Some(
+                    handle
+                        .join()
+                        .unwrap_or_else(|payload| Err(classify_panic(rank, payload))),
+                );
             }
         });
         results
@@ -97,6 +189,40 @@ impl Cluster {
             .map(|r| r.expect("rank produced no result"))
             .collect()
     }
+}
+
+/// Turn a caught panic payload into a classified per-rank failure report.
+fn classify_panic(rank: usize, payload: Box<dyn Any + Send>) -> RankError {
+    let kind = if payload.is::<KilledByPlan>() {
+        RankErrorKind::Killed
+    } else if let Some(abort) = payload.downcast_ref::<PeerDeadAbort>() {
+        RankErrorKind::PeerDead { peer: abort.peer }
+    } else if let Some(msg) = payload.downcast_ref::<&'static str>() {
+        RankErrorKind::Panicked((*msg).to_string())
+    } else if let Some(msg) = payload.downcast_ref::<String>() {
+        RankErrorKind::Panicked(msg.clone())
+    } else {
+        RankErrorKind::Panicked("<non-string panic payload>".to_string())
+    };
+    RankError { rank, kind }
+}
+
+/// Install (once, process-wide) a panic hook that suppresses the default
+/// stderr backtrace for the cluster's *intentional* panics — scheduled
+/// fault-plan kills and peer-death aborts — which are caught and reported
+/// as [`RankError`]s, not bugs. All other panics print as usual.
+fn silence_intentional_panics() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let p = info.payload();
+            if p.is::<KilledByPlan>() || p.is::<PeerDeadAbort>() {
+                return;
+            }
+            prev(info);
+        }));
+    });
 }
 
 #[cfg(test)]
@@ -148,5 +274,88 @@ mod tests {
             }
         });
         assert_eq!(out, vec!["ping-pong".to_string(), "ping".to_string()]);
+    }
+
+    #[test]
+    fn run_fallible_reports_rank_and_message() {
+        let results = Cluster::run_fallible(3, |comm| {
+            if comm.rank() == 1 {
+                panic!("boom at rank {}", comm.rank());
+            }
+            comm.rank()
+        });
+        assert_eq!(results[0], Ok(0));
+        assert_eq!(results[2], Ok(2));
+        let err = results[1].as_ref().expect_err("rank 1 panicked");
+        assert_eq!(err.rank, 1);
+        assert_eq!(err.kind, RankErrorKind::Panicked("boom at rank 1".into()));
+    }
+
+    #[test]
+    fn peer_blocked_on_dead_rank_wakes_up() {
+        // Rank 1 dies before sending; rank 0 is blocked in recv and must
+        // abort with a PeerDead classification instead of hanging.
+        let results = Cluster::run_fallible(2, |comm| {
+            if comm.rank() == 0 {
+                comm.recv::<u32>(1, 0)
+            } else {
+                panic!("rank 1 dies before sending");
+            }
+        });
+        let e0 = results[0].as_ref().expect_err("rank 0 aborted");
+        assert_eq!(e0.kind, RankErrorKind::PeerDead { peer: 1 });
+        assert!(results[1].as_ref().unwrap_err().is_primary());
+    }
+
+    #[test]
+    fn legacy_run_reports_primary_failure_not_casualty() {
+        let caught = std::panic::catch_unwind(|| {
+            Cluster::run(2, |comm| {
+                if comm.rank() == 0 {
+                    comm.recv::<u32>(1, 0);
+                } else {
+                    panic!("original failure");
+                }
+            })
+        });
+        let payload = caught.expect_err("job failed");
+        let msg = payload.downcast_ref::<String>().expect("formatted report");
+        assert!(
+            msg.contains("rank 1") && msg.contains("original failure"),
+            "must name the primary failure, got: {msg}"
+        );
+    }
+
+    #[test]
+    fn scheduled_kill_classified_as_killed() {
+        let plan = FaultPlan::new(11).kill(1, 0);
+        let results = Cluster::run_with_plan(2, &plan, |comm| {
+            if comm.rank() == 1 {
+                comm.send(0, 0, ()); // first send event triggers the kill
+            }
+            comm.rank()
+        });
+        assert_eq!(results[0], Ok(0));
+        assert_eq!(
+            results[1].as_ref().unwrap_err().kind,
+            RankErrorKind::Killed
+        );
+    }
+
+    #[test]
+    fn chaos_plan_without_kills_preserves_results() {
+        use std::time::Duration;
+        let plan = FaultPlan::new(5).all_edges(EdgeFault {
+            dup_p: 0.3,
+            reorder_p: 0.3,
+            delay: Duration::from_micros(50),
+            ..EdgeFault::none()
+        });
+        let results = Cluster::run_with_plan(4, &plan, |comm| {
+            comm.allreduce(comm.rank() as u64 + 1, |a, b| a + b)
+        });
+        for r in results {
+            assert_eq!(r, Ok(10));
+        }
     }
 }

@@ -587,8 +587,8 @@ mod tests {
         let c = toy(CAND_BLOCK + LANES + 3, 6, 2); // spans cand blocks + tail
         let cand = Candidates::new(&c);
         let batch = cand.assign(&x);
-        for i in 0..x.rows() {
-            assert_eq!(batch[i], cand.nearest(x.row(i)), "row {i}");
+        for (i, &got) in batch.iter().enumerate() {
+            assert_eq!(got, cand.nearest(x.row(i)), "row {i}");
         }
     }
 

@@ -2,6 +2,7 @@
 
 use std::sync::{Arc, OnceLock};
 
+use peachy_cluster::RetryPolicy;
 use rayon::prelude::*;
 
 /// A lineage node: something that can produce partition `i` on demand.
@@ -199,6 +200,49 @@ impl<T: Clone + Send + Sync> Op<T> for RepartitionOp<T> {
     }
 }
 
+// ---------- retry (failure-aware partition executor) ----------
+
+struct RetryOp<T> {
+    parent: Arc<dyn Op<T>>,
+    policy: RetryPolicy,
+    retries: std::sync::atomic::AtomicU64,
+}
+
+impl<T: Send + Sync> Op<T> for RetryOp<T> {
+    fn partitions(&self) -> usize {
+        self.parent.partitions()
+    }
+    fn compute_partition(&self, idx: usize) -> Vec<T> {
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                self.parent.compute_partition(idx)
+            }));
+            match run {
+                Ok(rows) => return rows,
+                Err(payload) => {
+                    if attempt >= self.policy.max_attempts {
+                        std::panic::resume_unwind(payload);
+                    }
+                    self.retries
+                        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    self.policy.sleep_before_retry(attempt);
+                }
+            }
+        }
+    }
+    fn label(&self) -> String {
+        format!("Retry[max {} attempts]", self.policy.max_attempts)
+    }
+    fn explain_children(&self, indent: usize, out: &mut String) {
+        explain_into(&*self.parent, indent, out);
+    }
+    fn stages(&self) -> usize {
+        self.parent.stages()
+    }
+}
+
 /// Render one lineage node and its children, indenting per level.
 pub(crate) fn explain_into<T>(op: &dyn Op<T>, indent: usize, out: &mut String) {
     for _ in 0..indent {
@@ -360,6 +404,25 @@ impl<T: Clone + Send + Sync + 'static> Dataset<T> {
                 parent: Arc::clone(&self.op),
                 cells: (0..parts).map(|_| OnceLock::new()).collect(),
                 hits: std::sync::atomic::AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Make partition evaluation failure-aware: a partition whose compute
+    /// panics (a flaky UDF, a simulated executor loss) is retried up to
+    /// `policy.max_attempts` times with the policy's backoff — Spark's
+    /// task-retry / Parsl's app-retry behaviour on the lineage graph. The
+    /// panic is re-raised once the budget is exhausted. Because lineage
+    /// recomputes from the parent each attempt (caches left uninitialized
+    /// by a panicking compute are retried through), a transient failure is
+    /// invisible in the action's result.
+    pub fn with_retry(&self, policy: RetryPolicy) -> Dataset<T> {
+        assert!(policy.max_attempts >= 1, "max_attempts must be >= 1");
+        Dataset {
+            op: Arc::new(RetryOp {
+                parent: Arc::clone(&self.op),
+                policy,
+                retries: std::sync::atomic::AtomicU64::new(0),
             }),
         }
     }
@@ -628,6 +691,48 @@ mod tests {
         assert!(plan.contains("Filter"));
         assert!(plan.contains("Map"));
         assert!(plan.contains("Source"));
+    }
+
+    #[test]
+    fn retry_recovers_from_transient_panics() {
+        use parking_lot::Mutex;
+        use std::collections::HashSet;
+        // Each partition's first computation dies; the retry re-runs it.
+        let failed_once: Arc<Mutex<HashSet<usize>>> = Arc::new(Mutex::new(HashSet::new()));
+        let f = Arc::clone(&failed_once);
+        let ds = Dataset::from_vec((0..40).collect::<Vec<i32>>(), 4)
+            .map_partitions(move |rows: Vec<i32>| {
+                let key = rows.first().copied().unwrap_or(-1) as usize;
+                if f.lock().insert(key) {
+                    panic!("transient executor loss on partition starting at {key}");
+                }
+                rows
+            })
+            .with_retry(RetryPolicy::default());
+        assert_eq!(ds.collect(), (0..40).collect::<Vec<_>>());
+        assert_eq!(failed_once.lock().len(), 4, "every partition failed once");
+    }
+
+    #[test]
+    #[should_panic(expected = "permanent failure")]
+    fn retry_gives_up_after_max_attempts() {
+        let ds = Dataset::from_vec(vec![1, 2, 3], 1)
+            .map(|_: i32| -> i32 { panic!("permanent failure") })
+            .with_retry(RetryPolicy {
+                max_attempts: 2,
+                backoff: std::time::Duration::ZERO,
+            });
+        ds.collect();
+    }
+
+    #[test]
+    fn retry_appears_in_lineage_and_keeps_stages() {
+        let ds = Dataset::from_vec((0..10).collect::<Vec<i32>>(), 2)
+            .map(|x| x + 1)
+            .with_retry(RetryPolicy::default());
+        assert!(ds.explain().contains("Retry[max 3 attempts]"));
+        assert_eq!(ds.num_stages(), 1, "retry is not a stage boundary");
+        assert_eq!(ds.num_partitions(), 2);
     }
 
     #[test]

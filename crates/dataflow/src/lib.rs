@@ -27,6 +27,10 @@
 //!   does.
 //! * **Explain** — [`Dataset::explain`] prints the lineage tree with stage
 //!   boundaries, the mental model the course builds.
+//! * **Task retry** — [`Dataset::with_retry`] makes partition evaluation
+//!   failure-aware: a panicking compute (flaky UDF, simulated executor
+//!   loss) is recomputed from lineage up to a [`RetryPolicy`] bound,
+//!   Spark's task-retry behaviour on the lineage graph.
 //!
 //! ```
 //! use peachy_dataflow::Dataset;
@@ -46,4 +50,5 @@ pub mod shuffle;
 
 pub use dataset::Dataset;
 pub use keyed::KeyedDataset;
+pub use peachy_cluster::RetryPolicy;
 pub use shuffle::ShuffleStats;

@@ -14,7 +14,14 @@
 //!   no second broadcast needed);
 //! * at the end, the root gathers the assignment blocks (`gather`).
 
-use peachy_cluster::Cluster;
+//!
+//! When ranks can die, [`fit_distributed_resilient`] wraps the same SPMD
+//! body in a retry loop: a failed attempt (any rank lost mid-collective
+//! aborts the whole job cleanly — no hangs) is re-submitted on the
+//! surviving rank count, and because assignments are rank-count invariant
+//! the recovered answer is bit-identical to the fault-free run.
+
+use peachy_cluster::{Cluster, FaultPlan, RankError, RetryPolicy};
 use peachy_data::kernels::Candidates;
 use peachy_data::Matrix;
 
@@ -32,6 +39,24 @@ pub fn fit_distributed(
     init: Matrix,
     ranks: usize,
 ) -> KMeansResult {
+    fit_on_cluster(points, config, &init, ranks, &FaultPlan::none()).unwrap_or_else(|errors| {
+        let primary = errors
+            .iter()
+            .find(|e| e.is_primary())
+            .unwrap_or(&errors[0]);
+        panic!("{primary}");
+    })
+}
+
+/// One supervised SPMD attempt under a chaos plan: `Ok` only if every
+/// rank completed, otherwise all per-rank failures.
+fn fit_on_cluster(
+    points: &Matrix,
+    config: &KMeansConfig,
+    init: &Matrix,
+    ranks: usize,
+    plan: &FaultPlan,
+) -> Result<KMeansResult, Vec<RankError>> {
     let k = init.rows();
     assert!(k >= 1, "need at least one centroid");
     assert!(points.rows() >= 1, "need at least one point");
@@ -40,7 +65,7 @@ pub fn fit_distributed(
     let d = points.cols();
     let n = points.rows();
 
-    let mut results = Cluster::run(ranks, |comm| {
+    let results = Cluster::run_with_plan(ranks, plan, |comm| {
         let rank = comm.rank();
         let size = comm.size();
 
@@ -133,7 +158,81 @@ pub fn fit_distributed(
         })
     });
 
-    results.swap_remove(0).expect("root assembles the result")
+    let mut errors = Vec::new();
+    let mut root: Option<KMeansResult> = None;
+    for (rank, r) in results.into_iter().enumerate() {
+        match r {
+            Ok(opt) => {
+                if rank == 0 {
+                    root = opt;
+                }
+            }
+            Err(e) => errors.push(e),
+        }
+    }
+    if errors.is_empty() {
+        Ok(root.expect("root assembles the result"))
+    } else {
+        Err(errors)
+    }
+}
+
+/// What a resilient distributed fit reports alongside the result.
+#[derive(Debug, Clone)]
+pub struct ResilientFit {
+    /// The clustering — bit-identical assignments to a fault-free run.
+    pub result: KMeansResult,
+    /// Cluster attempts used (1 = no failures).
+    pub attempts: u32,
+    /// Rank count of the successful attempt (shrinks when nodes are lost).
+    pub final_ranks: usize,
+}
+
+/// Failure-aware distributed k-means: run [`fit_distributed`]'s SPMD body
+/// under chaos `plan`; if the attempt fails (a rank panicked or was
+/// killed, aborting the whole job cleanly via peer-death cascade), resubmit
+/// on the surviving rank count — the failed nodes are excluded, mirroring
+/// how a scheduler restarts an MPI job without the crashed hosts. Bounded
+/// by `policy.max_attempts`, with the policy's backoff between attempts.
+///
+/// Because assignments are rank-count invariant (a property the test suite
+/// pins down), the recovered clustering is **bit-identical** to the
+/// fault-free run.
+pub fn fit_distributed_resilient(
+    points: &Matrix,
+    config: &KMeansConfig,
+    init: Matrix,
+    ranks: usize,
+    plan: &FaultPlan,
+    policy: &RetryPolicy,
+) -> Result<ResilientFit, Vec<RankError>> {
+    assert!(policy.max_attempts >= 1, "max_attempts must be >= 1");
+    let mut ranks_now = ranks;
+    let mut plan_now = plan.clone();
+    let mut attempt = 0u32;
+    loop {
+        attempt += 1;
+        match fit_on_cluster(points, config, &init, ranks_now, &plan_now) {
+            Ok(result) => {
+                return Ok(ResilientFit {
+                    result,
+                    attempts: attempt,
+                    final_ranks: ranks_now,
+                })
+            }
+            Err(errors) => {
+                if attempt >= policy.max_attempts {
+                    return Err(errors);
+                }
+                // Exclude the primarily-failed nodes from the resubmission;
+                // peer-death casualties are healthy nodes and keep running.
+                let lost = errors.iter().filter(|e| e.is_primary()).count().max(1);
+                ranks_now = ranks_now.saturating_sub(lost).max(1);
+                plan_now = FaultPlan::none();
+                policy.sleep_before_retry(attempt);
+            }
+        }
+    }
 }
 
 /// Balanced block range (same as the MapReduce engine's distribution —
@@ -187,6 +286,72 @@ mod tests {
         let seq = fit_seq(&data.points, &cfg(), init.clone());
         let dist = fit_distributed(&data.points, &cfg(), init, 6);
         assert_eq!(dist.assignments, seq.assignments);
+    }
+
+    #[test]
+    fn resilient_fit_single_attempt_when_fault_free() {
+        let data = gaussian_blobs(300, 2, 3, 0.8, 31);
+        let init = random_init(&data.points, 3, 32);
+        let seq = fit_seq(&data.points, &cfg(), init.clone());
+        let fit = fit_distributed_resilient(
+            &data.points,
+            &cfg(),
+            init,
+            4,
+            &FaultPlan::none(),
+            &RetryPolicy::default(),
+        )
+        .expect("no faults injected");
+        assert_eq!(fit.attempts, 1);
+        assert_eq!(fit.final_ranks, 4);
+        assert_eq!(fit.result.assignments, seq.assignments);
+    }
+
+    #[test]
+    fn resilient_fit_recovers_bit_identically_after_rank_death() {
+        let data = gaussian_blobs(400, 3, 3, 1.0, 33);
+        let init = random_init(&data.points, 3, 34);
+        let seq = fit_seq(&data.points, &cfg(), init.clone());
+        for seed in [1, 2, 3] {
+            // Rank 2 dies mid-collective; the whole attempt aborts cleanly
+            // and the resubmission runs on the survivors.
+            let plan = FaultPlan::new(seed).kill(2, 5);
+            let fit = fit_distributed_resilient(
+                &data.points,
+                &cfg(),
+                init.clone(),
+                4,
+                &plan,
+                &RetryPolicy::default(),
+            )
+            .expect("retry succeeds on survivors");
+            assert_eq!(fit.attempts, 2, "seed {seed}");
+            assert_eq!(fit.final_ranks, 3, "seed {seed}: crashed node excluded");
+            assert_eq!(
+                fit.result.assignments, seq.assignments,
+                "seed {seed}: bit-identical to the fault-free clustering"
+            );
+        }
+    }
+
+    #[test]
+    fn resilient_fit_reports_failures_when_budget_exhausted() {
+        let data = gaussian_blobs(60, 2, 2, 0.5, 35);
+        let init = random_init(&data.points, 2, 36);
+        let plan = FaultPlan::new(1).kill(1, 0);
+        let errors = fit_distributed_resilient(
+            &data.points,
+            &cfg(),
+            init,
+            3,
+            &plan,
+            &RetryPolicy {
+                max_attempts: 1,
+                backoff: std::time::Duration::ZERO,
+            },
+        )
+        .expect_err("single attempt, scheduled kill");
+        assert!(errors.iter().any(|e| e.rank == 1 && e.is_primary()));
     }
 
     #[test]

@@ -51,7 +51,7 @@ pub mod seq;
 pub mod strategies;
 
 pub use config::{KMeansConfig, KMeansResult, Termination};
-pub use distributed::fit_distributed;
+pub use distributed::{fit_distributed, fit_distributed_resilient, ResilientFit};
 pub use gpu::{fit_gpu, GpuLaunch, GpuStrategy};
 pub use init::{kmeans_plus_plus, random_init};
 pub use locality::fit_buffers;

@@ -46,8 +46,15 @@
 //! assert_eq!(table, vec![("a".into(), 3), ("bb".into(), 2), ("ccc".into(), 1)]);
 //! ```
 
+//! When ranks can die, [`resilient::map_reduce_resilient`] replaces the
+//! static block map phase with a fault-tolerant task farm: map tasks owned
+//! by a dead rank are reassigned (bounded by a retry policy) and the output
+//! stays bit-identical to the fault-free run.
+
 pub mod engine;
 pub mod invertedindex;
+pub mod resilient;
 pub mod wordcount;
 
 pub use engine::{Grouped, Kv, MapReduce};
+pub use resilient::{map_reduce_resilient, ResilientOutcome};

@@ -32,7 +32,7 @@ pub mod city;
 
 /// Common imports for examples and integration tests.
 pub mod prelude {
-    pub use peachy_cluster::{Cluster, Comm};
+    pub use peachy_cluster::{Cluster, Comm, FaultPlan, RankError, RetryPolicy};
     pub use peachy_data::matrix::{LabeledDataset, Matrix};
     pub use peachy_dataflow::{Dataset, KeyedDataset};
     pub use peachy_prng::{FastForward, Lcg64, RandomStream};

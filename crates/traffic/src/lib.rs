@@ -66,4 +66,4 @@ pub use measure::{flow, fundamental_diagram, jam_fraction, FlowStats};
 pub use open::{OpenRoad, OpenRoadConfig};
 pub use raster::SpaceTime;
 pub use road::{AgentRoad, RoadConfig};
-pub use sweep::{capacity_curve, run_sweep, SweepPoint};
+pub use sweep::{capacity_curve, run_sweep, run_sweep_farm, SweepPoint};

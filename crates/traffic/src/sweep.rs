@@ -4,8 +4,11 @@
 //! A sweep is a grid of independent simulations; [`run_sweep`] fans the
 //! grid out over the rayon pool (each job is one full simulation — the
 //! embarrassing parallelism the assignment points at) and collects a
-//! result table.
+//! result table. [`run_sweep_farm`] runs the same grid as a §7-style
+//! fault-tolerant task farm on the simulated cluster: a killed worker's
+//! cells are absorbed by the survivors and the table stays bit-identical.
 
+use peachy_cluster::{task_farm, Cluster, FarmOutcome, FaultPlan, RetryPolicy};
 use rayon::prelude::*;
 
 use crate::measure::{flow, FlowStats};
@@ -56,6 +59,58 @@ pub fn run_sweep(
             }
         })
         .collect()
+}
+
+/// Run the same (p × density) grid as a self-scheduling task farm on
+/// `ranks` simulated cluster ranks under a chaos `plan` (use
+/// [`FaultPlan::none`] for a clean run) — the §7 pattern hardened: cells
+/// owned by a worker that dies are reassigned per `policy`, and because
+/// each cell's simulation is seeded deterministically, the result table is
+/// **bit-identical to [`run_sweep`]** in row-major grid order no matter
+/// which workers survive.
+///
+/// Panics if the manager rank itself fails (analogous to losing the
+/// `mpirun` launch process).
+#[allow(clippy::too_many_arguments)]
+pub fn run_sweep_farm(
+    ranks: usize,
+    plan: &FaultPlan,
+    policy: &RetryPolicy,
+    length: usize,
+    v_max: u32,
+    seed: u64,
+    ps: &[f64],
+    densities: &[f64],
+    warmup: u64,
+    window: u64,
+) -> FarmOutcome<SweepPoint> {
+    assert!(!ps.is_empty() && !densities.is_empty(), "empty sweep grid");
+    let grid: Vec<(f64, f64)> = ps
+        .iter()
+        .flat_map(|&p| densities.iter().map(move |&rho| (p, rho)))
+        .collect();
+    let mut results = Cluster::run_with_plan(ranks, plan, |comm| {
+        task_farm(comm, grid.len(), policy, |cell| {
+            let (p, density) = grid[cell];
+            let cars = ((length as f64 * density).round() as usize).clamp(1, length);
+            let config = RoadConfig {
+                length,
+                cars,
+                v_max,
+                p,
+                seed,
+            };
+            SweepPoint {
+                p,
+                density,
+                stats: flow(&config, warmup, window),
+            }
+        })
+    });
+    results
+        .swap_remove(0)
+        .unwrap_or_else(|e| panic!("sweep manager failed: {e}"))
+        .expect("manager reports the farm outcome")
 }
 
 /// Locate the capacity point (maximum flow) for each `p` in a sweep.
@@ -115,5 +170,53 @@ mod tests {
     #[should_panic(expected = "empty sweep grid")]
     fn empty_grid_rejected() {
         run_sweep(100, 5, 1, &[], &[0.1], 10, 10);
+    }
+
+    #[test]
+    fn farm_sweep_matches_rayon_sweep() {
+        let ps = [0.0, 0.2];
+        let densities = [0.1, 0.3];
+        let reference = run_sweep(200, 5, 4, &ps, &densities, 50, 50);
+        let farmed = run_sweep_farm(
+            3,
+            &FaultPlan::none(),
+            &RetryPolicy::default(),
+            200,
+            5,
+            4,
+            &ps,
+            &densities,
+            50,
+            50,
+        );
+        assert_eq!(farmed.results, reference);
+        assert_eq!(farmed.reassigned, 0);
+    }
+
+    #[test]
+    fn farm_sweep_survives_killed_worker_bit_identically() {
+        let ps = [0.0, 0.15, 0.3];
+        let densities = [0.1, 0.2, 0.4];
+        let reference = run_sweep(150, 5, 8, &ps, &densities, 40, 40);
+        for chaos_seed in [1, 2, 3] {
+            // Worker 1 dies after its second transport send, mid-farm.
+            let plan = FaultPlan::new(chaos_seed).kill(1, 1);
+            let farmed = run_sweep_farm(
+                3,
+                &plan,
+                &RetryPolicy::default(),
+                150,
+                5,
+                8,
+                &ps,
+                &densities,
+                40,
+                40,
+            );
+            assert_eq!(
+                farmed.results, reference,
+                "seed {chaos_seed}: surviving workers absorb the dead worker's cells"
+            );
+        }
     }
 }
