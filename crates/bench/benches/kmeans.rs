@@ -92,11 +92,37 @@ fn bench_init(c: &mut Criterion) {
     group.finish();
 }
 
+/// E15: the same fit through the unified executor seam — `Seq`, `Rayon`,
+/// `Cluster` — so backend overhead is measured against one code path.
+fn bench_executor_backends(c: &mut Criterion) {
+    use peachy::cluster::Executor;
+    let data = gaussian_blobs(20_000, 4, 16, 1.0, 13);
+    let init = kmeans_plus_plus(&data.points, 16, 17);
+    let config = KMeansConfig {
+        max_iters: 5,
+        min_changes: 0,
+        min_shift: 0.0,
+    };
+    let mut group = c.benchmark_group("E15_executor_backends");
+    group.sample_size(10);
+    for (name, exec) in [
+        ("seq", Executor::seq()),
+        ("rayon_64", Executor::rayon(64)),
+        ("cluster_4", Executor::cluster(4)),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| peachy::kmeans::fit_with(&data.points, &config, init.clone(), &exec).iterations)
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     name = benches;
     config = Criterion::default()
         .measurement_time(std::time::Duration::from_secs(3))
         .warm_up_time(std::time::Duration::from_millis(300));
-    targets = bench_strategies, bench_distributed, bench_layout, bench_init
+    targets = bench_strategies, bench_distributed, bench_layout, bench_init,
+        bench_executor_backends
 );
 criterion_main!(benches);

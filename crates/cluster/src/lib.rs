@@ -37,6 +37,12 @@
 //! reorder / delay plus scheduled rank death) for testing fault-tolerant
 //! protocols such as [`farm::task_farm`].
 //!
+//! The crate also hosts the workspace's **distribution + executor layer**
+//! ([`dist`], [`exec`], [`stats`]): the single source of block/cyclic
+//! partition math, the `Seq`/`Rayon`/`Cluster` backend seam every
+//! assignment's "partition → local compute → combine" loop runs through,
+//! and the communication counters that make backend runs comparable.
+//!
 //! ```
 //! use peachy_cluster::Cluster;
 //!
@@ -52,16 +58,22 @@
 
 pub mod collectives;
 pub mod comm;
+pub mod dist;
+pub mod exec;
 pub mod farm;
 pub mod fault;
 pub mod hierarchy;
 pub mod message;
+pub mod stats;
 
 pub use collectives::ReduceOp;
 pub use comm::{Comm, ANY_SOURCE};
+pub use dist::{block_range, Block, BlockCyclic, Contiguous, Cyclic, Distribution, EvenBlocks};
+pub use exec::Executor;
 pub use farm::{task_farm, FarmOutcome};
 pub use fault::{EdgeFault, FaultPlan, RankError, RankErrorKind, RecvError, RetryPolicy};
 pub use hierarchy::NodeMap;
+pub use stats::CommStats;
 
 use std::any::Any;
 use std::panic::{catch_unwind, AssertUnwindSafe};

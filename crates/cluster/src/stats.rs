@@ -1,0 +1,117 @@
+//! Lightweight communication-volume counters shared by every backend.
+//!
+//! One counter block serves the whole workspace: the executor's
+//! scatter/gather bookkeeping, the collectives' byte accounting in the
+//! kmeans cluster path, and the dataflow shuffle (whose `ShuffleStats` is
+//! now an alias of [`CommStats`]). Counters are relaxed atomics behind an
+//! `Arc` — cheap enough to leave on, precise enough to compare backends in
+//! the E15 experiment.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Monotonic communication counters for one run.
+///
+/// All increments use relaxed ordering: the counts are aggregates read
+/// after the run completes, not synchronization.
+#[derive(Debug, Default)]
+pub struct CommStats {
+    scattered: AtomicU64,
+    gathered: AtomicU64,
+    collective_bytes: AtomicU64,
+    records: AtomicU64,
+    shuffles: AtomicU64,
+}
+
+impl CommStats {
+    /// Fresh zeroed counters, shared via `Arc` so workers and the caller
+    /// see the same block.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Elements distributed from a root / source view out to parts.
+    pub fn scattered(&self) -> u64 {
+        self.scattered.load(Ordering::Relaxed)
+    }
+
+    /// Elements (or per-part results) collected back in part order.
+    pub fn gathered(&self) -> u64 {
+        self.gathered.load(Ordering::Relaxed)
+    }
+
+    /// Payload bytes moved through cluster collectives
+    /// (scatter/gather/broadcast/allreduce). Zero on shared-memory
+    /// backends, where "communication" is a slice borrow.
+    pub fn collective_bytes(&self) -> u64 {
+        self.collective_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Records repartitioned by shuffles.
+    pub fn records(&self) -> u64 {
+        self.records.load(Ordering::Relaxed)
+    }
+
+    /// Number of shuffle operations performed.
+    pub fn shuffles(&self) -> u64 {
+        self.shuffles.load(Ordering::Relaxed)
+    }
+
+    /// Count `n` elements scattered.
+    pub fn add_scattered(&self, n: u64) {
+        self.scattered.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Count `n` elements gathered.
+    pub fn add_gathered(&self, n: u64) {
+        self.gathered.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Count `n` payload bytes through a collective.
+    pub fn add_collective_bytes(&self, n: u64) {
+        self.collective_bytes.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Count one shuffle that moved `records` records.
+    pub fn add_shuffle(&self, records: u64) {
+        self.records.fetch_add(records, Ordering::Relaxed);
+        self.shuffles.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_independently() {
+        let s = CommStats::new();
+        s.add_scattered(10);
+        s.add_scattered(5);
+        s.add_gathered(7);
+        s.add_collective_bytes(1024);
+        s.add_shuffle(100);
+        s.add_shuffle(23);
+        assert_eq!(s.scattered(), 15);
+        assert_eq!(s.gathered(), 7);
+        assert_eq!(s.collective_bytes(), 1024);
+        assert_eq!(s.records(), 123);
+        assert_eq!(s.shuffles(), 2);
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let s = CommStats::new();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let s = Arc::clone(&s);
+                scope.spawn(move || {
+                    for _ in 0..1000 {
+                        s.add_scattered(1);
+                    }
+                });
+            }
+        });
+        assert_eq!(s.scattered(), 4000);
+    }
+}

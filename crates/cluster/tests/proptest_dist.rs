@@ -1,0 +1,120 @@
+//! Partition laws: property tests every `Distribution` impl must satisfy.
+//!
+//! For each of `Block`, `EvenBlocks`, `Cyclic`, and `BlockCyclic`:
+//! * the per-part index sets are pairwise disjoint,
+//! * their union covers `0..n` exactly,
+//! * `owner_of(i)` agrees with the part whose `part_indices` contain `i`,
+//! * the part count clips when more parts are requested than indices
+//!   (every surviving part non-empty),
+//! and for the contiguous impls, `range_of` tiles `0..n` in part order.
+
+use proptest::prelude::*;
+
+use peachy_cluster::dist::{
+    block_range, Block, BlockCyclic, Contiguous, Cyclic, Distribution, EvenBlocks,
+};
+
+/// Check the partition laws for any distribution.
+fn check_partition_laws<D: Distribution>(dist: &D, n: usize) {
+    assert_eq!(dist.len(), n);
+    assert!(!dist.is_empty(), "typed distributions are never empty");
+    let parts = dist.parts();
+    assert!(parts >= 1 && parts <= n, "1 <= parts={parts} <= n={n}");
+
+    let mut seen = vec![usize::MAX; n];
+    for p in 0..parts {
+        let indices = dist.part_indices(p);
+        assert!(!indices.is_empty(), "part {p} of {parts} must own something");
+        for &i in &indices {
+            assert!(i < n, "index {i} outside domain of {n}");
+            assert_eq!(seen[i], usize::MAX, "index {i} owned twice");
+            seen[i] = p;
+            assert_eq!(dist.owner_of(i), p, "owner_of({i}) disagrees with part {p}");
+        }
+    }
+    for (i, &owner) in seen.iter().enumerate() {
+        assert_ne!(owner, usize::MAX, "index {i} unowned");
+    }
+}
+
+/// Extra law for contiguous distributions: ranges tile `0..n` in order.
+fn check_contiguous_tiling<D: Contiguous>(dist: &D) {
+    let mut next = 0;
+    for p in 0..dist.parts() {
+        let r = dist.range_of(p);
+        assert_eq!(r.start, next, "part {p} does not start where {} ended", p.wrapping_sub(1));
+        assert!(r.end > r.start, "part {p} empty");
+        next = r.end;
+    }
+    assert_eq!(next, dist.len());
+}
+
+proptest! {
+    #[test]
+    fn free_block_range_tiles_any_domain(n in 0usize..500, parts in 1usize..40) {
+        // The free function is total: n = 0 and parts > n both legal,
+        // trailing parts empty.
+        let mut next = 0;
+        for p in 0..parts {
+            let r = block_range(n, parts, p);
+            prop_assert_eq!(r.start, next);
+            next = r.end;
+            // Balanced rule: sizes differ by at most one, larger first.
+            prop_assert!(r.len() == n / parts || r.len() == n / parts + 1);
+        }
+        prop_assert_eq!(next, n);
+    }
+
+    #[test]
+    fn block_satisfies_partition_laws(n in 1usize..400, parts in 1usize..40) {
+        let dist = Block::new(n, parts);
+        check_partition_laws(&dist, n);
+        check_contiguous_tiling(&dist);
+        // Clipping: never more parts than indices.
+        prop_assert_eq!(dist.parts(), parts.min(n));
+        // Agreement with the free function over the clipped part count.
+        for p in 0..dist.parts() {
+            prop_assert_eq!(dist.range_of(p), block_range(n, dist.parts(), p));
+        }
+    }
+
+    #[test]
+    fn even_blocks_satisfy_partition_laws(n in 1usize..400, parts in 1usize..40) {
+        let dist = EvenBlocks::new(n, parts);
+        check_partition_laws(&dist, n);
+        check_contiguous_tiling(&dist);
+        prop_assert!(dist.parts() <= parts);
+        // The par_chunks contract: all parts but the last have exactly
+        // chunk_len indices, and chunk_len = ceil(n / requested).
+        prop_assert_eq!(dist.chunk_len(), n.div_ceil(parts));
+        for p in 0..dist.parts() - 1 {
+            prop_assert_eq!(dist.range_of(p).len(), dist.chunk_len());
+        }
+    }
+
+    #[test]
+    fn cyclic_satisfies_partition_laws(n in 1usize..400, parts in 1usize..40) {
+        let dist = Cyclic::new(n, parts);
+        check_partition_laws(&dist, n);
+        prop_assert_eq!(dist.parts(), parts.min(n));
+    }
+
+    #[test]
+    fn block_cyclic_satisfies_partition_laws(
+        n in 1usize..400,
+        parts in 1usize..40,
+        block in 1usize..20,
+    ) {
+        let dist = BlockCyclic::new(n, parts, block);
+        check_partition_laws(&dist, n);
+        prop_assert!(dist.parts() <= n.div_ceil(block));
+    }
+
+    #[test]
+    fn block_owner_is_inverse_of_range(n in 1usize..400, parts in 1usize..40, i in 0usize..400) {
+        let i = i % n;
+        let dist = Block::new(n, parts);
+        let p = dist.owner_of(i);
+        prop_assert!(dist.local_range(p).contains(&i));
+    }
+}

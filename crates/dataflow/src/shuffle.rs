@@ -7,48 +7,31 @@
 //! for the reduce side to consume. [`ShuffleStats`] counts the records
 //! crossing the boundary so pipelines can be *measured* while being
 //! improved — the §4 exercise.
+//!
+//! The hash is the workspace's seeded version-stable hasher
+//! ([`peachy_cluster::dist::owner_of_key`], built on the splitmix
+//! finalizer), not `DefaultHasher`: bucket placement is pinned by test and
+//! survives Rust releases.
 
-use std::collections::hash_map::DefaultHasher;
-use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::hash::Hash;
 use std::sync::{Arc, OnceLock};
 
+use peachy_cluster::dist::{owner_of_key, ROUTE_SEED};
 use rayon::prelude::*;
 
 use crate::dataset::{explain_into, Op};
 
 /// Counters shared by all shuffles in a lineage (attach one per pipeline
-/// run to compare variants).
-#[derive(Debug, Default)]
-pub struct ShuffleStats {
-    /// Records that crossed a shuffle boundary.
-    pub records: AtomicU64,
-    /// Number of shuffle materializations performed.
-    pub shuffles: AtomicU64,
-}
+/// run to compare variants). This is the workspace-wide
+/// [`peachy_cluster::CommStats`] block — the shuffle increments its
+/// `records`/`shuffles` counters, so dataflow runs are directly comparable
+/// with executor-backend runs in the E15 experiment.
+pub type ShuffleStats = peachy_cluster::CommStats;
 
-impl ShuffleStats {
-    /// New zeroed counters.
-    pub fn new() -> Arc<Self> {
-        Arc::new(Self::default())
-    }
-
-    /// Records shuffled so far.
-    pub fn records(&self) -> u64 {
-        self.records.load(Ordering::Relaxed)
-    }
-
-    /// Shuffles executed so far.
-    pub fn shuffles(&self) -> u64 {
-        self.shuffles.load(Ordering::Relaxed)
-    }
-}
-
-/// Stable key → partition routing.
+/// Stable key → partition routing, shared with the MapReduce collate
+/// (same hasher, same [`ROUTE_SEED`]).
 pub(crate) fn partition_of<K: Hash>(key: &K, partitions: usize) -> usize {
-    let mut h = DefaultHasher::new();
-    key.hash(&mut h);
-    (h.finish() % partitions as u64) as usize
+    owner_of_key(key, partitions, ROUTE_SEED)
 }
 
 /// The wide lineage node: hash-shuffles `(K, V)` rows into `partitions`
@@ -96,8 +79,7 @@ where
                 }
             }
             if let Some(stats) = &self.stats {
-                stats.records.fetch_add(moved, Ordering::Relaxed);
-                stats.shuffles.fetch_add(1, Ordering::Relaxed);
+                stats.add_shuffle(moved);
             }
             merged
         })
@@ -153,4 +135,23 @@ mod tests {
         let (min, max) = (counts.iter().min().unwrap(), counts.iter().max().unwrap());
         assert!(*min > 800 && *max < 1800, "skewed: {counts:?}");
     }
+
+    #[test]
+    fn bucket_assignment_is_pinned() {
+        // Version-stability contract: these exact placements must never
+        // change (a compiler upgrade that moves them would silently
+        // repartition every persisted pipeline). Computed once from the
+        // seeded splitmix hasher and frozen here.
+        let got: Vec<usize> = (0..16u64).map(|k| partition_of(&k, 8)).collect();
+        assert_eq!(got, PINNED_U64_BUCKETS);
+        let words = ["alpha", "bravo", "charlie", "delta", "echo", "foxtrot"];
+        let got: Vec<usize> = words.iter().map(|w| partition_of(w, 4)).collect();
+        assert_eq!(got, PINNED_STR_BUCKETS);
+    }
+
+    /// `partition_of(&k, 8)` for `k in 0..16`.
+    const PINNED_U64_BUCKETS: [usize; 16] =
+        [0, 6, 1, 4, 5, 3, 3, 2, 6, 1, 2, 5, 2, 1, 4, 2];
+    /// `partition_of(w, 4)` for the NATO words above.
+    const PINNED_STR_BUCKETS: [usize; 6] = [1, 0, 2, 0, 3, 0];
 }

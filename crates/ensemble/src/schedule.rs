@@ -14,19 +14,16 @@ use crate::ensemble::Ensemble;
 use crate::nn::{DenseNet, NetConfig, TrainConfig};
 
 /// Block assignment of `tasks` over `ranks`: rank `r` gets a contiguous
-/// run, the first `tasks % ranks` ranks get one extra.
+/// run, the first `tasks % ranks` ranks get one extra. Delegates to the
+/// workspace-wide balanced-block rule ([`peachy_cluster::dist::block_range`]).
 pub fn block_assignment(tasks: usize, ranks: usize, rank: usize) -> std::ops::Range<usize> {
-    assert!(ranks > 0 && rank < ranks);
-    let base = tasks / ranks;
-    let extra = tasks % ranks;
-    let start = rank * base + rank.min(extra);
-    start..(start + base + usize::from(rank < extra))
+    peachy_cluster::dist::block_range(tasks, ranks, rank)
 }
 
-/// Round-robin assignment: rank `r` gets tasks `r, r+ranks, r+2·ranks, …`.
+/// Round-robin assignment: rank `r` gets tasks `r, r+ranks, r+2·ranks, …`
+/// ([`peachy_cluster::dist::cyclic_indices`]).
 pub fn round_robin_assignment(tasks: usize, ranks: usize, rank: usize) -> Vec<usize> {
-    assert!(ranks > 0 && rank < ranks);
-    (rank..tasks).step_by(ranks).collect()
+    peachy_cluster::dist::cyclic_indices(tasks, ranks, rank).collect()
 }
 
 /// Load imbalance of an assignment: `max_load / mean_load` (1.0 = perfect).

@@ -19,8 +19,8 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Barrier;
 
-use crate::dist::BlockDist;
 use crate::problem::HeatProblem;
+use crate::BlockDist;
 
 /// One locale's pair of incoming halo cells, written by its neighbours.
 struct Halo {
@@ -46,7 +46,7 @@ pub fn solve_coforall(problem: &HeatProblem, locales: usize) -> Vec<f64> {
     let alpha = problem.alpha;
     let interior = n - 2;
     let dist = BlockDist::new(interior, locales);
-    let nl = dist.locales();
+    let nl = dist.parts();
 
     let halos: Vec<Halo> = (0..nl).map(|_| Halo::new()).collect();
     let barrier = Barrier::new(nl);

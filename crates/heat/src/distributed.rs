@@ -11,8 +11,8 @@
 
 use peachy_cluster::Cluster;
 
-use crate::dist::BlockDist;
 use crate::problem::HeatProblem;
+use crate::BlockDist;
 
 /// Tags for the edge-value exchange: a value travelling to the sender's
 /// right neighbour vs to its left neighbour.
@@ -27,7 +27,7 @@ pub fn solve_distributed(problem: &HeatProblem, locales: usize) -> Vec<f64> {
     let alpha = problem.alpha;
     let interior = n - 2;
     let dist = BlockDist::new(interior, locales);
-    let nl = dist.locales();
+    let nl = dist.parts();
 
     let mut results = Cluster::run(nl, |comm| {
         let l = comm.rank();

@@ -5,8 +5,8 @@
 //! assignment's part 2 eliminates). Blocks are disjoint slices of the
 //! global array, so the step is data-race-free by construction.
 
-use crate::dist::BlockDist;
 use crate::problem::HeatProblem;
+use crate::BlockDist;
 
 /// Statistics of a `forall` run, for the overhead comparison.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -35,9 +35,9 @@ pub fn solve_forall_stats(problem: &HeatProblem, locales: usize) -> (Vec<f64>, F
         let src = &un;
         // Carve the interior of `u` into per-locale disjoint slices.
         let mut rest = &mut u[1..n - 1];
-        let mut blocks: Vec<(usize, &mut [f64])> = Vec::with_capacity(dist.locales());
+        let mut blocks: Vec<(usize, &mut [f64])> = Vec::with_capacity(dist.parts());
         let mut offset = 0;
-        for l in 0..dist.locales() {
+        for l in 0..dist.parts() {
             let range = dist.local_range(l);
             let (block, tail) = rest.split_at_mut(range.len());
             blocks.push((offset, block));

@@ -17,7 +17,7 @@
 
 use rayon::prelude::*;
 
-use crate::dist::BlockDist;
+use crate::BlockDist;
 
 /// A 2-D heat problem on an `h × w` grid.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -110,10 +110,10 @@ pub fn solve2d_forall(p: &Heat2dProblem, locales: usize) -> Vec<f64> {
         let src = &un;
         // Split interior rows into per-locale disjoint row-block slices.
         let interior = &mut u[w..(h - 1) * w];
-        let mut blocks: Vec<(usize, &mut [f64])> = Vec::with_capacity(dist.locales());
+        let mut blocks: Vec<(usize, &mut [f64])> = Vec::with_capacity(dist.parts());
         let mut rest = interior;
         let mut row0 = 0;
-        for l in 0..dist.locales() {
+        for l in 0..dist.parts() {
             let rows = dist.local_range(l).len();
             let (head, tail) = rest.split_at_mut(rows * w);
             blocks.push((row0, head));

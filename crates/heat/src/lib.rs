@@ -5,7 +5,8 @@
 //!
 //! * **Part 1 — `forall` over a Block distribution**
 //!   ([`forall::solve_forall`]): a high-level data-parallel solver. The
-//!   global array is split by [`dist::BlockDist`] into evenly-sized
+//!   global array is split by a [`BlockDist`] (the workspace-wide
+//!   [`peachy_cluster::dist::Block`] distribution) into evenly-sized
 //!   contiguous blocks, one per locale; every time step spawns a fresh set
 //!   of tasks (one per locale block) exactly as Chapel's `forall` does —
 //!   simple, but it pays task create/destroy overhead per step.
@@ -34,7 +35,6 @@
 #![allow(clippy::needless_range_loop)]
 
 pub mod coforall;
-pub mod dist;
 pub mod distributed;
 pub mod forall;
 pub mod heat2d;
@@ -42,7 +42,9 @@ pub mod problem;
 pub mod serial;
 
 pub use coforall::solve_coforall;
-pub use dist::BlockDist;
+/// The Chapel-style balanced block distribution, now shared workspace-wide.
+/// Re-exported under its historical heat-crate name.
+pub use peachy_cluster::dist::Block as BlockDist;
 pub use distributed::solve_distributed;
 pub use forall::solve_forall;
 pub use problem::{HeatProblem, InitialCondition};

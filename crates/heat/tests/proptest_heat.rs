@@ -66,16 +66,16 @@ proptest! {
     fn blockdist_partitions(n in 1usize..5000, locales in 1usize..64) {
         let dist = BlockDist::new(n, locales);
         let mut covered = 0;
-        for l in 0..dist.locales() {
+        for l in 0..dist.parts() {
             let r = dist.local_range(l);
             prop_assert_eq!(r.start, covered);
             prop_assert!(!r.is_empty());
             covered = r.end;
         }
         prop_assert_eq!(covered, n);
-        // locale_of is the inverse of local_range.
+        // owner_of is the inverse of local_range.
         for probe in [0, n / 3, n / 2, n - 1] {
-            let l = dist.locale_of(probe);
+            let l = dist.owner_of(probe);
             prop_assert!(dist.local_range(l).contains(&probe));
         }
     }

@@ -21,7 +21,7 @@
 //! surviving rank count, and because assignments are rank-count invariant
 //! the recovered answer is bit-identical to the fault-free run.
 
-use peachy_cluster::{Cluster, FaultPlan, RankError, RetryPolicy};
+use peachy_cluster::{dist::block_range, Cluster, CommStats, FaultPlan, RankError, RetryPolicy};
 use peachy_data::kernels::Candidates;
 use peachy_data::Matrix;
 
@@ -39,7 +39,7 @@ pub fn fit_distributed(
     init: Matrix,
     ranks: usize,
 ) -> KMeansResult {
-    fit_on_cluster(points, config, &init, ranks, &FaultPlan::none()).unwrap_or_else(|errors| {
+    fit_on_cluster(points, config, &init, ranks, &FaultPlan::none(), None).unwrap_or_else(|errors| {
         let primary = errors
             .iter()
             .find(|e| e.is_primary())
@@ -49,13 +49,15 @@ pub fn fit_distributed(
 }
 
 /// One supervised SPMD attempt under a chaos plan: `Ok` only if every
-/// rank completed, otherwise all per-rank failures.
-fn fit_on_cluster(
+/// rank completed, otherwise all per-rank failures. Counters (if given)
+/// are bumped at the root only, so totals are per-job, not per-rank.
+pub(crate) fn fit_on_cluster(
     points: &Matrix,
     config: &KMeansConfig,
     init: &Matrix,
     ranks: usize,
     plan: &FaultPlan,
+    stats: Option<&CommStats>,
 ) -> Result<KMeansResult, Vec<RankError>> {
     let k = init.rows();
     assert!(k >= 1, "need at least one centroid");
@@ -70,15 +72,25 @@ fn fit_on_cluster(
         let size = comm.size();
 
         // Distribute: root scatters point blocks, broadcasts centroids.
+        // block_range is total over ranks > n — trailing ranks get empty
+        // chunks — which is why the free function is used here, not the
+        // clipped `Block` type.
         let chunks: Option<Vec<Vec<f64>>> = (rank == 0).then(|| {
             (0..size)
                 .map(|r| {
-                    let range = peachy_mapreduce_block(n, size, r);
+                    let range = block_range(n, size, r);
                     points.as_slice()[range.start * d..range.end * d].to_vec()
                 })
                 .collect()
         });
         let local_flat: Vec<f64> = comm.scatter(0, chunks);
+        if rank == 0 {
+            if let Some(s) = stats {
+                s.add_scattered((n * d) as u64);
+                // Scattered points + broadcast centroids, 8 bytes per f64.
+                s.add_collective_bytes((n * d * 8 + k * d * 8) as u64);
+            }
+        }
         let local_n = local_flat.len() / d.max(1);
         let local = Matrix::from_vec(local_n, d, local_flat);
         let mut centroids_flat: Vec<f64> = if rank == 0 {
@@ -123,6 +135,12 @@ fn fit_on_cluster(
                         s1.iter().zip(&s2).map(|(a, b)| a + b).collect(),
                     )
                 });
+            if rank == 0 {
+                if let Some(s) = stats {
+                    // One fused allreduce payload: changes + counts + sums.
+                    s.add_collective_bytes((8 * (1 + k + k * d)) as u64);
+                }
+            }
 
             // Replicated centroid update: every rank computes the same thing.
             let mut shift: f64 = 0.0;
@@ -148,6 +166,12 @@ fn fit_on_cluster(
 
         // Collect results at the root.
         let gathered = comm.gather(0, assignments);
+        if rank == 0 {
+            if let Some(s) = stats {
+                s.add_gathered(n as u64);
+                s.add_collective_bytes((n * 4) as u64); // u32 assignments
+            }
+        }
         gathered.map(|blocks| KMeansResult {
             centroids: centroids.clone(),
             assignments: blocks.concat(),
@@ -212,7 +236,7 @@ pub fn fit_distributed_resilient(
     let mut attempt = 0u32;
     loop {
         attempt += 1;
-        match fit_on_cluster(points, config, &init, ranks_now, &plan_now) {
+        match fit_on_cluster(points, config, &init, ranks_now, &plan_now, None) {
             Ok(result) => {
                 return Ok(ResilientFit {
                     result,
@@ -233,15 +257,6 @@ pub fn fit_distributed_resilient(
             }
         }
     }
-}
-
-/// Balanced block range (same as the MapReduce engine's distribution —
-/// duplicated here to keep this crate independent of peachy-mapreduce).
-fn peachy_mapreduce_block(n: usize, size: usize, rank: usize) -> std::ops::Range<usize> {
-    let base = n / size;
-    let extra = n % size;
-    let start = rank * base + rank.min(extra);
-    start..(start + base + usize::from(rank < extra))
 }
 
 #[cfg(test)]

@@ -20,6 +20,8 @@
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 use parking_lot::Mutex;
+use peachy_cluster::dist::EvenBlocks;
+use peachy_cluster::{CommStats, Executor};
 use peachy_data::kernels::Candidates;
 use peachy_data::Matrix;
 use rayon::prelude::*;
@@ -38,9 +40,11 @@ pub enum Strategy {
     Reduction,
 }
 
-/// Fixed chunk count for the reduction strategy: independent of the rayon
-/// pool size, so results do not depend on the number of threads.
-const REDUCTION_CHUNKS: usize = 64;
+/// Default decomposition width for the reduction strategy: independent of
+/// the rayon pool size, so results do not depend on the number of threads.
+/// The actual chunk geometry is derived from an [`EvenBlocks`] distribution
+/// of this width, never hardcoded in the loop.
+pub(crate) const REDUCTION_CHUNKS: usize = 64;
 
 /// Accumulators produced by one iteration's phases.
 struct IterStats {
@@ -55,6 +59,20 @@ pub fn fit(
     config: &KMeansConfig,
     init: Matrix,
     strategy: Strategy,
+) -> KMeansResult {
+    fit_impl(points, config, init, strategy, REDUCTION_CHUNKS, None)
+}
+
+/// [`fit`] with an explicit reduction decomposition width and optional
+/// communication counters — the entry point the executor seam
+/// ([`crate::executor::fit_with`]) drives.
+pub(crate) fn fit_impl(
+    points: &Matrix,
+    config: &KMeansConfig,
+    init: Matrix,
+    strategy: Strategy,
+    reduction_chunks: usize,
+    stats: Option<&CommStats>,
 ) -> KMeansResult {
     let k = init.rows();
     assert!(k >= 1, "need at least one centroid");
@@ -73,20 +91,22 @@ pub fn fit(
         // shares the same kernel, so assignments are identical across the
         // whole ladder (and the sequential reference) by construction.
         let cand = Candidates::new(&centroids);
-        let stats = match strategy {
+        let iter_stats = match strategy {
             Strategy::Critical => iter_critical(points, &cand, &mut assignments),
             Strategy::Atomic => iter_atomic(points, &cand, &mut assignments),
-            Strategy::Reduction => iter_reduction(points, &cand, &mut assignments),
+            Strategy::Reduction => {
+                iter_reduction(points, &cand, &mut assignments, reduction_chunks, stats)
+            }
         };
         drop(cand);
 
         let mut shift: f64 = 0.0;
         for c in 0..k {
-            if stats.counts[c] == 0 {
+            if iter_stats.counts[c] == 0 {
                 continue;
             }
-            let inv = 1.0 / stats.counts[c] as f64;
-            let new: Vec<f64> = stats.sums[c * d..(c + 1) * d]
+            let inv = 1.0 / iter_stats.counts[c] as f64;
+            let new: Vec<f64> = iter_stats.sums[c * d..(c + 1) * d]
                 .iter()
                 .map(|s| s * inv)
                 .collect();
@@ -95,7 +115,7 @@ pub fn fit(
         }
         iterations += 1;
 
-        let termination = if stats.changes <= config.min_changes {
+        let termination = if iter_stats.changes <= config.min_changes {
             Some(Termination::FewChanges)
         } else if shift <= config.min_shift {
             Some(Termination::SmallShift)
@@ -110,7 +130,7 @@ pub fn fit(
                 assignments,
                 iterations,
                 termination,
-                last_changes: stats.changes,
+                last_changes: iter_stats.changes,
                 last_shift: shift,
             };
         }
@@ -198,42 +218,54 @@ fn iter_atomic(points: &Matrix, cand: &Candidates<'_>, assignments: &mut [u32]) 
     }
 }
 
-/// Stage 4: reduction over fixed chunks, merged in chunk order.
-fn iter_reduction(points: &Matrix, cand: &Candidates<'_>, assignments: &mut [u32]) -> IterStats {
+/// Stage 4: reduction over a fixed [`EvenBlocks`] decomposition, merged in
+/// part order through the executor seam.
+fn iter_reduction(
+    points: &Matrix,
+    cand: &Candidates<'_>,
+    assignments: &mut [u32],
+    chunks: usize,
+    stats: Option<&CommStats>,
+) -> IterStats {
     let k = cand.len();
     let d = points.cols();
     let n = points.rows();
-    let chunk = n.div_ceil(REDUCTION_CHUNKS).max(1);
-    // Each chunk owns a disjoint slice of the assignment array and its own
+    // The decomposition comes from the distribution, not ad-hoc chunk
+    // math: EvenBlocks reproduces the historical `par_chunks_mut` grouping
+    // exactly, so the ordered merge below (and thus every partial-sum
+    // grouping) is bit-identical to the original loop.
+    let dist = EvenBlocks::new(n, chunks);
+    let exec = Executor::Rayon { chunks };
+    // Each part owns a disjoint slice of the assignment array and its own
     // accumulators; no shared mutable state exists inside the parallel region.
-    let partials: Vec<IterStats> = assignments
-        .par_chunks_mut(chunk)
-        .enumerate()
-        .map(|(ci, slots)| {
-            let base = ci * chunk;
-            let mut changes = 0usize;
-            let mut counts = vec![0u64; k];
-            let mut sums = vec![0.0f64; k * d];
-            for (off, slot) in slots.iter_mut().enumerate() {
-                let row = points.row(base + off);
-                let a = cand.nearest(row);
-                if *slot != a {
-                    changes += 1;
-                }
-                *slot = a;
-                counts[a as usize] += 1;
-                let s = &mut sums[a as usize * d..(a as usize + 1) * d];
-                for (acc, &v) in s.iter_mut().zip(row) {
-                    *acc += v;
-                }
+    let kernel = |_part: usize, range: std::ops::Range<usize>, slots: &mut [u32]| {
+        let base = range.start;
+        let mut changes = 0usize;
+        let mut counts = vec![0u64; k];
+        let mut sums = vec![0.0f64; k * d];
+        for (off, slot) in slots.iter_mut().enumerate() {
+            let row = points.row(base + off);
+            let a = cand.nearest(row);
+            if *slot != a {
+                changes += 1;
             }
-            IterStats {
-                changes,
-                counts,
-                sums,
+            *slot = a;
+            counts[a as usize] += 1;
+            let s = &mut sums[a as usize * d..(a as usize + 1) * d];
+            for (acc, &v) in s.iter_mut().zip(row) {
+                *acc += v;
             }
-        })
-        .collect();
+        }
+        IterStats {
+            changes,
+            counts,
+            sums,
+        }
+    };
+    let partials: Vec<IterStats> = match stats {
+        Some(s) => exec.map_parts_mut_counted(&dist, assignments, s, kernel),
+        None => exec.map_parts_mut(&dist, assignments, kernel),
+    };
     // Ordered, sequential merge: deterministic whatever the pool size.
     let mut total = IterStats {
         changes: 0,
@@ -323,6 +355,93 @@ mod tests {
             "bit-identical centroids required"
         );
         assert_eq!(r1.iterations, r4.iterations);
+    }
+
+    #[test]
+    fn reduction_decomposition_matches_legacy_chunking() {
+        // Regression: the EvenBlocks-derived geometry must equal the old
+        // inline rule `chunk = n.div_ceil(REDUCTION_CHUNKS).max(1)` fed to
+        // `par_chunks_mut` — same chunk count, same ranges — for any n.
+        for n in [1usize, 7, 63, 64, 65, 100, 1000, 4096, 5000] {
+            let chunk = n.div_ceil(REDUCTION_CHUNKS).max(1);
+            let legacy: Vec<std::ops::Range<usize>> = (0..n.div_ceil(chunk))
+                .map(|ci| ci * chunk..((ci + 1) * chunk).min(n))
+                .collect();
+            let dist = EvenBlocks::new(n, REDUCTION_CHUNKS);
+            assert_eq!(dist.chunk_len(), chunk, "n = {n}");
+            let new: Vec<std::ops::Range<usize>> =
+                (0..dist.parts()).map(|p| dist.local_range(p)).collect();
+            assert_eq!(new, legacy, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn reduction_bit_identical_to_legacy_iteration() {
+        // One full iteration through the executor vs a verbatim copy of
+        // the pre-refactor par_chunks_mut loop: assignments and every
+        // accumulator must match bit for bit.
+        let data = gaussian_blobs(1_777, 3, 4, 1.2, 91);
+        let init = random_init(&data.points, 4, 92);
+        let points = &data.points;
+        let cand = Candidates::new(&init);
+        let (k, d, n) = (4usize, 3usize, points.rows());
+
+        let mut new_assign = vec![u32::MAX; n];
+        let new_stats = iter_reduction(points, &cand, &mut new_assign, REDUCTION_CHUNKS, None);
+
+        let mut old_assign = vec![u32::MAX; n];
+        let chunk = n.div_ceil(REDUCTION_CHUNKS).max(1);
+        let partials: Vec<IterStats> = old_assign
+            .par_chunks_mut(chunk)
+            .enumerate()
+            .map(|(ci, slots)| {
+                let base = ci * chunk;
+                let mut changes = 0usize;
+                let mut counts = vec![0u64; k];
+                let mut sums = vec![0.0f64; k * d];
+                for (off, slot) in slots.iter_mut().enumerate() {
+                    let row = points.row(base + off);
+                    let a = cand.nearest(row);
+                    if *slot != a {
+                        changes += 1;
+                    }
+                    *slot = a;
+                    counts[a as usize] += 1;
+                    let s = &mut sums[a as usize * d..(a as usize + 1) * d];
+                    for (acc, &v) in s.iter_mut().zip(row) {
+                        *acc += v;
+                    }
+                }
+                IterStats {
+                    changes,
+                    counts,
+                    sums,
+                }
+            })
+            .collect();
+        let mut old_stats = IterStats {
+            changes: 0,
+            counts: vec![0; k],
+            sums: vec![0.0; k * d],
+        };
+        for p in partials {
+            old_stats.changes += p.changes;
+            for (t, v) in old_stats.counts.iter_mut().zip(p.counts) {
+                *t += v;
+            }
+            for (t, v) in old_stats.sums.iter_mut().zip(p.sums) {
+                *t += v;
+            }
+        }
+
+        assert_eq!(new_assign, old_assign);
+        assert_eq!(new_stats.changes, old_stats.changes);
+        assert_eq!(new_stats.counts, old_stats.counts);
+        assert_eq!(
+            new_stats.sums.iter().map(|s| s.to_bits()).collect::<Vec<_>>(),
+            old_stats.sums.iter().map(|s| s.to_bits()).collect::<Vec<_>>(),
+            "partial-sum grouping must be preserved bit for bit"
+        );
     }
 
     #[test]

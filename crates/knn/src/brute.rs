@@ -1,6 +1,8 @@
 //! Brute-force k-NN: the direct Θ(nqd) algorithm with both top-k selection
 //! strategies and a rayon-parallel batch classifier.
 
+use peachy_cluster::dist::EvenBlocks;
+use peachy_cluster::Executor;
 use peachy_data::kernels::dist2_scan;
 use peachy_data::matrix::LabeledDataset;
 use rayon::prelude::*;
@@ -80,6 +82,30 @@ pub fn classify_batch_par(db: &LabeledDataset, queries: &LabeledDataset, k: usiz
         .collect()
 }
 
+/// Classify every query row on the chosen [`Executor`] backend: queries
+/// are block-partitioned, each part classifies its own slice, and the
+/// per-part predictions are concatenated in part order. Predictions are
+/// per-query integers, so every backend and every decomposition produces
+/// identical output to [`classify_batch_seq`].
+pub fn classify_batch_with(
+    db: &LabeledDataset,
+    queries: &LabeledDataset,
+    k: usize,
+    exec: &Executor,
+) -> Vec<u32> {
+    let n = queries.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let dist = EvenBlocks::new(n, exec.parts_for(n));
+    exec.map_parts(&dist, |_, range| {
+        range
+            .map(|q| classify_heap(db, queries.points.row(q), k))
+            .collect::<Vec<u32>>()
+    })
+    .concat()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -138,6 +164,20 @@ mod tests {
             classify_batch_seq(&db, &queries, 7),
             classify_batch_par(&db, &queries, 7)
         );
+    }
+
+    #[test]
+    fn executor_backends_match_sequential() {
+        let db = gaussian_blobs(250, 6, 3, 2.0, 9);
+        let queries = gaussian_blobs(61, 6, 3, 2.0, 10);
+        let reference = classify_batch_seq(&db, &queries, 5);
+        for exec in [Executor::seq(), Executor::rayon(8), Executor::cluster(4)] {
+            assert_eq!(
+                classify_batch_with(&db, &queries, 5, &exec),
+                reference,
+                "{exec:?}"
+            );
+        }
     }
 
     #[test]

@@ -34,7 +34,9 @@ pub mod mapreduce;
 pub mod metrics;
 pub mod quadtree;
 
-pub use brute::{classify_batch_par, classify_batch_seq, classify_heap, classify_sort};
+pub use brute::{
+    classify_batch_par, classify_batch_seq, classify_batch_with, classify_heap, classify_sort,
+};
 pub use heap::BoundedMaxHeap;
 pub use kdtree::KdTree;
 pub use mapreduce::{knn_mapreduce, KnnMrConfig};

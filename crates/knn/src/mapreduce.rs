@@ -73,7 +73,7 @@ pub fn knn_mapreduce(
         // Map: each task owns a contiguous database block and emits, per
         // query, candidate neighbours from that block.
         let kv = mr.map(blocks, |block, emit| {
-            let range = peachy_mapreduce::engine::block_range(db.len(), blocks, block);
+            let range = peachy_cluster::dist::block_range(db.len(), blocks, block);
             if config.combine {
                 // Local reduction: only the block-local top-k leaves the map task.
                 for q in 0..n_queries {

@@ -1,10 +1,15 @@
 //! The MapReduce engine: map, combine, collate (shuffle), reduce, gather.
 
-use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
-use std::hash::{Hash, Hasher};
+use std::hash::Hash;
 
+use peachy_cluster::dist::ROUTE_SEED;
 use peachy_cluster::Comm;
+
+/// Balanced block distribution of `n` items over `size` ranks: rank `r`
+/// owns a contiguous range, sizes differing by at most one. Re-exported
+/// from the workspace-wide partition vocabulary.
+pub use peachy_cluster::dist::block_range;
 
 /// A rank-local store of key–value pairs produced by a map phase.
 #[derive(Debug, Clone)]
@@ -111,12 +116,12 @@ impl<K, V> Grouped<K, V> {
     }
 }
 
-/// Stable key→rank routing: `hash(key) % size`. Uses a fixed-seed hasher so
-/// every rank computes identical routes.
+/// Stable key→rank routing: `stable_hash(key) % size`. Uses the
+/// workspace's seeded version-stable hasher so every rank computes
+/// identical routes — and keeps computing them across Rust releases,
+/// unlike `DefaultHasher`.
 fn owner_of<K: Hash>(key: &K, size: usize) -> usize {
-    let mut h = DefaultHasher::new();
-    key.hash(&mut h);
-    (h.finish() % size as u64) as usize
+    peachy_cluster::dist::owner_of_key(key, size, ROUTE_SEED)
 }
 
 /// The per-rank MapReduce driver, borrowing the rank's communicator.
@@ -215,16 +220,6 @@ impl<'c> MapReduce<'c> {
     pub fn global_pair_count<K, V>(&mut self, kv: &Kv<K, V>) -> u64 {
         self.comm.allreduce(kv.len() as u64, |a, b| a + b)
     }
-}
-
-/// Balanced block distribution of `n` items over `size` ranks: rank `r`
-/// owns a contiguous range, sizes differing by at most one.
-pub fn block_range(n: usize, size: usize, rank: usize) -> std::ops::Range<usize> {
-    let base = n / size;
-    let extra = n % size;
-    let start = rank * base + rank.min(extra);
-    let len = base + usize::from(rank < extra);
-    start..(start + len)
 }
 
 #[cfg(test)]

@@ -28,6 +28,9 @@
 //!   variates.
 //! * [`stats`] — χ², Kolmogorov–Smirnov, and serial-correlation self-tests
 //!   used by the test-suite to keep all generators honest.
+//! * [`hashing`] — [`StableHash64`], a seeded version-stable hasher built
+//!   on the SplitMix64 finalizer, used wherever hash *placement* must be
+//!   reproducible across Rust releases (shuffle routing, key → rank maps).
 //!
 //! ## Quick example: chunked reproducibility
 //!
@@ -53,6 +56,7 @@
 #![allow(clippy::needless_range_loop)]
 
 pub mod dist;
+pub mod hashing;
 pub mod lcg;
 pub mod philox;
 pub mod splitmix;
@@ -61,6 +65,7 @@ pub mod stream;
 pub mod xorshift;
 
 pub use dist::{Bernoulli, Normal, UniformF64, UniformU64};
+pub use hashing::{stable_hash, StableHash64};
 pub use lcg::{Lcg31, Lcg64};
 pub use philox::Philox;
 pub use splitmix::SplitMix64;

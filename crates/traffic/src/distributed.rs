@@ -9,7 +9,7 @@
 //! to the serial one for any rank count** — the reproducibility
 //! requirement carried over to distributed memory.
 
-use peachy_cluster::Cluster;
+use peachy_cluster::{dist::block_range, Cluster};
 use peachy_prng::{Bernoulli, FastForward, Lcg64, RandomStream};
 
 use crate::road::{AgentRoad, RoadConfig};
@@ -102,14 +102,6 @@ pub fn run_distributed(config: &RoadConfig, steps: u64, ranks: usize) -> AgentRo
         velocities.extend(v);
     }
     AgentRoad::from_state(*config, positions, velocities)
-}
-
-/// Balanced contiguous block of `n` items for `rank` of `size`.
-fn block_range(n: usize, size: usize, rank: usize) -> std::ops::Range<usize> {
-    let base = n / size;
-    let extra = n % size;
-    let start = rank * base + rank.min(extra);
-    start..(start + base + usize::from(rank < extra))
 }
 
 impl AgentRoad {

@@ -1,6 +1,7 @@
 //! Parallel stepping: the reproducible (fast-forward) scheme and the
 //! non-reproducible (per-thread substream) contrast case.
 
+use peachy_cluster::dist::EvenBlocks;
 use peachy_prng::{FastForward, Lcg64, RandomStream, StreamSplit};
 use rayon::prelude::*;
 
@@ -19,7 +20,8 @@ impl AgentRoad {
         assert!(chunks >= 1, "need at least one chunk");
         let n = self.positions().len();
         let seed = self.config().seed;
-        let chunk_len = n.div_ceil(chunks);
+        // par_chunks decomposition, from the shared partition vocabulary.
+        let chunk_len = EvenBlocks::new(n, chunks).chunk_len();
         // Pre-draw all decelerations in parallel, indexed by car. The
         // synchronous state update itself reads only old state, so it is
         // done with the same shared kernel as the serial path.
@@ -47,7 +49,7 @@ impl AgentRoad {
         assert!(chunks >= 1, "need at least one chunk");
         let n = self.positions().len();
         let seed = self.config().seed;
-        let chunk_len = n.div_ceil(chunks);
+        let chunk_len = EvenBlocks::new(n, chunks).chunk_len();
         let mut draws = vec![0.0f64; n];
         draws
             .par_chunks_mut(chunk_len)

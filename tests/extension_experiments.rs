@@ -11,6 +11,7 @@ use peachy::ensemble::{
     ensemble_calibration, master_worker, model_calibration, train_with_history, EarlyStop,
     Ensemble, NetConfig, TrainConfig,
 };
+use peachy::cluster::{CommStats, Executor};
 use peachy::heat::heat2d::{solve2d_forall, solve2d_serial, Heat2dProblem};
 use peachy::kmeans::{elbow_sweep, silhouette};
 use peachy::knn::cv::select_k;
@@ -171,6 +172,47 @@ fn model_selection_on_iris() {
     // And the true labels score a decent silhouette themselves.
     let truth = silhouette(&data.points, &data.labels, 3);
     assert!(truth > 0.4, "label silhouette = {truth}");
+}
+
+/// E15: one k-means, three executor backends — identical answers, and the
+/// comm-volume counters rank the backends exactly as DESIGN.md says.
+#[test]
+fn e15_comm_volume_counters() {
+    let data = gaussian_blobs(2_000, 4, 5, 1.0, 7);
+    let init = peachy::kmeans::kmeans_plus_plus(&data.points, 5, 11);
+    let config = peachy::kmeans::KMeansConfig {
+        max_iters: 8,
+        min_changes: 0,
+        min_shift: 0.0,
+    };
+    let mut runs = Vec::new();
+    for exec in [Executor::seq(), Executor::rayon(64), Executor::cluster(4)] {
+        let stats = CommStats::new();
+        let result =
+            peachy::kmeans::fit_with_stats(&data.points, &config, init.clone(), &exec, &stats);
+        runs.push((exec, result, stats));
+    }
+    // Identical assignments on every backend — the decomposition never
+    // leaks into the answer.
+    for (exec, result, _) in &runs[1..] {
+        assert_eq!(
+            result.assignments, runs[0].1.assignments,
+            "{exec:?} diverged from Seq"
+        );
+    }
+    let (_, _, seq) = &runs[0];
+    let (_, _, rayon) = &runs[1];
+    let (_, _, cluster) = &runs[2];
+    // Seq moves nothing; Rayon scatters slices but no collective bytes;
+    // Cluster pays for every byte through the collectives.
+    assert_eq!(seq.scattered(), 0);
+    assert_eq!(seq.collective_bytes(), 0);
+    assert!(rayon.scattered() > 0);
+    assert_eq!(rayon.collective_bytes(), 0);
+    assert!(cluster.scattered() > 0);
+    assert!(cluster.collective_bytes() > 0);
+    // The cluster's floor: the one-time n*d*8 scatter alone.
+    assert!(cluster.collective_bytes() >= (2_000 * 4 * 8) as u64);
 }
 
 /// §6 2-D extension: forall equals serial at integration scale and decays
