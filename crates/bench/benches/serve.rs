@@ -1,0 +1,79 @@
+//! E16 — serving-layer throughput: micro-batch coalescing vs executor
+//! backend.
+//!
+//! Two sweeps over the same seeded open-loop k-NN trace:
+//!
+//! * `E16_serve_batch_size` — end-to-end trace time as `max_batch_size`
+//!   grows (batching amortizes per-dispatch overhead until batches stop
+//!   filling before `max_wait`);
+//! * `E16_serve_backends` — the same workload on Seq / Rayon / Cluster
+//!   executors, the serving-side companion to E15's fit-time ablation.
+//!
+//! Responses are bit-identical across every point in both sweeps (pinned
+//! by the serve test suites); only the wall-clock differs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use peachy::cluster::Executor;
+use peachy::data::matrix::Matrix;
+use peachy::data::synth::gaussian_blobs;
+use peachy::serve::{query_trace, KnnService, ServeConfig, Server};
+
+const SEED: u64 = 42;
+const TICKS: u64 = 40;
+const RATE: f64 = 4.0;
+
+fn run_trace(
+    db: &peachy::data::matrix::LabeledDataset,
+    pool: &Matrix,
+    exec: Executor,
+    max_batch_size: usize,
+) -> u64 {
+    let cfg = ServeConfig {
+        capacity: 512,
+        max_batch_size,
+        max_wait: 3,
+        workers: 2,
+        ..ServeConfig::default()
+    };
+    let server = Server::start(KnnService::new(db.clone(), 5), exec, cfg);
+    let trace = query_trace(SEED, TICKS, RATE, pool);
+    let responses = server.run_trace(trace);
+    let report = server.shutdown();
+    assert_eq!(report.stats.failed(), 0);
+    responses.into_iter().filter(|r| r.is_ok()).count() as u64
+}
+
+fn bench_batch_size(c: &mut Criterion) {
+    let db = gaussian_blobs(600, 8, 4, 2.0, SEED);
+    let pool = gaussian_blobs(100, 8, 4, 2.0, SEED + 1);
+    let mut group = c.benchmark_group("E16_serve_batch_size");
+    group.sample_size(10);
+    for max_batch in [1usize, 4, 16, 64] {
+        group.bench_with_input(
+            BenchmarkId::new("rayon4", max_batch),
+            &max_batch,
+            |b, &max_batch| b.iter(|| run_trace(&db, &pool.points, Executor::rayon(4), max_batch)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_backends(c: &mut Criterion) {
+    let db = gaussian_blobs(600, 8, 4, 2.0, SEED);
+    let pool = gaussian_blobs(100, 8, 4, 2.0, SEED + 1);
+    let mut group = c.benchmark_group("E16_serve_backends");
+    group.sample_size(10);
+    for (label, exec) in [
+        ("seq", Executor::seq()),
+        ("rayon4", Executor::rayon(4)),
+        ("cluster4", Executor::cluster(4)),
+    ] {
+        group.bench_function(BenchmarkId::new(label, 8), |b| {
+            b.iter(|| run_trace(&db, &pool.points, exec.clone(), 8))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_batch_size, bench_backends);
+criterion_main!(benches);

@@ -76,6 +76,26 @@ impl Executor {
         }
     }
 
+    /// This backend refitted to a domain of `n` indices: chunk/rank
+    /// counts are clipped to [`Executor::parts_for`]`(n)` so that a
+    /// distribution built with `parts_for` satisfies the one-rank-per-part
+    /// contract of the `Cluster` backend even when `n` is smaller than the
+    /// configured rank count. Serving-style callers that run many small
+    /// batches through one configured executor shrink per batch; the
+    /// fault plan rides along unchanged.
+    pub fn shrink_to(&self, n: usize) -> Executor {
+        match self {
+            Executor::Seq => Executor::Seq,
+            Executor::Rayon { chunks } => Executor::Rayon {
+                chunks: (*chunks).min(n).max(1),
+            },
+            Executor::Cluster { ranks, plan } => Executor::Cluster {
+                ranks: (*ranks).min(n).max(1),
+                plan: plan.clone(),
+            },
+        }
+    }
+
     /// The decomposition width this backend asks of a domain of `n`
     /// indices: 1 for `Seq`, the requested chunk/rank count otherwise,
     /// clipped to `n` so distribution constructors accept it as-is.
@@ -174,8 +194,11 @@ impl Executor {
                 }
             }
             Executor::Cluster { ranks, plan } => {
-                assert_eq!(
-                    *ranks, parts,
+                // One rank per part; a distribution narrower than the
+                // configured rank count (EvenBlocks' ceil-sized chunks can
+                // collapse below `parts_for`) just leaves ranks unspawned.
+                assert!(
+                    parts <= *ranks,
                     "cluster executor needs one rank per part (build the \
                      distribution with parts_for)"
                 );
@@ -247,8 +270,9 @@ impl Executor {
                 .map(|p| f(p, dist.range_of(p)))
                 .collect(),
             Executor::Cluster { ranks, plan } => {
-                assert_eq!(
-                    *ranks, parts,
+                // See map_parts_mut_inner: parts ≤ ranks, extra ranks idle.
+                assert!(
+                    parts <= *ranks,
                     "cluster executor needs one rank per part (build the \
                      distribution with parts_for)"
                 );
@@ -354,6 +378,46 @@ mod tests {
             let sums = exec.map_parts(&dist, |_, r| r.map(|i| i as u64).sum::<u64>());
             assert_eq!(sums.iter().sum::<u64>(), 36, "{exec:?}");
             assert_eq!(sums.len(), 3);
+        }
+    }
+
+    #[test]
+    fn shrink_to_fits_small_domains() {
+        // A 4-rank cluster executor must be usable on a 2-element batch
+        // after shrinking: one rank per part, results identical to Seq.
+        let exec = Executor::cluster(4).shrink_to(2);
+        let dist = Block::new(2, exec.parts_for(2));
+        let sums = exec.map_parts(&dist, |_, r| r.map(|i| i as u64 + 1).sum::<u64>());
+        assert_eq!(sums.iter().sum::<u64>(), 3);
+        assert!(matches!(exec, Executor::Cluster { ranks: 2, .. }));
+        assert!(matches!(
+            Executor::rayon(8).shrink_to(3),
+            Executor::Rayon { chunks: 3 }
+        ));
+        assert!(matches!(Executor::seq().shrink_to(0), Executor::Seq));
+        // Shrinking never grows, and never drops below one part.
+        assert!(matches!(
+            Executor::cluster(4).shrink_to(0),
+            Executor::Cluster { ranks: 1, .. }
+        ));
+        assert!(matches!(
+            Executor::rayon(2).shrink_to(100),
+            Executor::Rayon { chunks: 2 }
+        ));
+    }
+
+    #[test]
+    fn cluster_tolerates_collapsed_distributions() {
+        // EvenBlocks' ceil-sized chunks can yield fewer parts than asked
+        // for (4 items / 3 parts → chunks of 2 → 2 parts); the cluster
+        // backend must serve the narrower distribution with idle ranks
+        // rather than assert.
+        let dist = EvenBlocks::new(4, 3);
+        assert_eq!(dist.parts(), 2);
+        for exec in [Executor::cluster(3), Executor::rayon(3), Executor::seq()] {
+            let sums = exec.map_parts(&dist, |_, r| r.map(|i| i as u64).sum::<u64>());
+            assert_eq!(sums.iter().sum::<u64>(), 6, "{exec:?}");
+            assert_eq!(sums.len(), 2);
         }
     }
 

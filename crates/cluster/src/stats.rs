@@ -77,6 +77,20 @@ impl CommStats {
         self.records.fetch_add(records, Ordering::Relaxed);
         self.shuffles.fetch_add(1, Ordering::Relaxed);
     }
+
+    /// Fold another counter block into this one.
+    ///
+    /// Merging is associative and commutative (plain counter addition), so
+    /// per-worker ledgers can be combined in any order — or any grouping —
+    /// and reach the same totals. `other` is read, not drained: merging the
+    /// same ledger twice double-counts, which is on the caller.
+    pub fn merge_from(&self, other: &CommStats) {
+        self.add_scattered(other.scattered());
+        self.add_gathered(other.gathered());
+        self.add_collective_bytes(other.collective_bytes());
+        self.records.fetch_add(other.records(), Ordering::Relaxed);
+        self.shuffles.fetch_add(other.shuffles(), Ordering::Relaxed);
+    }
 }
 
 #[cfg(test)]
@@ -97,6 +111,47 @@ mod tests {
         assert_eq!(s.collective_bytes(), 1024);
         assert_eq!(s.records(), 123);
         assert_eq!(s.shuffles(), 2);
+    }
+
+    #[test]
+    fn merge_is_associative_and_commutative() {
+        let ledger = |sc: u64, ga: u64, by: u64, rec: u64| {
+            let s = CommStats::new();
+            s.add_scattered(sc);
+            s.add_gathered(ga);
+            s.add_collective_bytes(by);
+            s.add_shuffle(rec);
+            s
+        };
+        let flat = |s: &CommStats| {
+            (
+                s.scattered(),
+                s.gathered(),
+                s.collective_bytes(),
+                s.records(),
+                s.shuffles(),
+            )
+        };
+        let a = ledger(1, 2, 3, 4);
+        let b = ledger(10, 20, 30, 40);
+        let c = ledger(100, 200, 300, 400);
+
+        // (a ⊕ b) ⊕ c
+        let left = CommStats::new();
+        left.merge_from(&a);
+        left.merge_from(&b);
+        left.merge_from(&c);
+
+        // a ⊕ (b ⊕ c), built in reversed arrival order.
+        let bc = CommStats::new();
+        bc.merge_from(&c);
+        bc.merge_from(&b);
+        let right = CommStats::new();
+        right.merge_from(&bc);
+        right.merge_from(&a);
+
+        assert_eq!(flat(&left), flat(&right));
+        assert_eq!(flat(&left), (111, 222, 333, 444, 3));
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! strategies and a rayon-parallel batch classifier.
 
 use peachy_cluster::dist::EvenBlocks;
-use peachy_cluster::Executor;
+use peachy_cluster::{CommStats, Executor};
 use peachy_data::kernels::dist2_scan;
 use peachy_data::matrix::LabeledDataset;
 use rayon::prelude::*;
@@ -93,16 +93,47 @@ pub fn classify_batch_with(
     k: usize,
     exec: &Executor,
 ) -> Vec<u32> {
+    classify_batch_opt_stats(db, queries, k, exec, None)
+}
+
+/// [`classify_batch_with`], also accumulating scatter/gather element
+/// counts and (on the cluster backend) collective payload bytes into
+/// `stats` — the same [`CommStats`] vocabulary the kmeans executor path
+/// reports into, so E15/E16-style backend comparisons can include k-NN.
+pub fn classify_batch_with_stats(
+    db: &LabeledDataset,
+    queries: &LabeledDataset,
+    k: usize,
+    exec: &Executor,
+    stats: &CommStats,
+) -> Vec<u32> {
+    classify_batch_opt_stats(db, queries, k, exec, Some(stats))
+}
+
+fn classify_batch_opt_stats(
+    db: &LabeledDataset,
+    queries: &LabeledDataset,
+    k: usize,
+    exec: &Executor,
+    stats: Option<&CommStats>,
+) -> Vec<u32> {
     let n = queries.len();
     if n == 0 {
         return Vec::new();
     }
+    // Refit the backend to the batch: a cluster executor configured with
+    // more ranks than there are queries still classifies correctly.
+    let exec = exec.shrink_to(n);
     let dist = EvenBlocks::new(n, exec.parts_for(n));
-    exec.map_parts(&dist, |_, range| {
+    let kernel = |_p: usize, range: std::ops::Range<usize>| {
         range
             .map(|q| classify_heap(db, queries.points.row(q), k))
             .collect::<Vec<u32>>()
-    })
+    };
+    match stats {
+        Some(s) => exec.map_parts_counted(&dist, s, kernel),
+        None => exec.map_parts(&dist, kernel),
+    }
     .concat()
 }
 
@@ -178,6 +209,36 @@ mod tests {
                 "{exec:?}"
             );
         }
+    }
+
+    #[test]
+    fn counted_batch_matches_and_feeds_stats() {
+        let db = gaussian_blobs(200, 5, 3, 2.0, 13);
+        let queries = gaussian_blobs(37, 5, 3, 2.0, 14);
+        let reference = classify_batch_seq(&db, &queries, 5);
+
+        let s = CommStats::new();
+        let pred = classify_batch_with_stats(&db, &queries, 5, &Executor::rayon(4), &s);
+        assert_eq!(pred, reference);
+        assert_eq!(s.scattered(), 37, "one element per query scattered");
+        assert_eq!(s.gathered(), 4, "one result per part gathered");
+        assert_eq!(s.collective_bytes(), 0, "rayon borrows, moves no bytes");
+
+        let s = CommStats::new();
+        let pred = classify_batch_with_stats(&db, &queries, 5, &Executor::cluster(4), &s);
+        assert_eq!(pred, reference);
+        assert!(s.collective_bytes() > 0, "cluster pays for what it moves");
+    }
+
+    #[test]
+    fn batch_smaller_than_rank_count_shrinks() {
+        let db = gaussian_blobs(100, 4, 2, 2.0, 15);
+        let queries = gaussian_blobs(2, 4, 2, 2.0, 16);
+        // 8 ranks, 2 queries: must shrink instead of panicking.
+        assert_eq!(
+            classify_batch_with(&db, &queries, 3, &Executor::cluster(8)),
+            classify_batch_seq(&db, &queries, 3)
+        );
     }
 
     #[test]

@@ -12,6 +12,7 @@
 //! | §5 | Nagel–Schreckenberg traffic model | [`traffic`] (+ [`prng`], [`gpu`]) |
 //! | §6 | 1-D heat equation, Chapel-style | [`heat`] |
 //! | §7 | Ensemble uncertainty / HPO | [`ensemble`] |
+//! | — | Micro-batching request server (extension) | [`serve`] |
 //!
 //! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
 //! paper-versus-measured record of every figure and table.
@@ -26,6 +27,7 @@ pub use peachy_kmeans as kmeans;
 pub use peachy_knn as knn;
 pub use peachy_mapreduce as mapreduce;
 pub use peachy_prng as prng;
+pub use peachy_serve as serve;
 pub use peachy_traffic as traffic;
 
 pub mod city;

@@ -1,0 +1,61 @@
+//! # peachy-serve
+//!
+//! The serving front-end over the workspace's compute substrate: the layer
+//! that turns *per-request* work into *batched, scheduled, observable*
+//! execution, the way an inference server fronts a model.
+//!
+//! The paper's assignments all end at "run the job once"; the ROADMAP's
+//! north star is a system that serves heavy traffic. This crate closes the
+//! gap with four pieces, each deliberately deterministic so every test can
+//! pin exact behaviour:
+//!
+//! * **Admission control** — a bounded ingress queue. [`Server::submit`]
+//!   beyond `capacity` rejects with [`ServeError::Overloaded`] instead of
+//!   growing a queue without bound: backpressure is a *response*, not an
+//!   OOM.
+//! * **Micro-batching in virtual time** — the batcher coalesces admitted
+//!   requests into batches of at most `max_batch_size`, closing early once
+//!   the oldest request has waited `max_wait` **ticks**. The clock is
+//!   virtual ([`Server::advance`]), so batch boundaries are a pure
+//!   function of the arrival trace and the config — identical on every
+//!   machine and backend.
+//! * **Execution on the executor seam** — closed batches run on a worker
+//!   pool; each worker hands the batch to its [`Service`] over a
+//!   [`peachy_cluster::Executor`] (`Seq`/`Rayon`/`Cluster`), so one server
+//!   definition serves from a plain loop, the rayon pool, or in-process
+//!   ranks — with bit-identical responses. A worker that panics (chaos
+//!   plans make that reproducible) is respawned and its in-flight batch
+//!   retried under [`peachy_cluster::RetryPolicy`]; every request is
+//!   answered exactly once.
+//! * **Latency accounting** — [`ServerStats`] extends
+//!   [`peachy_cluster::CommStats`] with queue-depth, batch-size and
+//!   latency histograms (p50/p95/p99 in virtual ticks) and the
+//!   submitted/rejected/completed/failed/retried ledger, with associative
+//!   merging for out-of-order worker ledgers.
+//!
+//! Three built-in services prove the seam is generic: k-NN classification
+//! ([`KnnService`]), nearest-centroid assignment ([`KmeansAssignService`]),
+//! and neural-net inference ([`EnsembleService`]).
+//!
+//! ```
+//! use peachy_cluster::Executor;
+//! use peachy_serve::{EchoService, ServeConfig, Server};
+//!
+//! let server = Server::start(EchoService, Executor::seq(), ServeConfig::default());
+//! let r = server.submit(7).unwrap();
+//! server.flush();
+//! assert_eq!(r.wait().unwrap(), 7);
+//! server.shutdown();
+//! ```
+
+pub mod server;
+pub mod service;
+pub mod stats;
+pub mod trace;
+
+pub use server::{
+    BatchRecord, ChaosPlan, Response, ServeConfig, ServeError, Server, ServerReport,
+};
+pub use service::{EchoService, EnsembleService, KmeansAssignService, KnnService, Service};
+pub use stats::{CloseCause, ServerStats};
+pub use trace::{open_loop_arrivals, query_trace};

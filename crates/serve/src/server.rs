@@ -1,0 +1,816 @@
+//! The server: bounded ingress → virtual-time micro-batcher → worker pool
+//! → per-request responses.
+//!
+//! ## Determinism contract
+//!
+//! Time is **virtual**: the clock only moves when [`Server::advance`] is
+//! called, and the batcher only runs on tick boundaries (and on
+//! [`Server::flush`]). Batch boundaries — which requests share a batch,
+//! at which tick each batch closes, and why — are therefore a pure
+//! function of `(arrival trace, ServeConfig)`: no wall-clock, no thread
+//! races. Combined with services whose per-request output is independent
+//! of how a batch is decomposed (all built-ins are), every request's
+//! response is bit-identical across `Seq`, `Rayon`, and `Cluster`
+//! executors, with or without injected worker panics.
+//!
+//! ## Failure model
+//!
+//! A worker executes a batch under `catch_unwind`. If the service (or an
+//! injected [`ChaosPlan`]) panics, the worker thread is considered dead:
+//! it re-dispatches the batch (attempt + 1) while the batch is still
+//! below [`RetryPolicy::max_attempts`], spawns its own replacement, and
+//! exits. A batch that exhausts its attempts answers every request with
+//! [`ServeError::Failed`] — so each request resolves **exactly once**:
+//! the response slot panics on a double fill, and the accounting
+//! invariant `completed + failed + rejected == submitted` holds at
+//! shutdown.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Arc, Condvar, Mutex, Once};
+
+use crossbeam::channel::{Receiver, Sender};
+use peachy_cluster::{Executor, RetryPolicy};
+use peachy_prng::{mix_seed, Bernoulli, Lcg64, RandomStream, SplitMix64};
+
+use crate::service::Service;
+use crate::stats::{CloseCause, ServerStats};
+
+/// Why a request was not (or could not be) answered with an output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeError {
+    /// Rejected at admission: the ingress queue was at capacity.
+    Overloaded,
+    /// The batch kept panicking until the retry budget ran out.
+    Failed {
+        /// Attempts consumed (equals the policy's `max_attempts`).
+        attempts: u32,
+    },
+    /// The server shut down before the request could be dispatched.
+    ShutDown,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Overloaded => write!(f, "rejected: ingress queue at capacity"),
+            ServeError::Failed { attempts } => {
+                write!(f, "failed after {attempts} attempts")
+            }
+            ServeError::ShutDown => write!(f, "server shut down"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Server tuning knobs. Everything that shapes batch boundaries is in
+/// here, which is why runs are reproducible from `(trace, config)`.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Ingress bound: admitted-but-undrained requests beyond this are
+    /// rejected with [`ServeError::Overloaded`].
+    pub capacity: usize,
+    /// Largest batch the batcher will close.
+    pub max_batch_size: usize,
+    /// Ticks the oldest pending request may wait before the batcher
+    /// closes a partial batch.
+    pub max_wait: u64,
+    /// Worker threads executing batches.
+    pub workers: usize,
+    /// Retry budget for batches whose worker panicked.
+    pub retry: RetryPolicy,
+    /// Reproducible worker-panic injection; `None` for a clean run.
+    pub chaos: Option<ChaosPlan>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            capacity: 256,
+            max_batch_size: 32,
+            max_wait: 4,
+            workers: 2,
+            retry: RetryPolicy::default(),
+            chaos: None,
+        }
+    }
+}
+
+impl ServeConfig {
+    fn validate(&self) {
+        assert!(self.capacity > 0, "capacity must be at least 1");
+        assert!(self.max_batch_size > 0, "max_batch_size must be at least 1");
+        assert!(self.max_wait > 0, "max_wait must be at least 1 tick");
+        assert!(self.workers > 0, "need at least one worker");
+        assert!(self.retry.max_attempts >= 1, "need at least one attempt");
+    }
+}
+
+/// Reproducible worker-panic injection, the serving counterpart of the
+/// cluster's transport [`FaultPlan`](peachy_cluster::FaultPlan).
+///
+/// Whether a given `(batch, attempt)` execution panics is drawn from a
+/// dedicated stream seeded by `(seed, batch id, attempt)` — independent of
+/// which worker picks the batch up and of thread scheduling, so a chaos
+/// run replays exactly from its seed on every backend.
+#[derive(Debug, Clone)]
+pub struct ChaosPlan {
+    seed: u64,
+    panic_p: f64,
+}
+
+impl ChaosPlan {
+    /// Panic each batch execution with probability `panic_p`.
+    pub fn new(seed: u64, panic_p: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&panic_p),
+            "panic_p = {panic_p} outside [0, 1]"
+        );
+        Self { seed, panic_p }
+    }
+
+    fn should_panic(&self, batch_id: u64, attempt: u32) -> bool {
+        let mut rng = Lcg64::seed_from(SplitMix64::mix(
+            mix_seed(self.seed) ^ (batch_id << 16) ^ attempt as u64,
+        ));
+        Bernoulli::new(self.panic_p).sample(&mut rng)
+    }
+}
+
+/// Payload of an injected worker panic; recognized by the panic hook so
+/// intentional chaos does not spray backtraces over test output.
+struct ChaosPanic;
+
+/// One closed batch in the server's log: enough to compare batcher
+/// behaviour bit-for-bit across backends and seeds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchRecord {
+    /// Dispatch order (0-based).
+    pub id: u64,
+    /// Virtual tick at which the batch closed.
+    pub close_tick: u64,
+    /// Requests in the batch.
+    pub size: usize,
+    /// What closed it.
+    pub cause: CloseCause,
+}
+
+/// End-of-run summary returned by [`Server::shutdown`].
+pub struct ServerReport {
+    /// The service that ran.
+    pub service: &'static str,
+    /// Human label of the executor backend.
+    pub backend: String,
+    /// The full ledger (shared with any still-held stats handles).
+    pub stats: Arc<ServerStats>,
+    /// Every batch the server closed, in dispatch order.
+    pub batch_log: Vec<BatchRecord>,
+    /// Virtual clock at shutdown.
+    pub final_tick: u64,
+}
+
+impl fmt::Display for ServerReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = &self.stats;
+        let (by_size, by_timeout, by_flush) = s.close_causes();
+        writeln!(f, "service {} on {} — {} ticks", self.service, self.backend, self.final_tick)?;
+        writeln!(
+            f,
+            "  requests   submitted {:>6}  completed {:>6}  rejected {:>5}  failed {:>5}",
+            s.submitted(),
+            s.completed(),
+            s.rejected(),
+            s.failed()
+        )?;
+        writeln!(
+            f,
+            "  batches    closed {:>9}  by size {:>8}  by wait {:>6}  by flush {:>4}",
+            s.batches(),
+            by_size,
+            by_timeout,
+            by_flush
+        )?;
+        writeln!(
+            f,
+            "  failures   retried reqs {:>3}  worker respawns {:>3}",
+            s.retried(),
+            s.worker_respawns()
+        )?;
+        writeln!(
+            f,
+            "  queue      max depth {:>6}  latency ticks p50 {:?} p95 {:?} p99 {:?}",
+            s.max_queue_depth(),
+            s.p50(),
+            s.p95(),
+            s.p99()
+        )?;
+        write!(
+            f,
+            "  backend    scattered {:>6}  gathered {:>7}  collective bytes {:>8}",
+            s.comm().scattered(),
+            s.comm().gathered(),
+            s.comm().collective_bytes()
+        )
+    }
+}
+
+/// A blocking handle to one request's eventual answer.
+///
+/// The slot is filled exactly once — by the worker that completes the
+/// batch, or by the retry machinery when the budget runs out. A second
+/// fill panics, which is the invariant the chaos tests lean on.
+pub struct Response<O> {
+    id: u64,
+    slot: Arc<Slot<O>>,
+}
+
+impl<O> fmt::Debug for Response<O> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Response")
+            .field("id", &self.id)
+            .field("ready", &self.is_ready())
+            .finish()
+    }
+}
+
+impl<O> Response<O> {
+    /// The server-assigned request id (submission order, 0-based).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Has the answer arrived yet? (Non-blocking.)
+    pub fn is_ready(&self) -> bool {
+        !matches!(*self.slot.state.lock().unwrap(), SlotState::Pending)
+    }
+
+    /// Block until the answer arrives and take it.
+    pub fn wait(self) -> Result<O, ServeError> {
+        self.slot.take()
+    }
+}
+
+enum SlotState<O> {
+    Pending,
+    Ready(Result<O, ServeError>),
+    Taken,
+}
+
+struct Slot<O> {
+    state: Mutex<SlotState<O>>,
+    cv: Condvar,
+}
+
+impl<O> Slot<O> {
+    fn new() -> Arc<Self> {
+        Arc::new(Self {
+            state: Mutex::new(SlotState::Pending),
+            cv: Condvar::new(),
+        })
+    }
+
+    fn fill(&self, v: Result<O, ServeError>) {
+        let mut st = self.state.lock().unwrap();
+        match *st {
+            SlotState::Pending => {
+                *st = SlotState::Ready(v);
+                self.cv.notify_all();
+            }
+            _ => panic!("response slot filled twice — exactly-once violated"),
+        }
+    }
+
+    fn take(&self) -> Result<O, ServeError> {
+        let mut st = self.state.lock().unwrap();
+        loop {
+            match std::mem::replace(&mut *st, SlotState::Taken) {
+                SlotState::Ready(v) => return v,
+                SlotState::Pending => {
+                    *st = SlotState::Pending;
+                    st = self.cv.wait(st).unwrap();
+                }
+                SlotState::Taken => panic!("response already taken"),
+            }
+        }
+    }
+}
+
+/// A closed batch travelling to (and possibly back from) the worker pool.
+/// `slots[i]` is where `inputs[i]`'s answer lands.
+struct BatchCore<S: Service> {
+    id: u64,
+    attempt: AtomicU32,
+    inputs: Vec<S::Input>,
+    slots: Vec<Arc<Slot<S::Output>>>,
+}
+
+/// One admitted request in flight to the batcher: `(id, arrival tick,
+/// input, response slot)`.
+type Queued<S> = (
+    u64,
+    u64,
+    <S as Service>::Input,
+    Arc<Slot<<S as Service>::Output>>,
+);
+
+/// Batcher state: everything the virtual clock drives, under one lock.
+struct BatchState<S: Service> {
+    clock: u64,
+    /// Admitted, not yet seen by the batcher (drained on tick boundaries).
+    ingress: VecDeque<Queued<S>>,
+    /// Drained, waiting to fill a batch.
+    pending: VecDeque<Queued<S>>,
+    next_req_id: u64,
+    next_batch_id: u64,
+    batch_log: Vec<BatchRecord>,
+}
+
+struct Inner<S: Service> {
+    cfg: ServeConfig,
+    service: S,
+    exec: Executor,
+    stats: Arc<ServerStats>,
+    state: Mutex<BatchState<S>>,
+    /// `Some` while the server accepts dispatches; taken (and dropped) at
+    /// shutdown so workers drain the channel and exit.
+    dispatch_tx: Mutex<Option<Sender<Arc<BatchCore<S>>>>>,
+    dispatch_rx: Receiver<Arc<BatchCore<S>>>,
+    /// Dispatched batches not yet terminal (answered or failed).
+    outstanding: Mutex<u64>,
+    drained: Condvar,
+    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+/// The micro-batching request server. See the module docs for the
+/// determinism and failure contracts.
+pub struct Server<S: Service> {
+    inner: Arc<Inner<S>>,
+}
+
+impl<S: Service> Server<S> {
+    /// Spawn the worker pool and start accepting requests at tick 0.
+    pub fn start(service: S, exec: Executor, cfg: ServeConfig) -> Self {
+        cfg.validate();
+        if cfg.chaos.is_some() {
+            silence_chaos_panics();
+        }
+        let (tx, rx) = crossbeam::channel::unbounded();
+        let inner = Arc::new(Inner {
+            stats: ServerStats::new(cfg.max_batch_size),
+            cfg,
+            service,
+            exec,
+            state: Mutex::new(BatchState {
+                clock: 0,
+                ingress: VecDeque::new(),
+                pending: VecDeque::new(),
+                next_req_id: 0,
+                next_batch_id: 0,
+                batch_log: Vec::new(),
+            }),
+            dispatch_tx: Mutex::new(Some(tx)),
+            dispatch_rx: rx,
+            outstanding: Mutex::new(0),
+            drained: Condvar::new(),
+            workers: Mutex::new(Vec::new()),
+        });
+        for w in 0..inner.cfg.workers {
+            Inner::spawn_worker(&inner, w);
+        }
+        Server { inner }
+    }
+
+    /// Offer one request. Admitted requests get a [`Response`] handle;
+    /// beyond `capacity` the request is rejected immediately with
+    /// [`ServeError::Overloaded`] — the queue never grows unbounded and
+    /// the caller never blocks.
+    pub fn submit(&self, input: S::Input) -> Result<Response<S::Output>, ServeError> {
+        let inner = &self.inner;
+        let mut st = inner.state.lock().unwrap();
+        if st.ingress.len() >= inner.cfg.capacity {
+            inner.stats.record_reject();
+            return Err(ServeError::Overloaded);
+        }
+        let id = st.next_req_id;
+        st.next_req_id += 1;
+        let slot = Slot::new();
+        let arrival = st.clock;
+        st.ingress.push_back((id, arrival, input, Arc::clone(&slot)));
+        let depth = (st.ingress.len() + st.pending.len()) as u64;
+        inner.stats.record_submit(depth);
+        Ok(Response { id, slot })
+    }
+
+    /// Advance the virtual clock by `ticks`, running the batcher at each
+    /// boundary: drain the ingress queue, close full batches, and close a
+    /// partial batch once its oldest request has waited `max_wait` ticks.
+    pub fn advance(&self, ticks: u64) {
+        let inner = &self.inner;
+        let mut st = inner.state.lock().unwrap();
+        for _ in 0..ticks {
+            st.clock += 1;
+            // Everything submitted before this boundary becomes visible
+            // to the batcher now.
+            while let Some(req) = st.ingress.pop_front() {
+                st.pending.push_back(req);
+            }
+            while st.pending.len() >= inner.cfg.max_batch_size {
+                inner.close_batch(&mut st, CloseCause::Size);
+            }
+            let expired = st
+                .pending
+                .front()
+                .is_some_and(|(_, arrival, _, _)| st.clock - arrival >= inner.cfg.max_wait);
+            if expired {
+                inner.close_batch(&mut st, CloseCause::Timeout);
+            }
+            inner
+                .stats
+                .record_depth((st.ingress.len() + st.pending.len()) as u64);
+        }
+    }
+
+    /// Close everything immediately (without advancing the clock): drain
+    /// the ingress queue and dispatch all pending requests in
+    /// `max_batch_size` chunks. Used at end-of-trace and by shutdown.
+    pub fn flush(&self) {
+        let inner = &self.inner;
+        let mut st = inner.state.lock().unwrap();
+        while let Some(req) = st.ingress.pop_front() {
+            st.pending.push_back(req);
+        }
+        while !st.pending.is_empty() {
+            inner.close_batch(&mut st, CloseCause::Flush);
+        }
+        inner.stats.record_depth(0);
+    }
+
+    /// The current virtual tick.
+    pub fn now(&self) -> u64 {
+        self.inner.state.lock().unwrap().clock
+    }
+
+    /// The live ledger (shared; also returned by [`Server::shutdown`]).
+    pub fn stats(&self) -> Arc<ServerStats> {
+        Arc::clone(&self.inner.stats)
+    }
+
+    /// Drive a whole seeded trace: submit each `(tick, input)` at its
+    /// tick (advancing the clock as needed), flush at the end, and block
+    /// for every answer. The result vector aligns with the trace;
+    /// rejected submissions yield `Err(Overloaded)` in place.
+    ///
+    /// Arrival ticks must be nondecreasing — the trace *is* the arrival
+    /// order, which is exactly what makes the run reproducible.
+    pub fn run_trace<I>(&self, trace: I) -> Vec<Result<S::Output, ServeError>>
+    where
+        I: IntoIterator<Item = (u64, S::Input)>,
+    {
+        let mut handles = Vec::new();
+        let mut last_tick = 0;
+        for (tick, input) in trace {
+            assert!(tick >= last_tick, "arrival ticks must be nondecreasing");
+            last_tick = tick;
+            let now = self.now();
+            if tick > now {
+                self.advance(tick - now);
+            }
+            handles.push(self.submit(input));
+        }
+        self.flush();
+        handles
+            .into_iter()
+            .map(|h| match h {
+                Ok(resp) => resp.wait(),
+                Err(e) => Err(e),
+            })
+            .collect()
+    }
+
+    /// Flush, wait until every dispatched batch is terminal, stop the
+    /// workers, and return the end-of-run report. Consumes the server;
+    /// outstanding [`Response`] handles stay valid.
+    pub fn shutdown(self) -> ServerReport {
+        let inner = &self.inner;
+        self.flush();
+        {
+            let mut outstanding = inner.outstanding.lock().unwrap();
+            while *outstanding > 0 {
+                outstanding = inner.drained.wait(outstanding).unwrap();
+            }
+        }
+        // Closing the channel lets workers drain it (it is already empty
+        // — nothing is outstanding) and exit their recv loop.
+        drop(inner.dispatch_tx.lock().unwrap().take());
+        let handles = std::mem::take(&mut *inner.workers.lock().unwrap());
+        for h in handles {
+            let _ = h.join();
+        }
+        let st = inner.state.lock().unwrap();
+        ServerReport {
+            service: inner.service.name(),
+            backend: backend_label(&inner.exec),
+            stats: Arc::clone(&inner.stats),
+            batch_log: st.batch_log.clone(),
+            final_tick: st.clock,
+        }
+    }
+}
+
+impl<S: Service> Inner<S> {
+    /// Close one batch off the front of `pending` and dispatch it.
+    /// Latency is accounted here — close tick minus arrival tick — which
+    /// is the deterministic queueing + batching delay.
+    fn close_batch(&self, st: &mut BatchState<S>, cause: CloseCause) {
+        let take = st.pending.len().min(self.cfg.max_batch_size);
+        debug_assert!(take > 0, "never close an empty batch");
+        let mut inputs = Vec::with_capacity(take);
+        let mut slots = Vec::with_capacity(take);
+        for _ in 0..take {
+            let (_, arrival, input, slot) = st.pending.pop_front().expect("sized above");
+            self.stats.record_latency(st.clock - arrival);
+            inputs.push(input);
+            slots.push(slot);
+        }
+        let id = st.next_batch_id;
+        st.next_batch_id += 1;
+        st.batch_log.push(BatchRecord {
+            id,
+            close_tick: st.clock,
+            size: take,
+            cause,
+        });
+        self.stats.record_batch(take, cause);
+        let batch = Arc::new(BatchCore {
+            id,
+            attempt: AtomicU32::new(0),
+            inputs,
+            slots,
+        });
+        *self.outstanding.lock().unwrap() += 1;
+        self.dispatch(batch);
+    }
+
+    fn dispatch(&self, batch: Arc<BatchCore<S>>) {
+        let tx = self.dispatch_tx.lock().unwrap();
+        match tx.as_ref() {
+            Some(tx) => tx.send(batch).expect("workers hold the receiver"),
+            // Shutdown raced a retry: the batch cannot run again.
+            None => self.fail_batch(&batch, ServeError::ShutDown),
+        }
+    }
+
+    fn spawn_worker(inner: &Arc<Inner<S>>, worker_id: usize) {
+        let me = Arc::clone(inner);
+        let handle = std::thread::Builder::new()
+            .name(format!("serve-worker-{worker_id}"))
+            .spawn(move || Inner::worker_main(me, worker_id))
+            .expect("spawn worker thread");
+        inner.workers.lock().unwrap().push(handle);
+    }
+
+    fn worker_main(inner: Arc<Inner<S>>, worker_id: usize) {
+        while let Ok(batch) = inner.dispatch_rx.recv() {
+            let attempt = batch.attempt.load(Ordering::Acquire);
+            let outcome = catch_unwind(AssertUnwindSafe(|| inner.execute(&batch, attempt)));
+            match outcome {
+                Ok(outputs) => inner.complete(&batch, outputs),
+                Err(_) => {
+                    // Fail-stop: this worker dies with the panic. Hand the
+                    // batch to the retry machinery, put a fresh worker in
+                    // our slot, and exit.
+                    inner.stats.record_respawn();
+                    inner.handle_failure(&batch, attempt);
+                    Inner::spawn_worker(&inner, worker_id);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// One attempt at a batch. Panics here (chaos-injected or from the
+    /// service itself) unwind into `worker_main`'s catch.
+    fn execute(&self, batch: &BatchCore<S>, attempt: u32) -> Vec<S::Output> {
+        if let Some(chaos) = &self.cfg.chaos {
+            if chaos.should_panic(batch.id, attempt) {
+                std::panic::panic_any(ChaosPanic);
+            }
+        }
+        // Refit the backend to the batch so small batches still satisfy
+        // the cluster backend's one-rank-per-part contract.
+        let exec = self.exec.shrink_to(batch.inputs.len());
+        let out = self
+            .service
+            .run_batch(&batch.inputs, &exec, self.stats.comm());
+        assert_eq!(
+            out.len(),
+            batch.inputs.len(),
+            "service must answer every request in the batch"
+        );
+        out
+    }
+
+    fn complete(&self, batch: &BatchCore<S>, outputs: Vec<S::Output>) {
+        for (slot, out) in batch.slots.iter().zip(outputs) {
+            slot.fill(Ok(out));
+        }
+        self.stats.record_completed(batch.slots.len() as u64);
+        self.finish_batch();
+    }
+
+    fn handle_failure(&self, batch: &Arc<BatchCore<S>>, attempt: u32) {
+        let next = attempt + 1;
+        if next < self.cfg.retry.max_attempts {
+            self.stats.record_retried(batch.slots.len() as u64);
+            batch.attempt.store(next, Ordering::Release);
+            self.cfg.retry.sleep_before_retry(next);
+            self.dispatch(Arc::clone(batch));
+        } else {
+            self.fail_batch(batch, ServeError::Failed { attempts: next });
+        }
+    }
+
+    fn fail_batch(&self, batch: &BatchCore<S>, err: ServeError) {
+        for slot in &batch.slots {
+            slot.fill(Err(err));
+        }
+        self.stats.record_failed(batch.slots.len() as u64);
+        self.finish_batch();
+    }
+
+    fn finish_batch(&self) {
+        let mut outstanding = self.outstanding.lock().unwrap();
+        *outstanding -= 1;
+        if *outstanding == 0 {
+            self.drained.notify_all();
+        }
+    }
+}
+
+/// Short human label for an executor backend (report tables, benches).
+pub(crate) fn backend_label(exec: &Executor) -> String {
+    match exec {
+        Executor::Seq => "seq".to_string(),
+        Executor::Rayon { chunks } => format!("rayon({chunks})"),
+        Executor::Cluster { ranks, .. } => format!("cluster({ranks})"),
+    }
+}
+
+/// Install (once, process-wide) a panic hook that suppresses backtraces
+/// for intentional [`ChaosPlan`] panics; real panics print as usual.
+fn silence_chaos_panics() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().is::<ChaosPanic>() {
+                return;
+            }
+            prev(info);
+        }));
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::EchoService;
+    use crate::stats::CloseCause;
+
+    fn cfg(capacity: usize, max_batch: usize, max_wait: u64) -> ServeConfig {
+        ServeConfig {
+            capacity,
+            max_batch_size: max_batch,
+            max_wait,
+            workers: 2,
+            retry: RetryPolicy::default(),
+            chaos: None,
+        }
+    }
+
+    #[test]
+    fn echo_round_trip() {
+        let server = Server::start(EchoService, Executor::seq(), cfg(8, 4, 2));
+        let r = server.submit(41).unwrap();
+        assert!(!r.is_ready());
+        server.advance(2); // wait-close at tick 2
+        assert_eq!(r.wait().unwrap(), 41);
+        let report = server.shutdown();
+        assert_eq!(report.stats.completed(), 1);
+        assert_eq!(report.batch_log.len(), 1);
+        assert_eq!(report.batch_log[0].cause, CloseCause::Timeout);
+    }
+
+    #[test]
+    fn batch_closes_on_size_then_wait() {
+        let server = Server::start(EchoService, Executor::seq(), cfg(64, 2, 3));
+        for v in 0..5 {
+            server.submit(v).unwrap();
+        }
+        server.advance(1); // drain: close [0,1] and [2,3] by size; 1 pending
+        server.advance(3); // at tick 3, request 4 (arrival 0) has waited 3 ≥ 3
+        let report = server.shutdown();
+        let sizes: Vec<usize> = report.batch_log.iter().map(|b| b.size).collect();
+        assert_eq!(sizes, vec![2, 2, 1]);
+        assert_eq!(report.batch_log[0].cause, CloseCause::Size);
+        assert_eq!(report.batch_log[1].cause, CloseCause::Size);
+        assert_eq!(report.batch_log[2].cause, CloseCause::Timeout);
+        assert_eq!(report.batch_log[2].close_tick, 3);
+        assert_eq!(report.stats.completed(), 5);
+    }
+
+    #[test]
+    fn overload_rejects_and_accounts_every_request() {
+        // Capacity 4, 11 offered in one tick: 7 must be rejected, nothing
+        // lost, nothing blocked, accounting exact.
+        let server = Server::start(EchoService, Executor::seq(), cfg(4, 4, 2));
+        let results: Vec<_> = (0..11).map(|v| server.submit(v)).collect();
+        let rejected = results.iter().filter(|r| r.is_err()).count();
+        assert_eq!(rejected, 7);
+        assert!(
+            results[..4].iter().all(|r| r.is_ok()),
+            "first `capacity` submissions are admitted"
+        );
+        server.flush();
+        for r in results.into_iter().flatten() {
+            r.wait().unwrap();
+        }
+        let report = server.shutdown();
+        let s = &report.stats;
+        assert_eq!(s.submitted(), 11);
+        assert_eq!(s.rejected(), 7);
+        assert_eq!(s.completed(), 4);
+        assert_eq!(s.completed() + s.rejected(), s.submitted());
+        assert!(s.max_queue_depth() <= 4);
+    }
+
+    #[test]
+    fn draining_admits_again() {
+        let server = Server::start(EchoService, Executor::seq(), cfg(2, 2, 2));
+        server.submit(0).unwrap();
+        server.submit(1).unwrap();
+        assert_eq!(server.submit(2).unwrap_err(), ServeError::Overloaded);
+        server.advance(1); // batcher drains ingress → capacity frees up
+        let r = server.submit(3).unwrap();
+        server.flush();
+        assert_eq!(r.wait().unwrap(), 3);
+        server.shutdown();
+    }
+
+    #[test]
+    fn chaos_panics_are_retried_to_success() {
+        let mut c = cfg(64, 4, 2);
+        // Seed chosen arbitrarily; determinism means ANY seed must keep
+        // the invariants, specific draws only shape the retry counts.
+        c.chaos = Some(ChaosPlan::new(9, 0.4));
+        c.retry = RetryPolicy {
+            max_attempts: 20,
+            backoff: std::time::Duration::ZERO,
+        };
+        let server = Server::start(EchoService, Executor::rayon(2), c);
+        let out = server.run_trace((0..40u64).map(|i| (i / 8, i as u32)));
+        for (i, r) in out.iter().enumerate() {
+            assert_eq!(*r, Ok(i as u32), "request {i} answered exactly once");
+        }
+        let report = server.shutdown();
+        let s = &report.stats;
+        assert_eq!(s.completed() + s.rejected(), s.submitted());
+        assert_eq!(s.failed(), 0);
+    }
+
+    #[test]
+    fn exhausted_retries_fail_cleanly() {
+        let mut c = cfg(8, 8, 2);
+        c.chaos = Some(ChaosPlan::new(1, 1.0)); // every attempt panics
+        c.retry = RetryPolicy {
+            max_attempts: 3,
+            backoff: std::time::Duration::ZERO,
+        };
+        let server = Server::start(EchoService, Executor::seq(), c);
+        let r = server.submit(5).unwrap();
+        server.flush();
+        assert_eq!(r.wait(), Err(ServeError::Failed { attempts: 3 }));
+        let report = server.shutdown();
+        let s = &report.stats;
+        assert_eq!(s.failed(), 1);
+        assert_eq!(s.retried(), 2, "two re-dispatches before giving up");
+        assert_eq!(s.worker_respawns(), 3);
+        assert_eq!(s.completed() + s.failed() + s.rejected(), s.submitted());
+    }
+
+    #[test]
+    fn report_renders_a_summary_table() {
+        let server = Server::start(EchoService, Executor::seq(), cfg(8, 4, 2));
+        let r = server.submit(1).unwrap();
+        server.flush();
+        r.wait().unwrap();
+        let report = server.shutdown();
+        let text = format!("{report}");
+        assert!(text.contains("service echo on seq"));
+        assert!(text.contains("submitted"));
+        assert!(text.contains("latency ticks"));
+    }
+}

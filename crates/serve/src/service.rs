@@ -1,0 +1,251 @@
+//! What the server serves: the [`Service`] seam and the built-in services
+//! proving it is generic across the workspace's workloads.
+//!
+//! A service turns a closed batch of inputs into one output per input,
+//! parallelizing *within* the batch through whatever
+//! [`Executor`](peachy_cluster::Executor) the server hands it. The
+//! determinism requirement is the executor layer's usual one: each
+//! request's output must not depend on how the batch is decomposed into
+//! parts — then the server's end-to-end responses are bit-identical
+//! across `Seq`, `Rayon`, and `Cluster`.
+//!
+//! Three built-ins wrap the assignments' inference-shaped paths:
+//! [`KnnService`] (§2 k-NN classification), [`KmeansAssignService`] (§3
+//! nearest-centroid assignment), [`EnsembleService`] (§7 neural-net
+//! batch forward). [`EchoService`] is the unit-test identity service.
+
+use peachy_cluster::dist::EvenBlocks;
+use peachy_cluster::{CommStats, Executor};
+use peachy_data::kernels::Candidates;
+use peachy_data::matrix::{LabeledDataset, Matrix};
+use peachy_ensemble::nn::DenseNet;
+use peachy_knn::brute::classify_batch_with_stats;
+
+/// A batch-serving workload.
+///
+/// `run_batch` may be retried verbatim after a worker panic, so it must
+/// be pure with respect to `(inputs, exec)` — all built-ins are. The
+/// `comm` block is the server ledger's embedded
+/// [`CommStats`](peachy_cluster::CommStats); feed it through
+/// `map_parts_counted` so backend comparisons see the service's traffic.
+pub trait Service: Send + Sync + 'static {
+    /// One request's payload.
+    type Input: Send + Sync + 'static;
+    /// One request's answer.
+    type Output: Send + 'static;
+
+    /// Short name for reports and logs.
+    fn name(&self) -> &'static str;
+
+    /// Answer every input in the batch, in order. The executor is
+    /// already shrunk to the batch ([`Executor::shrink_to`]), so its
+    /// part count never exceeds `inputs.len()`.
+    fn run_batch(
+        &self,
+        inputs: &[Self::Input],
+        exec: &Executor,
+        comm: &CommStats,
+    ) -> Vec<Self::Output>;
+}
+
+/// Identity service for unit tests: answers each request with its input.
+pub struct EchoService;
+
+impl Service for EchoService {
+    type Input = u32;
+    type Output = u32;
+
+    fn name(&self) -> &'static str {
+        "echo"
+    }
+
+    fn run_batch(&self, inputs: &[u32], exec: &Executor, comm: &CommStats) -> Vec<u32> {
+        let dist = EvenBlocks::new(inputs.len(), exec.parts_for(inputs.len()));
+        exec.map_parts_counted(&dist, comm, |_, range| {
+            range.map(|i| inputs[i]).collect::<Vec<u32>>()
+        })
+        .concat()
+    }
+}
+
+/// k-NN classification as a service: each request is a query row, each
+/// answer the majority-vote class among the `k` nearest database points.
+///
+/// Wraps [`peachy_knn::brute::classify_batch_with_stats`], so the batch
+/// is block-partitioned over the executor and per-query predictions are
+/// decomposition-independent.
+pub struct KnnService {
+    db: LabeledDataset,
+    k: usize,
+}
+
+impl KnnService {
+    /// Serve classifications against `db` with neighbourhood size `k`.
+    pub fn new(db: LabeledDataset, k: usize) -> Self {
+        assert!(!db.is_empty(), "empty database");
+        assert!(k >= 1, "k must be at least 1");
+        Self { db, k }
+    }
+}
+
+impl Service for KnnService {
+    type Input = Vec<f64>;
+    type Output = u32;
+
+    fn name(&self) -> &'static str {
+        "knn-classify"
+    }
+
+    fn run_batch(&self, inputs: &[Vec<f64>], exec: &Executor, comm: &CommStats) -> Vec<u32> {
+        let queries = LabeledDataset::new(
+            Matrix::from_rows(inputs),
+            vec![0; inputs.len()],
+            self.db.classes,
+        );
+        classify_batch_with_stats(&self.db, &queries, self.k, exec, comm)
+    }
+}
+
+/// Nearest-centroid assignment as a service (the inference half of
+/// k-means): each request is a point, each answer the index of its
+/// nearest centroid, via the [`Candidates`] kernel family — ties break
+/// to the lowest index, independent of decomposition.
+pub struct KmeansAssignService {
+    centroids: Matrix,
+}
+
+impl KmeansAssignService {
+    /// Serve assignments against a fixed centroid set.
+    pub fn new(centroids: Matrix) -> Self {
+        assert!(!centroids.is_empty(), "no centroids");
+        Self { centroids }
+    }
+}
+
+impl Service for KmeansAssignService {
+    type Input = Vec<f64>;
+    type Output = u32;
+
+    fn name(&self) -> &'static str {
+        "kmeans-assign"
+    }
+
+    fn run_batch(&self, inputs: &[Vec<f64>], exec: &Executor, comm: &CommStats) -> Vec<u32> {
+        let cand = Candidates::new(&self.centroids);
+        let dist = EvenBlocks::new(inputs.len(), exec.parts_for(inputs.len()));
+        exec.map_parts_counted(&dist, comm, |_, range| {
+            range.map(|i| cand.nearest(&inputs[i])).collect::<Vec<u32>>()
+        })
+        .concat()
+    }
+}
+
+/// Neural-net inference as a service: each request is an input row, each
+/// answer the arg-max class of the batched forward pass — row-identical
+/// to the single-row forward regardless of batching or decomposition.
+pub struct EnsembleService {
+    net: DenseNet,
+}
+
+impl EnsembleService {
+    /// Serve predictions from a trained network.
+    pub fn new(net: DenseNet) -> Self {
+        Self { net }
+    }
+}
+
+impl Service for EnsembleService {
+    type Input = Vec<f64>;
+    type Output = u32;
+
+    fn name(&self) -> &'static str {
+        "ensemble-nn"
+    }
+
+    fn run_batch(&self, inputs: &[Vec<f64>], exec: &Executor, comm: &CommStats) -> Vec<u32> {
+        let dist = EvenBlocks::new(inputs.len(), exec.parts_for(inputs.len()));
+        exec.map_parts_counted(&dist, comm, |_, range| {
+            let part = Matrix::from_rows(&inputs[range]);
+            self.net.predict_batch(&part)
+        })
+        .concat()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peachy_data::synth::gaussian_blobs;
+
+    fn backends() -> [Executor; 3] {
+        [Executor::seq(), Executor::rayon(4), Executor::cluster(3)]
+    }
+
+    fn rows_of(m: &Matrix) -> Vec<Vec<f64>> {
+        m.iter_rows().map(|r| r.to_vec()).collect()
+    }
+
+    #[test]
+    fn knn_service_matches_direct_classification() {
+        let db = gaussian_blobs(200, 5, 3, 2.0, 31);
+        let queries = gaussian_blobs(23, 5, 3, 2.0, 32);
+        let svc = KnnService::new(db.clone(), 5);
+        let inputs = rows_of(&queries.points);
+        let reference = peachy_knn::brute::classify_batch_seq(&db, &queries, 5);
+        for exec in backends() {
+            let comm = CommStats::new();
+            let out = svc.run_batch(&inputs, &exec.shrink_to(inputs.len()), &comm);
+            assert_eq!(out, reference, "{exec:?}");
+        }
+    }
+
+    #[test]
+    fn kmeans_service_matches_candidates_assign() {
+        let data = gaussian_blobs(150, 4, 3, 1.5, 33);
+        let centroids = data.points.select_rows(&[0, 50, 100]);
+        let svc = KmeansAssignService::new(centroids.clone());
+        let inputs = rows_of(&data.points);
+        let reference = Candidates::new(&centroids).assign(&data.points);
+        for exec in backends() {
+            let comm = CommStats::new();
+            let out = svc.run_batch(&inputs, &exec.shrink_to(inputs.len()), &comm);
+            assert_eq!(out, reference, "{exec:?}");
+        }
+    }
+
+    #[test]
+    fn ensemble_service_matches_batch_forward() {
+        use peachy_ensemble::nn::NetConfig;
+        let data = gaussian_blobs(60, 8, 3, 2.0, 34);
+        let net = DenseNet::new(
+            &NetConfig {
+                layers: vec![8, 6, 3],
+            },
+            7,
+        );
+        let svc = EnsembleService::new(net.clone());
+        let inputs = rows_of(&data.points);
+        let reference = net.predict_batch(&data.points);
+        for exec in backends() {
+            let comm = CommStats::new();
+            let out = svc.run_batch(&inputs, &exec.shrink_to(inputs.len()), &comm);
+            assert_eq!(out, reference, "{exec:?}");
+        }
+    }
+
+    #[test]
+    fn services_feed_the_comm_ledger() {
+        let data = gaussian_blobs(40, 4, 2, 1.5, 35);
+        let centroids = data.points.select_rows(&[0, 20]);
+        let svc = KmeansAssignService::new(centroids);
+        let inputs = rows_of(&data.points);
+        let comm = CommStats::new();
+        svc.run_batch(&inputs, &Executor::rayon(4), &comm);
+        assert_eq!(comm.scattered(), 40);
+        assert_eq!(comm.gathered(), 4);
+        assert_eq!(comm.collective_bytes(), 0);
+        let comm = CommStats::new();
+        svc.run_batch(&inputs, &Executor::cluster(4), &comm);
+        assert!(comm.collective_bytes() > 0);
+    }
+}

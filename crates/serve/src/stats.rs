@@ -1,0 +1,390 @@
+//! The serving ledger: request accounting, histograms, percentiles.
+//!
+//! [`ServerStats`] *extends* the cluster layer's
+//! [`CommStats`](peachy_cluster::CommStats) rather than duplicating it:
+//! the embedded comm block is what services feed through
+//! `map_parts_counted`, so one stats object answers both "what did the
+//! server do" (admission, batching, latency) and "what did the backend
+//! move" (scatter/gather elements, collective bytes).
+//!
+//! Everything is a relaxed atomic or a fixed-shape histogram of relaxed
+//! atomics, so the ledger is cheap enough to leave on, safe to update from
+//! any worker, and — crucially — **associatively mergeable**:
+//! [`ServerStats::merge_from`] is plain counter addition, so per-worker
+//! ledgers combine in any order or grouping to the same totals (tested,
+//! including the histogram math behind the percentiles).
+//!
+//! Latencies are measured in **virtual ticks** (close tick − arrival
+//! tick): the deterministic queueing + batching delay. Wall-clock
+//! execution time is real but machine-dependent, so it is deliberately
+//! not part of the ledger.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use peachy_cluster::CommStats;
+
+/// Latency histogram resolution: one bucket per tick, saturating at the
+/// last bucket. 512 ticks of batching delay is far beyond any sane
+/// `max_wait`, so saturation marks a bug, not a measurement.
+pub const LATENCY_BUCKETS: usize = 512;
+
+/// Why a batch was closed (recorded per batch in both the stats and the
+/// server's batch log).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CloseCause {
+    /// The pending buffer reached `max_batch_size`.
+    Size,
+    /// The oldest pending request had waited `max_wait` ticks.
+    Timeout,
+    /// An explicit flush (end of trace / shutdown).
+    Flush,
+}
+
+/// Monotonic serving counters plus histograms for one server run.
+///
+/// All increments are relaxed atomics: the values are aggregates read
+/// after (or alongside) the run, not synchronization.
+#[derive(Debug)]
+pub struct ServerStats {
+    comm: Arc<CommStats>,
+    submitted: AtomicU64,
+    rejected: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    retried: AtomicU64,
+    worker_respawns: AtomicU64,
+    batches: AtomicU64,
+    closed_by_size: AtomicU64,
+    closed_by_timeout: AtomicU64,
+    closed_by_flush: AtomicU64,
+    queue_depth: AtomicU64,
+    max_queue_depth: AtomicU64,
+    /// `batch_hist[s]` = number of batches closed with exactly `s`
+    /// requests; index 0 is unused (batches are never empty).
+    batch_hist: Vec<AtomicU64>,
+    /// `latency_hist[t]` = number of requests whose virtual-tick latency
+    /// was `t` (last bucket saturates).
+    latency_hist: Vec<AtomicU64>,
+}
+
+impl ServerStats {
+    /// Fresh zeroed ledger sized for batches of at most `max_batch_size`.
+    pub fn new(max_batch_size: usize) -> Arc<Self> {
+        assert!(max_batch_size > 0, "batches must hold at least one request");
+        Arc::new(Self {
+            comm: CommStats::new(),
+            submitted: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            retried: AtomicU64::new(0),
+            worker_respawns: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            closed_by_size: AtomicU64::new(0),
+            closed_by_timeout: AtomicU64::new(0),
+            closed_by_flush: AtomicU64::new(0),
+            queue_depth: AtomicU64::new(0),
+            max_queue_depth: AtomicU64::new(0),
+            batch_hist: (0..=max_batch_size).map(|_| AtomicU64::new(0)).collect(),
+            latency_hist: (0..LATENCY_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+        })
+    }
+
+    /// The embedded communication counters (what the backend moved);
+    /// services report into this block via `map_parts_counted`.
+    pub fn comm(&self) -> &Arc<CommStats> {
+        &self.comm
+    }
+
+    /// Requests offered to [`crate::Server::submit`] (admitted + rejected).
+    pub fn submitted(&self) -> u64 {
+        self.submitted.load(Ordering::Relaxed)
+    }
+
+    /// Requests refused at admission ([`crate::ServeError::Overloaded`]).
+    pub fn rejected(&self) -> u64 {
+        self.rejected.load(Ordering::Relaxed)
+    }
+
+    /// Requests answered with a service output.
+    pub fn completed(&self) -> u64 {
+        self.completed.load(Ordering::Relaxed)
+    }
+
+    /// Requests answered with [`crate::ServeError::Failed`] after retries
+    /// were exhausted.
+    pub fn failed(&self) -> u64 {
+        self.failed.load(Ordering::Relaxed)
+    }
+
+    /// Requests re-dispatched after a worker panic (each retry of a batch
+    /// counts every request in it once).
+    pub fn retried(&self) -> u64 {
+        self.retried.load(Ordering::Relaxed)
+    }
+
+    /// Worker threads that died to a panic and were replaced.
+    pub fn worker_respawns(&self) -> u64 {
+        self.worker_respawns.load(Ordering::Relaxed)
+    }
+
+    /// Batches closed (dispatched to the worker pool).
+    pub fn batches(&self) -> u64 {
+        self.batches.load(Ordering::Relaxed)
+    }
+
+    /// Batches closed by (size, timeout, flush).
+    pub fn close_causes(&self) -> (u64, u64, u64) {
+        (
+            self.closed_by_size.load(Ordering::Relaxed),
+            self.closed_by_timeout.load(Ordering::Relaxed),
+            self.closed_by_flush.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Admitted-but-undispatched requests right now (ingress + pending
+    /// buffer). A gauge, not a counter; merging sums it.
+    pub fn queue_depth(&self) -> u64 {
+        self.queue_depth.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark of [`ServerStats::queue_depth`].
+    pub fn max_queue_depth(&self) -> u64 {
+        self.max_queue_depth.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of the batch-size histogram (`[s]` = batches of size `s`).
+    pub fn batch_size_counts(&self) -> Vec<u64> {
+        self.batch_hist
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Snapshot of the latency histogram (`[t]` = requests with latency
+    /// `t` ticks; last bucket saturates).
+    pub fn latency_counts(&self) -> Vec<u64> {
+        self.latency_hist
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Nearest-rank percentile of the recorded latencies, in virtual
+    /// ticks: the smallest latency `t` such that at least `⌈q·N⌉` of the
+    /// `N` recorded requests had latency ≤ `t`. Returns `None` before any
+    /// request was dispatched.
+    pub fn latency_percentile(&self, q: f64) -> Option<u64> {
+        assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0, 1]");
+        let counts = self.latency_counts();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return None;
+        }
+        let rank = ((q * total as f64).ceil() as u64).max(1);
+        let mut cum = 0;
+        for (t, c) in counts.iter().enumerate() {
+            cum += c;
+            if cum >= rank {
+                return Some(t as u64);
+            }
+        }
+        Some((counts.len() - 1) as u64)
+    }
+
+    /// Median latency in ticks.
+    pub fn p50(&self) -> Option<u64> {
+        self.latency_percentile(0.50)
+    }
+
+    /// 95th-percentile latency in ticks.
+    pub fn p95(&self) -> Option<u64> {
+        self.latency_percentile(0.95)
+    }
+
+    /// 99th-percentile latency in ticks.
+    pub fn p99(&self) -> Option<u64> {
+        self.latency_percentile(0.99)
+    }
+
+    pub(crate) fn record_submit(&self, depth_now: u64) {
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+        self.record_depth(depth_now);
+    }
+
+    pub(crate) fn record_reject(&self) {
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_depth(&self, depth_now: u64) {
+        self.queue_depth.store(depth_now, Ordering::Relaxed);
+        self.max_queue_depth.fetch_max(depth_now, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_batch(&self, size: usize, cause: CloseCause) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        match cause {
+            CloseCause::Size => &self.closed_by_size,
+            CloseCause::Timeout => &self.closed_by_timeout,
+            CloseCause::Flush => &self.closed_by_flush,
+        }
+        .fetch_add(1, Ordering::Relaxed);
+        let slot = size.min(self.batch_hist.len() - 1);
+        self.batch_hist[slot].fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_latency(&self, ticks: u64) {
+        let slot = (ticks as usize).min(self.latency_hist.len() - 1);
+        self.latency_hist[slot].fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_completed(&self, n: u64) {
+        self.completed.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_failed(&self, n: u64) {
+        self.failed.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_retried(&self, n: u64) {
+        self.retried.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_respawn(&self) {
+        self.worker_respawns.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Fold another ledger into this one. Counter and histogram addition
+    /// is associative and commutative, so worker ledgers merge in any
+    /// order or grouping to the same totals; the depth gauge sums and the
+    /// high-water mark takes the max. Histogram shapes must match (build
+    /// all ledgers with the same `max_batch_size`).
+    pub fn merge_from(&self, other: &ServerStats) {
+        assert_eq!(
+            self.batch_hist.len(),
+            other.batch_hist.len(),
+            "batch histograms must share a shape to merge"
+        );
+        self.comm.merge_from(other.comm());
+        self.submitted
+            .fetch_add(other.submitted(), Ordering::Relaxed);
+        self.rejected.fetch_add(other.rejected(), Ordering::Relaxed);
+        self.completed
+            .fetch_add(other.completed(), Ordering::Relaxed);
+        self.failed.fetch_add(other.failed(), Ordering::Relaxed);
+        self.retried.fetch_add(other.retried(), Ordering::Relaxed);
+        self.worker_respawns
+            .fetch_add(other.worker_respawns(), Ordering::Relaxed);
+        self.batches.fetch_add(other.batches(), Ordering::Relaxed);
+        let (s, t, fl) = other.close_causes();
+        self.closed_by_size.fetch_add(s, Ordering::Relaxed);
+        self.closed_by_timeout.fetch_add(t, Ordering::Relaxed);
+        self.closed_by_flush.fetch_add(fl, Ordering::Relaxed);
+        self.queue_depth
+            .fetch_add(other.queue_depth(), Ordering::Relaxed);
+        self.max_queue_depth
+            .fetch_max(other.max_queue_depth(), Ordering::Relaxed);
+        for (mine, theirs) in self.batch_hist.iter().zip(other.batch_size_counts()) {
+            mine.fetch_add(theirs, Ordering::Relaxed);
+        }
+        for (mine, theirs) in self.latency_hist.iter().zip(other.latency_counts()) {
+            mine.fetch_add(theirs, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn worker_ledger(latencies: &[u64], sizes: &[usize], completed: u64) -> Arc<ServerStats> {
+        let s = ServerStats::new(8);
+        for &l in latencies {
+            s.record_latency(l);
+        }
+        for &b in sizes {
+            s.record_batch(b, CloseCause::Size);
+        }
+        s.record_completed(completed);
+        s.comm().add_scattered(completed);
+        s
+    }
+
+    #[test]
+    fn merging_out_of_order_worker_ledgers_is_associative() {
+        // Three workers report their ledgers; the totals must not depend
+        // on arrival order or grouping — this is what guards the
+        // histogram math behind the percentiles.
+        let a = worker_ledger(&[1, 1, 2], &[2, 1], 3);
+        let b = worker_ledger(&[4], &[1], 1);
+        let c = worker_ledger(&[2, 9, 9, 9], &[4], 4);
+
+        let flat = |s: &ServerStats| {
+            (
+                s.submitted(),
+                s.completed(),
+                s.batches(),
+                s.batch_size_counts(),
+                s.latency_counts(),
+                s.comm().scattered(),
+            )
+        };
+
+        // (a ⊕ b) ⊕ c
+        let left = ServerStats::new(8);
+        left.merge_from(&a);
+        left.merge_from(&b);
+        left.merge_from(&c);
+
+        // a ⊕ (c ⊕ b): different order *and* different grouping.
+        let cb = ServerStats::new(8);
+        cb.merge_from(&c);
+        cb.merge_from(&b);
+        let right = ServerStats::new(8);
+        right.merge_from(&a);
+        right.merge_from(&cb);
+
+        assert_eq!(flat(&left), flat(&right));
+        assert_eq!(left.completed(), 8);
+        assert_eq!(left.batches(), 4);
+        // Percentiles over the merged histogram: 8 latencies
+        // {1,1,2,2,4,9,9,9} — p50 = 4th value = 2, p99 = 8th = 9.
+        assert_eq!(left.p50(), Some(2));
+        assert_eq!(left.p99(), Some(9));
+        assert_eq!(left.comm().scattered(), 8);
+    }
+
+    #[test]
+    fn percentiles_are_nearest_rank() {
+        let s = ServerStats::new(4);
+        assert_eq!(s.p50(), None, "no data yet");
+        for l in [1, 2, 3, 4, 5, 6, 7, 8, 9, 10] {
+            s.record_latency(l);
+        }
+        assert_eq!(s.latency_percentile(0.0), Some(1), "q=0 is the minimum");
+        assert_eq!(s.p50(), Some(5));
+        assert_eq!(s.p95(), Some(10));
+        assert_eq!(s.p99(), Some(10));
+        assert_eq!(s.latency_percentile(1.0), Some(10));
+    }
+
+    #[test]
+    fn latency_saturates_at_last_bucket() {
+        let s = ServerStats::new(2);
+        s.record_latency(10_000_000);
+        assert_eq!(s.p50(), Some((LATENCY_BUCKETS - 1) as u64));
+    }
+
+    #[test]
+    fn depth_gauge_tracks_high_water_mark() {
+        let s = ServerStats::new(2);
+        s.record_submit(1);
+        s.record_submit(2);
+        s.record_depth(0);
+        assert_eq!(s.queue_depth(), 0);
+        assert_eq!(s.max_queue_depth(), 2);
+        assert_eq!(s.submitted(), 2);
+    }
+}

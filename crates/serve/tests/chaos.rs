@@ -1,0 +1,188 @@
+//! Serving under chaos: worker panics must never lose a request, answer
+//! one twice, or break backend bit-equality.
+//!
+//! A [`ChaosPlan`] panics batch executions with seeded probability; the
+//! server respawns the dead worker and retries the batch under its
+//! `RetryPolicy`. The invariants pinned here, per seed and per backend:
+//!
+//! * **exactly-once** — every admitted request's `Response` resolves to
+//!   exactly one value (a double fill panics the slot, so a violation
+//!   cannot pass silently), and `completed + failed + rejected ==
+//!   submitted`;
+//! * **chaos-transparency** — responses, batch boundaries, and the
+//!   deterministic ledger are bit-identical to the same trace served with
+//!   chaos off (retries happen *around* the service, never inside its
+//!   math), and identical across `Seq` / `Rayon` / `Cluster`;
+//! * **the chaos is real** — the fixed seed matrix provably kills
+//!   workers (`worker_respawns > 0`).
+//!
+//! The CI serve-smoke job runs the fixed seed matrix below plus one extra
+//! seed from `PEACHY_CHAOS_SEED` (logged for reproduction), mirroring the
+//! cluster fault-injection job.
+
+use std::time::Duration;
+
+use peachy_cluster::{Executor, RetryPolicy};
+use peachy_data::synth::gaussian_blobs;
+use peachy_serve::{query_trace, ChaosPlan, KnnService, ServeConfig, ServeError, Server};
+
+/// Fixed regression seeds plus the CI-provided random one.
+fn seed_matrix() -> Vec<u64> {
+    let mut seeds: Vec<u64> = vec![1, 2, 3, 7, 42];
+    if let Ok(extra) = std::env::var("PEACHY_CHAOS_SEED") {
+        match extra.trim().parse::<u64>() {
+            Ok(v) => seeds.push(v),
+            Err(_) => panic!("PEACHY_CHAOS_SEED must be a u64, got {extra:?}"),
+        }
+    }
+    seeds
+}
+
+fn chaos_cfg(seed: u64) -> ServeConfig {
+    ServeConfig {
+        capacity: 32,
+        max_batch_size: 4,
+        max_wait: 2,
+        workers: 3,
+        // Panic ~a third of executions; 16 attempts push the chance of an
+        // exhausted batch below 2e-8 per batch, and the draw sequence is
+        // fixed by the seed either way.
+        retry: RetryPolicy {
+            max_attempts: 16,
+            backoff: Duration::ZERO,
+        },
+        chaos: Some(ChaosPlan::new(seed, 0.35)),
+    }
+}
+
+struct ChaosRun {
+    responses: Vec<Result<u32, ServeError>>,
+    batch_log_len: usize,
+    submitted: u64,
+    rejected: u64,
+    completed: u64,
+    failed: u64,
+    respawns: u64,
+    latency_counts: Vec<u64>,
+}
+
+fn run_chaos_knn(seed: u64, exec: Executor, chaos: bool) -> ChaosRun {
+    let db = gaussian_blobs(120, 4, 3, 1.5, 500 + seed);
+    let pool = gaussian_blobs(30, 4, 3, 1.5, 600 + seed);
+    let mut cfg = chaos_cfg(seed);
+    if !chaos {
+        cfg.chaos = None;
+    }
+    let server = Server::start(KnnService::new(db, 3), exec, cfg);
+    let trace = query_trace(seed, 30, 1.5, &pool.points);
+    let responses = server.run_trace(trace);
+    let report = server.shutdown();
+    let s = &report.stats;
+    ChaosRun {
+        responses,
+        batch_log_len: report.batch_log.len(),
+        submitted: s.submitted(),
+        rejected: s.rejected(),
+        completed: s.completed(),
+        failed: s.failed(),
+        respawns: s.worker_respawns(),
+        latency_counts: s.latency_counts(),
+    }
+}
+
+#[test]
+fn chaos_seed_matrix_no_request_lost_or_answered_twice() {
+    for seed in seed_matrix() {
+        eprintln!("serve chaos: seed {seed}");
+        let clean = run_chaos_knn(seed, Executor::rayon(4), false);
+        assert_eq!(clean.respawns, 0, "clean run must not panic");
+
+        for exec in [Executor::seq(), Executor::rayon(4), Executor::cluster(3)] {
+            let label = format!("{exec:?}");
+            let chaotic = run_chaos_knn(seed, exec, true);
+
+            // Exactly-once: every admitted request resolved exactly once
+            // (the Response slot panics on double fill — reaching these
+            // asserts at all means no request was answered twice), and
+            // the ledger covers every submission.
+            assert_eq!(
+                chaotic.completed + chaotic.failed + chaotic.rejected,
+                chaotic.submitted,
+                "accounting leak on {label}, seed {seed}"
+            );
+            let answered = chaotic
+                .responses
+                .iter()
+                .filter(|r| !matches!(r, Err(ServeError::Overloaded)))
+                .count() as u64;
+            assert_eq!(
+                answered,
+                chaotic.completed + chaotic.failed,
+                "response/ledger mismatch on {label}, seed {seed}"
+            );
+            assert_eq!(chaotic.failed, 0, "retry budget exhausted on {label}");
+
+            // Chaos-transparency: bit-identical to the clean run.
+            assert_eq!(
+                chaotic.responses, clean.responses,
+                "chaos changed answers on {label}, seed {seed}"
+            );
+            assert_eq!(chaotic.batch_log_len, clean.batch_log_len);
+            assert_eq!(chaotic.latency_counts, clean.latency_counts);
+            assert_eq!(
+                (chaotic.submitted, chaotic.rejected, chaotic.completed),
+                (clean.submitted, clean.rejected, clean.completed)
+            );
+        }
+    }
+}
+
+#[test]
+fn fixed_seeds_actually_kill_workers() {
+    // Guard against the chaos plan rotting into a no-op: across the fixed
+    // matrix the injected panic rate must actually fire (≈0.35 per batch
+    // execution, ≥ 11 batches per run — the chance of zero panics across
+    // the whole matrix is below 1e-20 and, being seeded, fixed forever).
+    let total: u64 = [1u64, 2, 3, 7, 42]
+        .into_iter()
+        .map(|seed| run_chaos_knn(seed, Executor::rayon(4), true).respawns)
+        .sum();
+    assert!(total > 0, "chaos plans never killed a worker");
+}
+
+#[test]
+fn retries_survive_on_the_cluster_backend_with_transport_faults() {
+    // Stack the two fault layers: a chaotic transport *inside* the
+    // executor (duplicates + reorders, no losses) and worker panics
+    // around it. Answers must still match the clean sequential run.
+    use peachy_cluster::{EdgeFault, FaultPlan};
+    let db = gaussian_blobs(80, 3, 2, 1.5, 900);
+    let pool = gaussian_blobs(20, 3, 2, 1.5, 901);
+    let reference = {
+        let server = Server::start(
+            KnnService::new(db.clone(), 3),
+            Executor::seq(),
+            ServeConfig {
+                chaos: None,
+                ..chaos_cfg(11)
+            },
+        );
+        let out = server.run_trace(query_trace(11, 20, 1.0, &pool.points));
+        server.shutdown();
+        out
+    };
+    let plan = FaultPlan::new(11).all_edges(EdgeFault {
+        dup_p: 0.2,
+        reorder_p: 0.2,
+        ..EdgeFault::none()
+    });
+    let exec = Executor::Cluster { ranks: 2, plan };
+    let server = Server::start(KnnService::new(db, 3), exec, chaos_cfg(11));
+    let out = server.run_trace(query_trace(11, 20, 1.0, &pool.points));
+    let report = server.shutdown();
+    assert_eq!(out, reference);
+    assert_eq!(
+        report.stats.completed() + report.stats.rejected(),
+        report.stats.submitted()
+    );
+}

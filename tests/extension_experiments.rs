@@ -215,6 +215,71 @@ fn e15_comm_volume_counters() {
     assert!(cluster.collective_bytes() >= (2_000 * 4 * 8) as u64);
 }
 
+/// E16: the serving layer at integration scale — one seeded open-loop
+/// k-NN trace on all three backends, with and without injected worker
+/// panics. Responses, batch boundaries, and the deterministic ledger are
+/// bit-identical everywhere; admission control rejects the overload
+/// instead of queueing it; latency percentiles are bounded by the
+/// batching window.
+#[test]
+fn e16_serving_layer_end_to_end() {
+    use peachy::cluster::RetryPolicy;
+    use peachy::serve::{query_trace, ChaosPlan, KnnService, ServeConfig, Server};
+    let db = gaussian_blobs(300, 6, 4, 2.0, 16);
+    let pool = gaussian_blobs(80, 6, 4, 2.0, 17);
+    let cfg = ServeConfig {
+        capacity: 4,
+        max_batch_size: 8,
+        max_wait: 3,
+        workers: 3,
+        // Generous budget: at panic_p 0.3 sixteen attempts make an
+        // exhausted batch a ~4e-9 event, so chaos runs stay comparable
+        // to clean ones.
+        retry: RetryPolicy {
+            max_attempts: 16,
+            backoff: std::time::Duration::ZERO,
+        },
+        ..ServeConfig::default()
+    };
+    let run = |exec: Executor, chaos: Option<ChaosPlan>| {
+        let server = Server::start(
+            KnnService::new(db.clone(), 5),
+            exec,
+            ServeConfig {
+                chaos,
+                ..cfg.clone()
+            },
+        );
+        let out = server.run_trace(query_trace(16, 50, 5.0, &pool.points));
+        (out, server.shutdown())
+    };
+    let (seq_out, seq_rep) = run(Executor::seq(), None);
+    for exec in [Executor::rayon(4), Executor::cluster(3)] {
+        for chaos in [None, Some(ChaosPlan::new(16, 0.3))] {
+            let chaotic = chaos.is_some();
+            let (out, rep) = run(exec.clone(), chaos);
+            assert_eq!(out, seq_out, "{exec:?} chaos={chaotic} diverged");
+            assert_eq!(rep.batch_log, seq_rep.batch_log);
+            assert_eq!(rep.stats.latency_counts(), seq_rep.stats.latency_counts());
+            assert_eq!(
+                rep.stats.completed() + rep.stats.rejected(),
+                rep.stats.submitted(),
+                "accounting leak on {exec:?} chaos={chaotic}"
+            );
+        }
+    }
+    let s = &seq_rep.stats;
+    // Offered 5/tick against capacity 4: the controller must shed load…
+    assert!(s.rejected() > 0, "overload trace must reject");
+    // Undispatched work (bounded ingress + the partial batch the batcher
+    // is still coalescing) never exceeds capacity + max_batch_size.
+    assert!(s.max_queue_depth() <= 4 + 8, "queue bounded by capacity");
+    // …and what it admits completes within the batching window's latency
+    // envelope (close at the latest max_wait ticks after arrival).
+    let (p50, p99) = (s.p50().unwrap(), s.p99().unwrap());
+    assert!(p50 <= p99 && p99 <= 3, "latency ticks p50={p50} p99={p99}");
+}
+
 /// §6 2-D extension: forall equals serial at integration scale and decays
 /// towards equilibrium.
 #[test]
