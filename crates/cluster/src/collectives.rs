@@ -17,6 +17,16 @@
 //! kept for the ablation benchmark comparing flat vs. tree collectives — the
 //! "architectural knowledge can help design faster code" lesson of §2.
 //!
+//! **Zero-copy payloads**: every deep-cloning collective has a [`Shared`]
+//! (`Arc`) twin — [`Comm::broadcast_shared`], [`Comm::allgather_shared`],
+//! [`Comm::allreduce_shared`], [`Comm::broadcast_linear_shared`] — whose
+//! fan-out moves one reference-counted handle per tree edge instead of one
+//! deep clone per child, so the per-child cost is independent of the
+//! payload size. The shared payload is immutable, so distributed-memory
+//! semantics are preserved; results are bit-identical to the clone path
+//! (same topology, same seq/key bookkeeping, proven by a grid test), and
+//! byte accounting charges the *logical* value per edge on both paths.
+//!
 //! **Failure semantics** (fail-stop, see DESIGN.md "Failure model"): a
 //! collective has no partial-completion story. If a participating rank dies
 //! mid-collective, every rank blocked on a message from it aborts with a
@@ -29,8 +39,16 @@
 //! duplicate, or reorder messages leave collective results bit-identical:
 //! matching is by `(source, seq, round)`, never by arrival order.
 
+use std::sync::Arc;
+
 use crate::comm::Comm;
-use crate::message::MatchKey;
+use crate::message::{ByteSized, MatchKey};
+
+/// A zero-copy collective payload: one allocation, reference-counted
+/// across the ranks of the in-process cluster. Sharing is immutable, so
+/// the "no shared mutable state" discipline holds — an `Arc` hop models
+/// handing a peer a read-only buffer instead of serializing a copy.
+pub type Shared<T> = Arc<T>;
 
 /// Binary reduction operator. Must be associative; commutativity is also
 /// assumed (operands may be combined in rank-tree order, not rank order).
@@ -50,6 +68,49 @@ impl Comm {
         MatchKey::Coll { seq, round }
     }
 
+    /// The `(source rank, round)` a non-root rank receives from in a
+    /// binomial-tree broadcast rooted at `root` (rotated vrank space).
+    fn bcast_source(&self, root: usize, vrank: usize) -> (usize, u32) {
+        debug_assert_ne!(vrank, 0, "the root receives from nobody");
+        let n = self.size();
+        let recv_round = usize::BITS - 1 - vrank.leading_zeros(); // floor(log2(vrank))
+        let src_vrank = vrank - (1 << recv_round);
+        ((src_vrank + root) % n, recv_round)
+    }
+
+    /// Destinations `(round, dst)` this rank forwards to in a binomial-tree
+    /// broadcast rooted at `root`. One topology function feeds the clone
+    /// and the zero-copy variants, so their seq/key bookkeeping is
+    /// identical by construction.
+    fn bcast_children(&self, root: usize, vrank: usize) -> Vec<(u32, usize)> {
+        let n = self.size();
+        let rounds = usize::BITS - (n - 1).leading_zeros();
+        let first_send_round = if vrank == 0 {
+            0
+        } else {
+            usize::BITS - vrank.leading_zeros()
+        };
+        let mut children: Vec<(u32, usize)> = Vec::new();
+        for k in first_send_round..rounds {
+            let dst_vrank = vrank + (1usize << k);
+            if dst_vrank < n {
+                children.push((k, (dst_vrank + root) % n));
+            }
+        }
+        children
+    }
+
+    /// Round-0 destinations of a flat (linear) broadcast: every rank but
+    /// the root, one envelope each — shared by [`Comm::broadcast_linear`]
+    /// and [`Comm::broadcast_linear_shared`] so the E17 flat-vs-tree-vs-
+    /// shared ablation compares identical bookkeeping.
+    fn linear_dsts(&self, root: usize) -> Vec<(u32, usize)> {
+        (0..self.size())
+            .filter(|&d| d != root)
+            .map(|d| (0, d))
+            .collect()
+    }
+
     /// Send `value` to every destination `(round, dst)`, cloning for all
     /// but the last, which receives the original allocation moved into the
     /// message; the caller keeps a clone made just before that final send.
@@ -57,7 +118,7 @@ impl Comm {
     /// is unchanged — but the original buffer now travels to a child
     /// instead of idling at the sender, and the send loop lives in one
     /// place for all broadcast variants.)
-    fn fan_out<T: Send + Clone + 'static>(
+    fn fan_out<T: Send + Clone + ByteSized + 'static>(
         &mut self,
         seq: u64,
         dsts: &[(u32, usize)],
@@ -66,12 +127,36 @@ impl Comm {
         let Some((&(last_round, last_dst), rest)) = dsts.split_last() else {
             return value;
         };
+        let bytes = value.approx_bytes() as u64;
         for &(round, dst) in rest {
-            self.send_keyed(dst, Self::coll_key(seq, round), Box::new(value.clone()));
+            self.send_keyed(dst, Self::coll_key(seq, round), Box::new(value.clone()), bytes);
         }
         let keep = value.clone();
-        self.send_keyed(last_dst, Self::coll_key(seq, last_round), Box::new(value));
+        self.send_keyed(last_dst, Self::coll_key(seq, last_round), Box::new(value), bytes);
         keep
+    }
+
+    /// Zero-copy fan-out: one `Arc` clone per edge instead of one deep
+    /// clone per child. The payload size is measured **once**, before the
+    /// edge loop — the per-child cost is a pointer hop, independent of the
+    /// payload — while byte accounting still charges the logical value on
+    /// every edge, keeping clone and shared totals identical.
+    fn fan_out_shared<T: Send + Sync + ByteSized + 'static>(
+        &mut self,
+        seq: u64,
+        dsts: &[(u32, usize)],
+        value: Shared<T>,
+    ) -> Shared<T> {
+        let bytes = value.approx_bytes() as u64;
+        for &(round, dst) in dsts {
+            self.send_keyed(
+                dst,
+                Self::coll_key(seq, round),
+                Box::new(Shared::clone(&value)),
+                bytes,
+            );
+        }
+        value
     }
 
     /// Dissemination barrier: no rank leaves until every rank has entered.
@@ -86,7 +171,7 @@ impl Comm {
         while dist < n {
             let dst = (self.rank() + dist) % n;
             let src = (self.rank() + n - dist) % n;
-            self.send_keyed(dst, Self::coll_key(seq, round), Box::new(()));
+            self.send_keyed(dst, Self::coll_key(seq, round), Box::new(()), 0);
             self.recv_keyed::<()>(src, Self::coll_key(seq, round));
             dist <<= 1;
             round += 1;
@@ -97,55 +182,88 @@ impl Comm {
     ///
     /// Every rank passes its own `value` argument (ignored except at root,
     /// as in MPI) and receives the root's value back.
-    pub fn broadcast<T: Send + Clone + 'static>(&mut self, root: usize, value: T) -> T {
+    pub fn broadcast<T: Send + Clone + ByteSized + 'static>(&mut self, root: usize, value: T) -> T {
         let n = self.size();
         assert!(root < n, "broadcast root {root} out of range");
         let seq = self.next_seq();
         if n == 1 {
             return value;
         }
-        // Work in a rotated space where the root is rank 0.
+        // Work in a rotated space where the root is rank 0. Receive first
+        // (if not root), then forward to children in subsequent rounds.
         let vrank = (self.rank() + n - root) % n;
-        let mut received: Option<T> = if vrank == 0 { Some(value) } else { None };
-
-        // Rounds from high to low: in round k, ranks with vrank < 2^k that
-        // hold the value send to vrank + 2^k.
-        let rounds = usize::BITS - (n - 1).leading_zeros();
-        // Receive first (if not root): find which round delivers to us.
-        if vrank != 0 {
-            let recv_round = usize::BITS - 1 - vrank.leading_zeros(); // floor(log2(vrank))
-            let src_vrank = vrank - (1 << recv_round);
-            let src = (src_vrank + root) % n;
-            let v = self.recv_keyed::<T>(src, Self::coll_key(seq, recv_round));
-            received = Some(v);
-        }
-        let value = received.expect("broadcast value must be set by now");
-        // Forward to children in subsequent rounds.
-        let first_send_round = if vrank == 0 {
-            0
+        let value = if vrank == 0 {
+            value
         } else {
-            usize::BITS - vrank.leading_zeros()
+            let (src, round) = self.bcast_source(root, vrank);
+            self.recv_keyed::<T>(src, Self::coll_key(seq, round))
         };
-        let mut children: Vec<(u32, usize)> = Vec::new();
-        for k in first_send_round..rounds {
-            let dst_vrank = vrank + (1usize << k);
-            if dst_vrank < n {
-                children.push((k, (dst_vrank + root) % n));
-            }
-        }
+        let children = self.bcast_children(root, vrank);
         self.fan_out(seq, &children, value)
     }
 
+    /// Zero-copy binomial-tree broadcast: identical topology and seq/key
+    /// bookkeeping to [`Comm::broadcast`], but the payload travels as one
+    /// [`Shared`] handle per tree edge — no deep clones anywhere. Every
+    /// rank passes its own (ignored except at root) handle and receives
+    /// the root's, all pointing at the root's single allocation.
+    pub fn broadcast_shared<T: Send + Sync + ByteSized + 'static>(
+        &mut self,
+        root: usize,
+        value: Shared<T>,
+    ) -> Shared<T> {
+        let n = self.size();
+        assert!(root < n, "broadcast root {root} out of range");
+        let seq = self.next_seq();
+        if n == 1 {
+            return value;
+        }
+        let vrank = (self.rank() + n - root) % n;
+        let value = if vrank == 0 {
+            value
+        } else {
+            let (src, round) = self.bcast_source(root, vrank);
+            self.recv_keyed::<Shared<T>>(src, Self::coll_key(seq, round))
+        };
+        let children = self.bcast_children(root, vrank);
+        self.fan_out_shared(seq, &children, value)
+    }
+
     /// Linear broadcast (root sends to every rank): the naïve baseline.
-    pub fn broadcast_linear<T: Send + Clone + 'static>(&mut self, root: usize, value: T) -> T {
+    pub fn broadcast_linear<T: Send + Clone + ByteSized + 'static>(
+        &mut self,
+        root: usize,
+        value: T,
+    ) -> T {
         let n = self.size();
         assert!(root < n, "broadcast root {root} out of range");
         let seq = self.next_seq();
         if self.rank() == root {
-            let dsts: Vec<(u32, usize)> = (0..n).filter(|&d| d != root).map(|d| (0, d)).collect();
+            let dsts = self.linear_dsts(root);
             self.fan_out(seq, &dsts, value)
         } else {
             self.recv_keyed::<T>(root, Self::coll_key(seq, 0))
+        }
+    }
+
+    /// Zero-copy linear broadcast: the flat ablation baseline with a
+    /// [`Shared`] payload. Same destination list, sequence advance, and
+    /// round-0 keys as [`Comm::broadcast_linear`] (one envelope per
+    /// non-root rank, no extras), so the E17 flat-vs-tree-vs-shared
+    /// comparison is apples-to-apples.
+    pub fn broadcast_linear_shared<T: Send + Sync + ByteSized + 'static>(
+        &mut self,
+        root: usize,
+        value: Shared<T>,
+    ) -> Shared<T> {
+        let n = self.size();
+        assert!(root < n, "broadcast root {root} out of range");
+        let seq = self.next_seq();
+        if self.rank() == root {
+            let dsts = self.linear_dsts(root);
+            self.fan_out_shared(seq, &dsts, value)
+        } else {
+            self.recv_keyed::<Shared<T>>(root, Self::coll_key(seq, 0))
         }
     }
 
@@ -153,7 +271,7 @@ impl Comm {
     /// and `None` elsewhere.
     pub fn reduce<T, F>(&mut self, root: usize, value: T, op: F) -> Option<T>
     where
-        T: Send + 'static,
+        T: Send + ByteSized + 'static,
         F: ReduceOp<T>,
     {
         let n = self.size();
@@ -173,7 +291,8 @@ impl Comm {
                 // Sender this round, then done.
                 let dst_vrank = vrank - bit;
                 let dst = (dst_vrank + root) % n;
-                self.send_keyed(dst, Self::coll_key(seq, k), Box::new(acc));
+                let bytes = acc.approx_bytes() as u64;
+                self.send_keyed(dst, Self::coll_key(seq, k), Box::new(acc), bytes);
                 return None;
             } else if vrank + bit < n {
                 let src = ((vrank + bit) + root) % n;
@@ -189,7 +308,7 @@ impl Comm {
     /// Linear reduction baseline: every rank sends straight to the root.
     pub fn reduce_linear<T, F>(&mut self, root: usize, value: T, op: F) -> Option<T>
     where
-        T: Send + 'static,
+        T: Send + ByteSized + 'static,
         F: ReduceOp<T>,
     {
         let n = self.size();
@@ -206,7 +325,8 @@ impl Comm {
             }
             Some(acc)
         } else {
-            self.send_keyed(root, Self::coll_key(seq, 0), Box::new(value));
+            let bytes = value.approx_bytes() as u64;
+            self.send_keyed(root, Self::coll_key(seq, 0), Box::new(value), bytes);
             None
         }
     }
@@ -214,7 +334,7 @@ impl Comm {
     /// Reduce-to-root followed by broadcast: every rank gets the total.
     pub fn allreduce<T, F>(&mut self, value: T, op: F) -> T
     where
-        T: Send + Clone + 'static,
+        T: Send + Clone + ByteSized + 'static,
         F: ReduceOp<T>,
     {
         let total = self.reduce(0, value, op);
@@ -227,9 +347,26 @@ impl Comm {
         }
     }
 
+    /// Allreduce with a zero-copy result distribution: the reduction tree
+    /// moves owned operands exactly like [`Comm::allreduce`] (the partial
+    /// sums are consumed, nothing to share), but the total travels back
+    /// down as one [`Shared`] allocation — every rank ends holding a
+    /// handle to the same reduced value, with zero deep clones in the
+    /// broadcast phase.
+    pub fn allreduce_shared<T, F>(&mut self, value: T, op: F) -> Shared<T>
+    where
+        T: Send + Sync + ByteSized + 'static,
+        F: ReduceOp<T>,
+    {
+        match self.reduce(0, value, op) {
+            Some(t) => self.broadcast_shared(0, Shared::new(t)),
+            None => self.broadcast_shared_recv_only(0),
+        }
+    }
+
     /// Participate in a broadcast as a pure receiver (used by ranks that
     /// have no value of their own, e.g. non-roots in [`Comm::allreduce`]).
-    fn broadcast_recv_only<T: Send + Clone + 'static>(&mut self, root: usize) -> T {
+    fn broadcast_recv_only<T: Send + Clone + ByteSized + 'static>(&mut self, root: usize) -> T {
         let n = self.size();
         let seq = self.next_seq();
         let vrank = (self.rank() + n - root) % n;
@@ -237,25 +374,38 @@ impl Comm {
             vrank, 0,
             "root must call broadcast, not broadcast_recv_only"
         );
-        let rounds = usize::BITS - (n - 1).leading_zeros();
-        let recv_round = usize::BITS - 1 - vrank.leading_zeros();
-        let src_vrank = vrank - (1 << recv_round);
-        let src = (src_vrank + root) % n;
-        let value = self.recv_keyed::<T>(src, Self::coll_key(seq, recv_round));
-        let first_send_round = usize::BITS - vrank.leading_zeros();
-        let mut children: Vec<(u32, usize)> = Vec::new();
-        for k in first_send_round..rounds {
-            let dst_vrank = vrank + (1usize << k);
-            if dst_vrank < n {
-                children.push((k, (dst_vrank + root) % n));
-            }
-        }
+        let (src, round) = self.bcast_source(root, vrank);
+        let value = self.recv_keyed::<T>(src, Self::coll_key(seq, round));
+        let children = self.bcast_children(root, vrank);
         self.fan_out(seq, &children, value)
+    }
+
+    /// Shared-payload twin of [`Comm::broadcast_recv_only`], for non-root
+    /// ranks of [`Comm::allreduce_shared`].
+    fn broadcast_shared_recv_only<T: Send + Sync + ByteSized + 'static>(
+        &mut self,
+        root: usize,
+    ) -> Shared<T> {
+        let n = self.size();
+        let seq = self.next_seq();
+        let vrank = (self.rank() + n - root) % n;
+        debug_assert_ne!(
+            vrank, 0,
+            "root must call broadcast_shared, not broadcast_shared_recv_only"
+        );
+        let (src, round) = self.bcast_source(root, vrank);
+        let value = self.recv_keyed::<Shared<T>>(src, Self::coll_key(seq, round));
+        let children = self.bcast_children(root, vrank);
+        self.fan_out_shared(seq, &children, value)
     }
 
     /// Scatter: root distributes one chunk per rank; every rank (including
     /// the root) receives its chunk. Non-root ranks pass `None`.
-    pub fn scatter<T: Send + 'static>(&mut self, root: usize, chunks: Option<Vec<T>>) -> T {
+    pub fn scatter<T: Send + ByteSized + 'static>(
+        &mut self,
+        root: usize,
+        chunks: Option<Vec<T>>,
+    ) -> T {
         let n = self.size();
         assert!(root < n, "scatter root {root} out of range");
         let seq = self.next_seq();
@@ -267,7 +417,8 @@ impl Comm {
                 if dst == root {
                     own = Some(chunk);
                 } else {
-                    self.send_keyed(dst, Self::coll_key(seq, 0), Box::new(chunk));
+                    let bytes = chunk.approx_bytes() as u64;
+                    self.send_keyed(dst, Self::coll_key(seq, 0), Box::new(chunk), bytes);
                 }
             }
             own.expect("root chunk present")
@@ -279,7 +430,7 @@ impl Comm {
 
     /// Gather: every rank contributes one value; the root receives all of
     /// them in rank order (`Some(vec)` at root, `None` elsewhere).
-    pub fn gather<T: Send + 'static>(&mut self, root: usize, value: T) -> Option<Vec<T>> {
+    pub fn gather<T: Send + ByteSized + 'static>(&mut self, root: usize, value: T) -> Option<Vec<T>> {
         let n = self.size();
         assert!(root < n, "gather root {root} out of range");
         let seq = self.next_seq();
@@ -293,13 +444,14 @@ impl Comm {
             }
             Some(out.into_iter().map(|v| v.expect("all gathered")).collect())
         } else {
-            self.send_keyed(root, Self::coll_key(seq, 0), Box::new(value));
+            let bytes = value.approx_bytes() as u64;
+            self.send_keyed(root, Self::coll_key(seq, 0), Box::new(value), bytes);
             None
         }
     }
 
     /// Ring allgather: every rank ends with all contributions in rank order.
-    pub fn allgather<T: Send + Clone + 'static>(&mut self, value: T) -> Vec<T> {
+    pub fn allgather<T: Send + Clone + ByteSized + 'static>(&mut self, value: T) -> Vec<T> {
         let n = self.size();
         let seq = self.next_seq();
         let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
@@ -310,7 +462,8 @@ impl Comm {
         for r in 0..n.saturating_sub(1) {
             let send_origin = (self.rank() + n - r) % n;
             let piece = out[send_origin].clone().expect("piece present to forward");
-            self.send_keyed(next, Self::coll_key(seq, r as u32), Box::new(piece));
+            let bytes = piece.approx_bytes() as u64;
+            self.send_keyed(next, Self::coll_key(seq, r as u32), Box::new(piece), bytes);
             let recv_origin = (prev + n - r) % n;
             let got = self.recv_keyed::<T>(prev, Self::coll_key(seq, r as u32));
             out[recv_origin] = Some(got);
@@ -320,9 +473,37 @@ impl Comm {
             .collect()
     }
 
+    /// Zero-copy ring allgather: same ring, same `(seq, round)` keys as
+    /// [`Comm::allgather`], but every forwarded piece is an `Arc` clone of
+    /// the handle that arrived — each rank's contribution is allocated
+    /// once and shared by all `n` ranks at the end.
+    pub fn allgather_shared<T: Send + Sync + ByteSized + 'static>(
+        &mut self,
+        value: Shared<T>,
+    ) -> Vec<Shared<T>> {
+        let n = self.size();
+        let seq = self.next_seq();
+        let mut out: Vec<Option<Shared<T>>> = (0..n).map(|_| None).collect();
+        out[self.rank()] = Some(value);
+        let next = (self.rank() + 1) % n;
+        let prev = (self.rank() + n - 1) % n;
+        for r in 0..n.saturating_sub(1) {
+            let send_origin = (self.rank() + n - r) % n;
+            let piece = Shared::clone(out[send_origin].as_ref().expect("piece present to forward"));
+            let bytes = piece.approx_bytes() as u64;
+            self.send_keyed(next, Self::coll_key(seq, r as u32), Box::new(piece), bytes);
+            let recv_origin = (prev + n - r) % n;
+            let got = self.recv_keyed::<Shared<T>>(prev, Self::coll_key(seq, r as u32));
+            out[recv_origin] = Some(got);
+        }
+        out.into_iter()
+            .map(|v| v.expect("allgather complete"))
+            .collect()
+    }
+
     /// All-to-all personalized exchange: `data[i]` goes to rank `i`;
     /// returns the vector whose `i`-th entry came from rank `i`.
-    pub fn alltoall<T: Send + 'static>(&mut self, data: Vec<T>) -> Vec<T> {
+    pub fn alltoall<T: Send + ByteSized + 'static>(&mut self, data: Vec<T>) -> Vec<T> {
         let n = self.size();
         assert_eq!(data.len(), n, "alltoall needs exactly one item per rank");
         let seq = self.next_seq();
@@ -331,7 +512,8 @@ impl Comm {
             if dst == self.rank() {
                 out[dst] = Some(item);
             } else {
-                self.send_keyed(dst, Self::coll_key(seq, 0), Box::new(item));
+                let bytes = item.approx_bytes() as u64;
+                self.send_keyed(dst, Self::coll_key(seq, 0), Box::new(item), bytes);
             }
         }
         for src in 0..n {
@@ -348,7 +530,7 @@ impl Comm {
     /// Linear pipeline implementation (adequate at laptop rank counts).
     pub fn scan<T, F>(&mut self, value: T, op: F) -> T
     where
-        T: Send + Clone + 'static,
+        T: Send + Clone + ByteSized + 'static,
         F: ReduceOp<T>,
     {
         let n = self.size();
@@ -361,7 +543,8 @@ impl Comm {
             op(prefix, value)
         };
         if rank + 1 < n {
-            self.send_keyed(rank + 1, Self::coll_key(seq, 0), Box::new(acc.clone()));
+            let bytes = acc.approx_bytes() as u64;
+            self.send_keyed(rank + 1, Self::coll_key(seq, 0), Box::new(acc.clone()), bytes);
         }
         acc
     }
@@ -369,6 +552,8 @@ impl Comm {
 
 #[cfg(test)]
 mod tests {
+    use super::Shared;
+    use crate::message::ByteSized;
     use crate::Cluster;
 
     #[test]
@@ -518,6 +703,126 @@ mod tests {
             let all = comm.allgather(got);
             assert_eq!(all, vec![3, 0, 1, 2]);
         });
+    }
+
+    /// Run every broadcast/allgather variant on one cluster and require
+    /// the shared-payload results to be bit-identical to the clone path.
+    fn assert_shared_matches_clone<T>(n: usize, make: impl Fn(usize) -> T + Copy + Send + Sync)
+    where
+        T: Send + Sync + Clone + ByteSized + PartialEq + std::fmt::Debug + 'static,
+    {
+        for root in [0, n - 1] {
+            let out = Cluster::run(n, move |comm| {
+                let v = make(comm.rank());
+                let tree = comm.broadcast(root, v.clone());
+                let tree_shared = comm.broadcast_shared(root, Shared::new(v.clone()));
+                let lin = comm.broadcast_linear(root, v.clone());
+                let lin_shared = comm.broadcast_linear_shared(root, Shared::new(v.clone()));
+                let ag = comm.allgather(v.clone());
+                let ag_shared = comm.allgather_shared(Shared::new(v));
+                (tree, tree_shared, lin, lin_shared, ag, ag_shared)
+            });
+            for (tree, tree_shared, lin, lin_shared, ag, ag_shared) in out {
+                assert_eq!(*tree_shared, tree, "n={n} root={root}");
+                assert_eq!(*lin_shared, lin, "n={n} root={root}");
+                assert_eq!(lin, tree, "n={n} root={root}");
+                let unwrapped: Vec<T> = ag_shared.iter().map(|a| (**a).clone()).collect();
+                assert_eq!(unwrapped, ag, "n={n} root={root}");
+            }
+        }
+    }
+
+    #[test]
+    fn shared_collectives_bit_identical_grid() {
+        for n in [1usize, 2, 4, 8] {
+            // Vector, matrix-shaped, and String payloads.
+            assert_shared_matches_clone(n, |r| {
+                vec![r as f64 * 0.5, -(r as f64), 1.0 / (r as f64 + 1.0)]
+            });
+            assert_shared_matches_clone(n, |r| vec![vec![r as f64 + 0.25; 3]; 2]);
+            assert_shared_matches_clone(n, |r| format!("rank-{r}-payload"));
+        }
+    }
+
+    #[test]
+    fn allreduce_shared_matches_clone_grid() {
+        let vecsum = |a: Vec<f64>, b: Vec<f64>| -> Vec<f64> {
+            a.iter().zip(&b).map(|(x, y)| x + y).collect()
+        };
+        for n in [1usize, 2, 4, 8] {
+            let out = Cluster::run(n, move |comm| {
+                let v = vec![comm.rank() as f64, 1.0, 0.5];
+                let owned = comm.allreduce(v.clone(), vecsum);
+                let shared = comm.allreduce_shared(v, vecsum);
+                (owned, shared)
+            });
+            for (owned, shared) in out {
+                assert_eq!(*shared, owned, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn shared_broadcast_moves_one_allocation() {
+        // The zero-copy guarantee itself: after a shared broadcast, every
+        // rank's handle points at the root's single allocation.
+        let out = Cluster::run(8, |comm| {
+            let shared = comm.broadcast_shared(0, Shared::new(vec![comm.rank() as u64; 8]));
+            Shared::as_ptr(&shared) as usize
+        });
+        assert!(
+            out.iter().all(|&p| p == out[0]),
+            "all ranks must share the root's allocation"
+        );
+    }
+
+    #[test]
+    fn shared_and_clone_collectives_report_identical_bytes() {
+        // Pinned: vec![f64; 4] = 32 bytes per edge, a binomial tree on n
+        // ranks has n-1 edges, so both paths account 32·(n-1) in total and
+        // identical amounts per rank.
+        let n = 4usize;
+        let out = Cluster::run(n, move |comm| {
+            let v = vec![1.0f64; 4];
+            let before = comm.bytes_sent();
+            comm.broadcast(0, v.clone());
+            let clone_bytes = comm.bytes_sent() - before;
+            let before = comm.bytes_sent();
+            comm.broadcast_shared(0, Shared::new(v));
+            let shared_bytes = comm.bytes_sent() - before;
+            (clone_bytes, shared_bytes)
+        });
+        for (rank, (c, s)) in out.iter().enumerate() {
+            assert_eq!(c, s, "rank {rank}: per-rank byte parity");
+        }
+        let total: u64 = out.iter().map(|(c, _)| c).sum();
+        assert_eq!(total, 32 * (n as u64 - 1));
+        assert_eq!(out[0].0, 64, "root of a 4-rank tree feeds 2 children");
+    }
+
+    #[test]
+    fn linear_clone_and_shared_share_bookkeeping() {
+        // The E17 apples-to-apples guarantee: flat clone and flat shared
+        // broadcasts advance the collective sequence once each, send
+        // exactly n-1 envelopes from the root (no extra envelope per
+        // round), and report identical byte totals.
+        let n = 8usize;
+        let out = Cluster::run(n, move |comm| {
+            let v = vec![7u64; 16]; // 128 bytes
+            let (c0, b0) = (comm.sent_count(), comm.bytes_sent());
+            comm.broadcast_linear(0, v.clone());
+            let (c1, b1) = (comm.sent_count(), comm.bytes_sent());
+            comm.broadcast_linear_shared(0, Shared::new(v));
+            let (c2, b2) = (comm.sent_count(), comm.bytes_sent());
+            ((c1 - c0, b1 - b0), (c2 - c1, b2 - b1))
+        });
+        let (clone_root, shared_root) = out[0];
+        assert_eq!(clone_root, ((n - 1) as u64, 128 * (n as u64 - 1)));
+        assert_eq!(shared_root, clone_root, "identical seq/key bookkeeping");
+        for &(c, s) in &out[1..] {
+            assert_eq!(c, (0, 0), "non-roots send nothing on the flat path");
+            assert_eq!(s, (0, 0));
+        }
     }
 
     #[test]

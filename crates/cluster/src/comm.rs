@@ -15,7 +15,7 @@ use std::time::{Duration, Instant};
 use crossbeam::channel::{Receiver, Sender};
 
 use crate::fault::{FaultState, PeerDeadAbort, RecvError, SendFate};
-use crate::message::{DupMarker, Envelope, Mailbox, MatchKey, ANY_SRC};
+use crate::message::{ByteSized, DupMarker, Envelope, Mailbox, MatchKey, ANY_SRC};
 
 /// Wildcard source for [`Comm::recv_any`]-style matching.
 pub const ANY_SOURCE: usize = ANY_SRC;
@@ -38,6 +38,10 @@ pub struct Comm {
     /// Total messages sent by this rank (point-to-point + collective),
     /// useful for communication-cost assertions in tests and benches.
     sent_count: u64,
+    /// Approximate payload bytes sent by this rank ([`ByteSized`] estimate
+    /// per message). Shared-payload collectives account the *logical* value
+    /// moved per edge, so clone and zero-copy paths report identical totals.
+    bytes_sent: u64,
     /// Messages that could not be delivered because the destination rank
     /// was already gone (fail-stop: they vanish, like packets to a dead
     /// host).
@@ -58,6 +62,7 @@ impl Comm {
             fault,
             coll_seq: 0,
             sent_count: 0,
+            bytes_sent: 0,
             undeliverable: 0,
         }
     }
@@ -80,6 +85,13 @@ impl Comm {
         self.sent_count
     }
 
+    /// Approximate payload bytes this rank has sent so far (point-to-point
+    /// + collectives), as estimated by [`ByteSized`].
+    #[inline]
+    pub fn bytes_sent(&self) -> u64 {
+        self.bytes_sent
+    }
+
     /// Messages swallowed because their destination rank was already dead
     /// or finished.
     #[inline]
@@ -96,8 +108,9 @@ impl Comm {
     /// Send `value` to rank `dst` with a user `tag`. The value is moved —
     /// after sending, this rank no longer has access to it, exactly as in
     /// distributed memory.
-    pub fn send<T: Send + 'static>(&mut self, dst: usize, tag: u32, value: T) {
-        self.send_keyed(dst, MatchKey::User(tag), Box::new(value));
+    pub fn send<T: Send + ByteSized + 'static>(&mut self, dst: usize, tag: u32, value: T) {
+        let bytes = value.approx_bytes() as u64;
+        self.send_keyed(dst, MatchKey::User(tag), Box::new(value), bytes);
     }
 
     /// Receive a `T` from rank `src` with matching `tag`, blocking until it
@@ -196,17 +209,24 @@ impl Comm {
     // ---- internals shared with the collectives module ----
 
     /// Route one outgoing envelope through the fault seam. The message
-    /// counts as *sent* even if the plan then drops it — that is the
-    /// point of drop injection. Sends to a rank that already terminated
-    /// are swallowed (fail-stop: the host is gone, the packet vanishes)
-    /// and tallied in [`Comm::undeliverable_count`].
-    pub(crate) fn send_keyed(&mut self, dst: usize, key: MatchKey, payload: Box<dyn Any + Send>) {
+    /// counts as *sent* (messages and `bytes` alike) even if the plan then
+    /// drops it — that is the point of drop injection. Sends to a rank
+    /// that already terminated are swallowed (fail-stop: the host is gone,
+    /// the packet vanishes) and tallied in [`Comm::undeliverable_count`].
+    pub(crate) fn send_keyed(
+        &mut self,
+        dst: usize,
+        key: MatchKey,
+        payload: Box<dyn Any + Send>,
+        bytes: u64,
+    ) {
         assert!(
             dst < self.size(),
             "destination rank {dst} out of range (size {})",
             self.size()
         );
         self.sent_count += 1;
+        self.bytes_sent += bytes;
         let fate = match &mut self.fault {
             Some(state) => state.on_send(dst),
             None => SendFate::default(),
@@ -343,6 +363,21 @@ mod tests {
             comm.sent_count()
         });
         assert_eq!(counts, vec![2, 0, 0]);
+    }
+
+    #[test]
+    fn bytes_sent_tracks_payload_sizes() {
+        let counts = Cluster::run(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 0, vec![1.0f64, 2.0]);
+                comm.send(1, 1, String::from("abc"));
+            } else {
+                assert_eq!(comm.recv::<Vec<f64>>(0, 0), vec![1.0, 2.0]);
+                assert_eq!(comm.recv::<String>(0, 1), "abc");
+            }
+            comm.bytes_sent()
+        });
+        assert_eq!(counts, vec![16 + 3, 0]);
     }
 
     #[test]

@@ -28,6 +28,7 @@ use rayon::prelude::*;
 
 use crate::dist::Contiguous;
 use crate::fault::FaultPlan;
+use crate::message::ByteSized;
 use crate::stats::CommStats;
 use crate::Cluster;
 
@@ -118,8 +119,8 @@ impl Executor {
     pub fn map_parts_mut<D, T, A, F>(&self, dist: &D, data: &mut [T], f: F) -> Vec<A>
     where
         D: Contiguous + Sync,
-        T: Clone + Send + Sync + 'static,
-        A: Send + 'static,
+        T: Clone + Send + Sync + ByteSized + 'static,
+        A: Send + ByteSized + 'static,
         F: Fn(usize, Range<usize>, &mut [T]) -> A + Send + Sync,
     {
         self.map_parts_mut_inner(dist, data, None, f)
@@ -137,8 +138,8 @@ impl Executor {
     ) -> Vec<A>
     where
         D: Contiguous + Sync,
-        T: Clone + Send + Sync + 'static,
-        A: Send + 'static,
+        T: Clone + Send + Sync + ByteSized + 'static,
+        A: Send + ByteSized + 'static,
         F: Fn(usize, Range<usize>, &mut [T]) -> A + Send + Sync,
     {
         self.map_parts_mut_inner(dist, data, Some(stats), f)
@@ -153,8 +154,8 @@ impl Executor {
     ) -> Vec<A>
     where
         D: Contiguous + Sync,
-        T: Clone + Send + Sync + 'static,
-        A: Send + 'static,
+        T: Clone + Send + Sync + ByteSized + 'static,
+        A: Send + ByteSized + 'static,
         F: Fn(usize, Range<usize>, &mut [T]) -> A + Send + Sync,
     {
         let n = dist.len();
@@ -210,12 +211,33 @@ impl Executor {
                 }
                 let chunks: Vec<Vec<T>> =
                     (0..parts).map(|p| data[dist.range_of(p)].to_vec()).collect();
+                // The root *takes* the chunk set instead of cloning it into
+                // the scatter: the closure runs once per rank, and only the
+                // root reaches for the payload, so the second full copy of
+                // the dataset the old `chunks.clone()` made is gone.
+                let chunks = std::sync::Mutex::new(Some(chunks));
                 let f = &f;
                 let mut rank_results = Cluster::run_with_plan(parts, plan, move |comm| {
                     let rank = comm.rank();
-                    let mut local = comm.scatter(0, (rank == 0).then(|| chunks.clone()));
+                    let mut local = comm.scatter(
+                        0,
+                        (rank == 0).then(|| {
+                            chunks
+                                .lock()
+                                .expect("chunk handoff")
+                                .take()
+                                .expect("root takes the chunks exactly once")
+                        }),
+                    );
                     let a = f(rank, dist.range_of(rank), &mut local);
-                    comm.gather(0, (a, local))
+                    let gathered = comm.gather(0, (a, local));
+                    // Measured bytes: whatever this rank's transport
+                    // actually moved (scatter chunks at the root, the
+                    // (result, data) gather everywhere else).
+                    if let Some(s) = stats {
+                        s.add_bytes(comm.bytes_sent());
+                    }
+                    gathered
                 });
                 let gathered = rank_results
                     .swap_remove(0)
@@ -236,7 +258,7 @@ impl Executor {
     pub fn map_parts<D, A, F>(&self, dist: &D, f: F) -> Vec<A>
     where
         D: Contiguous + Sync,
-        A: Send + 'static,
+        A: Send + ByteSized + 'static,
         F: Fn(usize, Range<usize>) -> A + Send + Sync,
     {
         self.map_parts_inner(dist, None, f)
@@ -246,7 +268,7 @@ impl Executor {
     pub fn map_parts_counted<D, A, F>(&self, dist: &D, stats: &CommStats, f: F) -> Vec<A>
     where
         D: Contiguous + Sync,
-        A: Send + 'static,
+        A: Send + ByteSized + 'static,
         F: Fn(usize, Range<usize>) -> A + Send + Sync,
     {
         self.map_parts_inner(dist, Some(stats), f)
@@ -255,7 +277,7 @@ impl Executor {
     fn map_parts_inner<D, A, F>(&self, dist: &D, stats: Option<&CommStats>, f: F) -> Vec<A>
     where
         D: Contiguous + Sync,
-        A: Send + 'static,
+        A: Send + ByteSized + 'static,
         F: Fn(usize, Range<usize>) -> A + Send + Sync,
     {
         let parts = dist.parts();
@@ -283,7 +305,11 @@ impl Executor {
                 let mut rank_results = Cluster::run_with_plan(parts, plan, move |comm| {
                     let rank = comm.rank();
                     let a = f(rank, dist.range_of(rank));
-                    comm.gather(0, a)
+                    let gathered = comm.gather(0, a);
+                    if let Some(s) = stats {
+                        s.add_bytes(comm.bytes_sent());
+                    }
+                    gathered
                 });
                 rank_results
                     .swap_remove(0)
@@ -362,13 +388,26 @@ mod tests {
         assert_eq!(s.scattered(), 8);
         assert_eq!(s.gathered(), 8);
         assert_eq!(s.collective_bytes(), 0, "borrows move no bytes");
+        assert_eq!(s.bytes(), 0, "borrows move no measured bytes either");
 
         let s = CommStats::new();
         Executor::cluster(2).map_parts_mut_counted(&dist, &mut data, &s, |_, _, _| 0u64);
         assert_eq!(s.scattered(), 8);
         assert_eq!(s.gathered(), 8);
-        // 8 u64 scattered + 8 gathered back + 2 u64 results.
+        // Analytic estimate: 8 u64 scattered + 8 gathered back + 2 u64
+        // results, root chunk included.
         assert_eq!(s.collective_bytes(), (16 + 2) * 8);
+        // Measured transport bytes exclude the root's rank-local chunk:
+        // the root scatters rank 1's 4-u64 chunk (32 B) and rank 1
+        // gathers back `(0u64, [u64; 4])` (8 + 32 = 40 B).
+        assert_eq!(s.bytes(), 32 + 40);
+
+        let s = CommStats::new();
+        let dist3 = Block::new(9, 3);
+        Executor::cluster(3).map_parts_counted(&dist3, &s, |_, _| 0u64);
+        // Immutable path moves only the gathered results: two non-root
+        // ranks each send one u64.
+        assert_eq!(s.bytes(), 16);
     }
 
     #[test]

@@ -27,6 +27,7 @@ use std::time::Duration;
 
 use crate::comm::Comm;
 use crate::fault::{RecvError, RetryPolicy};
+use crate::message::ByteSized;
 
 /// Tags reserved by the farm protocol (chosen high to stay out of the way
 /// of application tags).
@@ -69,7 +70,7 @@ pub fn task_farm<T, F>(
     work: F,
 ) -> Option<FarmOutcome<T>>
 where
-    T: Send + 'static,
+    T: Send + ByteSized + 'static,
     F: Fn(usize) -> T,
 {
     assert!(policy.max_attempts >= 1, "max_attempts must be >= 1");
@@ -83,7 +84,7 @@ where
 
 fn run_manager<T, F>(comm: &mut Comm, n_tasks: usize, policy: &RetryPolicy, work: F) -> FarmOutcome<T>
 where
-    T: Send + 'static,
+    T: Send + ByteSized + 'static,
     F: Fn(usize) -> T,
 {
     let size = comm.size();
@@ -190,7 +191,7 @@ where
 
 fn run_worker<T, F>(comm: &mut Comm, work: F)
 where
-    T: Send + 'static,
+    T: Send + ByteSized + 'static,
     F: Fn(usize) -> T,
 {
     let mut report: Option<(usize, T)> = None;

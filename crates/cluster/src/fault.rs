@@ -263,6 +263,13 @@ impl FaultPlan {
 }
 
 /// What the transport must do with one outgoing message.
+///
+/// Fates are decided per *send event* and never inspect the payload, so
+/// they apply identically to deep-cloned values and to shared
+/// (`Arc`-payload) envelopes from the zero-copy collectives. In
+/// particular, a duplicate is delivered as a payload-free ghost marker —
+/// it carries no bytes and clones no `Arc` — and drop/reorder/delay act
+/// on the envelope as a whole, whatever it carries.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub(crate) struct SendFate {
     /// Discard instead of delivering.

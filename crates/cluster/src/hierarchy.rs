@@ -10,6 +10,7 @@
 
 use crate::collectives::ReduceOp;
 use crate::comm::Comm;
+use crate::message::ByteSized;
 
 /// A mapping of ranks onto simulated multicore nodes: `ranks_per_node`
 /// consecutive ranks share a node (the common `mpirun` block placement).
@@ -65,7 +66,7 @@ impl Comm {
         op: F,
     ) -> Option<T>
     where
-        T: Send + 'static,
+        T: Send + ByteSized + 'static,
         F: ReduceOp<T>,
     {
         let n = self.size();
@@ -80,7 +81,8 @@ impl Comm {
         // Phase 1: intra-node reduction to the leader (linear within the
         // node — these are the "cheap" shared-memory messages).
         if rank != leader {
-            self.send_keyed(leader, key(0), Box::new(value));
+            let bytes = value.approx_bytes() as u64;
+            self.send_keyed(leader, key(0), Box::new(value), bytes);
             // Non-leader, non-root ranks are done; if this rank *is* the
             // global root but not a leader, it will receive the total below.
             if rank == root {
@@ -100,7 +102,8 @@ impl Comm {
         // leader (these are the "expensive" network messages — one per node).
         let root_leader = map.leader_of(root);
         if leader != root_leader {
-            self.send_keyed(root_leader, key(1), Box::new(acc));
+            let bytes = acc.approx_bytes() as u64;
+            self.send_keyed(root_leader, key(1), Box::new(acc), bytes);
             return None;
         }
         let mut node = 0;
@@ -117,7 +120,8 @@ impl Comm {
         if root == root_leader {
             Some(acc)
         } else {
-            self.send_keyed(root, key(2), Box::new(acc));
+            let bytes = acc.approx_bytes() as u64;
+            self.send_keyed(root, key(2), Box::new(acc), bytes);
             None
         }
     }

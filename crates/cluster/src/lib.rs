@@ -66,13 +66,14 @@ pub mod hierarchy;
 pub mod message;
 pub mod stats;
 
-pub use collectives::ReduceOp;
+pub use collectives::{ReduceOp, Shared};
 pub use comm::{Comm, ANY_SOURCE};
 pub use dist::{block_range, Block, BlockCyclic, Contiguous, Cyclic, Distribution, EvenBlocks};
 pub use exec::Executor;
 pub use farm::{task_farm, FarmOutcome};
 pub use fault::{EdgeFault, FaultPlan, RankError, RankErrorKind, RecvError, RetryPolicy};
 pub use hierarchy::NodeMap;
+pub use message::ByteSized;
 pub use stats::CommStats;
 
 use std::any::Any;

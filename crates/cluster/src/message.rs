@@ -86,6 +86,128 @@ impl Envelope {
 /// Wildcard used by [`Mailbox::recv_match`] to accept any source.
 pub const ANY_SRC: usize = usize::MAX;
 
+/// Approximate payload size in bytes, used for communication accounting.
+///
+/// Implementations estimate the size of the *logical* value a message
+/// moves — for `Arc<T>` payloads this is the size of the shared `T`, not
+/// the pointer, so the zero-copy collectives report the same byte totals
+/// as their deep-cloning counterparts. The estimate is advisory: heap
+/// headers, capacity slack, and enum discriminants are ignored, because
+/// the counters it feeds compare communication *volume* between backends
+/// and algorithms, not allocator behaviour.
+pub trait ByteSized {
+    /// Approximate number of bytes this value would occupy on the wire.
+    fn approx_bytes(&self) -> usize;
+}
+
+macro_rules! bytesized_fixed {
+    ($($t:ty),* $(,)?) => {$(
+        impl ByteSized for $t {
+            #[inline]
+            fn approx_bytes(&self) -> usize {
+                std::mem::size_of::<$t>()
+            }
+        }
+    )*};
+}
+
+bytesized_fixed!(
+    u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, f32, f64, bool, char,
+);
+
+impl ByteSized for () {
+    #[inline]
+    fn approx_bytes(&self) -> usize {
+        0
+    }
+}
+
+impl ByteSized for str {
+    #[inline]
+    fn approx_bytes(&self) -> usize {
+        self.len()
+    }
+}
+
+impl ByteSized for String {
+    #[inline]
+    fn approx_bytes(&self) -> usize {
+        self.len()
+    }
+}
+
+impl<T: ByteSized + ?Sized> ByteSized for &T {
+    #[inline]
+    fn approx_bytes(&self) -> usize {
+        (**self).approx_bytes()
+    }
+}
+
+impl<T: ByteSized + ?Sized> ByteSized for Box<T> {
+    #[inline]
+    fn approx_bytes(&self) -> usize {
+        (**self).approx_bytes()
+    }
+}
+
+/// An `Arc` payload is sized by its shared contents: the collective moved
+/// the *value* (logically), even though only a pointer hopped the edge.
+impl<T: ByteSized + ?Sized> ByteSized for std::sync::Arc<T> {
+    #[inline]
+    fn approx_bytes(&self) -> usize {
+        (**self).approx_bytes()
+    }
+}
+
+impl<T: ByteSized> ByteSized for [T] {
+    fn approx_bytes(&self) -> usize {
+        self.iter().map(ByteSized::approx_bytes).sum()
+    }
+}
+
+impl<T: ByteSized, const N: usize> ByteSized for [T; N] {
+    fn approx_bytes(&self) -> usize {
+        self.as_slice().approx_bytes()
+    }
+}
+
+impl<T: ByteSized> ByteSized for Vec<T> {
+    fn approx_bytes(&self) -> usize {
+        self.as_slice().approx_bytes()
+    }
+}
+
+impl<T: ByteSized> ByteSized for Option<T> {
+    fn approx_bytes(&self) -> usize {
+        self.as_ref().map_or(0, ByteSized::approx_bytes)
+    }
+}
+
+impl<T: ByteSized> ByteSized for std::ops::Range<T> {
+    fn approx_bytes(&self) -> usize {
+        self.start.approx_bytes() + self.end.approx_bytes()
+    }
+}
+
+macro_rules! bytesized_tuple {
+    ($($name:ident)+) => {
+        #[allow(non_snake_case)]
+        impl<$($name: ByteSized),+> ByteSized for ($($name,)+) {
+            fn approx_bytes(&self) -> usize {
+                let ($($name,)+) = self;
+                0 $(+ $name.approx_bytes())+
+            }
+        }
+    };
+}
+
+bytesized_tuple!(A);
+bytesized_tuple!(A B);
+bytesized_tuple!(A B C);
+bytesized_tuple!(A B C D);
+bytesized_tuple!(A B C D E);
+bytesized_tuple!(A B C D E F);
+
 /// A parked envelope plus its arrival sequence number (for wildcard
 /// receives, which must match in arrival order across sources).
 struct Parked {
@@ -570,6 +692,30 @@ mod tests {
         let b = mb.recv_match(1, MatchKey::User(9));
         assert_eq!(*a.payload.downcast::<i32>().unwrap(), 2, "overtaken");
         assert_eq!(*b.payload.downcast::<i32>().unwrap(), 1, "still delivered");
+    }
+
+    #[test]
+    fn approx_bytes_of_common_payloads() {
+        assert_eq!(3u8.approx_bytes(), 1);
+        assert_eq!(1.5f64.approx_bytes(), 8);
+        assert_eq!(().approx_bytes(), 0);
+        assert_eq!("hello".approx_bytes(), 5);
+        assert_eq!(String::from("hé").approx_bytes(), 3, "UTF-8 bytes, not chars");
+        assert_eq!(vec![1.0f64; 4].approx_bytes(), 32);
+        assert_eq!(vec![vec![1u32; 3]; 2].approx_bytes(), 24, "nested sums");
+        assert_eq!(("tag", 7usize).approx_bytes(), 3 + 8);
+        assert_eq!(Some(5u16).approx_bytes(), 2);
+        assert_eq!(None::<u16>.approx_bytes(), 0);
+        assert_eq!([1u64, 2, 3].approx_bytes(), 24);
+    }
+
+    #[test]
+    fn arc_payload_sized_by_contents() {
+        // Zero-copy payloads must account the logical value they share, so
+        // shared and clone collectives report identical byte totals.
+        let v = vec![0u8; 100];
+        assert_eq!(std::sync::Arc::new(v.clone()).approx_bytes(), 100);
+        assert_eq!(Box::new(v).approx_bytes(), 100);
     }
 
     #[test]

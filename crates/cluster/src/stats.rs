@@ -21,6 +21,7 @@ pub struct CommStats {
     collective_bytes: AtomicU64,
     records: AtomicU64,
     shuffles: AtomicU64,
+    bytes: AtomicU64,
 }
 
 impl CommStats {
@@ -57,6 +58,16 @@ impl CommStats {
         self.shuffles.load(Ordering::Relaxed)
     }
 
+    /// Measured payload bytes moved, as estimated by
+    /// [`ByteSized`](crate::ByteSized) at every send/shuffle site. Unlike
+    /// [`CommStats::collective_bytes`] (an analytic per-algorithm formula
+    /// kept for E15 continuity), this counter is fed by the transport and
+    /// shuffle layers themselves, so it covers collectives, dataflow
+    /// shuffles, and the executor paths uniformly.
+    pub fn bytes(&self) -> u64 {
+        self.bytes.load(Ordering::Relaxed)
+    }
+
     /// Count `n` elements scattered.
     pub fn add_scattered(&self, n: u64) {
         self.scattered.fetch_add(n, Ordering::Relaxed);
@@ -78,6 +89,11 @@ impl CommStats {
         self.shuffles.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Count `n` measured payload bytes.
+    pub fn add_bytes(&self, n: u64) {
+        self.bytes.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Fold another counter block into this one.
     ///
     /// Merging is associative and commutative (plain counter addition), so
@@ -90,6 +106,7 @@ impl CommStats {
         self.add_collective_bytes(other.collective_bytes());
         self.records.fetch_add(other.records(), Ordering::Relaxed);
         self.shuffles.fetch_add(other.shuffles(), Ordering::Relaxed);
+        self.add_bytes(other.bytes());
     }
 }
 
@@ -106,21 +123,25 @@ mod tests {
         s.add_collective_bytes(1024);
         s.add_shuffle(100);
         s.add_shuffle(23);
+        s.add_bytes(512);
+        s.add_bytes(8);
         assert_eq!(s.scattered(), 15);
         assert_eq!(s.gathered(), 7);
         assert_eq!(s.collective_bytes(), 1024);
         assert_eq!(s.records(), 123);
         assert_eq!(s.shuffles(), 2);
+        assert_eq!(s.bytes(), 520);
     }
 
     #[test]
     fn merge_is_associative_and_commutative() {
-        let ledger = |sc: u64, ga: u64, by: u64, rec: u64| {
+        let ledger = |sc: u64, ga: u64, by: u64, rec: u64, bytes: u64| {
             let s = CommStats::new();
             s.add_scattered(sc);
             s.add_gathered(ga);
             s.add_collective_bytes(by);
             s.add_shuffle(rec);
+            s.add_bytes(bytes);
             s
         };
         let flat = |s: &CommStats| {
@@ -130,11 +151,12 @@ mod tests {
                 s.collective_bytes(),
                 s.records(),
                 s.shuffles(),
+                s.bytes(),
             )
         };
-        let a = ledger(1, 2, 3, 4);
-        let b = ledger(10, 20, 30, 40);
-        let c = ledger(100, 200, 300, 400);
+        let a = ledger(1, 2, 3, 4, 5);
+        let b = ledger(10, 20, 30, 40, 50);
+        let c = ledger(100, 200, 300, 400, 500);
 
         // (a ⊕ b) ⊕ c
         let left = CommStats::new();
@@ -142,7 +164,7 @@ mod tests {
         left.merge_from(&b);
         left.merge_from(&c);
 
-        // a ⊕ (b ⊕ c), built in reversed arrival order.
+        // a ⊕ (b ⊕ c), built in reversed (out-of-order) arrival order.
         let bc = CommStats::new();
         bc.merge_from(&c);
         bc.merge_from(&b);
@@ -151,7 +173,7 @@ mod tests {
         right.merge_from(&a);
 
         assert_eq!(flat(&left), flat(&right));
-        assert_eq!(flat(&left), (111, 222, 333, 444, 3));
+        assert_eq!(flat(&left), (111, 222, 333, 444, 3, 555));
     }
 
     #[test]

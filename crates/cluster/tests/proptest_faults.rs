@@ -17,7 +17,7 @@
 use std::time::Duration;
 
 use peachy_cluster::{
-    Cluster, Comm, EdgeFault, FaultPlan, RankError, RankErrorKind, RecvError,
+    Cluster, Comm, EdgeFault, FaultPlan, RankError, RankErrorKind, RecvError, Shared,
 };
 use proptest::prelude::*;
 
@@ -71,6 +71,33 @@ fn run_suite(n: usize, plan: FaultPlan) -> Vec<Result<Vec<i64>, RankError>> {
     with_watchdog(move || Cluster::run_with_plan(n, &plan, collective_suite))
 }
 
+/// The zero-copy (`Arc`-payload) collectives in one pass. Same digest idea
+/// as [`collective_suite`], but every payload travels as a shared envelope
+/// — the path where a fault plan's ghost duplicates must stay payload-free
+/// and drop/reorder/delay must act on the `Arc` envelope as a whole.
+fn shared_collective_suite(comm: &mut Comm) -> Vec<i64> {
+    let n = comm.size();
+    let rank = comm.rank();
+    let mut digest = Vec::new();
+    let bc = comm.broadcast_shared(
+        0,
+        Shared::new((0..8).map(|i| (i * 13) as i64).collect::<Vec<_>>()),
+    );
+    digest.push(bc.iter().sum());
+    let ag = comm.allgather_shared(Shared::new(vec![rank as i64 * 5; 3]));
+    digest.push(ag.iter().map(|piece| piece.iter().sum::<i64>()).sum());
+    let ar = comm.allreduce_shared(vec![rank as i64, 1], |a, b| {
+        a.iter().zip(&b).map(|(x, y)| x + y).collect()
+    });
+    digest.extend(ar.iter());
+    digest.push(*comm.broadcast_linear_shared(0, Shared::new(if rank == 0 { 11 } else { 0 })));
+    digest
+}
+
+fn run_shared_suite(n: usize, plan: FaultPlan) -> Vec<Result<Vec<i64>, RankError>> {
+    with_watchdog(move || Cluster::run_with_plan(n, &plan, shared_collective_suite))
+}
+
 /// The fault-free reference digests for a cluster of `n`.
 fn reference(n: usize) -> Vec<Vec<i64>> {
     run_suite(n, FaultPlan::none())
@@ -119,6 +146,35 @@ proptest! {
         });
         let chaotic = run_suite(n, plan);
         let expected = reference(n);
+        for (rank, r) in chaotic.into_iter().enumerate() {
+            let digest = r.expect("no kills scheduled: every rank completes");
+            prop_assert_eq!(digest, expected[rank].clone(), "rank {}", rank);
+        }
+    }
+
+    /// The zero-copy collectives under the same benign chaos: shared
+    /// (`Arc`) payloads survive duplication (ghost markers), reordering,
+    /// and delay bit-identically to a clean run — fault fates are
+    /// payload-agnostic.
+    #[test]
+    fn benign_chaos_is_invisible_to_shared_payloads(
+        n in 2usize..7,
+        seed in any::<u64>(),
+        dup_p in 0.0f64..0.4,
+        reorder_p in 0.0f64..0.4,
+        delay_us in 0u64..80,
+    ) {
+        let plan = FaultPlan::new(seed).all_edges(EdgeFault {
+            drop_p: 0.0,
+            dup_p,
+            reorder_p,
+            delay: Duration::from_micros(delay_us),
+        });
+        let chaotic = run_shared_suite(n, plan);
+        let expected: Vec<Vec<i64>> = run_shared_suite(n, FaultPlan::none())
+            .into_iter()
+            .map(|r| r.expect("fault-free run cannot fail"))
+            .collect();
         for (rank, r) in chaotic.into_iter().enumerate() {
             let digest = r.expect("no kills scheduled: every rank completes");
             prop_assert_eq!(digest, expected[rank].clone(), "rank {}", rank);

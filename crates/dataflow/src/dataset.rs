@@ -16,6 +16,14 @@ pub(crate) trait Op<T>: Send + Sync {
     fn partitions(&self) -> usize;
     /// Compute one partition's rows.
     fn compute_partition(&self, idx: usize) -> Vec<T>;
+    /// Compute one partition as a shared handle. Nodes that hold their
+    /// rows resident (sources, caches, materialized shuffles) override
+    /// this to hand out an `Arc` instead of deep-cloning the partition;
+    /// everything else falls back to wrapping the owned result, which a
+    /// consumer can unwrap for free via [`take_rows`].
+    fn compute_partition_shared(&self, idx: usize) -> Arc<Vec<T>> {
+        Arc::new(self.compute_partition(idx))
+    }
     /// Human-readable node label for `explain()`.
     fn label(&self) -> String;
     /// Child lineage labels (already-rendered subtrees).
@@ -23,6 +31,13 @@ pub(crate) trait Op<T>: Send + Sync {
     /// Number of stages (shuffle boundaries + 1) along the deepest lineage
     /// path ending at this node.
     fn stages(&self) -> usize;
+}
+
+/// Take ownership of a shared partition: free when the handle is unique
+/// (the default `compute_partition_shared` wrapper), one clone when the
+/// rows are resident elsewhere (a source or cache keeps them).
+pub(crate) fn take_rows<T: Clone>(shared: Arc<Vec<T>>) -> Vec<T> {
+    Arc::try_unwrap(shared).unwrap_or_else(|kept| (*kept).clone())
 }
 
 /// A lazy, partitioned, immutable collection — the engine's RDD analogue.
@@ -43,7 +58,9 @@ impl<T> Clone for Dataset<T> {
 // ---------- source ----------
 
 struct Source<T> {
-    parts: Vec<Vec<T>>,
+    // `Arc` per partition so actions on an uncached dataset read the
+    // resident rows instead of deep-cloning them per action.
+    parts: Vec<Arc<Vec<T>>>,
 }
 
 impl<T: Send + Sync> Op<T> for Source<T>
@@ -54,10 +71,13 @@ where
         self.parts.len()
     }
     fn compute_partition(&self, idx: usize) -> Vec<T> {
-        self.parts[idx].clone()
+        (*self.parts[idx]).clone()
+    }
+    fn compute_partition_shared(&self, idx: usize) -> Arc<Vec<T>> {
+        Arc::clone(&self.parts[idx])
     }
     fn label(&self) -> String {
-        let n: usize = self.parts.iter().map(Vec::len).sum();
+        let n: usize = self.parts.iter().map(|p| p.len()).sum();
         format!("Source[{} rows, {} partitions]", n, self.parts.len())
     }
     fn explain_children(&self, _indent: usize, _out: &mut String) {}
@@ -120,6 +140,14 @@ impl<T: Send + Sync> Op<T> for UnionOp<T> {
             self.right.compute_partition(idx - l)
         }
     }
+    fn compute_partition_shared(&self, idx: usize) -> Arc<Vec<T>> {
+        let l = self.left.partitions();
+        if idx < l {
+            self.left.compute_partition_shared(idx)
+        } else {
+            self.right.compute_partition_shared(idx - l)
+        }
+    }
     fn label(&self) -> String {
         "Union".to_string()
     }
@@ -136,7 +164,7 @@ impl<T: Send + Sync> Op<T> for UnionOp<T> {
 
 struct CacheOp<T> {
     parent: Arc<dyn Op<T>>,
-    cells: Vec<OnceLock<Vec<T>>>,
+    cells: Vec<OnceLock<Arc<Vec<T>>>>,
     hits: std::sync::atomic::AtomicU64,
 }
 
@@ -145,12 +173,16 @@ impl<T: Clone + Send + Sync> Op<T> for CacheOp<T> {
         self.parent.partitions()
     }
     fn compute_partition(&self, idx: usize) -> Vec<T> {
+        (*self.compute_partition_shared(idx)).clone()
+    }
+    fn compute_partition_shared(&self, idx: usize) -> Arc<Vec<T>> {
         if let Some(hit) = self.cells[idx].get() {
             self.hits.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-            return hit.clone();
+            return Arc::clone(hit);
         }
-        let computed = self.cells[idx].get_or_init(|| self.parent.compute_partition(idx));
-        computed.clone()
+        let computed = self.cells[idx]
+            .get_or_init(|| self.parent.compute_partition_shared(idx));
+        Arc::clone(computed)
     }
     fn label(&self) -> String {
         "Cache".to_string()
@@ -168,7 +200,7 @@ impl<T: Clone + Send + Sync> Op<T> for CacheOp<T> {
 struct RepartitionOp<T> {
     parent: Arc<dyn Op<T>>,
     target: usize,
-    materialized: OnceLock<Vec<Vec<T>>>,
+    materialized: OnceLock<Vec<Arc<Vec<T>>>>,
 }
 
 impl<T: Clone + Send + Sync> Op<T> for RepartitionOp<T> {
@@ -176,6 +208,9 @@ impl<T: Clone + Send + Sync> Op<T> for RepartitionOp<T> {
         self.target
     }
     fn compute_partition(&self, idx: usize) -> Vec<T> {
+        (*self.compute_partition_shared(idx)).clone()
+    }
+    fn compute_partition_shared(&self, idx: usize) -> Arc<Vec<T>> {
         let parts = self.materialized.get_or_init(|| {
             let inputs: Vec<Vec<T>> = (0..self.parent.partitions())
                 .into_par_iter()
@@ -185,9 +220,9 @@ impl<T: Clone + Send + Sync> Op<T> for RepartitionOp<T> {
             for (i, row) in inputs.into_iter().flatten().enumerate() {
                 out[i % self.target].push(row);
             }
-            out
+            out.into_iter().map(Arc::new).collect()
         });
-        parts[idx].clone()
+        Arc::clone(&parts[idx])
     }
     fn label(&self) -> String {
         format!("Repartition[{}] === stage boundary ===", self.target)
@@ -208,18 +243,14 @@ struct RetryOp<T> {
     retries: std::sync::atomic::AtomicU64,
 }
 
-impl<T: Send + Sync> Op<T> for RetryOp<T> {
-    fn partitions(&self) -> usize {
-        self.parent.partitions()
-    }
-    fn compute_partition(&self, idx: usize) -> Vec<T> {
+impl<T> RetryOp<T> {
+    /// Run `run` under the retry policy, re-raising the last panic once
+    /// the attempt budget is spent.
+    fn run_bounded<R>(&self, run: impl Fn() -> R) -> R {
         let mut attempt = 0u32;
         loop {
             attempt += 1;
-            let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                self.parent.compute_partition(idx)
-            }));
-            match run {
+            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(&run)) {
                 Ok(rows) => return rows,
                 Err(payload) => {
                     if attempt >= self.policy.max_attempts {
@@ -231,6 +262,18 @@ impl<T: Send + Sync> Op<T> for RetryOp<T> {
                 }
             }
         }
+    }
+}
+
+impl<T: Send + Sync> Op<T> for RetryOp<T> {
+    fn partitions(&self) -> usize {
+        self.parent.partitions()
+    }
+    fn compute_partition(&self, idx: usize) -> Vec<T> {
+        self.run_bounded(|| self.parent.compute_partition(idx))
+    }
+    fn compute_partition_shared(&self, idx: usize) -> Arc<Vec<T>> {
+        self.run_bounded(|| self.parent.compute_partition_shared(idx))
     }
     fn label(&self) -> String {
         format!("Retry[max {} attempts]", self.policy.max_attempts)
@@ -272,7 +315,9 @@ impl<T: Clone + Send + Sync + 'static> Dataset<T> {
             }
         }
         Self {
-            op: Arc::new(Source { parts }),
+            op: Arc::new(Source {
+                parts: parts.into_iter().map(Arc::new).collect(),
+            }),
         }
     }
 
@@ -402,7 +447,7 @@ impl<T: Clone + Send + Sync + 'static> Dataset<T> {
         Dataset {
             op: Arc::new(CacheOp {
                 parent: Arc::clone(&self.op),
-                cells: (0..parts).map(|_| OnceLock::new()).collect(),
+                cells: (0..parts).map(|_| OnceLock::<Arc<Vec<T>>>::new()).collect(),
                 hits: std::sync::atomic::AtomicU64::new(0),
             }),
         }
@@ -442,33 +487,44 @@ impl<T: Clone + Send + Sync + 'static> Dataset<T> {
     // ---------- actions ----------
 
     /// Action: materialize every row (partitions evaluated in parallel,
-    /// concatenated in partition order).
+    /// concatenated in partition order). Reads the shared-partition path,
+    /// so resident rows (sources, caches) are cloned once into the output
+    /// rather than once per lineage hop.
     pub fn collect(&self) -> Vec<T> {
-        let parts: Vec<Vec<T>> = (0..self.op.partitions())
+        let parts: Vec<Arc<Vec<T>>> = (0..self.op.partitions())
             .into_par_iter()
-            .map(|i| self.op.compute_partition(i))
+            .map(|i| self.op.compute_partition_shared(i))
             .collect();
-        parts.concat()
+        let mut out = Vec::with_capacity(parts.iter().map(|p| p.len()).sum());
+        for part in parts {
+            out.extend(take_rows(part));
+        }
+        out
     }
 
-    /// Action: number of rows.
+    /// Action: number of rows. Counts through the shared handles — no row
+    /// is cloned.
     pub fn count(&self) -> usize {
         (0..self.op.partitions())
             .into_par_iter()
-            .map(|i| self.op.compute_partition(i).len())
+            .map(|i| self.op.compute_partition_shared(i).len())
             .sum()
     }
 
     /// Action: at most `n` rows, from the earliest partitions (partitions
-    /// are evaluated lazily one at a time, like Spark's `take`).
+    /// are evaluated lazily one at a time, like Spark's `take`). Only the
+    /// taken prefix is cloned when the partition is resident elsewhere.
     pub fn take(&self, n: usize) -> Vec<T> {
         let mut out = Vec::with_capacity(n);
         for i in 0..self.op.partitions() {
             if out.len() >= n {
                 break;
             }
-            let part = self.op.compute_partition(i);
-            out.extend(part.into_iter().take(n - out.len()));
+            let need = n - out.len();
+            match Arc::try_unwrap(self.op.compute_partition_shared(i)) {
+                Ok(part) => out.extend(part.into_iter().take(need)),
+                Err(resident) => out.extend(resident.iter().take(need).cloned()),
+            }
         }
         out
     }
@@ -481,7 +537,7 @@ impl<T: Clone + Send + Sync + 'static> Dataset<T> {
     {
         let parts: Vec<Option<T>> = (0..self.op.partitions())
             .into_par_iter()
-            .map(|i| self.op.compute_partition(i).into_iter().reduce(&f))
+            .map(|i| take_rows(self.op.compute_partition_shared(i)).into_iter().reduce(&f))
             .collect();
         parts.into_iter().flatten().reduce(&f)
     }
@@ -656,6 +712,38 @@ mod tests {
             calls.load(Ordering::Relaxed),
             10,
             "parent computed exactly once"
+        );
+    }
+
+    #[test]
+    fn source_actions_share_resident_rows() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        // A row type whose clones are observable: repeated actions on an
+        // *uncached* dataset must read the source's resident rows, not
+        // re-clone them per action.
+        #[derive(Debug)]
+        struct Row(u64, Arc<AtomicU64>);
+        impl Clone for Row {
+            fn clone(&self) -> Self {
+                self.1.fetch_add(1, Ordering::Relaxed);
+                Row(self.0, Arc::clone(&self.1))
+            }
+        }
+        let clones = Arc::new(AtomicU64::new(0));
+        let data: Vec<Row> = (0..10).map(|i| Row(i, Arc::clone(&clones))).collect();
+        let ds = Dataset::from_vec(data, 3);
+        ds.count();
+        ds.count();
+        ds.count();
+        assert_eq!(clones.load(Ordering::Relaxed), 0, "count clones nothing");
+        assert_eq!(ds.take(4).len(), 4);
+        assert_eq!(clones.load(Ordering::Relaxed), 4, "take clones its prefix only");
+        let all = ds.collect();
+        assert_eq!(all.len(), 10);
+        assert_eq!(
+            clones.load(Ordering::Relaxed),
+            14,
+            "collect clones each row exactly once"
         );
     }
 

@@ -9,6 +9,8 @@ use std::collections::HashMap;
 use std::hash::Hash;
 use std::sync::{Arc, OnceLock};
 
+use peachy_cluster::ByteSized;
+
 use crate::dataset::Dataset;
 use crate::shuffle::{ShuffleOp, ShuffleStats};
 
@@ -74,6 +76,8 @@ where
 
     fn shuffle_with<T, F>(&self, name: &'static str, partitions: usize, post: F) -> Dataset<T>
     where
+        K: ByteSized,
+        V: ByteSized,
         T: Clone + Send + Sync + 'static,
         F: Fn(Vec<(K, V)>) -> Vec<T> + Send + Sync + 'static,
     {
@@ -85,6 +89,7 @@ where
                 name,
                 stats: self.stats.clone(),
                 materialized: OnceLock::new(),
+                posted: (0..partitions).map(|_| OnceLock::new()).collect(),
                 _marker: std::marker::PhantomData,
             }),
         }
@@ -98,6 +103,8 @@ where
     /// asks students to discover.
     pub fn reduce_by_key<F>(&self, f: F) -> KeyedDataset<K, V>
     where
+        K: ByteSized,
+        V: ByteSized,
         F: Fn(V, V) -> V + Send + Sync + Clone + 'static,
     {
         let partitions = self.inner.num_partitions();
@@ -134,7 +141,8 @@ where
     /// special case `A = V`.
     pub fn aggregate_by_key<A, S, C>(&self, zero: A, seq: S, comb: C) -> KeyedDataset<K, A>
     where
-        A: Clone + Send + Sync + 'static,
+        K: ByteSized,
+        A: Clone + Send + Sync + ByteSized + 'static,
         S: Fn(A, V) -> A + Send + Sync + 'static,
         C: Fn(A, A) -> A + Send + Sync + 'static,
     {
@@ -178,6 +186,8 @@ where
     /// Wide: `foldByKey` — aggregate with a single operator and a zero.
     pub fn fold_by_key<F>(&self, zero: V, f: F) -> KeyedDataset<K, V>
     where
+        K: ByteSized,
+        V: ByteSized,
         F: Fn(V, V) -> V + Send + Sync + Clone + 'static,
     {
         let g = f.clone();
@@ -185,7 +195,11 @@ where
     }
 
     /// Wide (no combiner): group all values per key.
-    pub fn group_by_key(&self) -> KeyedDataset<K, Vec<V>> {
+    pub fn group_by_key(&self) -> KeyedDataset<K, Vec<V>>
+    where
+        K: ByteSized,
+        V: ByteSized,
+    {
         let partitions = self.inner.num_partitions();
         let post = move |bucket: Vec<(K, V)>| {
             let mut groups: HashMap<K, Vec<V>> = HashMap::new();
@@ -201,7 +215,10 @@ where
     }
 
     /// Wide: count rows per key (reduce_by_key over 1s).
-    pub fn count_by_key(&self) -> KeyedDataset<K, u64> {
+    pub fn count_by_key(&self) -> KeyedDataset<K, u64>
+    where
+        K: ByteSized,
+    {
         self.map_values(|_| 1u64).reduce_by_key(|a, b| a + b)
     }
 
@@ -209,7 +226,9 @@ where
     /// matching keys.
     pub fn join<W>(&self, other: &KeyedDataset<K, W>) -> KeyedDataset<K, (V, W)>
     where
-        W: Clone + Send + Sync + 'static,
+        K: ByteSized,
+        V: ByteSized,
+        W: Clone + Send + Sync + ByteSized + 'static,
     {
         let tagged = self.tag_union(other);
         let partitions = self
@@ -240,7 +259,9 @@ where
     /// the right side has no match.
     pub fn left_join<W>(&self, other: &KeyedDataset<K, W>) -> KeyedDataset<K, (V, Option<W>)>
     where
-        W: Clone + Send + Sync + 'static,
+        K: ByteSized,
+        V: ByteSized,
+        W: Clone + Send + Sync + ByteSized + 'static,
     {
         let tagged = self.tag_union(other);
         let partitions = self
@@ -381,6 +402,15 @@ pub enum Either<L, R> {
     Left(L),
     /// Right-side value.
     Right(R),
+}
+
+impl<L: ByteSized, R: ByteSized> ByteSized for Either<L, R> {
+    fn approx_bytes(&self) -> usize {
+        match self {
+            Either::Left(l) => l.approx_bytes(),
+            Either::Right(r) => r.approx_bytes(),
+        }
+    }
 }
 
 /// Split a joined bucket into per-key left values (insertion-ordered) and

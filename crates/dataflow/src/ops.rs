@@ -4,6 +4,8 @@
 
 use std::hash::Hash;
 
+use peachy_cluster::ByteSized;
+
 use crate::dataset::Dataset;
 use crate::keyed::KeyedDataset;
 
@@ -13,7 +15,7 @@ impl<T: Clone + Send + Sync + 'static> Dataset<T> {
     /// owning partition.
     pub fn distinct(&self) -> Dataset<T>
     where
-        T: Hash + Eq,
+        T: Hash + Eq + ByteSized,
     {
         self.key_by(|row| row.clone())
             .rows()
@@ -67,7 +69,7 @@ impl<T: Clone + Send + Sync + 'static> Dataset<T> {
     /// Action: count occurrences of each distinct row.
     pub fn count_by_value(&self) -> Vec<(T, u64)>
     where
-        T: Hash + Eq,
+        T: Hash + Eq + ByteSized,
     {
         self.key_by(|row| row.clone())
             .map_values(|_| 1u64)

@@ -17,9 +17,10 @@ use std::hash::Hash;
 use std::sync::{Arc, OnceLock};
 
 use peachy_cluster::dist::{owner_of_key, ROUTE_SEED};
+use peachy_cluster::ByteSized;
 use rayon::prelude::*;
 
-use crate::dataset::{explain_into, Op};
+use crate::dataset::{explain_into, take_rows, Op};
 
 /// Counters shared by all shuffles in a lineage (attach one per pipeline
 /// run to compare variants). This is the workspace-wide
@@ -34,6 +35,9 @@ pub(crate) fn partition_of<K: Hash>(key: &K, partitions: usize) -> usize {
     owner_of_key(key, partitions, ROUTE_SEED)
 }
 
+/// One input partition's rows, bucketed by output partition.
+type Bucketed<K, V> = Vec<Vec<(K, V)>>;
+
 /// The wide lineage node: hash-shuffles `(K, V)` rows into `partitions`
 /// buckets, then applies `post` to each bucket (group, reduce, …).
 pub(crate) struct ShuffleOp<K, V, T, F> {
@@ -43,36 +47,61 @@ pub(crate) struct ShuffleOp<K, V, T, F> {
     pub name: &'static str,
     pub stats: Option<Arc<ShuffleStats>>,
     pub materialized: OnceLock<Vec<Vec<(K, V)>>>,
+    /// Per-output-partition memo of `post`'s result: repeated actions on
+    /// a shuffled dataset pay the bucket clone + regroup exactly once.
+    pub posted: Vec<OnceLock<Arc<Vec<T>>>>,
     pub _marker: std::marker::PhantomData<fn() -> T>,
 }
 
 impl<K, V, T, F> ShuffleOp<K, V, T, F>
 where
-    K: Clone + Send + Sync + Hash + Eq + 'static,
-    V: Clone + Send + Sync + 'static,
+    K: Clone + Send + Sync + Hash + Eq + ByteSized + 'static,
+    V: Clone + Send + Sync + ByteSized + 'static,
     F: Send + Sync,
 {
     fn buckets(&self) -> &Vec<Vec<(K, V)>> {
         self.materialized.get_or_init(|| {
-            // Map side: every parent partition bucketed in parallel.
-            let per_input: Vec<Vec<Vec<(K, V)>>> = (0..self.parent.partitions())
+            // Map side: every parent partition bucketed in parallel, two
+            // passes — route every row first, then fill exact-capacity
+            // buckets, so no bucket ever reallocates mid-fill.
+            let per_input: Vec<(Bucketed<K, V>, u64)> = (0..self.parent.partitions())
                 .into_par_iter()
                 .map(|i| {
-                    let rows = self.parent.compute_partition(i);
+                    let rows = take_rows(self.parent.compute_partition_shared(i));
+                    let mut counts = vec![0usize; self.partitions];
+                    let routes: Vec<u32> = rows
+                        .iter()
+                        .map(|(k, _)| {
+                            let p = partition_of(k, self.partitions);
+                            counts[p] += 1;
+                            p as u32
+                        })
+                        .collect();
                     let mut buckets: Vec<Vec<(K, V)>> =
-                        (0..self.partitions).map(|_| Vec::new()).collect();
-                    for (k, v) in rows {
-                        let p = partition_of(&k, self.partitions);
-                        buckets[p].push((k, v));
+                        counts.iter().map(|&c| Vec::with_capacity(c)).collect();
+                    let mut bytes = 0u64;
+                    for (row, p) in rows.into_iter().zip(routes) {
+                        bytes += row.approx_bytes() as u64;
+                        buckets[p as usize].push(row);
                     }
-                    buckets
+                    (buckets, bytes)
                 })
                 .collect();
             // Merge per-input buckets, preserving input-partition order so
-            // downstream grouping is deterministic.
-            let mut merged: Vec<Vec<(K, V)>> = (0..self.partitions).map(|_| Vec::new()).collect();
+            // downstream grouping is deterministic. Reduce-side targets are
+            // also sized exactly before any row moves.
+            let mut sizes = vec![0usize; self.partitions];
+            for (input, _) in &per_input {
+                for (p, bucket) in input.iter().enumerate() {
+                    sizes[p] += bucket.len();
+                }
+            }
+            let mut merged: Vec<Vec<(K, V)>> =
+                sizes.iter().map(|&s| Vec::with_capacity(s)).collect();
             let mut moved = 0u64;
-            for input in per_input {
+            let mut moved_bytes = 0u64;
+            for (input, bytes) in per_input {
+                moved_bytes += bytes;
                 for (p, bucket) in input.into_iter().enumerate() {
                     moved += bucket.len() as u64;
                     merged[p].extend(bucket);
@@ -80,6 +109,7 @@ where
             }
             if let Some(stats) = &self.stats {
                 stats.add_shuffle(moved);
+                stats.add_bytes(moved_bytes);
             }
             merged
         })
@@ -88,16 +118,21 @@ where
 
 impl<K, V, T, F> Op<T> for ShuffleOp<K, V, T, F>
 where
-    K: Clone + Send + Sync + Hash + Eq + 'static,
-    V: Clone + Send + Sync + 'static,
-    T: Send + Sync,
+    K: Clone + Send + Sync + Hash + Eq + ByteSized + 'static,
+    V: Clone + Send + Sync + ByteSized + 'static,
+    T: Clone + Send + Sync,
     F: Fn(Vec<(K, V)>) -> Vec<T> + Send + Sync,
 {
     fn partitions(&self) -> usize {
         self.partitions
     }
     fn compute_partition(&self, idx: usize) -> Vec<T> {
-        (self.post)(self.buckets()[idx].clone())
+        (*self.compute_partition_shared(idx)).clone()
+    }
+    fn compute_partition_shared(&self, idx: usize) -> Arc<Vec<T>> {
+        let posted = self.posted[idx]
+            .get_or_init(|| Arc::new((self.post)(self.buckets()[idx].clone())));
+        Arc::clone(posted)
     }
     fn label(&self) -> String {
         format!(
@@ -116,6 +151,74 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::dataset::Dataset;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn post_runs_once_per_partition_across_actions() {
+        let rows: Vec<(u64, u64)> = (0..40).map(|i| (i % 5, i)).collect();
+        let ds = Dataset::from_vec(rows, 4);
+        let post_calls = Arc::new(AtomicU64::new(0));
+        let c = Arc::clone(&post_calls);
+        let partitions = 3;
+        let op = ShuffleOp {
+            parent: Arc::clone(&ds.op),
+            partitions,
+            post: move |bucket: Vec<(u64, u64)>| {
+                c.fetch_add(1, Ordering::Relaxed);
+                bucket
+            },
+            name: "Identity",
+            stats: None,
+            materialized: OnceLock::new(),
+            posted: (0..partitions).map(|_| OnceLock::new()).collect(),
+            _marker: std::marker::PhantomData,
+        };
+        let first: Vec<Vec<(u64, u64)>> =
+            (0..partitions).map(|p| op.compute_partition(p)).collect();
+        assert_eq!(post_calls.load(Ordering::Relaxed), partitions as u64);
+        // Repeated actions reuse the memoized post output: no new calls,
+        // bit-identical rows, and the shared handle is the same allocation.
+        for round in 0..3 {
+            for (p, expected) in first.iter().enumerate() {
+                assert_eq!(&op.compute_partition(p), expected, "round {round}");
+                assert!(Arc::ptr_eq(
+                    &op.compute_partition_shared(p),
+                    &op.compute_partition_shared(p)
+                ));
+            }
+        }
+        assert_eq!(
+            post_calls.load(Ordering::Relaxed),
+            partitions as u64,
+            "post memoized: clone+regroup paid once per partition"
+        );
+        let total: usize = first.iter().map(Vec::len).sum();
+        assert_eq!(total, 40, "every row lands in exactly one bucket");
+    }
+
+    #[test]
+    fn shuffle_reports_record_and_byte_volume() {
+        let rows: Vec<(u64, u64)> = (0..32).map(|i| (i, i * 2)).collect();
+        let ds = Dataset::from_vec(rows, 4);
+        let stats = Arc::new(ShuffleStats::new());
+        let op = ShuffleOp {
+            parent: Arc::clone(&ds.op),
+            partitions: 2,
+            post: |bucket: Vec<(u64, u64)>| bucket,
+            name: "Identity",
+            stats: Some(Arc::clone(&stats)),
+            materialized: OnceLock::new(),
+            posted: (0..2).map(|_| OnceLock::new()).collect(),
+            _marker: std::marker::PhantomData,
+        };
+        op.compute_partition(0);
+        op.compute_partition(1);
+        assert_eq!(stats.shuffles(), 1, "materialized once");
+        assert_eq!(stats.records(), 32);
+        // Every (u64, u64) row is 16 bytes; all 32 cross the boundary.
+        assert_eq!(stats.bytes(), 32 * 16);
+    }
 
     #[test]
     fn partition_of_is_stable_and_in_range() {

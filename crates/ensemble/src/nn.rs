@@ -106,6 +106,21 @@ pub struct DenseNet {
     config: NetConfig,
 }
 
+impl peachy_cluster::ByteSized for DenseNet {
+    fn approx_bytes(&self) -> usize {
+        // The weights dominate; momentum velocities travel with the net
+        // (gathering a trained member ships its full state).
+        self.layers
+            .iter()
+            .map(|l| {
+                8 * (l.w.len() + l.b.len() + l.vw.len() + l.vb.len())
+                    + 2 * std::mem::size_of::<usize>()
+            })
+            .sum::<usize>()
+            + peachy_cluster::ByteSized::approx_bytes(&self.config.layers)
+    }
+}
+
 /// Per-layer gradient accumulators for one mini-batch.
 struct Grads {
     dw: Vec<Vec<f64>>,

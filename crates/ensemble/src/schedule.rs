@@ -7,7 +7,7 @@
 //! ensemble trainer and the suggested variation of killing the
 //! lowest-performing models and reassigning resources.
 
-use peachy_cluster::Cluster;
+use peachy_cluster::{ByteSized, Cluster, Shared};
 use peachy_data::matrix::LabeledDataset;
 
 use crate::ensemble::Ensemble;
@@ -39,10 +39,14 @@ pub fn imbalance(loads: &[usize]) -> f64 {
 }
 
 /// Train an ensemble of `m` models distributed over `ranks` simulated
-/// nodes with block assignment; the root gathers the trained members.
+/// nodes with block assignment; the root gathers the trained members and
+/// re-broadcasts the assembled weight set, so *every* rank ends the job
+/// holding the full ensemble (as it would for distributed inference).
 ///
 /// Every rank holds the full training set (as in the assignment, where
 /// each model trains on all data) and trains only its assigned models.
+/// The weight broadcast rides the zero-copy collective: the tree fan-out
+/// moves one `Arc` per edge, never a deep copy of the trained networks.
 pub fn distribute_training(
     config: &NetConfig,
     tc: &TrainConfig,
@@ -64,11 +68,16 @@ pub fn distribute_training(
                 (task, net)
             })
             .collect();
-        comm.gather(0, trained)
+        let assembled = comm.gather(0, trained).map(|blocks| {
+            let mut members: Vec<(usize, DenseNet)> = blocks.into_iter().flatten().collect();
+            members.sort_by_key(|(task, _)| *task);
+            members
+        });
+        comm.broadcast_shared(0, Shared::new(assembled.unwrap_or_default()))
     });
-    let gathered = outputs.swap_remove(0).expect("root gathered members");
-    let mut members: Vec<(usize, DenseNet)> = gathered.into_iter().flatten().collect();
-    members.sort_by_key(|(task, _)| *task);
+    let shared = outputs.swap_remove(0);
+    drop(outputs); // release the other ranks' handles so root's unwraps clean
+    let members = Shared::try_unwrap(shared).unwrap_or_else(|kept| (*kept).clone());
     assert_eq!(members.len(), m, "every task trained exactly once");
     Ensemble::from_members(members.into_iter().map(|(_, net)| net).collect())
 }
@@ -91,7 +100,7 @@ const DONE: usize = usize::MAX;
 /// itself. Also returns how many tasks each rank executed.
 pub fn master_worker<T, F>(tasks: usize, ranks: usize, work: F) -> (Vec<T>, Vec<usize>)
 where
-    T: Send + 'static,
+    T: Send + ByteSized + 'static,
     F: Fn(usize) -> T + Send + Sync,
 {
     assert!(ranks >= 1);

@@ -9,7 +9,7 @@
 //! before its neighbours' step-`t` edges arrive). Results remain
 //! bit-identical to the serial solver for any rank count.
 
-use peachy_cluster::Cluster;
+use peachy_cluster::{Cluster, Shared};
 
 use crate::problem::HeatProblem;
 use crate::BlockDist;
@@ -33,14 +33,20 @@ pub fn solve_distributed(problem: &HeatProblem, locales: usize) -> Vec<f64> {
         let l = comm.rank();
         let range = dist.local_range(l);
         let len = range.len();
-        // Local array with ghost cells, initialized from the (replicated)
-        // initial condition — in a real cluster this would be a scatter;
-        // each rank slices only its own region.
+        // The root owns the initial condition and broadcasts it as a
+        // shared payload: the tree fan-out moves one `Arc` per edge, not
+        // one copy of the full array per child. Each rank slices only its
+        // own region out of the shared handle.
+        let ic = comm.broadcast_shared(
+            0,
+            Shared::new(if l == 0 { initial.clone() } else { Vec::new() }),
+        );
         let mut local = vec![0.0f64; len + 2];
         let mut local_new = vec![0.0f64; len + 2];
-        local[1..=len].copy_from_slice(&initial[1 + range.start..1 + range.end]);
-        local[0] = initial[range.start];
-        local[len + 1] = initial[1 + range.end];
+        local[1..=len].copy_from_slice(&ic[1 + range.start..1 + range.end]);
+        local[0] = ic[range.start];
+        local[len + 1] = ic[1 + range.end];
+        drop(ic);
 
         for _ in 0..problem.nt {
             for i in 1..=len {

@@ -21,7 +21,9 @@
 //! surviving rank count, and because assignments are rank-count invariant
 //! the recovered answer is bit-identical to the fault-free run.
 
-use peachy_cluster::{dist::block_range, Cluster, CommStats, FaultPlan, RankError, RetryPolicy};
+use peachy_cluster::{
+    dist::block_range, Cluster, CommStats, FaultPlan, RankError, RetryPolicy, Shared,
+};
 use peachy_data::kernels::Candidates;
 use peachy_data::Matrix;
 
@@ -93,13 +95,19 @@ pub(crate) fn fit_on_cluster(
         }
         let local_n = local_flat.len() / d.max(1);
         let local = Matrix::from_vec(local_n, d, local_flat);
-        let mut centroids_flat: Vec<f64> = if rank == 0 {
-            init.as_slice().to_vec()
-        } else {
-            Vec::new()
-        };
-        centroids_flat = comm.broadcast(0, centroids_flat);
-        let mut centroids = Matrix::from_vec(k, d, centroids_flat);
+        // Zero-copy broadcast: the tree fan-out forwards one `Arc` per
+        // edge instead of deep-cloning the centroid block per child; each
+        // rank then takes its own mutable copy exactly once.
+        let centroids_shared = comm.broadcast_shared(
+            0,
+            Shared::new(if rank == 0 {
+                init.as_slice().to_vec()
+            } else {
+                Vec::new()
+            }),
+        );
+        let mut centroids = Matrix::from_vec(k, d, (*centroids_shared).clone());
+        drop(centroids_shared);
 
         let mut assignments = vec![u32::MAX; local_n];
         let mut iterations = 0usize;
@@ -126,15 +134,19 @@ pub(crate) fn fit_on_cluster(
             }
 
             // The distributed reduction: one allreduce fuses all three
-            // accumulators (changes, counts, sums).
-            let (changes, counts, sums) =
-                comm.allreduce((changes, counts, sums), |(c1, n1, s1), (c2, n2, s2)| {
+            // accumulators (changes, counts, sums). The shared variant
+            // broadcasts the combined total as one `Arc` per tree edge —
+            // the accumulators are only read afterwards, so no rank needs
+            // its own copy.
+            let reduced =
+                comm.allreduce_shared((changes, counts, sums), |(c1, n1, s1), (c2, n2, s2)| {
                     (
                         c1 + c2,
                         n1.iter().zip(&n2).map(|(a, b)| a + b).collect(),
                         s1.iter().zip(&s2).map(|(a, b)| a + b).collect(),
                     )
                 });
+            let (changes, counts, sums) = (reduced.0, &reduced.1, &reduced.2);
             if rank == 0 {
                 if let Some(s) = stats {
                     // One fused allreduce payload: changes + counts + sums.
@@ -166,10 +178,15 @@ pub(crate) fn fit_on_cluster(
 
         // Collect results at the root.
         let gathered = comm.gather(0, assignments);
+        // Measured bytes: every rank folds what its transport actually
+        // sent into one total, charged once at the root (the accounting
+        // allreduce itself is excluded — it runs after the measurement).
+        let job_bytes = comm.allreduce(comm.bytes_sent(), |a, b| a + b);
         if rank == 0 {
             if let Some(s) = stats {
                 s.add_gathered(n as u64);
                 s.add_collective_bytes((n * 4) as u64); // u32 assignments
+                s.add_bytes(job_bytes);
             }
         }
         gathered.map(|blocks| KMeansResult {

@@ -53,6 +53,12 @@ struct IterStats {
     sums: Vec<f64>,
 }
 
+impl peachy_cluster::ByteSized for IterStats {
+    fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<usize>() + 8 * (self.counts.len() + self.sums.len())
+    }
+}
+
 /// Run parallel k-means from the given initial centroids.
 pub fn fit(
     points: &Matrix,

@@ -4,7 +4,7 @@ use std::collections::HashMap;
 use std::hash::Hash;
 
 use peachy_cluster::dist::ROUTE_SEED;
-use peachy_cluster::Comm;
+use peachy_cluster::{ByteSized, Comm};
 
 /// Balanced block distribution of `n` items over `size` ranks: rank `r`
 /// owns a contiguous range, sizes differing by at most one. Re-exported
@@ -170,8 +170,8 @@ impl<'c> MapReduce<'c> {
     /// group values by key. Collective — every rank must call it.
     pub fn collate<K, V>(&mut self, kv: Kv<K, V>) -> Grouped<K, V>
     where
-        K: Hash + Eq + Send + 'static,
-        V: Send + 'static,
+        K: Hash + Eq + Send + ByteSized + 'static,
+        V: Send + ByteSized + 'static,
     {
         let size = self.size();
         // Bucket local pairs by destination rank.
@@ -198,8 +198,8 @@ impl<'c> MapReduce<'c> {
     /// elsewhere). Collective.
     pub fn gather_results<K, R>(&mut self, root: usize, local: Vec<(K, R)>) -> Option<Vec<(K, R)>>
     where
-        K: Send + 'static,
-        R: Send + 'static,
+        K: Send + ByteSized + 'static,
+        R: Send + ByteSized + 'static,
     {
         self.comm
             .gather(root, local)
@@ -209,8 +209,8 @@ impl<'c> MapReduce<'c> {
     /// Gather every rank's reduced pairs on *all* ranks. Collective.
     pub fn allgather_results<K, R>(&mut self, local: Vec<(K, R)>) -> Vec<(K, R)>
     where
-        K: Clone + Send + 'static,
-        R: Clone + Send + 'static,
+        K: Clone + Send + ByteSized + 'static,
+        R: Clone + Send + ByteSized + 'static,
     {
         self.comm.allgather(local).into_iter().flatten().collect()
     }

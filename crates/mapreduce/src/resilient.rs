@@ -14,7 +14,7 @@
 
 use std::collections::BTreeMap;
 
-use peachy_cluster::{task_farm, Cluster, FaultPlan, RankError, RetryPolicy};
+use peachy_cluster::{task_farm, ByteSized, Cluster, FaultPlan, RankError, RetryPolicy};
 
 /// What a resilient run produced (reported by the manager).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -50,8 +50,8 @@ pub fn map_reduce_resilient<K, V, R, M, RF>(
     reduce_fn: RF,
 ) -> Result<ResilientOutcome<K, R>, RankError>
 where
-    K: Ord + Send + 'static,
-    V: Send + 'static,
+    K: Ord + Send + ByteSized + 'static,
+    V: Send + ByteSized + 'static,
     R: Send,
     M: Fn(usize, &mut dyn FnMut(K, V)) + Send + Sync,
     RF: Fn(&K, Vec<V>) -> R + Send + Sync,

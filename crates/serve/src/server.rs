@@ -209,10 +209,11 @@ impl fmt::Display for ServerReport {
         )?;
         write!(
             f,
-            "  backend    scattered {:>6}  gathered {:>7}  collective bytes {:>8}",
+            "  backend    scattered {:>6}  gathered {:>7}  collective bytes {:>8}  measured bytes {:>8}",
             s.comm().scattered(),
             s.comm().gathered(),
-            s.comm().collective_bytes()
+            s.comm().collective_bytes(),
+            s.comm().bytes()
         )
     }
 }

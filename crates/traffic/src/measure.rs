@@ -16,6 +16,12 @@ pub struct FlowStats {
     pub stopped_fraction: f64,
 }
 
+impl peachy_cluster::ByteSized for FlowStats {
+    fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+    }
+}
+
 /// Run `warmup` steps, then measure `window` steps, returning aggregates.
 /// (Serial stepping; the measurement is representation-independent.)
 pub fn flow(config: &RoadConfig, warmup: u64, window: u64) -> FlowStats {

@@ -25,6 +25,12 @@ pub struct SweepPoint {
     pub stats: FlowStats,
 }
 
+impl peachy_cluster::ByteSized for SweepPoint {
+    fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+    }
+}
+
 /// Sweep the (p × density) grid; one independent simulation per cell, all
 /// cells in parallel. Results are in row-major (p-major) grid order
 /// regardless of execution order.
