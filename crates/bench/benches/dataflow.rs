@@ -1,9 +1,14 @@
 //! E12: dataflow-engine behaviour — narrow-op fusion, shuffle cost,
 //! map-side combining (reduce_by_key vs group_by_key), joins, caching.
+//! E18: the plan optimizer ablation — the same pipelines under
+//! `OptimizerConfig::naive()` vs the default (fusion + shuffle elision +
+//! auto-cache), on wordcount, the city hotspot analysis, and a chained
+//! aggregation.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use peachy::dataflow::{Dataset, KeyedDataset};
+use peachy::dataflow::{Dataset, KeyedDataset, OptimizerConfig};
 use peachy::prng::{Lcg64, RandomStream};
+use peachy_bench::optimizer_scenarios as e18;
 
 fn rows(n: usize, keys: u64) -> Vec<(u64, u64)> {
     let mut rng = Lcg64::seed_from(1);
@@ -79,11 +84,33 @@ fn bench_cache(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_optimizer(c: &mut Criterion) {
+    let text = e18::corpus(200_000, e18::E18_SEED);
+    let tables = e18::city_tables(100_000);
+    let mut group = c.benchmark_group("E18_optimizer");
+    group.sample_size(10);
+    for (label, cfg) in [
+        ("naive", OptimizerConfig::naive()),
+        ("optimized", OptimizerConfig::default()),
+    ] {
+        group.bench_function(format!("wordcount_{label}"), |b| {
+            b.iter(|| e18::wordcount(&text, 8, cfg).0.len())
+        });
+        group.bench_function(format!("city_hotspot_{label}"), |b| {
+            b.iter(|| e18::city_hotspot(&tables, 8, cfg).0)
+        });
+        group.bench_function(format!("chained_agg_{label}"), |b| {
+            b.iter(|| e18::chained_aggregation(500_000, 8, cfg).0)
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     name = benches;
     config = Criterion::default()
         .measurement_time(std::time::Duration::from_secs(2))
         .warm_up_time(std::time::Duration::from_millis(300));
-    targets = bench_narrow_chain, bench_shuffle, bench_join, bench_cache
+    targets = bench_narrow_chain, bench_shuffle, bench_join, bench_cache, bench_optimizer
 );
 criterion_main!(benches);

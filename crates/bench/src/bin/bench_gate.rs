@@ -1,0 +1,110 @@
+//! Regression gate over two `BENCH_6.json` snapshots (the committed
+//! baseline and a freshly emitted one):
+//!
+//! ```sh
+//! cargo run --release -p peachy-bench --bin report_all -- --emit-bench fresh.json
+//! cargo run --release -p peachy-bench --bin bench_gate -- BENCH_6.json fresh.json
+//! ```
+//!
+//! Two kinds of checks:
+//!
+//! * **Comm counters** (`rows`, `records`, `bytes`, `shuffles`, `elided`,
+//!   and the input `seed`) must match the baseline **exactly** — the E18
+//!   inputs are seeded and partition counts fixed, so any drift means the
+//!   optimizer's routing or elision behaviour changed.
+//! * **Wall time** is machine-dependent, so the gate compares the
+//!   *speedup* (naive ÷ optimized median) per scenario, not absolute
+//!   nanoseconds: the current speedup may not fall below the baseline
+//!   speedup by more than `BENCH_GATE_TIME_FACTOR` (default 2.0).
+//!
+//! The snapshot format is deliberately flat (one `"key": value` line per
+//! metric) so this binary needs no JSON dependency.
+
+use std::collections::BTreeMap;
+use std::process::exit;
+
+fn parse(path: &str) -> BTreeMap<String, u64> {
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| panic!("bench_gate: read {path}: {e}"));
+    let mut map = BTreeMap::new();
+    for line in text.lines() {
+        let line = line.trim().trim_end_matches(',');
+        let Some((key, value)) = line.split_once(':') else {
+            continue;
+        };
+        let key = key.trim().trim_matches('"');
+        // Non-numeric values (e.g. the schema tag) are not gated metrics.
+        if let Ok(n) = value.trim().parse::<u64>() {
+            map.insert(key.to_string(), n);
+        }
+    }
+    map
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.len() != 3 {
+        eprintln!("usage: bench_gate <baseline.json> <current.json>");
+        exit(2);
+    }
+    let baseline = parse(&args[1]);
+    let current = parse(&args[2]);
+    let factor: f64 = std::env::var("BENCH_GATE_TIME_FACTOR")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2.0);
+    let mut failures = 0;
+
+    for (key, base) in &baseline {
+        if key.ends_with(".median_ns") {
+            continue; // absolute times are compared as speedups below
+        }
+        match current.get(key) {
+            Some(cur) if cur == base => {}
+            Some(cur) => {
+                eprintln!("[!!] {key}: baseline {base}, current {cur}");
+                failures += 1;
+            }
+            None => {
+                eprintln!("[!!] {key}: missing from current snapshot");
+                failures += 1;
+            }
+        }
+    }
+
+    let speedup = |map: &BTreeMap<String, u64>, scenario: &str| -> Option<f64> {
+        let naive = *map.get(&format!("{scenario}.naive.median_ns"))? as f64;
+        let optimized = *map.get(&format!("{scenario}.optimized.median_ns"))? as f64;
+        (optimized > 0.0).then(|| naive / optimized)
+    };
+    let scenarios: Vec<String> = baseline
+        .keys()
+        .filter_map(|k| k.strip_suffix(".naive.median_ns"))
+        .map(str::to_string)
+        .collect();
+    for scenario in &scenarios {
+        let (Some(base), Some(cur)) = (speedup(&baseline, scenario), speedup(&current, scenario))
+        else {
+            eprintln!("[!!] {scenario}: median_ns metrics incomplete");
+            failures += 1;
+            continue;
+        };
+        let ok = cur * factor >= base;
+        println!(
+            "[{}] {scenario}: speedup {base:.2}x baseline, {cur:.2}x current (allowed drift {factor}x)",
+            if ok { "ok" } else { "!!" },
+        );
+        if !ok {
+            failures += 1;
+        }
+    }
+
+    if failures > 0 {
+        eprintln!("\nbench_gate: {failures} check(s) failed");
+        exit(1);
+    }
+    println!(
+        "\nbench_gate: counters match, speedups within {factor}x across {} scenario(s)",
+        scenarios.len()
+    );
+}

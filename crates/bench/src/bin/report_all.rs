@@ -9,9 +9,11 @@
 //! quantitative claims. Scales are chosen so the whole run takes around a
 //! minute in release mode.)
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use peachy::city::{arrests_per_100k, arrests_per_100k_broadcast, CityTables};
+use peachy::dataflow::{OptimizerConfig, ShuffleStats};
 use peachy::data::digits::{digit_dataset, render, render_blend, Style};
 use peachy::data::geo::{CityConfig, SyntheticCity};
 use peachy::data::iris::iris;
@@ -22,6 +24,7 @@ use peachy::heat::{solve_coforall, solve_distributed, solve_forall, solve_serial
 use peachy::kmeans::{self, GpuLaunch, GpuStrategy, KMeansConfig, Strategy};
 use peachy::knn::{self, KnnMrConfig};
 use peachy::traffic::{self, jam_fraction, AgentRoad, RoadConfig};
+use peachy_bench::optimizer_scenarios as e18;
 use peachy_bench::survey::published_table;
 
 struct Report {
@@ -298,6 +301,67 @@ fn main() {
             format!("{acc:.3}"),
             acc > 0.9,
         );
+    }
+
+    println!("E18 — plan optimizer ablation (naive vs optimized, median of 5):");
+    let mut bench_rows: Vec<(String, e18::Measured)> = Vec::new();
+    {
+        let text = e18::corpus(200_000, e18::E18_SEED);
+        let tables = e18::city_tables(100_000);
+        let iters = 5;
+        let mut run_pair =
+            |name: &str, f: &dyn Fn(OptimizerConfig) -> (usize, Arc<ShuffleStats>)| {
+                let naive = e18::measure(iters, || f(OptimizerConfig::naive()));
+                let optimized = e18::measure(iters, || f(OptimizerConfig::default()));
+                r.check(
+                    &format!("{name}: fewer bytes, same rows"),
+                    format!(
+                        "{} → {} bytes, {} → {} shuffles ({} elided), {:.1} → {:.1} ms",
+                        naive.bytes,
+                        optimized.bytes,
+                        naive.shuffles,
+                        optimized.shuffles,
+                        optimized.elided,
+                        naive.median_ns as f64 / 1e6,
+                        optimized.median_ns as f64 / 1e6,
+                    ),
+                    optimized.bytes < naive.bytes
+                        && optimized.elided > 0
+                        && optimized.rows == naive.rows,
+                );
+                bench_rows.push((format!("{name}.naive"), naive));
+                bench_rows.push((format!("{name}.optimized"), optimized));
+            };
+        run_pair("wordcount", &|cfg| {
+            let (rows, stats) = e18::wordcount(&text, 8, cfg);
+            (rows.len(), stats)
+        });
+        run_pair("city_hotspot", &|cfg| e18::city_hotspot(&tables, 8, cfg));
+        run_pair("chained_agg", &|cfg| {
+            e18::chained_aggregation(500_000, 8, cfg)
+        });
+    }
+
+    // `--emit-bench PATH`: snapshot the E18 numbers as flat JSON for the
+    // committed baseline / regression gate (`bench_gate`).
+    let mut args = std::env::args();
+    if let Some(path) = args
+        .by_ref()
+        .find(|a| a == "--emit-bench")
+        .and_then(|_| args.next())
+    {
+        let mut json = String::from("{\n  \"schema\": \"peachy-bench-6\",\n");
+        json.push_str(&format!("  \"seed\": {},\n", e18::E18_SEED));
+        for (i, (name, m)) in bench_rows.iter().enumerate() {
+            let tail = if i + 1 == bench_rows.len() { "" } else { "," };
+            json.push_str(&format!(
+                "  \"{name}.median_ns\": {},\n  \"{name}.rows\": {},\n  \"{name}.records\": {},\n  \"{name}.bytes\": {},\n  \"{name}.shuffles\": {},\n  \"{name}.elided\": {}{tail}\n",
+                m.median_ns, m.rows, m.records, m.bytes, m.shuffles, m.elided,
+            ));
+        }
+        json.push_str("}\n");
+        std::fs::write(&path, json).unwrap_or_else(|e| panic!("write {path}: {e}"));
+        println!("\nwrote E18 bench snapshot to {path}");
     }
 
     let failures = r.rows.iter().filter(|(_, _, ok)| !ok).count();

@@ -74,7 +74,7 @@ pub use farm::{task_farm, FarmOutcome};
 pub use fault::{EdgeFault, FaultPlan, RankError, RankErrorKind, RecvError, RetryPolicy};
 pub use hierarchy::NodeMap;
 pub use message::ByteSized;
-pub use stats::CommStats;
+pub use stats::{CommStats, StageComm};
 
 use std::any::Any;
 use std::panic::{catch_unwind, AssertUnwindSafe};

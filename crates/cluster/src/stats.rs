@@ -7,13 +7,29 @@
 //! `Arc` — cheap enough to leave on, precise enough to compare backends in
 //! the E15 experiment.
 
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
+
+/// Per-stage communication totals: the labeled slice of
+/// [`CommStats::records`]/[`CommStats::bytes`] attributed to one lineage
+/// stage (one shuffle boundary). The dataflow optimizer's cost model reads
+/// these to price a subtree by what it actually moved, instead of one
+/// global counter.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct StageComm {
+    /// Records that crossed this stage's boundary.
+    pub records: u64,
+    /// Measured payload bytes that crossed this stage's boundary.
+    pub bytes: u64,
+}
 
 /// Monotonic communication counters for one run.
 ///
 /// All increments use relaxed ordering: the counts are aggregates read
-/// after the run completes, not synchronization.
+/// after the run completes, not synchronization. The per-stage ledger is a
+/// mutex-guarded map — it is touched once per shuffle materialization, not
+/// per record, so contention is negligible.
 #[derive(Debug, Default)]
 pub struct CommStats {
     scattered: AtomicU64,
@@ -22,6 +38,8 @@ pub struct CommStats {
     records: AtomicU64,
     shuffles: AtomicU64,
     bytes: AtomicU64,
+    shuffles_elided: AtomicU64,
+    stages: Mutex<BTreeMap<u32, StageComm>>,
 }
 
 impl CommStats {
@@ -94,12 +112,46 @@ impl CommStats {
         self.bytes.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Shuffles whose data movement the plan optimizer removed entirely
+    /// (upstream already hash-partitioned by the same seed and count).
+    pub fn shuffles_elided(&self) -> u64 {
+        self.shuffles_elided.load(Ordering::Relaxed)
+    }
+
+    /// Count one shuffle elided by the optimizer (zero records moved).
+    pub fn add_elided_shuffle(&self) {
+        self.shuffles_elided.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Attribute `records`/`bytes` to the labeled stage `stage` (in
+    /// addition to the global counters — call [`CommStats::add_shuffle`] /
+    /// [`CommStats::add_bytes`] separately for those).
+    pub fn add_stage(&self, stage: u32, records: u64, bytes: u64) {
+        let mut stages = self.stages.lock().unwrap_or_else(|e| e.into_inner());
+        let entry = stages.entry(stage).or_default();
+        entry.records += records;
+        entry.bytes += bytes;
+    }
+
+    /// The labeled totals for one stage, if anything was attributed to it.
+    pub fn stage_comm(&self, stage: u32) -> Option<StageComm> {
+        let stages = self.stages.lock().unwrap_or_else(|e| e.into_inner());
+        stages.get(&stage).copied()
+    }
+
+    /// All labeled stage totals, ascending by stage id.
+    pub fn stages(&self) -> Vec<(u32, StageComm)> {
+        let stages = self.stages.lock().unwrap_or_else(|e| e.into_inner());
+        stages.iter().map(|(&id, &c)| (id, c)).collect()
+    }
+
     /// Fold another counter block into this one.
     ///
-    /// Merging is associative and commutative (plain counter addition), so
-    /// per-worker ledgers can be combined in any order — or any grouping —
-    /// and reach the same totals. `other` is read, not drained: merging the
-    /// same ledger twice double-counts, which is on the caller.
+    /// Merging is associative and commutative (plain counter addition,
+    /// per-stage entries added key-wise), so per-worker ledgers can be
+    /// combined in any order — or any grouping — and reach the same totals.
+    /// `other` is read, not drained: merging the same ledger twice
+    /// double-counts, which is on the caller.
     pub fn merge_from(&self, other: &CommStats) {
         self.add_scattered(other.scattered());
         self.add_gathered(other.gathered());
@@ -107,6 +159,11 @@ impl CommStats {
         self.records.fetch_add(other.records(), Ordering::Relaxed);
         self.shuffles.fetch_add(other.shuffles(), Ordering::Relaxed);
         self.add_bytes(other.bytes());
+        self.shuffles_elided
+            .fetch_add(other.shuffles_elided(), Ordering::Relaxed);
+        for (id, c) in other.stages() {
+            self.add_stage(id, c.records, c.bytes);
+        }
     }
 }
 
@@ -134,6 +191,58 @@ mod tests {
     }
 
     #[test]
+    fn stage_ledger_attributes_bytes() {
+        let s = CommStats::new();
+        assert_eq!(s.stage_comm(3), None);
+        s.add_stage(3, 10, 160);
+        s.add_stage(7, 5, 40);
+        s.add_stage(3, 2, 32);
+        assert_eq!(
+            s.stage_comm(3),
+            Some(StageComm {
+                records: 12,
+                bytes: 192
+            })
+        );
+        assert_eq!(
+            s.stages(),
+            vec![
+                (
+                    3,
+                    StageComm {
+                        records: 12,
+                        bytes: 192
+                    }
+                ),
+                (
+                    7,
+                    StageComm {
+                        records: 5,
+                        bytes: 40
+                    }
+                ),
+            ]
+        );
+        // Stage attribution is a label, not a second count: the global
+        // counters move only through add_shuffle/add_bytes.
+        assert_eq!(s.records(), 0);
+        assert_eq!(s.bytes(), 0);
+    }
+
+    #[test]
+    fn elided_shuffles_count_and_merge() {
+        let s = CommStats::new();
+        s.add_elided_shuffle();
+        s.add_elided_shuffle();
+        assert_eq!(s.shuffles_elided(), 2);
+        assert_eq!(s.shuffles(), 0, "an elided shuffle is not a shuffle");
+        let total = CommStats::new();
+        total.merge_from(&s);
+        total.merge_from(&s);
+        assert_eq!(total.shuffles_elided(), 4);
+    }
+
+    #[test]
     fn merge_is_associative_and_commutative() {
         let ledger = |sc: u64, ga: u64, by: u64, rec: u64, bytes: u64| {
             let s = CommStats::new();
@@ -142,6 +251,9 @@ mod tests {
             s.add_collective_bytes(by);
             s.add_shuffle(rec);
             s.add_bytes(bytes);
+            s.add_stage(1, rec, bytes);
+            s.add_stage(2, rec * 2, bytes * 2);
+            s.add_elided_shuffle();
             s
         };
         let flat = |s: &CommStats| {
@@ -152,6 +264,8 @@ mod tests {
                 s.records(),
                 s.shuffles(),
                 s.bytes(),
+                s.shuffles_elided(),
+                s.stages(),
             )
         };
         let a = ledger(1, 2, 3, 4, 5);
@@ -173,7 +287,34 @@ mod tests {
         right.merge_from(&a);
 
         assert_eq!(flat(&left), flat(&right));
-        assert_eq!(flat(&left), (111, 222, 333, 444, 3, 555));
+        assert_eq!(
+            flat(&left),
+            (
+                111,
+                222,
+                333,
+                444,
+                3,
+                555,
+                3,
+                vec![
+                    (
+                        1,
+                        StageComm {
+                            records: 444,
+                            bytes: 555
+                        }
+                    ),
+                    (
+                        2,
+                        StageComm {
+                            records: 888,
+                            bytes: 1110
+                        }
+                    ),
+                ]
+            )
+        );
     }
 
     #[test]

@@ -1,9 +1,14 @@
 //! The core lazy dataset: lineage nodes, narrow transformations, actions.
 
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 
-use peachy_cluster::RetryPolicy;
+use peachy_cluster::dist::Block;
+use peachy_cluster::{ByteSized, Executor, RetryPolicy};
 use rayon::prelude::*;
+
+use crate::optimize::{self, OptimizerConfig, PlanReport};
+use crate::plan::{Lineage, PlanKind, PlanNode};
 
 /// A lineage node: something that can produce partition `i` on demand.
 ///
@@ -11,7 +16,10 @@ use rayon::prelude::*;
 /// partition and transforming it in place — so a chain of narrow ops is one
 /// fused pass (a *stage*). Wide operations materialize all map-side output
 /// once, then serve bucketed partitions.
-pub(crate) trait Op<T>: Send + Sync {
+///
+/// Every op is also a [`Lineage`] node (the supertrait), giving the plan
+/// optimizer a type-free view of the DAG.
+pub(crate) trait Op<T>: Lineage {
     /// Number of partitions.
     fn partitions(&self) -> usize;
     /// Compute one partition's rows.
@@ -24,6 +32,16 @@ pub(crate) trait Op<T>: Send + Sync {
     fn compute_partition_shared(&self, idx: usize) -> Arc<Vec<T>> {
         Arc::new(self.compute_partition(idx))
     }
+    /// Stream one partition's rows into `emit` — the push-based (fused)
+    /// evaluation path. Row-wise narrow ops override this to wrap `emit`
+    /// and forward to their parent, so a chain of such ops runs as one
+    /// composed pass with no intermediate `Vec`s. Everything else (the
+    /// default) materializes and replays — a fusion barrier.
+    fn push_partition(&self, idx: usize, emit: &mut dyn FnMut(T)) {
+        for row in self.compute_partition(idx) {
+            emit(row);
+        }
+    }
     /// Human-readable node label for `explain()`.
     fn label(&self) -> String;
     /// Child lineage labels (already-rendered subtrees).
@@ -31,6 +49,11 @@ pub(crate) trait Op<T>: Send + Sync {
     /// Number of stages (shuffle boundaries + 1) along the deepest lineage
     /// path ending at this node.
     fn stages(&self) -> usize;
+}
+
+/// Upcast an op handle to its type-free lineage view.
+pub(crate) fn up<T>(op: &Arc<dyn Op<T>>) -> &dyn Lineage {
+    &**op
 }
 
 /// Take ownership of a shared partition: free when the handle is unique
@@ -45,13 +68,51 @@ pub(crate) fn take_rows<T: Clone>(shared: Arc<Vec<T>>) -> Vec<T> {
 /// Cloning a `Dataset` clones the recipe (an `Arc`), not the data.
 pub struct Dataset<T> {
     pub(crate) op: Arc<dyn Op<T>>,
+    pub(crate) opt: OptimizerConfig,
 }
 
 impl<T> Clone for Dataset<T> {
     fn clone(&self) -> Self {
         Self {
             op: Arc::clone(&self.op),
+            opt: self.opt,
         }
+    }
+}
+
+// ---------- auto-cache (optimizer-armed shared-subtree memo) ----------
+
+/// A dormant per-partition cache the optimizer can arm at action time.
+///
+/// Until armed this is a no-op; once [`optimize::prepare_action`] observes
+/// the owning node consumed by more than one action (and the cost model
+/// approves), computed partitions are pinned exactly like an explicit
+/// [`Dataset::cache`].
+pub(crate) struct AutoCache<T> {
+    armed: AtomicBool,
+    cells: Box<[OnceLock<Arc<Vec<T>>>]>,
+}
+
+impl<T> AutoCache<T> {
+    pub(crate) fn new(partitions: usize) -> Self {
+        Self {
+            armed: AtomicBool::new(false),
+            cells: (0..partitions).map(|_| OnceLock::new()).collect(),
+        }
+    }
+    pub(crate) fn armed(&self) -> bool {
+        self.armed.load(Ordering::Relaxed)
+    }
+    pub(crate) fn arm(&self) {
+        self.armed.store(true, Ordering::Relaxed);
+    }
+    /// Serve partition `idx` through the cache (must be armed).
+    pub(crate) fn get_or_init(
+        &self,
+        idx: usize,
+        compute: impl FnOnce() -> Vec<T>,
+    ) -> Arc<Vec<T>> {
+        Arc::clone(self.cells[idx].get_or_init(|| Arc::new(compute())))
     }
 }
 
@@ -76,6 +137,13 @@ where
     fn compute_partition_shared(&self, idx: usize) -> Arc<Vec<T>> {
         Arc::clone(&self.parts[idx])
     }
+    fn push_partition(&self, idx: usize, emit: &mut dyn FnMut(T)) {
+        // Stream straight from the resident rows: no whole-partition clone
+        // even when a fused chain consumes the source.
+        for row in self.parts[idx].iter() {
+            emit(row.clone());
+        }
+    }
     fn label(&self) -> String {
         let n: usize = self.parts.iter().map(|p| p.len()).sum();
         format!("Source[{} rows, {} partitions]", n, self.parts.len())
@@ -86,31 +154,100 @@ where
     }
 }
 
+impl<T: Clone + Send + Sync> Lineage for Source<T> {
+    fn plan(&self) -> PlanNode {
+        PlanNode {
+            id: self.lineage_id(),
+            label: Op::label(self),
+            kind: PlanKind::Source,
+            partitions: self.parts.len(),
+            est_rows: Lineage::est_rows(self),
+            row_bytes: std::mem::size_of::<T>(),
+            measured_bytes: None,
+            children: vec![],
+        }
+    }
+    fn lineage_children(&self, _visit: &mut dyn FnMut(&dyn Lineage)) {}
+    fn est_rows(&self) -> Option<u64> {
+        Some(self.parts.iter().map(|p| p.len() as u64).sum())
+    }
+}
+
 // ---------- narrow ops ----------
 
 struct MapOp<U, T, F> {
     parent: Arc<dyn Op<U>>,
     f: F,
     name: &'static str,
+    /// Whether this op may participate in push-based fusion (baked from
+    /// the dataset's [`OptimizerConfig::fuse`] at construction).
+    fuse: bool,
+    auto: AutoCache<T>,
+    consumed: AtomicU32,
     _marker: std::marker::PhantomData<fn(U) -> T>,
+}
+
+impl<U, T, F> MapOp<U, T, F>
+where
+    U: Send + Sync,
+    T: Clone + Send + Sync,
+    F: Fn(U, &mut dyn FnMut(T)) + Send + Sync,
+{
+    /// One un-cached evaluation of the partition: fused (one push-based
+    /// pass through the whole narrow chain) or naive (materialize the
+    /// parent, then transform).
+    fn compute_raw(&self, idx: usize) -> Vec<T> {
+        let mut out = Vec::new();
+        if self.fuse {
+            let mut emit = |t: T| out.push(t);
+            self.parent.push_partition(idx, &mut |u| (self.f)(u, &mut emit));
+        } else {
+            let input = self.parent.compute_partition(idx);
+            out.reserve(input.len());
+            let mut emit = |t: T| out.push(t);
+            for row in input {
+                (self.f)(row, &mut emit);
+            }
+        }
+        out
+    }
 }
 
 impl<U, T, F> Op<T> for MapOp<U, T, F>
 where
     U: Send + Sync,
-    T: Send + Sync,
-    F: Fn(U, &mut Vec<T>) + Send + Sync,
+    T: Clone + Send + Sync,
+    F: Fn(U, &mut dyn FnMut(T)) + Send + Sync,
 {
     fn partitions(&self) -> usize {
         self.parent.partitions()
     }
     fn compute_partition(&self, idx: usize) -> Vec<T> {
-        let input = self.parent.compute_partition(idx);
-        let mut out = Vec::with_capacity(input.len());
-        for row in input {
-            (self.f)(row, &mut out);
+        if self.auto.armed() {
+            return (*self.compute_partition_shared(idx)).clone();
         }
-        out
+        self.compute_raw(idx)
+    }
+    fn compute_partition_shared(&self, idx: usize) -> Arc<Vec<T>> {
+        if self.auto.armed() {
+            return self.auto.get_or_init(idx, || self.compute_raw(idx));
+        }
+        Arc::new(self.compute_raw(idx))
+    }
+    fn push_partition(&self, idx: usize, emit: &mut dyn FnMut(T)) {
+        if self.auto.armed() {
+            for row in self.compute_partition_shared(idx).iter() {
+                emit(row.clone());
+            }
+            return;
+        }
+        if self.fuse {
+            self.parent.push_partition(idx, &mut |u| (self.f)(u, &mut *emit));
+        } else {
+            for row in self.compute_raw(idx) {
+                emit(row);
+            }
+        }
     }
     fn label(&self) -> String {
         self.name.to_string()
@@ -120,6 +257,124 @@ where
     }
     fn stages(&self) -> usize {
         self.parent.stages()
+    }
+}
+
+impl<U, T, F> Lineage for MapOp<U, T, F>
+where
+    U: Send + Sync,
+    T: Clone + Send + Sync,
+    F: Fn(U, &mut dyn FnMut(T)) + Send + Sync,
+{
+    fn plan(&self) -> PlanNode {
+        PlanNode {
+            id: self.lineage_id(),
+            label: self.name.to_string(),
+            kind: PlanKind::Narrow {
+                fused: self.fuse,
+                auto_cached: self.auto.armed(),
+                consumed: self.consumed.load(Ordering::Relaxed),
+            },
+            partitions: self.parent.partitions(),
+            est_rows: Lineage::est_rows(self),
+            row_bytes: std::mem::size_of::<T>(),
+            measured_bytes: None,
+            children: vec![up(&self.parent).plan()],
+        }
+    }
+    fn lineage_children(&self, visit: &mut dyn FnMut(&dyn Lineage)) {
+        visit(up(&self.parent));
+    }
+    fn note_consumed(&self) -> Option<u32> {
+        Some(self.consumed.fetch_add(1, Ordering::Relaxed) + 1)
+    }
+    fn est_rows(&self) -> Option<u64> {
+        // Filters shrink and flat_maps grow; the parent count is the best
+        // static estimate available (exact for plain maps).
+        up(&self.parent).est_rows()
+    }
+    fn est_cache_bytes(&self) -> Option<u64> {
+        Lineage::est_rows(self).map(|r| r * std::mem::size_of::<T>() as u64)
+    }
+    fn arm_auto_cache(&self) {
+        self.auto.arm();
+    }
+}
+
+struct MapPartitionsOp<T, U, F> {
+    parent: Arc<dyn Op<T>>,
+    f: F,
+    auto: AutoCache<U>,
+    consumed: AtomicU32,
+    _marker: std::marker::PhantomData<fn(T) -> U>,
+}
+
+impl<T, U, F> Op<U> for MapPartitionsOp<T, U, F>
+where
+    T: Send + Sync,
+    U: Clone + Send + Sync,
+    F: Fn(Vec<T>) -> Vec<U> + Send + Sync,
+{
+    fn partitions(&self) -> usize {
+        self.parent.partitions()
+    }
+    fn compute_partition(&self, idx: usize) -> Vec<U> {
+        if self.auto.armed() {
+            return (*self.compute_partition_shared(idx)).clone();
+        }
+        (self.f)(self.parent.compute_partition(idx))
+    }
+    fn compute_partition_shared(&self, idx: usize) -> Arc<Vec<U>> {
+        if self.auto.armed() {
+            return self
+                .auto
+                .get_or_init(idx, || (self.f)(self.parent.compute_partition(idx)));
+        }
+        Arc::new(self.compute_partition(idx))
+    }
+    fn label(&self) -> String {
+        "MapPartitions".to_string()
+    }
+    fn explain_children(&self, indent: usize, out: &mut String) {
+        explain_into(&*self.parent, indent, out);
+    }
+    fn stages(&self) -> usize {
+        self.parent.stages()
+    }
+}
+
+impl<T, U, F> Lineage for MapPartitionsOp<T, U, F>
+where
+    T: Send + Sync,
+    U: Clone + Send + Sync,
+    F: Fn(Vec<T>) -> Vec<U> + Send + Sync,
+{
+    fn plan(&self) -> PlanNode {
+        PlanNode {
+            id: self.lineage_id(),
+            label: "MapPartitions".to_string(),
+            kind: PlanKind::NarrowBarrier,
+            partitions: self.parent.partitions(),
+            est_rows: Lineage::est_rows(self),
+            row_bytes: std::mem::size_of::<U>(),
+            measured_bytes: None,
+            children: vec![up(&self.parent).plan()],
+        }
+    }
+    fn lineage_children(&self, visit: &mut dyn FnMut(&dyn Lineage)) {
+        visit(up(&self.parent));
+    }
+    fn note_consumed(&self) -> Option<u32> {
+        Some(self.consumed.fetch_add(1, Ordering::Relaxed) + 1)
+    }
+    fn est_rows(&self) -> Option<u64> {
+        up(&self.parent).est_rows()
+    }
+    fn est_cache_bytes(&self) -> Option<u64> {
+        Lineage::est_rows(self).map(|r| r * std::mem::size_of::<U>() as u64)
+    }
+    fn arm_auto_cache(&self) {
+        self.auto.arm();
     }
 }
 
@@ -148,6 +403,15 @@ impl<T: Send + Sync> Op<T> for UnionOp<T> {
             self.right.compute_partition_shared(idx - l)
         }
     }
+    fn push_partition(&self, idx: usize, emit: &mut dyn FnMut(T)) {
+        // Pass-through: fusion crosses the union boundary.
+        let l = self.left.partitions();
+        if idx < l {
+            self.left.push_partition(idx, emit);
+        } else {
+            self.right.push_partition(idx - l, emit);
+        }
+    }
     fn label(&self) -> String {
         "Union".to_string()
     }
@@ -160,12 +424,34 @@ impl<T: Send + Sync> Op<T> for UnionOp<T> {
     }
 }
 
+impl<T: Send + Sync> Lineage for UnionOp<T> {
+    fn plan(&self) -> PlanNode {
+        PlanNode {
+            id: self.lineage_id(),
+            label: "Union".to_string(),
+            kind: PlanKind::Union,
+            partitions: self.left.partitions() + self.right.partitions(),
+            est_rows: Lineage::est_rows(self),
+            row_bytes: std::mem::size_of::<T>(),
+            measured_bytes: None,
+            children: vec![up(&self.left).plan(), up(&self.right).plan()],
+        }
+    }
+    fn lineage_children(&self, visit: &mut dyn FnMut(&dyn Lineage)) {
+        visit(up(&self.left));
+        visit(up(&self.right));
+    }
+    fn est_rows(&self) -> Option<u64> {
+        Some(up(&self.left).est_rows()? + up(&self.right).est_rows()?)
+    }
+}
+
 // ---------- cache ----------
 
 struct CacheOp<T> {
     parent: Arc<dyn Op<T>>,
     cells: Vec<OnceLock<Arc<Vec<T>>>>,
-    hits: std::sync::atomic::AtomicU64,
+    hits: AtomicU64,
 }
 
 impl<T: Clone + Send + Sync> Op<T> for CacheOp<T> {
@@ -177,7 +463,7 @@ impl<T: Clone + Send + Sync> Op<T> for CacheOp<T> {
     }
     fn compute_partition_shared(&self, idx: usize) -> Arc<Vec<T>> {
         if let Some(hit) = self.cells[idx].get() {
-            self.hits.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            self.hits.fetch_add(1, Ordering::Relaxed);
             return Arc::clone(hit);
         }
         let computed = self.cells[idx]
@@ -192,6 +478,27 @@ impl<T: Clone + Send + Sync> Op<T> for CacheOp<T> {
     }
     fn stages(&self) -> usize {
         self.parent.stages()
+    }
+}
+
+impl<T: Clone + Send + Sync> Lineage for CacheOp<T> {
+    fn plan(&self) -> PlanNode {
+        PlanNode {
+            id: self.lineage_id(),
+            label: "Cache".to_string(),
+            kind: PlanKind::Cache,
+            partitions: self.parent.partitions(),
+            est_rows: Lineage::est_rows(self),
+            row_bytes: std::mem::size_of::<T>(),
+            measured_bytes: None,
+            children: vec![up(&self.parent).plan()],
+        }
+    }
+    fn lineage_children(&self, visit: &mut dyn FnMut(&dyn Lineage)) {
+        visit(up(&self.parent));
+    }
+    fn est_rows(&self) -> Option<u64> {
+        up(&self.parent).est_rows()
     }
 }
 
@@ -235,12 +542,33 @@ impl<T: Clone + Send + Sync> Op<T> for RepartitionOp<T> {
     }
 }
 
+impl<T: Clone + Send + Sync> Lineage for RepartitionOp<T> {
+    fn plan(&self) -> PlanNode {
+        PlanNode {
+            id: self.lineage_id(),
+            label: Op::label(self),
+            kind: PlanKind::Repartition,
+            partitions: self.target,
+            est_rows: Lineage::est_rows(self),
+            row_bytes: std::mem::size_of::<T>(),
+            measured_bytes: None,
+            children: vec![up(&self.parent).plan()],
+        }
+    }
+    fn lineage_children(&self, visit: &mut dyn FnMut(&dyn Lineage)) {
+        visit(up(&self.parent));
+    }
+    fn est_rows(&self) -> Option<u64> {
+        up(&self.parent).est_rows()
+    }
+}
+
 // ---------- retry (failure-aware partition executor) ----------
 
 struct RetryOp<T> {
     parent: Arc<dyn Op<T>>,
     policy: RetryPolicy,
-    retries: std::sync::atomic::AtomicU64,
+    retries: AtomicU64,
 }
 
 impl<T> RetryOp<T> {
@@ -256,8 +584,7 @@ impl<T> RetryOp<T> {
                     if attempt >= self.policy.max_attempts {
                         std::panic::resume_unwind(payload);
                     }
-                    self.retries
-                        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    self.retries.fetch_add(1, Ordering::Relaxed);
                     self.policy.sleep_before_retry(attempt);
                 }
             }
@@ -275,6 +602,10 @@ impl<T: Send + Sync> Op<T> for RetryOp<T> {
     fn compute_partition_shared(&self, idx: usize) -> Arc<Vec<T>> {
         self.run_bounded(|| self.parent.compute_partition_shared(idx))
     }
+    // No push_partition override: retry is deliberately a fusion barrier.
+    // A push-through retry that re-ran a panicking parent after rows had
+    // already been emitted would duplicate them downstream; the default
+    // (materialize under run_bounded, then replay) keeps retries atomic.
     fn label(&self) -> String {
         format!("Retry[max {} attempts]", self.policy.max_attempts)
     }
@@ -283,6 +614,27 @@ impl<T: Send + Sync> Op<T> for RetryOp<T> {
     }
     fn stages(&self) -> usize {
         self.parent.stages()
+    }
+}
+
+impl<T: Send + Sync> Lineage for RetryOp<T> {
+    fn plan(&self) -> PlanNode {
+        PlanNode {
+            id: self.lineage_id(),
+            label: Op::label(self),
+            kind: PlanKind::Retry,
+            partitions: self.parent.partitions(),
+            est_rows: Lineage::est_rows(self),
+            row_bytes: std::mem::size_of::<T>(),
+            measured_bytes: None,
+            children: vec![up(&self.parent).plan()],
+        }
+    }
+    fn lineage_children(&self, visit: &mut dyn FnMut(&dyn Lineage)) {
+        visit(up(&self.parent));
+    }
+    fn est_rows(&self) -> Option<u64> {
+        up(&self.parent).est_rows()
     }
 }
 
@@ -318,6 +670,7 @@ impl<T: Clone + Send + Sync + 'static> Dataset<T> {
             op: Arc::new(Source {
                 parts: parts.into_iter().map(Arc::new).collect(),
             }),
+            opt: OptimizerConfig::default(),
         }
     }
 
@@ -326,20 +679,48 @@ impl<T: Clone + Send + Sync + 'static> Dataset<T> {
         self.op.partitions()
     }
 
+    /// The optimizer configuration derived datasets inherit.
+    pub fn optimizer_config(&self) -> OptimizerConfig {
+        self.opt
+    }
+
+    /// Same lineage, different optimizer configuration for *subsequently
+    /// built* operations (fusion and elision decisions are baked into each
+    /// op at construction; already-built upstream nodes keep theirs).
+    pub fn with_optimizer(&self, cfg: OptimizerConfig) -> Dataset<T> {
+        Dataset {
+            op: Arc::clone(&self.op),
+            opt: cfg,
+        }
+    }
+
+    /// Internal constructor for row-wise narrow ops.
+    fn narrow<U, F>(&self, name: &'static str, f: F) -> Dataset<U>
+    where
+        U: Clone + Send + Sync + 'static,
+        F: Fn(T, &mut dyn FnMut(U)) + Send + Sync + 'static,
+    {
+        Dataset {
+            op: Arc::new(MapOp {
+                parent: Arc::clone(&self.op),
+                f,
+                name,
+                fuse: self.opt.fuse,
+                auto: AutoCache::new(self.op.partitions()),
+                consumed: AtomicU32::new(0),
+                _marker: std::marker::PhantomData,
+            }),
+            opt: self.opt,
+        }
+    }
+
     /// Narrow: apply `f` to every row.
     pub fn map<U, F>(&self, f: F) -> Dataset<U>
     where
         U: Clone + Send + Sync + 'static,
         F: Fn(T) -> U + Send + Sync + 'static,
     {
-        Dataset {
-            op: Arc::new(MapOp {
-                parent: Arc::clone(&self.op),
-                f: move |row, out: &mut Vec<U>| out.push(f(row)),
-                name: "Map",
-                _marker: std::marker::PhantomData,
-            }),
-        }
+        self.narrow("Map", move |row, out| out(f(row)))
     }
 
     /// Narrow: keep rows satisfying the predicate.
@@ -347,18 +728,11 @@ impl<T: Clone + Send + Sync + 'static> Dataset<T> {
     where
         F: Fn(&T) -> bool + Send + Sync + 'static,
     {
-        Dataset {
-            op: Arc::new(MapOp {
-                parent: Arc::clone(&self.op),
-                f: move |row: T, out: &mut Vec<T>| {
-                    if pred(&row) {
-                        out.push(row);
-                    }
-                },
-                name: "Filter",
-                _marker: std::marker::PhantomData,
-            }),
-        }
+        self.narrow("Filter", move |row: T, out| {
+            if pred(&row) {
+                out(row);
+            }
+        })
     }
 
     /// Narrow: expand each row into zero or more rows.
@@ -368,14 +742,11 @@ impl<T: Clone + Send + Sync + 'static> Dataset<T> {
         I: IntoIterator<Item = U>,
         F: Fn(T) -> I + Send + Sync + 'static,
     {
-        Dataset {
-            op: Arc::new(MapOp {
-                parent: Arc::clone(&self.op),
-                f: move |row, out: &mut Vec<U>| out.extend(f(row)),
-                name: "FlatMap",
-                _marker: std::marker::PhantomData,
-            }),
-        }
+        self.narrow("FlatMap", move |row, out| {
+            for item in f(row) {
+                out(item);
+            }
+        })
     }
 
     /// Narrow: transform a whole partition at once (Spark's
@@ -386,39 +757,15 @@ impl<T: Clone + Send + Sync + 'static> Dataset<T> {
         U: Clone + Send + Sync + 'static,
         F: Fn(Vec<T>) -> Vec<U> + Send + Sync + 'static,
     {
-        struct MapPartitionsOp<T, U, F> {
-            parent: Arc<dyn Op<T>>,
-            f: F,
-            _marker: std::marker::PhantomData<fn(T) -> U>,
-        }
-        impl<T, U, F> Op<U> for MapPartitionsOp<T, U, F>
-        where
-            T: Send + Sync,
-            U: Send + Sync,
-            F: Fn(Vec<T>) -> Vec<U> + Send + Sync,
-        {
-            fn partitions(&self) -> usize {
-                self.parent.partitions()
-            }
-            fn compute_partition(&self, idx: usize) -> Vec<U> {
-                (self.f)(self.parent.compute_partition(idx))
-            }
-            fn label(&self) -> String {
-                "MapPartitions".to_string()
-            }
-            fn explain_children(&self, indent: usize, out: &mut String) {
-                explain_into(&*self.parent, indent, out);
-            }
-            fn stages(&self) -> usize {
-                self.parent.stages()
-            }
-        }
         Dataset {
             op: Arc::new(MapPartitionsOp {
                 parent: Arc::clone(&self.op),
                 f,
+                auto: AutoCache::new(self.op.partitions()),
+                consumed: AtomicU32::new(0),
                 _marker: std::marker::PhantomData,
             }),
+            opt: self.opt,
         }
     }
 
@@ -429,6 +776,7 @@ impl<T: Clone + Send + Sync + 'static> Dataset<T> {
                 left: Arc::clone(&self.op),
                 right: Arc::clone(&other.op),
             }),
+            opt: self.opt,
         }
     }
 
@@ -448,8 +796,9 @@ impl<T: Clone + Send + Sync + 'static> Dataset<T> {
             op: Arc::new(CacheOp {
                 parent: Arc::clone(&self.op),
                 cells: (0..parts).map(|_| OnceLock::<Arc<Vec<T>>>::new()).collect(),
-                hits: std::sync::atomic::AtomicU64::new(0),
+                hits: AtomicU64::new(0),
             }),
+            opt: self.opt,
         }
     }
 
@@ -467,8 +816,9 @@ impl<T: Clone + Send + Sync + 'static> Dataset<T> {
             op: Arc::new(RetryOp {
                 parent: Arc::clone(&self.op),
                 policy,
-                retries: std::sync::atomic::AtomicU64::new(0),
+                retries: AtomicU64::new(0),
             }),
+            opt: self.opt,
         }
     }
 
@@ -481,16 +831,24 @@ impl<T: Clone + Send + Sync + 'static> Dataset<T> {
                 target,
                 materialized: OnceLock::new(),
             }),
+            opt: self.opt,
         }
     }
 
     // ---------- actions ----------
+
+    /// The optimizer's runtime pass, run at the start of every action:
+    /// count consumptions and arm auto-caches where caching pays.
+    fn prepare(&self) {
+        optimize::prepare_action(up(&self.op), &self.opt);
+    }
 
     /// Action: materialize every row (partitions evaluated in parallel,
     /// concatenated in partition order). Reads the shared-partition path,
     /// so resident rows (sources, caches) are cloned once into the output
     /// rather than once per lineage hop.
     pub fn collect(&self) -> Vec<T> {
+        self.prepare();
         let parts: Vec<Arc<Vec<T>>> = (0..self.op.partitions())
             .into_par_iter()
             .map(|i| self.op.compute_partition_shared(i))
@@ -505,6 +863,7 @@ impl<T: Clone + Send + Sync + 'static> Dataset<T> {
     /// Action: number of rows. Counts through the shared handles — no row
     /// is cloned.
     pub fn count(&self) -> usize {
+        self.prepare();
         (0..self.op.partitions())
             .into_par_iter()
             .map(|i| self.op.compute_partition_shared(i).len())
@@ -515,6 +874,7 @@ impl<T: Clone + Send + Sync + 'static> Dataset<T> {
     /// are evaluated lazily one at a time, like Spark's `take`). Only the
     /// taken prefix is cloned when the partition is resident elsewhere.
     pub fn take(&self, n: usize) -> Vec<T> {
+        self.prepare();
         let mut out = Vec::with_capacity(n);
         for i in 0..self.op.partitions() {
             if out.len() >= n {
@@ -535,11 +895,52 @@ impl<T: Clone + Send + Sync + 'static> Dataset<T> {
     where
         F: Fn(T, T) -> T + Send + Sync,
     {
+        self.prepare();
         let parts: Vec<Option<T>> = (0..self.op.partitions())
             .into_par_iter()
             .map(|i| take_rows(self.op.compute_partition_shared(i)).into_iter().reduce(&f))
             .collect();
         parts.into_iter().flatten().reduce(&f)
+    }
+
+    /// Action: like [`Dataset::collect`], but partition evaluation is
+    /// scheduled by a cluster-layer [`Executor`] (Seq / Rayon / Cluster) —
+    /// the bridge the optimizer equivalence suite uses to pin plans across
+    /// backends. Output is bit-identical to `collect()` on every backend:
+    /// partitions are assigned to parts in contiguous blocks and merged in
+    /// part order.
+    pub fn collect_with(&self, exec: &Executor) -> Vec<T>
+    where
+        T: ByteSized + 'static,
+    {
+        self.prepare();
+        let n = self.op.partitions();
+        let exec = exec.shrink_to(n);
+        let dist = Block::new(n, exec.parts_for(n));
+        let groups: Vec<Vec<Vec<T>>> = exec.map_parts(&dist, |_, range| {
+            range.map(|i| self.op.compute_partition(i)).collect()
+        });
+        let mut out = Vec::new();
+        for group in groups {
+            for part in group {
+                out.extend(part);
+            }
+        }
+        out
+    }
+
+    /// Action: like [`Dataset::count`], but scheduled by an [`Executor`].
+    pub fn count_with(&self, exec: &Executor) -> usize {
+        self.prepare();
+        let n = self.op.partitions();
+        let exec = exec.shrink_to(n);
+        let dist = Block::new(n, exec.parts_for(n));
+        let per_part: Vec<u64> = exec.map_parts(&dist, |_, range| {
+            range
+                .map(|i| self.op.compute_partition_shared(i).len() as u64)
+                .sum::<u64>()
+        });
+        per_part.into_iter().sum::<u64>() as usize
     }
 
     /// Number of execution stages: shuffle boundaries + 1 along the
@@ -554,6 +955,12 @@ impl<T: Clone + Send + Sync + 'static> Dataset<T> {
         let mut out = String::new();
         explain_into(&*self.op, 0, &mut out);
         out
+    }
+
+    /// The optimizer's view of this plan: naive and optimized renderings
+    /// plus predicted shuffle bytes and a rewrite summary.
+    pub fn explain_plans(&self) -> PlanReport {
+        optimize::report_for(up(&self.op))
     }
 }
 
@@ -577,6 +984,15 @@ impl<T: Send + Sync> Op<T> for CoalesceOp<T> {
         }
         out
     }
+    fn push_partition(&self, idx: usize, emit: &mut dyn FnMut(T)) {
+        // Order-preserving pass-through: fusion crosses the merge.
+        let sources = self.parent.partitions();
+        let start = idx * self.group;
+        let end = ((idx + 1) * self.group).min(sources);
+        for s in start..end {
+            self.parent.push_partition(s, emit);
+        }
+    }
     fn label(&self) -> String {
         format!("Coalesce[{}]", self.target)
     }
@@ -588,16 +1004,39 @@ impl<T: Send + Sync> Op<T> for CoalesceOp<T> {
     }
 }
 
+impl<T: Send + Sync> Lineage for CoalesceOp<T> {
+    fn plan(&self) -> PlanNode {
+        PlanNode {
+            id: self.lineage_id(),
+            label: Op::label(self),
+            kind: PlanKind::NarrowBarrier,
+            partitions: self.target,
+            est_rows: Lineage::est_rows(self),
+            row_bytes: std::mem::size_of::<T>(),
+            measured_bytes: None,
+            children: vec![up(&self.parent).plan()],
+        }
+    }
+    fn lineage_children(&self, visit: &mut dyn FnMut(&dyn Lineage)) {
+        visit(up(&self.parent));
+    }
+    fn est_rows(&self) -> Option<u64> {
+        up(&self.parent).est_rows()
+    }
+}
+
 impl<T: Clone + Send + Sync + 'static> Dataset<T> {
     /// Internal: group `per` consecutive source partitions into each of
     /// `target` output partitions (order-preserving narrow-ish merge).
     pub(crate) fn from_op_groups(parent: Dataset<T>, per: usize, target: usize) -> Dataset<T> {
+        let opt = parent.opt;
         Dataset {
             op: Arc::new(CoalesceOp {
                 parent: parent.op,
                 group: per,
                 target,
             }),
+            opt,
         }
     }
 }
@@ -652,6 +1091,73 @@ mod tests {
     }
 
     #[test]
+    fn fused_and_naive_chains_are_bit_identical() {
+        let data: Vec<i32> = (0..500).collect();
+        let build = |cfg: OptimizerConfig| {
+            Dataset::from_vec(data.clone(), 7)
+                .with_optimizer(cfg)
+                .map(|x| x * 3)
+                .filter(|&x| x % 2 == 0)
+                .flat_map(|x| vec![x, x + 1])
+                .map(|x| x - 1)
+        };
+        let fused = build(OptimizerConfig::default());
+        let naive = build(OptimizerConfig::naive());
+        assert_eq!(fused.collect(), naive.collect());
+        assert_eq!(fused.count(), naive.count());
+        assert_eq!(fused.take(13), naive.take(13));
+    }
+
+    #[test]
+    fn fusion_streams_without_materializing_intermediates() {
+        // Observable allocation proxy: a clone-counting row. A fused chain
+        // clones each source row exactly once (out of the resident source);
+        // the naive chain clones once per materialized hop boundary too,
+        // but the *source* clone count is identical — so instead we pin the
+        // per-op pass structure via call order: in a fused chain the map
+        // sees row i immediately before the filter sees row i.
+        let order = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let o1 = Arc::clone(&order);
+        let o2 = Arc::clone(&order);
+        let ds = Dataset::from_vec((0..3).collect::<Vec<i32>>(), 1)
+            .map(move |x| {
+                o1.lock().push(format!("map{x}"));
+                x
+            })
+            .filter(move |&x| {
+                o2.lock().push(format!("filter{x}"));
+                true
+            });
+        ds.collect();
+        assert_eq!(
+            *order.lock(),
+            vec!["map0", "filter0", "map1", "filter1", "map2", "filter2"],
+            "fused chain interleaves per-row, not per-pass"
+        );
+
+        // The naive configuration runs pass-by-pass.
+        let order = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let o1 = Arc::clone(&order);
+        let o2 = Arc::clone(&order);
+        let ds = Dataset::from_vec((0..3).collect::<Vec<i32>>(), 1)
+            .with_optimizer(OptimizerConfig::naive())
+            .map(move |x| {
+                o1.lock().push(format!("map{x}"));
+                x
+            })
+            .filter(move |&x| {
+                o2.lock().push(format!("filter{x}"));
+                true
+            });
+        ds.collect();
+        assert_eq!(
+            *order.lock(),
+            vec!["map0", "map1", "map2", "filter0", "filter1", "filter2"],
+            "naive chain materializes between ops"
+        );
+    }
+
+    #[test]
     fn collect_preserves_order() {
         let data: Vec<i32> = (0..1000).collect();
         let ds = Dataset::from_vec(data.clone(), 7).map(|x| x);
@@ -683,7 +1189,6 @@ mod tests {
 
     #[test]
     fn lazy_until_action() {
-        use std::sync::atomic::{AtomicU64, Ordering};
         static CALLS: AtomicU64 = AtomicU64::new(0);
         let ds = Dataset::from_vec((0..10).collect::<Vec<i32>>(), 2).map(|x| {
             CALLS.fetch_add(1, Ordering::Relaxed);
@@ -696,7 +1201,6 @@ mod tests {
 
     #[test]
     fn cache_avoids_recomputation() {
-        use std::sync::atomic::{AtomicU64, Ordering};
         let calls = Arc::new(AtomicU64::new(0));
         let c = Arc::clone(&calls);
         let ds = Dataset::from_vec((0..10).collect::<Vec<i32>>(), 2)
@@ -716,8 +1220,88 @@ mod tests {
     }
 
     #[test]
+    fn auto_cache_arms_on_second_action() {
+        let calls = Arc::new(AtomicU64::new(0));
+        let c = Arc::clone(&calls);
+        // 10k rows × 4 bytes clears the default cost threshold; NO
+        // explicit .cache() anywhere.
+        let ds = Dataset::from_vec((0..10_000).collect::<Vec<i32>>(), 4).map(move |x| {
+            c.fetch_add(1, Ordering::Relaxed);
+            x
+        });
+        ds.count();
+        assert_eq!(calls.load(Ordering::Relaxed), 10_000);
+        ds.count(); // second action arms the auto-cache, then fills it
+        assert_eq!(calls.load(Ordering::Relaxed), 20_000);
+        ds.count(); // third action reads the armed cache
+        ds.collect();
+        assert_eq!(
+            calls.load(Ordering::Relaxed),
+            20_000,
+            "auto-cache serves actions 3+ without recompute"
+        );
+    }
+
+    #[test]
+    fn auto_cache_respects_cost_threshold() {
+        let calls = Arc::new(AtomicU64::new(0));
+        let c = Arc::clone(&calls);
+        // 10 rows × 4 bytes is far below the 1 KiB default threshold: the
+        // optimizer must judge the cache not worth holding.
+        let ds = Dataset::from_vec((0..10).collect::<Vec<i32>>(), 2).map(move |x| {
+            c.fetch_add(1, Ordering::Relaxed);
+            x
+        });
+        for _ in 0..4 {
+            ds.count();
+        }
+        assert_eq!(
+            calls.load(Ordering::Relaxed),
+            40,
+            "tiny subtree recomputes: cache not worth its footprint"
+        );
+    }
+
+    #[test]
+    fn auto_cache_disabled_by_config() {
+        let calls = Arc::new(AtomicU64::new(0));
+        let c = Arc::clone(&calls);
+        let ds = Dataset::from_vec((0..10_000).collect::<Vec<i32>>(), 4)
+            .with_optimizer(OptimizerConfig {
+                auto_cache: false,
+                ..OptimizerConfig::default()
+            })
+            .map(move |x| {
+                c.fetch_add(1, Ordering::Relaxed);
+                x
+            });
+        for _ in 0..3 {
+            ds.count();
+        }
+        assert_eq!(calls.load(Ordering::Relaxed), 30_000, "auto-cache off");
+    }
+
+    #[test]
+    fn auto_cache_shares_diamond_within_one_action() {
+        let calls = Arc::new(AtomicU64::new(0));
+        let c = Arc::clone(&calls);
+        let base = Dataset::from_vec((0..10_000).collect::<Vec<i32>>(), 4).map(move |x| {
+            c.fetch_add(1, Ordering::Relaxed);
+            x
+        });
+        // Diamond: both union branches consume `base` — one action, two
+        // consumptions, armed before any partition computes.
+        let diamond = base.map(|x| x + 1).union_with(&base.map(|x| x + 2));
+        assert_eq!(diamond.count(), 20_000);
+        assert_eq!(
+            calls.load(Ordering::Relaxed),
+            10_000,
+            "shared subtree computed once within the diamond"
+        );
+    }
+
+    #[test]
     fn source_actions_share_resident_rows() {
-        use std::sync::atomic::{AtomicU64, Ordering};
         // A row type whose clones are observable: repeated actions on an
         // *uncached* dataset must read the source's resident rows, not
         // re-clone them per action.
@@ -749,7 +1333,6 @@ mod tests {
 
     #[test]
     fn uncached_recomputes() {
-        use std::sync::atomic::{AtomicU64, Ordering};
         let calls = Arc::new(AtomicU64::new(0));
         let c = Arc::clone(&calls);
         let ds = Dataset::from_vec((0..10).collect::<Vec<i32>>(), 2).map(move |x| {
@@ -779,6 +1362,40 @@ mod tests {
         assert!(plan.contains("Filter"));
         assert!(plan.contains("Map"));
         assert!(plan.contains("Source"));
+    }
+
+    #[test]
+    fn explain_plans_reports_fused_runs() {
+        let ds = Dataset::from_vec((0..100).collect::<Vec<i32>>(), 4)
+            .map(|x| x)
+            .filter(|_| true)
+            .map(|x| x + 1);
+        let report = ds.explain_plans();
+        assert_eq!(report.fused_runs, 1, "one run of three narrow ops");
+        assert!(report.optimized.contains("Fused["));
+        assert!(!report.naive.contains("Fused["));
+        // The rendered report mentions both plans.
+        let rendered = report.to_string();
+        assert!(rendered.contains("naive plan:"));
+        assert!(rendered.contains("optimized plan:"));
+
+        let naive = Dataset::from_vec((0..100).collect::<Vec<i32>>(), 4)
+            .with_optimizer(OptimizerConfig::naive())
+            .map(|x| x)
+            .filter(|_| true);
+        assert_eq!(naive.explain_plans().fused_runs, 0);
+    }
+
+    #[test]
+    fn collect_with_matches_collect_on_all_backends() {
+        let ds = Dataset::from_vec((0..200).collect::<Vec<i32>>(), 6)
+            .map(|x| x * 2)
+            .filter(|&x| x % 3 != 0);
+        let reference = ds.collect();
+        for exec in [Executor::seq(), Executor::rayon(3), Executor::cluster(4)] {
+            assert_eq!(ds.collect_with(&exec), reference, "{exec:?}");
+            assert_eq!(ds.count_with(&exec), reference.len(), "{exec:?}");
+        }
     }
 
     #[test]
@@ -821,6 +1438,31 @@ mod tests {
         assert!(ds.explain().contains("Retry[max 3 attempts]"));
         assert_eq!(ds.num_stages(), 1, "retry is not a stage boundary");
         assert_eq!(ds.num_partitions(), 2);
+    }
+
+    #[test]
+    fn retry_is_a_fusion_barrier() {
+        use parking_lot::Mutex;
+        use std::collections::HashSet;
+        // A downstream narrow op fused through a retried parent must never
+        // see duplicated rows from a retried (partially-emitted) attempt.
+        let failed_once: Arc<Mutex<HashSet<i32>>> = Arc::new(Mutex::new(HashSet::new()));
+        let f = Arc::clone(&failed_once);
+        let ds = Dataset::from_vec((0..30).collect::<Vec<i32>>(), 3)
+            .map(move |x| {
+                // Die mid-partition, after earlier rows were produced.
+                if x % 10 == 5 && f.lock().insert(x) {
+                    panic!("transient mid-partition failure at {x}");
+                }
+                x
+            })
+            .with_retry(RetryPolicy {
+                max_attempts: 3,
+                backoff: std::time::Duration::ZERO,
+            })
+            .map(|x| x) // fused downstream of the retry barrier
+            .filter(|_| true);
+        assert_eq!(ds.collect(), (0..30).collect::<Vec<_>>());
     }
 
     #[test]

@@ -9,15 +9,27 @@ use std::collections::HashMap;
 use std::hash::Hash;
 use std::sync::{Arc, OnceLock};
 
-use peachy_cluster::ByteSized;
+use peachy_cluster::dist::ROUTE_SEED;
+use peachy_cluster::{ByteSized, Executor};
 
 use crate::dataset::Dataset;
-use crate::shuffle::{ShuffleOp, ShuffleStats};
+use crate::optimize::PlanReport;
+use crate::plan::{next_stage_id, Partitioning};
+use crate::shuffle::{ElidedShuffleOp, ShuffleOp, ShuffleStats};
 
 /// A dataset of key–value rows supporting wide transformations.
+///
+/// Alongside the rows, a `KeyedDataset` tracks what it *knows* about their
+/// [`Partitioning`]: every hash shuffle leaves its output `HashKeyed` by
+/// the routing seed and partition count, and key-preserving narrow ops
+/// (`map_values`, `filter_keys`) carry that fact forward. A downstream
+/// shuffle whose routing the current layout already
+/// [`satisfies`](Partitioning::satisfies) is **elided** — rewritten into a
+/// narrow per-partition pass that moves zero records.
 pub struct KeyedDataset<K, V> {
     inner: Dataset<(K, V)>,
     stats: Option<Arc<ShuffleStats>>,
+    partitioning: Partitioning,
 }
 
 impl<K, V> Clone for KeyedDataset<K, V> {
@@ -25,6 +37,7 @@ impl<K, V> Clone for KeyedDataset<K, V> {
         Self {
             inner: self.inner.clone(),
             stats: self.stats.clone(),
+            partitioning: self.partitioning,
         }
     }
 }
@@ -34,9 +47,14 @@ where
     K: Clone + Send + Sync + Hash + Eq + 'static,
     V: Clone + Send + Sync + 'static,
 {
-    /// Wrap an existing `(K, V)` dataset.
+    /// Wrap an existing `(K, V)` dataset (layout unknown: no elision until
+    /// a shuffle establishes one).
     pub fn from_dataset(inner: Dataset<(K, V)>) -> Self {
-        Self { inner, stats: None }
+        Self {
+            inner,
+            stats: None,
+            partitioning: Partitioning::Arbitrary,
+        }
     }
 
     /// Attach shuffle counters (shared across derived datasets) so a
@@ -46,12 +64,35 @@ where
         self
     }
 
+    /// What this dataset knows about how its rows are laid out.
+    pub fn partitioning(&self) -> Partitioning {
+        self.partitioning
+    }
+
+    /// Assert that the rows are already hash-partitioned by `seed` into
+    /// `partitions` buckets (`owner_of_key(key, partitions, seed)` placed
+    /// every row) — e.g. data reloaded from a previous run's shuffled
+    /// output. The optimizer trusts the claim to elide matching shuffles;
+    /// a *false* claim silently mis-groups keys, so this is a performance
+    /// assertion, not a hint. Claims that don't match a downstream
+    /// shuffle's seed and count are ignored (the shuffle runs for real).
+    pub fn assume_hash_partitioned(mut self, seed: u64, partitions: usize) -> Self {
+        assert_eq!(
+            self.inner.num_partitions(),
+            partitions,
+            "claimed partition count must match the actual layout"
+        );
+        self.partitioning = Partitioning::HashKeyed { seed, partitions };
+        self
+    }
+
     /// The underlying `(K, V)` dataset (narrow view).
     pub fn rows(&self) -> Dataset<(K, V)> {
         self.inner.clone()
     }
 
-    /// Narrow: transform values, keep keys.
+    /// Narrow: transform values, keep keys. Keys don't move, so the known
+    /// partitioning survives.
     pub fn map_values<W, F>(&self, f: F) -> KeyedDataset<K, W>
     where
         W: Clone + Send + Sync + 'static,
@@ -60,10 +101,12 @@ where
         KeyedDataset {
             inner: self.inner.map(move |(k, v)| (k, f(v))),
             stats: self.stats.clone(),
+            partitioning: self.partitioning,
         }
     }
 
-    /// Narrow: keep rows whose key satisfies the predicate.
+    /// Narrow: keep rows whose key satisfies the predicate (a subset of a
+    /// hash-partitioned layout is still hash-partitioned).
     pub fn filter_keys<F>(&self, pred: F) -> KeyedDataset<K, V>
     where
         F: Fn(&K) -> bool + Send + Sync + 'static,
@@ -71,7 +114,15 @@ where
         KeyedDataset {
             inner: self.inner.filter(move |(k, _)| pred(k)),
             stats: self.stats.clone(),
+            partitioning: self.partitioning,
         }
+    }
+
+    /// Should a shuffle routing into `partitions` buckets be elided for
+    /// this dataset's layout?
+    fn elides(&self, partitions: usize) -> bool {
+        self.inner.optimizer_config().elide_shuffles
+            && self.partitioning.satisfies(ROUTE_SEED, partitions)
     }
 
     fn shuffle_with<T, F>(&self, name: &'static str, partitions: usize, post: F) -> Dataset<T>
@@ -81,6 +132,25 @@ where
         T: Clone + Send + Sync + 'static,
         F: Fn(Vec<(K, V)>) -> Vec<T> + Send + Sync + 'static,
     {
+        if self.elides(partitions) {
+            // Every key in partition p already routes to p: bucket p of a
+            // real shuffle would hold exactly partition p's rows, in the
+            // same order (one contributing input partition). Run `post`
+            // per partition and move nothing.
+            return Dataset {
+                op: Arc::new(ElidedShuffleOp {
+                    parents: vec![Arc::clone(&self.inner.op)],
+                    partitions,
+                    post,
+                    name,
+                    stats: self.stats.clone(),
+                    stage_id: next_stage_id(),
+                    posted: (0..partitions).map(|_| OnceLock::new()).collect(),
+                    noted: OnceLock::new(),
+                }),
+                opt: self.inner.opt,
+            };
+        }
         Dataset {
             op: Arc::new(ShuffleOp {
                 parent: Arc::clone(&self.inner.op),
@@ -88,10 +158,12 @@ where
                 post,
                 name,
                 stats: self.stats.clone(),
+                stage_id: next_stage_id(),
                 materialized: OnceLock::new(),
                 posted: (0..partitions).map(|_| OnceLock::new()).collect(),
                 _marker: std::marker::PhantomData,
             }),
+            opt: self.inner.opt,
         }
     }
 
@@ -131,6 +203,10 @@ where
         KeyedDataset {
             inner: combined.shuffle_with("ReduceByKey", partitions, post),
             stats: self.stats.clone(),
+            partitioning: Partitioning::HashKeyed {
+                seed: ROUTE_SEED,
+                partitions,
+            },
         }
     }
 
@@ -160,6 +236,8 @@ where
                 accs.into_iter().collect()
             }),
             stats: self.stats.clone(),
+            // Per-partition folding keeps every key where it was.
+            partitioning: self.partitioning,
         };
         // Reduce side: merge accumulators.
         let post = move |bucket: Vec<(K, A)>| {
@@ -180,6 +258,10 @@ where
         KeyedDataset {
             inner: combined.shuffle_with("AggregateByKey", partitions, post),
             stats: self.stats.clone(),
+            partitioning: Partitioning::HashKeyed {
+                seed: ROUTE_SEED,
+                partitions,
+            },
         }
     }
 
@@ -211,6 +293,10 @@ where
         KeyedDataset {
             inner: self.shuffle_with("GroupByKey", partitions, post),
             stats: self.stats.clone(),
+            partitioning: Partitioning::HashKeyed {
+                seed: ROUTE_SEED,
+                partitions,
+            },
         }
     }
 
@@ -222,6 +308,49 @@ where
         self.map_values(|_| 1u64).reduce_by_key(|a, b| a + b)
     }
 
+    /// Build the shuffle (or elided pass) behind a join: both sides
+    /// tagged, routed into `partitions` buckets, `post` applied per
+    /// bucket. When *both* sides are provably co-partitioned to match the
+    /// routing, the boundary is elided with a two-parent pass: output
+    /// partition `p` is `post(left_p ++ right_p)` — exactly the rows, in
+    /// exactly the order, that bucket `p` of the naive tag-union shuffle
+    /// would receive (each side's partition `p` is that bucket's only
+    /// contributor, and left input partitions precede right ones in the
+    /// union).
+    fn join_shuffle<W, T, F>(
+        &self,
+        name: &'static str,
+        other: &KeyedDataset<K, W>,
+        partitions: usize,
+        post: F,
+    ) -> Dataset<T>
+    where
+        K: ByteSized,
+        V: ByteSized,
+        W: Clone + Send + Sync + ByteSized + 'static,
+        T: Clone + Send + Sync + 'static,
+        F: Fn(Vec<(K, Either<V, W>)>) -> Vec<T> + Send + Sync + 'static,
+    {
+        if self.elides(partitions) && other.elides(partitions) {
+            let left = self.inner.map(|(k, v)| (k, Either::Left(v)));
+            let right = other.inner.map(|(k, w)| (k, Either::Right(w)));
+            return Dataset {
+                op: Arc::new(ElidedShuffleOp {
+                    parents: vec![left.op, right.op],
+                    partitions,
+                    post,
+                    name,
+                    stats: self.stats.clone(),
+                    stage_id: next_stage_id(),
+                    posted: (0..partitions).map(|_| OnceLock::new()).collect(),
+                    noted: OnceLock::new(),
+                }),
+                opt: self.inner.opt,
+            };
+        }
+        self.tag_union(other).shuffle_with(name, partitions, post)
+    }
+
     /// Wide: inner join with another keyed dataset — every (v, w) pair for
     /// matching keys.
     pub fn join<W>(&self, other: &KeyedDataset<K, W>) -> KeyedDataset<K, (V, W)>
@@ -230,7 +359,6 @@ where
         V: ByteSized,
         W: Clone + Send + Sync + ByteSized + 'static,
     {
-        let tagged = self.tag_union(other);
         let partitions = self
             .inner
             .num_partitions()
@@ -250,8 +378,12 @@ where
             out
         };
         KeyedDataset {
-            inner: tagged.shuffle_with("Join", partitions, post),
+            inner: self.join_shuffle("Join", other, partitions, post),
             stats: self.stats.clone(),
+            partitioning: Partitioning::HashKeyed {
+                seed: ROUTE_SEED,
+                partitions,
+            },
         }
     }
 
@@ -263,7 +395,6 @@ where
         V: ByteSized,
         W: Clone + Send + Sync + ByteSized + 'static,
     {
-        let tagged = self.tag_union(other);
         let partitions = self
             .inner
             .num_partitions()
@@ -290,8 +421,12 @@ where
             out
         };
         KeyedDataset {
-            inner: tagged.shuffle_with("LeftJoin", partitions, post),
+            inner: self.join_shuffle("LeftJoin", other, partitions, post),
             stats: self.stats.clone(),
+            partitioning: Partitioning::HashKeyed {
+                seed: ROUTE_SEED,
+                partitions,
+            },
         }
     }
 
@@ -326,6 +461,8 @@ where
         KeyedDataset {
             inner,
             stats: self.stats.clone(),
+            // The big side's rows never move; keys are unchanged.
+            partitioning: self.partitioning,
         }
     }
 
@@ -344,9 +481,28 @@ where
         self.inner.count()
     }
 
+    /// Action: collect scheduled by a cluster-layer [`Executor`].
+    pub fn collect_with(&self, exec: &Executor) -> Vec<(K, V)>
+    where
+        K: ByteSized,
+        V: ByteSized,
+    {
+        self.inner.collect_with(exec)
+    }
+
+    /// Action: count scheduled by a cluster-layer [`Executor`].
+    pub fn count_with(&self, exec: &Executor) -> usize {
+        self.inner.count_with(exec)
+    }
+
     /// Lineage plan of the underlying dataset.
     pub fn explain(&self) -> String {
         self.inner.explain()
+    }
+
+    /// The optimizer's naive-vs-optimized view of the underlying plan.
+    pub fn explain_plans(&self) -> PlanReport {
+        self.inner.explain_plans()
     }
 
     // -- internals --
@@ -378,6 +534,8 @@ where
                 merged.into_iter().collect()
             }),
             stats: self.stats.clone(),
+            // Per-partition merging keeps every key where it was.
+            partitioning: self.partitioning,
         }
     }
 
@@ -391,6 +549,9 @@ where
         KeyedDataset {
             inner: left.union_with(&right),
             stats: self.stats.clone(),
+            // Concatenation shifts the right side's partition indices:
+            // even two co-partitioned inputs stop satisfying any routing.
+            partitioning: Partitioning::Arbitrary,
         }
     }
 }
@@ -618,6 +779,152 @@ mod tests {
         reduced.collect();
         // The shuffle op memoizes: two actions, one materialization.
         assert_eq!(stats.shuffles(), 1);
+    }
+
+    #[test]
+    fn chained_aggregation_elides_second_shuffle() {
+        use crate::optimize::OptimizerConfig;
+        let rows: Vec<(u32, u64)> = (0..300).map(|i| (i % 16, 1u64)).collect();
+        let run = |cfg: OptimizerConfig| {
+            let stats = ShuffleStats::new();
+            let ds =
+                KeyedDataset::from_dataset(Dataset::from_vec(rows.clone(), 4).with_optimizer(cfg))
+                    .with_stats(Arc::clone(&stats));
+            // reduce_by_key leaves the data hash-partitioned; the second
+            // aggregation routes by the same seed into the same count.
+            let mut out = ds
+                .reduce_by_key(|a, b| a + b)
+                .filter_keys(|k| k % 2 == 0)
+                .map_values(|v| v * 10)
+                .reduce_by_key(|a, b| a + b)
+                .collect();
+            out.sort();
+            (out, stats.shuffles(), stats.shuffles_elided())
+        };
+        let (optimized, shuffles, elided) = run(OptimizerConfig::default());
+        let (naive, naive_shuffles, naive_elided) = run(OptimizerConfig::naive());
+        assert_eq!(optimized, naive, "elision must be invisible in the rows");
+        assert_eq!((shuffles, elided), (1, 1), "second boundary elided");
+        assert_eq!((naive_shuffles, naive_elided), (2, 0));
+    }
+
+    #[test]
+    fn co_partitioned_join_elides_shuffle() {
+        use crate::optimize::OptimizerConfig;
+        let lrows: Vec<(u32, u64)> = (0..200).map(|i| (i % 10, 1u64)).collect();
+        let rrows: Vec<(u32, u64)> = (0..100).map(|i| (i % 7, 2u64)).collect();
+        let run = |cfg: OptimizerConfig| {
+            let stats = ShuffleStats::new();
+            let left =
+                KeyedDataset::from_dataset(Dataset::from_vec(lrows.clone(), 4).with_optimizer(cfg))
+                    .with_stats(Arc::clone(&stats))
+                    .count_by_key();
+            let right =
+                KeyedDataset::from_dataset(Dataset::from_vec(rrows.clone(), 4).with_optimizer(cfg))
+                    .with_stats(Arc::clone(&stats))
+                    .count_by_key();
+            let mut out = left.left_join(&right).collect();
+            out.sort();
+            (out, stats.shuffles(), stats.shuffles_elided())
+        };
+        let (optimized, shuffles, elided) = run(OptimizerConfig::default());
+        let (naive, naive_shuffles, naive_elided) = run(OptimizerConfig::naive());
+        assert_eq!(optimized, naive, "co-partitioned join must match shuffled join");
+        assert_eq!(
+            (shuffles, elided),
+            (2, 1),
+            "two count shuffles stay, the join boundary is elided"
+        );
+        assert_eq!((naive_shuffles, naive_elided), (3, 0));
+    }
+
+    #[test]
+    fn mismatched_seed_does_not_elide() {
+        use peachy_cluster::dist::ROUTE_SEED;
+        let rows: Vec<(u32, u64)> = (0..100).map(|i| (i % 8, 1u64)).collect();
+        let stats = ShuffleStats::new();
+        // A layout claimed under a *different* seed does not satisfy the
+        // shuffle's routing: the shuffle must run for real.
+        let ds = KeyedDataset::from_dataset(Dataset::from_vec(rows.clone(), 4))
+            .with_stats(Arc::clone(&stats))
+            .assume_hash_partitioned(ROUTE_SEED ^ 1, 4);
+        let mut out = ds.reduce_by_key(|a, b| a + b).collect();
+        out.sort();
+        let expected: Vec<(u32, u64)> = (0..8).map(|k| (k, if k < 4 { 13 } else { 12 })).collect();
+        assert_eq!(out, expected);
+        assert_eq!(stats.shuffles(), 1, "wrong seed: no elision");
+        assert_eq!(stats.shuffles_elided(), 0);
+    }
+
+    #[test]
+    fn mismatched_partition_count_does_not_elide() {
+        let lrows: Vec<(u32, u64)> = (0..200).map(|i| (i % 10, 1u64)).collect();
+        let rrows: Vec<(u32, u64)> = (0..100).map(|i| (i % 7, 2u64)).collect();
+        let stats = ShuffleStats::new();
+        // Both sides genuinely hash-partitioned — but into *different*
+        // counts (4 and 6). The join routes into max(4, 6) = 6 buckets,
+        // which neither layout satisfies: the shuffle must run.
+        let left = KeyedDataset::from_dataset(Dataset::from_vec(lrows.clone(), 4))
+            .with_stats(Arc::clone(&stats))
+            .count_by_key();
+        let right = KeyedDataset::from_dataset(Dataset::from_vec(rrows.clone(), 6))
+            .with_stats(Arc::clone(&stats))
+            .count_by_key();
+        let mut out = left.left_join(&right).collect();
+        out.sort();
+        assert_eq!(
+            (stats.shuffles(), stats.shuffles_elided()),
+            (3, 0),
+            "count mismatch: the join boundary must not elide"
+        );
+        // Same rows as the fully co-partitioned variant of this join.
+        let co_left = KeyedDataset::from_dataset(Dataset::from_vec(lrows, 6)).count_by_key();
+        let co_right = KeyedDataset::from_dataset(Dataset::from_vec(rrows, 6)).count_by_key();
+        let mut expected = co_left.left_join(&co_right).collect();
+        expected.sort();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn elision_disabled_by_config() {
+        use crate::optimize::OptimizerConfig;
+        let rows: Vec<(u32, u64)> = (0..100).map(|i| (i % 8, 1u64)).collect();
+        let stats = ShuffleStats::new();
+        let cfg = OptimizerConfig {
+            elide_shuffles: false,
+            ..OptimizerConfig::default()
+        };
+        let ds = KeyedDataset::from_dataset(Dataset::from_vec(rows, 4).with_optimizer(cfg))
+            .with_stats(Arc::clone(&stats));
+        ds.reduce_by_key(|a, b| a + b)
+            .reduce_by_key(|a, b| a + b)
+            .collect();
+        assert_eq!(stats.shuffles(), 2, "elision off: both boundaries run");
+        assert_eq!(stats.shuffles_elided(), 0);
+    }
+
+    #[test]
+    fn assume_hash_partitioned_enables_elision_on_reload() {
+        use peachy_cluster::dist::ROUTE_SEED;
+        // Simulate writing shuffled output and reloading it: the reloaded
+        // dataset's layout is hash-keyed, but the type system forgot. The
+        // claim restores the knowledge and the re-aggregation elides.
+        let rows: Vec<(String, u64)> = (0..200)
+            .map(|i| (format!("key{}", i % 12), 1u64))
+            .collect();
+        let first = KeyedDataset::from_dataset(Dataset::from_vec(rows, 4))
+            .reduce_by_key(|a, b| a + b);
+        let stats = ShuffleStats::new();
+        let claimed = KeyedDataset::from_dataset(first.rows())
+            .with_stats(Arc::clone(&stats))
+            .assume_hash_partitioned(ROUTE_SEED, 4);
+        let mut a = claimed.reduce_by_key(|x, y| x + y).collect();
+        a.sort();
+        let mut b = first.collect();
+        b.sort();
+        assert_eq!(a, b, "per-key totals already final: elided re-reduce is identity");
+        assert_eq!(stats.shuffles(), 0);
+        assert_eq!(stats.shuffles_elided(), 1);
     }
 
     #[test]

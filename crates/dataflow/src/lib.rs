@@ -31,6 +31,15 @@
 //!   failure-aware: a panicking compute (flaky UDF, simulated executor
 //!   loss) is recomputed from lineage up to a [`RetryPolicy`] bound,
 //!   Spark's task-retry behaviour on the lineage graph.
+//! * **The plan optimizer** — every action runs through a cost-based
+//!   rewrite pass ([`optimize`]): adjacent narrow ops fuse into one
+//!   push-based pass, shuffles whose input is provably co-partitioned are
+//!   elided entirely, and subtrees consumed by multiple actions are
+//!   auto-cached when the measured/estimated recompute volume clears a
+//!   threshold. [`Dataset::explain_plans`] renders the naive and optimized
+//!   plans side by side with predicted shuffle bytes; every rewrite is
+//!   individually gated by [`OptimizerConfig`] and pinned bit-identical to
+//!   the naive plan by the equivalence suite.
 //!
 //! ```
 //! use peachy_dataflow::Dataset;
@@ -46,9 +55,13 @@
 pub mod dataset;
 pub mod keyed;
 pub mod ops;
+pub mod optimize;
+pub mod plan;
 pub mod shuffle;
 
 pub use dataset::Dataset;
 pub use keyed::KeyedDataset;
+pub use optimize::{OptimizerConfig, PlanReport};
 pub use peachy_cluster::RetryPolicy;
+pub use plan::{Partitioning, PlanKind, PlanNode};
 pub use shuffle::ShuffleStats;

@@ -1,0 +1,315 @@
+//! The cost-based plan optimizer: rewrite rules over the lineage DAG.
+//!
+//! Three rewrites, all on by default and all individually gated by
+//! [`OptimizerConfig`]:
+//!
+//! 1. **Narrow-op fusion** — adjacent row-wise narrow ops (map / filter /
+//!    flat_map) execute as one push-based pass per partition instead of N
+//!    materialized intermediates. Decided at construction (each narrow op
+//!    records whether it may fuse), executed via `Op::push_partition`.
+//! 2. **Shuffle elision** — a shuffle whose input is provably already
+//!    hash-partitioned by the same seed and partition count
+//!    ([`Partitioning::satisfies`]) is replaced by a narrow per-partition
+//!    pass: zero records cross the boundary. Decided at construction in
+//!    `KeyedDataset`, which tracks [`Partitioning`] through narrow ops.
+//! 3. **Auto-caching** — [`prepare_action`] runs at the start of every
+//!    action, counts how often each cacheable node has been consumed, and
+//!    arms an in-memory cache on nodes consumed more than once whose
+//!    estimated recompute volume clears [`OptimizerConfig::auto_cache_min_bytes`]
+//!    (estimates use measured per-stage bytes where a shuffle below has
+//!    already run, `rows × size_of::<Row>()` otherwise).
+//!
+//! The contract: every rewrite is *semantically invisible* — optimized
+//! plans produce bit-identical rows to naive plans (exact order for narrow
+//! pipelines; up to the engine's existing per-partition grouping
+//! nondeterminism for keyed posts, which hash-map group in both modes).
+//! `tests/optimizer_equivalence.rs` pins this over randomly generated DAGs
+//! on every executor backend.
+//!
+//! [`Partitioning`]: crate::plan::Partitioning
+//! [`Partitioning::satisfies`]: crate::plan::Partitioning::satisfies
+
+use std::collections::HashSet;
+use std::fmt;
+
+use crate::plan::{Lineage, PlanKind, PlanNode};
+
+/// Which rewrites the optimizer may apply to a dataset's plan.
+///
+/// Carried by every `Dataset` and inherited by derived datasets; the
+/// default enables everything. [`OptimizerConfig::naive`] turns every
+/// rewrite off — the reference plan the equivalence suite compares against.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OptimizerConfig {
+    /// Fuse adjacent row-wise narrow ops into one push-based pass.
+    pub fuse: bool,
+    /// Elide shuffles whose input partitioning already matches.
+    pub elide_shuffles: bool,
+    /// Arm in-memory caches on subtrees consumed by more than one action.
+    pub auto_cache: bool,
+    /// Minimum estimated recompute volume (bytes) before a shared subtree
+    /// is worth holding in memory. Below this, recomputing is assumed
+    /// cheaper than the cache's footprint.
+    pub auto_cache_min_bytes: u64,
+}
+
+impl Default for OptimizerConfig {
+    fn default() -> Self {
+        Self {
+            fuse: true,
+            elide_shuffles: true,
+            auto_cache: true,
+            auto_cache_min_bytes: 1024,
+        }
+    }
+}
+
+impl OptimizerConfig {
+    /// Every rewrite off: the reference configuration whose plans the
+    /// optimizer must reproduce bit-identically.
+    pub fn naive() -> Self {
+        Self {
+            fuse: false,
+            elide_shuffles: false,
+            auto_cache: false,
+            auto_cache_min_bytes: u64::MAX,
+        }
+    }
+}
+
+/// The runtime half of the optimizer: called at the start of every action.
+///
+/// Walks the lineage, bumps each cacheable node's lifetime consumption
+/// count (a diamond consumes its shared subtree once per path), and arms
+/// the auto-cache on nodes consumed ≥ 2 times whose estimated recompute
+/// volume clears the configured threshold. Descent into an already-visited
+/// node is skipped (counts stay linear in plan size), which undercounts
+/// *descendants* of shared nodes — conservative, and harmless: once the
+/// shared ancestor caches, its descendants recompute at most once anyway.
+pub(crate) fn prepare_action(root: &dyn Lineage, cfg: &OptimizerConfig) {
+    if !cfg.auto_cache {
+        return;
+    }
+    let mut visited = HashSet::new();
+    arm_walk(root, cfg, &mut visited);
+}
+
+fn arm_walk(node: &dyn Lineage, cfg: &OptimizerConfig, visited: &mut HashSet<usize>) {
+    if let Some(total) = node.note_consumed() {
+        if total >= 2 {
+            let worth = node
+                .est_cache_bytes()
+                .is_none_or(|b| b >= cfg.auto_cache_min_bytes);
+            if worth {
+                node.arm_auto_cache();
+            }
+        }
+    }
+    if !visited.insert(node.lineage_id()) {
+        return;
+    }
+    node.lineage_children(&mut |child| arm_walk(child, cfg, visited));
+}
+
+/// What the optimizer did (and would have done) to one plan: rendered
+/// naive and optimized trees plus the predicted shuffle volume of each.
+#[derive(Debug, Clone)]
+pub struct PlanReport {
+    /// The plan as it would run with [`OptimizerConfig::naive`].
+    pub naive: String,
+    /// The plan as it actually runs.
+    pub optimized: String,
+    /// Predicted bytes crossing shuffle boundaries in the naive plan
+    /// (measured per-stage bytes where a stage has run, size estimates
+    /// otherwise).
+    pub predicted_naive_shuffle_bytes: u64,
+    /// Predicted shuffle bytes after elision.
+    pub predicted_optimized_shuffle_bytes: u64,
+    /// Fused runs of ≥ 2 narrow ops (each run is one pass instead of N).
+    pub fused_runs: usize,
+    /// Shuffle boundaries removed by elision.
+    pub elided_shuffles: usize,
+    /// Nodes whose auto-cache the runtime pass has armed so far.
+    pub auto_cached: usize,
+}
+
+impl fmt::Display for PlanReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "naive plan:")?;
+        write!(f, "{}", self.naive)?;
+        writeln!(f, "optimized plan:")?;
+        write!(f, "{}", self.optimized)?;
+        writeln!(
+            f,
+            "predicted shuffle bytes: {} naive -> {} optimized",
+            self.predicted_naive_shuffle_bytes, self.predicted_optimized_shuffle_bytes
+        )?;
+        writeln!(
+            f,
+            "rewrites: {} fused narrow run(s), {} shuffle(s) elided, {} subtree(s) auto-cached",
+            self.fused_runs, self.elided_shuffles, self.auto_cached
+        )
+    }
+}
+
+/// Build the optimizer report for a plan rooted at `root`.
+pub(crate) fn report_for(root: &dyn Lineage) -> PlanReport {
+    let plan = root.plan();
+
+    let mut naive = String::new();
+    render(&plan, 0, false, &mut naive);
+    let mut optimized = String::new();
+    render(&plan, 0, true, &mut optimized);
+
+    let mut naive_bytes = 0u64;
+    let mut optimized_bytes = 0u64;
+    let mut elided = 0usize;
+    let mut auto_cached = 0usize;
+    plan.walk(&mut |node| {
+        if let PlanKind::Shuffle { elided: e, .. } = node.kind {
+            let cost = shuffle_cost(node);
+            naive_bytes += cost;
+            if e {
+                elided += 1;
+            } else {
+                optimized_bytes += cost;
+            }
+        }
+        if let PlanKind::Narrow {
+            auto_cached: true, ..
+        } = node.kind
+        {
+            auto_cached += 1;
+        }
+    });
+
+    PlanReport {
+        naive,
+        optimized,
+        predicted_naive_shuffle_bytes: naive_bytes,
+        predicted_optimized_shuffle_bytes: optimized_bytes,
+        fused_runs: count_fused_runs(&plan),
+        elided_shuffles: elided,
+        auto_cached,
+    }
+}
+
+/// Bytes a shuffle boundary moves: the node's measured stage bytes when
+/// the stage has run, otherwise the estimated size of its inputs.
+fn shuffle_cost(node: &PlanNode) -> u64 {
+    if let Some(measured) = node.measured_bytes {
+        return measured;
+    }
+    node.children
+        .iter()
+        .map(|c| c.est_bytes().unwrap_or(0))
+        .sum()
+}
+
+/// Count maximal parent→child runs of ≥ 2 fusable narrow nodes.
+fn count_fused_runs(plan: &PlanNode) -> usize {
+    fn is_fusable(node: &PlanNode) -> bool {
+        matches!(
+            node.kind,
+            PlanKind::Narrow {
+                fused: true,
+                auto_cached: false,
+                ..
+            }
+        )
+    }
+    let mut runs = 0usize;
+    let mut walk = |node: &PlanNode| {
+        // A run starts at a fusable node whose (single) child is fusable
+        // too; count it once at its top.
+        if is_fusable(node) && node.children.len() == 1 && is_fusable(&node.children[0]) {
+            runs += 1;
+        }
+        // Interior members of a run must not start a new one.
+        if is_fusable(node) {
+            if let [child] = node.children.as_slice() {
+                if is_fusable(child) && child.children.len() == 1 && is_fusable(&child.children[0])
+                {
+                    runs -= 1;
+                }
+            }
+        }
+    };
+    plan.walk(&mut walk);
+    runs
+}
+
+/// Render a plan tree. In optimized mode, runs of fusable narrow nodes
+/// collapse into one `Fused[...]` line and elided shuffles keep their
+/// elision marker; in naive mode every node prints separately and elided
+/// shuffles print as the stage boundary they would have been.
+fn render(node: &PlanNode, indent: usize, optimized: bool, out: &mut String) {
+    let pad = |out: &mut String, indent: usize| {
+        for _ in 0..indent {
+            out.push_str("  ");
+        }
+    };
+
+    // Collapse a fused run (optimized mode only).
+    if optimized {
+        let fusable = |n: &PlanNode| {
+            matches!(
+                n.kind,
+                PlanKind::Narrow {
+                    fused: true,
+                    auto_cached: false,
+                    ..
+                }
+            )
+        };
+        if fusable(node) && node.children.len() == 1 && fusable(&node.children[0]) {
+            let mut labels = vec![node.label.clone()];
+            let mut cursor = &node.children[0];
+            while fusable(cursor) && cursor.children.len() == 1 && fusable(&cursor.children[0]) {
+                labels.push(cursor.label.clone());
+                cursor = &cursor.children[0];
+            }
+            labels.push(cursor.label.clone());
+            pad(out, indent);
+            out.push_str("Fused[");
+            out.push_str(&labels.join(" <- "));
+            out.push_str("]\n");
+            for child in &cursor.children {
+                render(child, indent + 1, optimized, out);
+            }
+            return;
+        }
+    }
+
+    pad(out, indent);
+    let label = if optimized {
+        node.label.clone()
+    } else {
+        naive_label(node)
+    };
+    out.push_str(&label);
+    if optimized {
+        if let PlanKind::Narrow {
+            auto_cached: true,
+            consumed,
+            ..
+        } = node.kind
+        {
+            out.push_str(&format!(" [auto-cached, consumed x{consumed}]"));
+        }
+    }
+    out.push('\n');
+    for child in &node.children {
+        render(child, indent + 1, optimized, out);
+    }
+}
+
+/// The label this node would carry in a naive plan (elision undone).
+fn naive_label(node: &PlanNode) -> String {
+    if let PlanKind::Shuffle { elided: true, .. } = node.kind {
+        return node
+            .label
+            .replace(crate::plan::ELIDED_MARK, crate::plan::SHUFFLE_MARK);
+    }
+    node.label.clone()
+}

@@ -20,7 +20,8 @@ use peachy_cluster::dist::{owner_of_key, ROUTE_SEED};
 use peachy_cluster::ByteSized;
 use rayon::prelude::*;
 
-use crate::dataset::{explain_into, take_rows, Op};
+use crate::dataset::{explain_into, take_rows, up, Op};
+use crate::plan::{Lineage, PlanKind, PlanNode, ELIDED_MARK, SHUFFLE_MARK};
 
 /// Counters shared by all shuffles in a lineage (attach one per pipeline
 /// run to compare variants). This is the workspace-wide
@@ -46,6 +47,10 @@ pub(crate) struct ShuffleOp<K, V, T, F> {
     pub post: F,
     pub name: &'static str,
     pub stats: Option<Arc<ShuffleStats>>,
+    /// Stage id labeling this boundary's traffic in the per-stage
+    /// [`CommStats`](peachy_cluster::CommStats) ledger (allocated at
+    /// construction via [`crate::plan::next_stage_id`]).
+    pub stage_id: u32,
     pub materialized: OnceLock<Vec<Vec<(K, V)>>>,
     /// Per-output-partition memo of `post`'s result: repeated actions on
     /// a shuffled dataset pay the bucket clone + regroup exactly once.
@@ -110,6 +115,7 @@ where
             if let Some(stats) = &self.stats {
                 stats.add_shuffle(moved);
                 stats.add_bytes(moved_bytes);
+                stats.add_stage(self.stage_id, moved, moved_bytes);
             }
             merged
         })
@@ -135,16 +141,159 @@ where
         Arc::clone(posted)
     }
     fn label(&self) -> String {
-        format!(
-            "{}[{} partitions] === stage boundary (shuffle) ===",
-            self.name, self.partitions
-        )
+        format!("{}[{} partitions] {}", self.name, self.partitions, SHUFFLE_MARK)
     }
     fn explain_children(&self, indent: usize, out: &mut String) {
         explain_into(&*self.parent, indent, out);
     }
     fn stages(&self) -> usize {
         self.parent.stages() + 1
+    }
+}
+
+impl<K, V, T, F> Lineage for ShuffleOp<K, V, T, F>
+where
+    K: Clone + Send + Sync + Hash + Eq + ByteSized + 'static,
+    V: Clone + Send + Sync + ByteSized + 'static,
+    T: Clone + Send + Sync,
+    F: Fn(Vec<(K, V)>) -> Vec<T> + Send + Sync,
+{
+    fn plan(&self) -> PlanNode {
+        PlanNode {
+            id: self.lineage_id(),
+            label: Op::label(self),
+            kind: PlanKind::Shuffle {
+                stage: self.stage_id,
+                elided: false,
+            },
+            partitions: self.partitions,
+            est_rows: Lineage::est_rows(self),
+            row_bytes: std::mem::size_of::<T>(),
+            measured_bytes: self
+                .stats
+                .as_ref()
+                .and_then(|s| s.stage_comm(self.stage_id))
+                .map(|c| c.bytes),
+            children: vec![up(&self.parent).plan()],
+        }
+    }
+    fn lineage_children(&self, visit: &mut dyn FnMut(&dyn Lineage)) {
+        visit(up(&self.parent));
+    }
+    fn est_rows(&self) -> Option<u64> {
+        // Exact once every output partition's post has run; before that,
+        // the parent's row count is an upper bound (posts only group or
+        // reduce, never expand, in this engine's combinators).
+        let done: Option<u64> = self
+            .posted
+            .iter()
+            .map(|cell| cell.get().map(|rows| rows.len() as u64))
+            .sum();
+        done.or_else(|| up(&self.parent).est_rows())
+    }
+}
+
+/// A shuffle boundary the optimizer removed: the parent(s) are provably
+/// hash-partitioned by the same seed and partition count the shuffle would
+/// have routed with, so output partition `p` is exactly `post` applied to
+/// the concatenation of each parent's partition `p` — the same input rows,
+/// in the same order, a naive shuffle's bucket `p` would have received.
+/// Zero records cross the boundary; the rewrite is a narrow per-partition
+/// pass.
+///
+/// Co-partitioned joins are the multi-parent case: instead of unioning two
+/// pre-tagged sides and re-shuffling, both sides' matching partitions feed
+/// `post` directly (left's rows before right's, matching the union order
+/// a naive plan shuffles).
+pub(crate) struct ElidedShuffleOp<R, T, F> {
+    pub parents: Vec<Arc<dyn Op<R>>>,
+    pub partitions: usize,
+    pub post: F,
+    pub name: &'static str,
+    pub stats: Option<Arc<ShuffleStats>>,
+    /// Stage id the *naive* boundary would have carried — kept so plan
+    /// reports can say which boundary disappeared.
+    pub stage_id: u32,
+    pub posted: Vec<OnceLock<Arc<Vec<T>>>>,
+    /// Records the elision in [`ShuffleStats`] exactly once per op.
+    pub noted: OnceLock<()>,
+}
+
+impl<R, T, F> Op<T> for ElidedShuffleOp<R, T, F>
+where
+    R: Clone + Send + Sync + 'static,
+    T: Clone + Send + Sync,
+    F: Fn(Vec<R>) -> Vec<T> + Send + Sync,
+{
+    fn partitions(&self) -> usize {
+        self.partitions
+    }
+    fn compute_partition(&self, idx: usize) -> Vec<T> {
+        (*self.compute_partition_shared(idx)).clone()
+    }
+    fn compute_partition_shared(&self, idx: usize) -> Arc<Vec<T>> {
+        let posted = self.posted[idx].get_or_init(|| {
+            self.noted.get_or_init(|| {
+                if let Some(stats) = &self.stats {
+                    stats.add_elided_shuffle();
+                }
+            });
+            let mut rows = Vec::new();
+            for parent in &self.parents {
+                debug_assert_eq!(parent.partitions(), self.partitions);
+                rows.extend(take_rows(parent.compute_partition_shared(idx)));
+            }
+            Arc::new((self.post)(rows))
+        });
+        Arc::clone(posted)
+    }
+    fn label(&self) -> String {
+        format!("{}[{} partitions] {}", self.name, self.partitions, ELIDED_MARK)
+    }
+    fn explain_children(&self, indent: usize, out: &mut String) {
+        for parent in &self.parents {
+            explain_into(&**parent, indent, out);
+        }
+    }
+    fn stages(&self) -> usize {
+        // Not a stage boundary: nothing crosses it.
+        self.parents.iter().map(|p| p.stages()).max().unwrap_or(1)
+    }
+}
+
+impl<R, T, F> Lineage for ElidedShuffleOp<R, T, F>
+where
+    R: Clone + Send + Sync + 'static,
+    T: Clone + Send + Sync,
+    F: Fn(Vec<R>) -> Vec<T> + Send + Sync,
+{
+    fn plan(&self) -> PlanNode {
+        PlanNode {
+            id: self.lineage_id(),
+            label: Op::label(self),
+            kind: PlanKind::Shuffle {
+                stage: self.stage_id,
+                elided: true,
+            },
+            partitions: self.partitions,
+            est_rows: Lineage::est_rows(self),
+            row_bytes: std::mem::size_of::<T>(),
+            measured_bytes: None,
+            children: self.parents.iter().map(|p| up(p).plan()).collect(),
+        }
+    }
+    fn lineage_children(&self, visit: &mut dyn FnMut(&dyn Lineage)) {
+        for parent in &self.parents {
+            visit(up(parent));
+        }
+    }
+    fn est_rows(&self) -> Option<u64> {
+        let done: Option<u64> = self
+            .posted
+            .iter()
+            .map(|cell| cell.get().map(|rows| rows.len() as u64))
+            .sum();
+        done.or_else(|| self.parents.iter().map(|p| up(p).est_rows()).sum())
     }
 }
 
@@ -170,6 +319,7 @@ mod tests {
             },
             name: "Identity",
             stats: None,
+            stage_id: crate::plan::next_stage_id(),
             materialized: OnceLock::new(),
             posted: (0..partitions).map(|_| OnceLock::new()).collect(),
             _marker: std::marker::PhantomData,
@@ -208,6 +358,7 @@ mod tests {
             post: |bucket: Vec<(u64, u64)>| bucket,
             name: "Identity",
             stats: Some(Arc::clone(&stats)),
+            stage_id: crate::plan::next_stage_id(),
             materialized: OnceLock::new(),
             posted: (0..2).map(|_| OnceLock::new()).collect(),
             _marker: std::marker::PhantomData,
@@ -218,6 +369,49 @@ mod tests {
         assert_eq!(stats.records(), 32);
         // Every (u64, u64) row is 16 bytes; all 32 cross the boundary.
         assert_eq!(stats.bytes(), 32 * 16);
+        // The same traffic is attributed to this boundary's stage label.
+        assert_eq!(
+            stats.stage_comm(op.stage_id),
+            Some(peachy_cluster::StageComm {
+                records: 32,
+                bytes: 32 * 16
+            })
+        );
+        assert_eq!(stats.stages().len(), 1, "one labeled stage");
+    }
+
+    #[test]
+    fn elided_shuffle_concatenates_matching_partitions() {
+        // Two parents pretend to be co-partitioned; the elided boundary
+        // must produce post(left_p ++ right_p) per partition and count one
+        // elision, zero shuffles, zero records moved.
+        let left = Dataset::from_vec(vec![(0u64, 1u64), (0, 2), (1, 3), (1, 4)], 2);
+        let right = Dataset::from_vec(vec![(0u64, 10u64), (0, 20), (1, 30), (1, 40)], 2);
+        let stats = Arc::new(ShuffleStats::new());
+        let partitions = 2;
+        let op = ElidedShuffleOp {
+            parents: vec![Arc::clone(&left.op), Arc::clone(&right.op)],
+            partitions,
+            post: |rows: Vec<(u64, u64)>| rows,
+            name: "Identity",
+            stats: Some(Arc::clone(&stats)),
+            stage_id: crate::plan::next_stage_id(),
+            posted: (0..partitions).map(|_| OnceLock::new()).collect(),
+            noted: OnceLock::new(),
+        };
+        assert_eq!(
+            op.compute_partition(0),
+            vec![(0, 1), (0, 2), (0, 10), (0, 20)],
+            "left partition rows precede right partition rows"
+        );
+        assert_eq!(op.compute_partition(1), vec![(1, 3), (1, 4), (1, 30), (1, 40)]);
+        op.compute_partition(0); // memoized replay
+        assert_eq!(stats.shuffles_elided(), 1, "counted once per op");
+        assert_eq!(stats.shuffles(), 0);
+        assert_eq!(stats.records(), 0, "nothing crossed the boundary");
+        assert_eq!(stats.bytes(), 0);
+        assert_eq!(op.stages(), 1, "an elided shuffle is not a stage boundary");
+        assert!(Op::label(&op).contains("shuffle elided"));
     }
 
     #[test]

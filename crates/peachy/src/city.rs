@@ -12,7 +12,7 @@
 use std::sync::Arc;
 
 use peachy_data::geo::{locate, Nta, Point, Polygon, SyntheticCity};
-use peachy_dataflow::{Dataset, KeyedDataset, ShuffleStats};
+use peachy_dataflow::{Dataset, KeyedDataset, OptimizerConfig, ShuffleStats};
 
 /// A cleaned arrest event: year plus a validated city coordinate.
 #[derive(Debug, Clone, PartialEq)]
@@ -132,12 +132,24 @@ pub fn arrests_per_100k(
     tables: &CityTables,
     partitions: usize,
 ) -> (Vec<NtaRate>, Arc<ShuffleStats>) {
+    arrests_per_100k_with(tables, partitions, OptimizerConfig::default())
+}
+
+/// [`arrests_per_100k`] under an explicit [`OptimizerConfig`] — the
+/// ablation knob for the E18 optimizer experiment (naive vs optimized on
+/// the same tables).
+pub fn arrests_per_100k_with(
+    tables: &CityTables,
+    partitions: usize,
+    cfg: OptimizerConfig,
+) -> (Vec<NtaRate>, Arc<ShuffleStats>) {
     let stats = ShuffleStats::new();
     let ntas = Arc::new(parse_boundaries(&tables.boundaries));
 
     // Ingest + clean: current-year arrests only, valid coordinates only.
     let current_year = tables.current_year;
     let arrests = Dataset::from_text(&tables.arrests_current, partitions)
+        .with_optimizer(cfg)
         .flat_map(|line| parse_arrest(&line))
         .filter(move |a| a.year == current_year);
 
@@ -248,13 +260,29 @@ pub fn hotspot_growth(
     historic_years: u32,
     partitions: usize,
 ) -> Vec<(String, u64, f64)> {
+    hotspot_growth_with(tables, historic_years, partitions, OptimizerConfig::default()).0
+}
+
+/// [`hotspot_growth`] under an explicit [`OptimizerConfig`], with shuffle
+/// statistics. Both join sides are `count_by_key` outputs over the same
+/// partition count, so the optimizer elides the join shuffle entirely —
+/// the flagship elision site of the E18 experiment.
+pub fn hotspot_growth_with(
+    tables: &CityTables,
+    historic_years: u32,
+    partitions: usize,
+    cfg: OptimizerConfig,
+) -> (Vec<(String, u64, f64)>, Arc<ShuffleStats>) {
     let ntas = Arc::new(parse_boundaries(&tables.boundaries));
+    let stats = ShuffleStats::new();
     let locate_codes = |text: &str| {
         let ntas = Arc::clone(&ntas);
         Dataset::from_text(text, partitions)
+            .with_optimizer(cfg)
             .flat_map(|line| parse_arrest(&line))
             .flat_map(move |a| locate(&ntas, a.at).map(|idx| ntas[idx].code.clone()))
             .key_by(|code| code.clone())
+            .with_stats(Arc::clone(&stats))
             .count_by_key()
     };
     let current = locate_codes(&tables.arrests_current);
@@ -273,7 +301,27 @@ pub fn hotspot_growth(
         let gb = b.1 as f64 / b.2.max(1e-9);
         gb.partial_cmp(&ga).expect("finite").then(a.0.cmp(&b.0))
     });
-    rows
+    (rows, stats)
+}
+
+/// The optimizer's rendering of the hotspot-growth plan: the naive and
+/// optimized lineage side by side, with predicted shuffle bytes — the
+/// `explain_plans()` surface of the dataflow engine applied to the §4
+/// pipeline. Both join inputs are `count_by_key` outputs over the same
+/// partition count, so the optimized plan elides the join boundary.
+pub fn hotspot_plan(tables: &CityTables, partitions: usize) -> peachy_dataflow::PlanReport {
+    let ntas = Arc::new(parse_boundaries(&tables.boundaries));
+    let locate_codes = |text: &str| {
+        let ntas = Arc::clone(&ntas);
+        Dataset::from_text(text, partitions)
+            .flat_map(|line| parse_arrest(&line))
+            .flat_map(move |a| locate(&ntas, a.at).map(|idx| ntas[idx].code.clone()))
+            .key_by(|code| code.clone())
+            .count_by_key()
+    };
+    let current = locate_codes(&tables.arrests_current);
+    let historic = locate_codes(&tables.arrests_historic);
+    current.left_join(&historic).explain_plans()
 }
 
 /// Render the Figure-2 heat map as ASCII: one cell per NTA in grid layout,

@@ -9,9 +9,11 @@
 //! ```
 
 use peachy::city::{
-    arrests_per_100k, heat_map_ascii, hotspot_growth, offenses_by_year, CityTables,
+    arrests_per_100k, heat_map_ascii, hotspot_growth, hotspot_growth_with, hotspot_plan,
+    offenses_by_year, CityTables,
 };
 use peachy::data::geo::{CityConfig, SyntheticCity};
+use peachy::dataflow::OptimizerConfig;
 
 fn main() {
     let config = CityConfig {
@@ -92,6 +94,24 @@ fn main() {
             *cur as f64 / per_year.max(1e-9)
         );
     }
+
+    // The optimizer's view of analysis 3: both join inputs are already
+    // hash-partitioned count_by_key outputs, so the optimized plan elides
+    // the join shuffle and the narrow parse chain fuses.
+    println!("\n-- plan optimizer: analysis 3, naive vs optimized --");
+    println!("{}", hotspot_plan(&tables, 8));
+    let (_, naive_stats) =
+        hotspot_growth_with(&tables, config.historic_years, 8, OptimizerConfig::naive());
+    let (_, opt_stats) =
+        hotspot_growth_with(&tables, config.historic_years, 8, OptimizerConfig::default());
+    println!(
+        "measured: {} -> {} shuffle bytes, {} -> {} shuffles ({} elided)",
+        naive_stats.bytes(),
+        opt_stats.bytes(),
+        naive_stats.shuffles(),
+        opt_stats.shuffles(),
+        opt_stats.shuffles_elided(),
+    );
 
     // Verify against generator ground truth.
     let mut ok = true;
