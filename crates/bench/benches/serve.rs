@@ -11,12 +11,21 @@
 //!
 //! Responses are bit-identical across every point in both sweeps (pinned
 //! by the serve test suites); only the wall-clock differs.
+//!
+//! E19 — reshard ablation: the same scripted join/kill/revive/drain
+//! story served with delta migration (move only the shards the ring
+//! says moved) vs the full-rebuild strawman (rebroadcast every shard on
+//! every epoch bump). Answers are identical; the strawman pays for it
+//! in migrated bytes and wall-clock.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use peachy::cluster::Executor;
+use peachy::cluster::{Executor, FaultPlan, TickBackoff};
 use peachy::data::matrix::Matrix;
 use peachy::data::synth::gaussian_blobs;
-use peachy::serve::{query_trace, KnnService, ServeConfig, Server};
+use peachy::serve::{
+    keyed_query_trace, query_trace, KnnService, ScaleEvent, ServeConfig, Server, ShardConfig,
+    ShardedKnnService, ShardedServer,
+};
 
 const SEED: u64 = 42;
 const TICKS: u64 = 40;
@@ -75,5 +84,45 @@ fn bench_backends(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_batch_size, bench_backends);
+fn run_elastic(
+    db: &peachy::data::matrix::LabeledDataset,
+    pool: &Matrix,
+    exec: Executor,
+    full_rebuild: bool,
+) -> u64 {
+    let cfg = ShardConfig {
+        num_shards: 16,
+        initial_ranks: 4,
+        max_batch_size: 4,
+        max_wait: 2,
+        backoff: TickBackoff::linear(1, 3, SEED),
+        plan: FaultPlan::new(SEED).kill(2, 2).revive(2, 3),
+        scaling: vec![(6, ScaleEvent::Add(4)), (18, ScaleEvent::Drain(1))],
+        full_rebuild,
+        ..ShardConfig::default()
+    };
+    let mut server = ShardedServer::start(ShardedKnnService::new(db.clone(), 5), exec, cfg);
+    let responses = server.run_trace(keyed_query_trace(SEED, 24, 3.0, pool));
+    let report = server.shutdown();
+    assert_eq!(report.stats.failed(), 0);
+    assert!(report.stats.replayed() > 0, "the scripted kill must fire");
+    responses.into_iter().filter(|r| r.is_ok()).count() as u64
+}
+
+fn bench_reshard_ablation(c: &mut Criterion) {
+    let db = gaussian_blobs(600, 8, 4, 2.0, SEED);
+    let pool = gaussian_blobs(100, 8, 4, 2.0, SEED + 1);
+    let mut group = c.benchmark_group("E19_reshard_ablation");
+    group.sample_size(10);
+    for (label, exec) in [("seq", Executor::seq()), ("cluster4", Executor::cluster(4))] {
+        for (mode, full_rebuild) in [("delta", false), ("full_rebuild", true)] {
+            group.bench_function(BenchmarkId::new(format!("{label}_{mode}"), 16), |b| {
+                b.iter(|| run_elastic(&db, &pool.points, exec.clone(), full_rebuild))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_batch_size, bench_backends, bench_reshard_ablation);
 criterion_main!(benches);

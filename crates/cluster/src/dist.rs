@@ -364,6 +364,123 @@ impl Distribution for BlockCyclic {
     }
 }
 
+/// Consistent-hash ring with virtual nodes: seeded, version-stable
+/// key → member routing that stays *almost entirely* put when membership
+/// changes.
+///
+/// [`owner_of_key`] (`hash % parts`) reshuffles ~`n/(n+1)` of all keys
+/// when the part count grows from `n` to `n+1` — fine for a shuffle that
+/// rebuilds every partition anyway, fatal for a serving tier whose parts
+/// carry warm state. The ring fixes this: each member contributes
+/// `vnodes` points at `stable_hash((member, vnode), seed)` on a `u64`
+/// circle, and a key belongs to the first point at or after its own hash
+/// (wrapping). Adding a member only claims the arcs its new points cut;
+/// every other key keeps its owner — the minimal-movement law pinned by
+/// `cluster/tests/hashring_laws.rs`.
+///
+/// Determinism contract: the ring is a pure function of
+/// `(members, vnodes, seed)`. Member order at construction is irrelevant
+/// (members are sorted and deduplicated), point-hash ties break by member
+/// id, and hashing goes through [`peachy_prng::StableHash64`], so
+/// placement survives Rust upgrades and replays bit-identically — the
+/// property the sharded serving tier's epoch maps are built on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HashRing {
+    seed: u64,
+    vnodes: usize,
+    members: Vec<usize>,
+    /// `(point_hash, member)`, sorted — the circle, flattened.
+    points: Vec<(u64, usize)>,
+}
+
+impl HashRing {
+    /// Build the ring for `members` with `vnodes` points per member.
+    ///
+    /// Panics if `members` is empty or `vnodes` is zero. Duplicate member
+    /// ids are collapsed.
+    pub fn new<I: IntoIterator<Item = usize>>(members: I, vnodes: usize, seed: u64) -> Self {
+        let mut members: Vec<usize> = members.into_iter().collect();
+        members.sort_unstable();
+        members.dedup();
+        assert!(!members.is_empty(), "a hash ring needs at least one member");
+        assert!(vnodes > 0, "need at least one virtual node per member");
+        let mut points = Vec::with_capacity(members.len() * vnodes);
+        for &m in &members {
+            for v in 0..vnodes {
+                points.push((peachy_prng::stable_hash(&(m as u64, v as u64), seed), m));
+            }
+        }
+        points.sort_unstable();
+        Self {
+            seed,
+            vnodes,
+            members,
+            points,
+        }
+    }
+
+    /// The members on the ring, ascending.
+    pub fn members(&self) -> &[usize] {
+        &self.members
+    }
+
+    /// Virtual nodes per member.
+    pub fn vnodes(&self) -> usize {
+        self.vnodes
+    }
+
+    /// The routing seed the ring was built with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Whether `member` is on the ring.
+    pub fn contains(&self, member: usize) -> bool {
+        self.members.binary_search(&member).is_ok()
+    }
+
+    /// The member owning `key`: the first ring point at or after
+    /// `stable_hash(key, seed)`, wrapping past the top of the circle.
+    pub fn owner_of_key<K: Hash + ?Sized>(&self, key: &K) -> usize {
+        let h = peachy_prng::stable_hash(key, self.seed);
+        // First point with hash >= h; ties already ordered by member id
+        // because `points` is sorted on the full (hash, member) pair.
+        let idx = self.points.partition_point(|&(p, _)| p < h);
+        if idx == self.points.len() {
+            self.points[0].1
+        } else {
+            self.points[idx].1
+        }
+    }
+
+    /// A new ring with `member` added (no-op clone if already present).
+    pub fn with_member(&self, member: usize) -> Self {
+        if self.contains(member) {
+            return self.clone();
+        }
+        let mut members = self.members.clone();
+        members.push(member);
+        Self::new(members, self.vnodes, self.seed)
+    }
+
+    /// A new ring with `member` removed.
+    ///
+    /// Panics if `member` is the last one — an empty ring routes nothing.
+    pub fn without_member(&self, member: usize) -> Self {
+        let members: Vec<usize> = self
+            .members
+            .iter()
+            .copied()
+            .filter(|&m| m != member)
+            .collect();
+        assert!(
+            !members.is_empty(),
+            "removing member {member} would empty the ring"
+        );
+        Self::new(members, self.vnodes, self.seed)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -486,5 +603,46 @@ mod tests {
             .filter(|k| owner_of_key(k, 7, 1) != owner_of_key(k, 7, 2))
             .count();
         assert!(moved > 500, "reseeding must reshuffle: {moved}/1000 moved");
+    }
+
+    #[test]
+    fn hash_ring_is_order_insensitive_and_stable() {
+        let a = HashRing::new([4, 0, 2, 0], 16, 99);
+        let b = HashRing::new([0, 2, 4], 16, 99);
+        assert_eq!(a, b);
+        assert_eq!(a.members(), &[0, 2, 4]);
+        for key in 0..500u64 {
+            let owner = a.owner_of_key(&key);
+            assert!(a.contains(owner));
+            assert_eq!(owner, b.owner_of_key(&key));
+        }
+    }
+
+    #[test]
+    fn hash_ring_spreads_keys_over_all_members() {
+        let ring = HashRing::new(0..5, 64, ROUTE_SEED);
+        let mut counts = [0usize; 5];
+        for key in 0..2000u64 {
+            counts[ring.owner_of_key(&key)] += 1;
+        }
+        for (m, &c) in counts.iter().enumerate() {
+            assert!(c > 0, "member {m} owns nothing");
+        }
+    }
+
+    #[test]
+    fn hash_ring_membership_edits_round_trip() {
+        let ring = HashRing::new(0..3, 8, 7);
+        let grown = ring.with_member(3);
+        assert_eq!(grown.members(), &[0, 1, 2, 3]);
+        assert_eq!(grown.without_member(3), ring);
+        // Adding an existing member is a no-op.
+        assert_eq!(ring.with_member(1), ring);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty the ring")]
+    fn hash_ring_refuses_to_empty() {
+        HashRing::new([5], 4, 0).without_member(5);
     }
 }

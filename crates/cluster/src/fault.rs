@@ -130,10 +130,75 @@ impl Default for RetryPolicy {
 impl RetryPolicy {
     /// Sleep before retry number `attempt` (1-based count of *completed*
     /// attempts). No-op for a zero backoff.
+    ///
+    /// This is the *wall-clock* backoff used by thread-level retry loops
+    /// (task farm, resilient MapReduce). Virtual-time components — the
+    /// serving tier above all — must use [`TickBackoff`] instead: a real
+    /// sleep inside a virtual-time replay perturbs nothing observable but
+    /// wastes real seconds, and any future coupling to wall time would
+    /// break the replay contract.
     pub fn sleep_before_retry(&self, attempt: u32) {
         if !self.backoff.is_zero() {
             std::thread::sleep(self.backoff.saturating_mul(attempt));
         }
+    }
+}
+
+/// Deterministic retry backoff measured in **virtual ticks**, not wall
+/// time: delay grows linearly with the attempt index plus seeded jitter,
+/// so a chaotic serving run stays a pure function of
+/// `(trace, config, seed)`.
+///
+/// `delay_ticks(attempt)` is a pure function — no clocks, no global RNG —
+/// which is what lets the sharded serving tier schedule a replayed batch
+/// at `now + delay` identically on every backend and every rerun. Jitter
+/// is drawn from a [`SplitMix64`]-mixed stream keyed by `(seed, attempt)`,
+/// so two servers with different seeds desynchronize their retry storms
+/// while each remains reproducible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TickBackoff {
+    /// Base delay in ticks; retry `a` waits `base·a` ticks before jitter.
+    pub base: u64,
+    /// Exclusive upper bound on the seeded jitter added per retry
+    /// (`0` disables jitter).
+    pub jitter: u64,
+    /// Seed for the jitter stream.
+    pub seed: u64,
+}
+
+impl Default for TickBackoff {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+impl TickBackoff {
+    /// No delay at all: every retry is eligible at the next tick.
+    pub fn none() -> Self {
+        Self {
+            base: 0,
+            jitter: 0,
+            seed: 0,
+        }
+    }
+
+    /// Linear backoff of `base` ticks per attempt with `jitter` ticks of
+    /// seeded noise.
+    pub fn linear(base: u64, jitter: u64, seed: u64) -> Self {
+        Self { base, jitter, seed }
+    }
+
+    /// Ticks to wait before retry number `attempt` (1-based count of
+    /// completed attempts, matching
+    /// [`RetryPolicy::sleep_before_retry`]). Pure: same `(self, attempt)`
+    /// always yields the same delay.
+    pub fn delay_ticks(&self, attempt: u32) -> u64 {
+        let linear = self.base.saturating_mul(attempt as u64);
+        if self.jitter == 0 {
+            return linear;
+        }
+        let draw = SplitMix64::mix(mix_seed(self.seed) ^ (attempt as u64).wrapping_mul(0x9e37_79b9));
+        linear + draw % self.jitter
     }
 }
 
@@ -183,6 +248,7 @@ pub struct FaultPlan {
     default_edge: Option<EdgeFault>,
     edges: HashMap<(usize, usize), EdgeFault>,
     kills: HashMap<usize, u64>,
+    revivals: HashMap<usize, u64>,
 }
 
 impl FaultPlan {
@@ -222,16 +288,82 @@ impl FaultPlan {
         self
     }
 
-    /// Ranks with a scheduled death.
+    /// Schedule `rank` to rejoin `after_events` supervisor events after
+    /// its scheduled death.
+    ///
+    /// Within one SPMD run fail-stop is permanent — a killed OS thread
+    /// does not come back — so the transport ignores revivals. They are
+    /// consumed by supervisors that span runs, such as the elastic
+    /// serving tier, which counts virtual ticks after the death as its
+    /// events and re-admits the rank (with freshly built shard state)
+    /// once the count elapses. `after_events = 0` rejoins at the first
+    /// tick boundary after the death is handled.
+    pub fn revive(mut self, rank: usize, after_events: u64) -> Self {
+        self.revivals.insert(rank, after_events);
+        self
+    }
+
+    /// Ranks whose scheduled death is *permanent*: killed and never
+    /// revived. A rank with both a [`FaultPlan::kill`] and a
+    /// [`FaultPlan::revive`] entry is expected back, so it is not doomed.
     pub fn doomed_ranks(&self) -> Vec<usize> {
-        let mut v: Vec<usize> = self.kills.keys().copied().collect();
+        let mut v: Vec<usize> = self
+            .kills
+            .keys()
+            .filter(|rank| !self.revivals.contains_key(rank))
+            .copied()
+            .collect();
         v.sort_unstable();
         v
     }
 
+    /// All scheduled `(rank, after_events)` deaths, ascending by rank —
+    /// revived or not.
+    pub fn scheduled_kills(&self) -> Vec<(usize, u64)> {
+        let mut v: Vec<(usize, u64)> = self.kills.iter().map(|(&r, &e)| (r, e)).collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// The scheduled revival delay for `rank`, if any.
+    pub fn revival_of(&self, rank: usize) -> Option<u64> {
+        self.revivals.get(&rank).copied()
+    }
+
+    /// The seed the plan's edge streams derive from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The same plan reseeded: edge fault streams re-derive from `seed`,
+    /// kills and revivals are unchanged. Lets a supervisor that runs many
+    /// short SPMD rounds under one plan draw fresh (but reproducible)
+    /// chaos each round instead of replaying identical fates.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// A copy with only the message-level chaos (drop/dup/reorder/delay):
+    /// kills and revivals stripped. Supervisors that schedule deaths
+    /// themselves (counting their own events) use this as the per-round
+    /// base plan and re-attach kills at the translated moment.
+    pub fn transport_only(&self) -> Self {
+        Self {
+            seed: self.seed,
+            default_edge: self.default_edge,
+            edges: self.edges.clone(),
+            kills: HashMap::new(),
+            revivals: HashMap::new(),
+        }
+    }
+
     /// Does this plan inject anything at all?
     pub fn is_empty(&self) -> bool {
-        self.default_edge.is_none() && self.edges.is_empty() && self.kills.is_empty()
+        self.default_edge.is_none()
+            && self.edges.is_empty()
+            && self.kills.is_empty()
+            && self.revivals.is_empty()
     }
 
     /// Build the per-rank runtime state consumed by the transport.
@@ -421,6 +553,66 @@ mod tests {
         assert!(FaultPlan::none().is_empty());
         assert!(!FaultPlan::new(3).kill(0, 5).is_empty());
         assert_eq!(FaultPlan::new(3).kill(4, 0).kill(1, 0).doomed_ranks(), vec![1, 4]);
+    }
+
+    #[test]
+    fn revive_cancels_doom_but_not_the_kill() {
+        let plan = FaultPlan::new(3).kill(4, 0).kill(1, 2).revive(4, 1);
+        // Rank 4 is expected back, so only rank 1 is permanently doomed…
+        assert_eq!(plan.doomed_ranks(), vec![1]);
+        // …but both deaths are still scheduled and visible to supervisors.
+        assert_eq!(plan.scheduled_kills(), vec![(1, 2), (4, 0)]);
+        assert_eq!(plan.revival_of(4), Some(1));
+        assert_eq!(plan.revival_of(1), None);
+        assert!(!plan.is_empty());
+        // The transport still kills the revived rank within this run.
+        let mut st = plan.state_for(4, 6);
+        let died = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| st.on_send(0)));
+        assert!(died.expect_err("kill fires despite revival").is::<KilledByPlan>());
+    }
+
+    #[test]
+    fn transport_only_strips_deaths_and_keeps_chaos() {
+        let plan = FaultPlan::new(9)
+            .all_edges(EdgeFault {
+                drop_p: 0.5,
+                ..EdgeFault::none()
+            })
+            .kill(0, 0)
+            .revive(0, 2);
+        let stripped = plan.transport_only();
+        assert!(stripped.scheduled_kills().is_empty());
+        assert!(stripped.revival_of(0).is_none());
+        assert!(!stripped.is_empty(), "edge chaos survives the strip");
+        // Same seed → same edge fates (probed from an undoomed rank).
+        let fates = |p: &FaultPlan| {
+            let mut st = p.state_for(1, 3);
+            (0..32).map(|i| st.on_send(2 * (i % 2)).drop).collect::<Vec<_>>()
+        };
+        assert_eq!(fates(&stripped), fates(&plan.clone().with_seed(9)));
+        assert_ne!(fates(&stripped), fates(&stripped.clone().with_seed(10)));
+    }
+
+    #[test]
+    fn tick_backoff_is_pure_and_attempt_indexed() {
+        let b = TickBackoff::linear(3, 5, 42);
+        for attempt in 1..10 {
+            let d = b.delay_ticks(attempt);
+            assert_eq!(d, b.delay_ticks(attempt), "pure function of attempt");
+            let linear = 3 * attempt as u64;
+            assert!(d >= linear && d < linear + 5, "attempt {attempt}: {d}");
+        }
+        // Jitter actually varies across attempts and seeds.
+        let draws: Vec<u64> = (1..20).map(|a| b.delay_ticks(a) - 3 * a as u64).collect();
+        assert!(draws.iter().any(|&j| j != draws[0]), "jitter is constant");
+        let other = TickBackoff::linear(3, 5, 43);
+        assert!(
+            (1..20).any(|a| b.delay_ticks(a) != other.delay_ticks(a)),
+            "seed must matter"
+        );
+        // Degenerate configs.
+        assert_eq!(TickBackoff::none().delay_ticks(7), 0);
+        assert_eq!(TickBackoff::linear(2, 0, 0).delay_ticks(4), 8);
     }
 
     #[test]

@@ -68,10 +68,14 @@ pub mod stats;
 
 pub use collectives::{ReduceOp, Shared};
 pub use comm::{Comm, ANY_SOURCE};
-pub use dist::{block_range, Block, BlockCyclic, Contiguous, Cyclic, Distribution, EvenBlocks};
+pub use dist::{
+    block_range, Block, BlockCyclic, Contiguous, Cyclic, Distribution, EvenBlocks, HashRing,
+};
 pub use exec::Executor;
 pub use farm::{task_farm, FarmOutcome};
-pub use fault::{EdgeFault, FaultPlan, RankError, RankErrorKind, RecvError, RetryPolicy};
+pub use fault::{
+    EdgeFault, FaultPlan, RankError, RankErrorKind, RecvError, RetryPolicy, TickBackoff,
+};
 pub use hierarchy::NodeMap;
 pub use message::ByteSized;
 pub use stats::{CommStats, StageComm};

@@ -12,7 +12,7 @@
 //! | §5 | Nagel–Schreckenberg traffic model | [`traffic`] (+ [`prng`], [`gpu`]) |
 //! | §6 | 1-D heat equation, Chapel-style | [`heat`] |
 //! | §7 | Ensemble uncertainty / HPO | [`ensemble`] |
-//! | — | Micro-batching request server (extension) | [`serve`] |
+//! | — | Micro-batching request server + elastic sharded tier (extension) | [`serve`] |
 //!
 //! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
 //! paper-versus-measured record of every figure and table.
@@ -34,8 +34,11 @@ pub mod city;
 
 /// Common imports for examples and integration tests.
 pub mod prelude {
-    pub use peachy_cluster::{Cluster, Comm, FaultPlan, RankError, RetryPolicy};
+    pub use peachy_cluster::{
+        Cluster, Comm, FaultPlan, HashRing, RankError, RetryPolicy, TickBackoff,
+    };
     pub use peachy_data::matrix::{LabeledDataset, Matrix};
     pub use peachy_dataflow::{Dataset, KeyedDataset};
     pub use peachy_prng::{FastForward, Lcg64, RandomStream};
+    pub use peachy_serve::{ShardConfig, ShardMap, ShardedServer, ShardedService};
 }

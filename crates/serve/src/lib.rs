@@ -37,6 +37,15 @@
 //! ([`KnnService`]), nearest-centroid assignment ([`KmeansAssignService`]),
 //! and neural-net inference ([`EnsembleService`]).
 //!
+//! The [`shard`] module adds the **elastic tier** on top: a
+//! [`ShardedServer`] routes requests to consistent-hash shards
+//! ([`ShardMap`], epoch-numbered and a pure function of membership ×
+//! seed), survives scripted rank deaths from a
+//! [`peachy_cluster::FaultPlan`] by migrating exactly the moved shards and
+//! replaying in-flight requests, and scales live via scripted
+//! `add_rank`/`drain_rank` events — all in virtual time, so a whole
+//! join/kill/drain trace is bit-identical across backends and chaos seeds.
+//!
 //! ```
 //! use peachy_cluster::Executor;
 //! use peachy_serve::{EchoService, ServeConfig, Server};
@@ -50,12 +59,20 @@
 
 pub mod server;
 pub mod service;
+pub mod shard;
 pub mod stats;
 pub mod trace;
 
 pub use server::{
     BatchRecord, ChaosPlan, Response, ServeConfig, ServeError, Server, ServerReport,
 };
-pub use service::{EchoService, EnsembleService, KmeansAssignService, KnnService, Service};
+pub use service::{
+    row_route_key, CentroidReplica, EchoService, EnsembleService, KmeansAssignService, KnnService,
+    KnnShard, Service, ShardedEnsembleService, ShardedKmeansAssignService, ShardedKnnService,
+};
+pub use shard::{
+    ReshardCause, ReshardRecord, ScaleEvent, ShardConfig, ShardMap, ShardedReport, ShardedServer,
+    ShardedService,
+};
 pub use stats::{CloseCause, ServerStats};
-pub use trace::{open_loop_arrivals, query_trace};
+pub use trace::{keyed_query_trace, open_loop_arrivals, query_trace};

@@ -32,7 +32,7 @@ use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::{Arc, Condvar, Mutex, Once};
 
 use crossbeam::channel::{Receiver, Sender};
-use peachy_cluster::{Executor, RetryPolicy};
+use peachy_cluster::{Executor, RetryPolicy, TickBackoff};
 use peachy_prng::{mix_seed, Bernoulli, Lcg64, RandomStream, SplitMix64};
 
 use crate::service::Service;
@@ -80,8 +80,14 @@ pub struct ServeConfig {
     pub max_wait: u64,
     /// Worker threads executing batches.
     pub workers: usize,
-    /// Retry budget for batches whose worker panicked.
+    /// Retry budget for batches whose worker panicked. The wall-clock
+    /// `backoff` half of the policy is ignored here — virtual-time
+    /// serving delays retries via [`ServeConfig::retry_backoff`] instead.
     pub retry: RetryPolicy,
+    /// Deterministic virtual-tick retry delay (attempt-indexed, seeded
+    /// jitter); recorded in [`ServerStats::backoff_ticks`] so chaotic
+    /// runs stay a pure function of `(trace, config, seed)`.
+    pub retry_backoff: TickBackoff,
     /// Reproducible worker-panic injection; `None` for a clean run.
     pub chaos: Option<ChaosPlan>,
 }
@@ -94,6 +100,7 @@ impl Default for ServeConfig {
             max_wait: 4,
             workers: 2,
             retry: RetryPolicy::default(),
+            retry_backoff: TickBackoff::none(),
             chaos: None,
         }
     }
@@ -224,8 +231,8 @@ impl fmt::Display for ServerReport {
 /// batch, or by the retry machinery when the budget runs out. A second
 /// fill panics, which is the invariant the chaos tests lean on.
 pub struct Response<O> {
-    id: u64,
-    slot: Arc<Slot<O>>,
+    pub(crate) id: u64,
+    pub(crate) slot: Arc<Slot<O>>,
 }
 
 impl<O> fmt::Debug for Response<O> {
@@ -254,26 +261,28 @@ impl<O> Response<O> {
     }
 }
 
-enum SlotState<O> {
+pub(crate) enum SlotState<O> {
     Pending,
     Ready(Result<O, ServeError>),
     Taken,
 }
 
-struct Slot<O> {
+/// Exactly-once response cell, shared between [`crate::Server`] and the
+/// sharded tier in [`crate::shard`].
+pub(crate) struct Slot<O> {
     state: Mutex<SlotState<O>>,
     cv: Condvar,
 }
 
 impl<O> Slot<O> {
-    fn new() -> Arc<Self> {
+    pub(crate) fn new() -> Arc<Self> {
         Arc::new(Self {
             state: Mutex::new(SlotState::Pending),
             cv: Condvar::new(),
         })
     }
 
-    fn fill(&self, v: Result<O, ServeError>) {
+    pub(crate) fn fill(&self, v: Result<O, ServeError>) {
         let mut st = self.state.lock().unwrap();
         match *st {
             SlotState::Pending => {
@@ -284,7 +293,7 @@ impl<O> Slot<O> {
         }
     }
 
-    fn take(&self) -> Result<O, ServeError> {
+    pub(crate) fn take(&self) -> Result<O, ServeError> {
         let mut st = self.state.lock().unwrap();
         loop {
             match std::mem::replace(&mut *st, SlotState::Taken) {
@@ -626,8 +635,14 @@ impl<S: Service> Inner<S> {
         let next = attempt + 1;
         if next < self.cfg.retry.max_attempts {
             self.stats.record_retried(batch.slots.len() as u64);
+            // Deterministic backoff: the delay is *accounted* in virtual
+            // ticks (it shapes nothing observable in this fixed-pool
+            // server, whose batch boundaries are already closed), never
+            // slept — a wall-clock sleep inside virtual time would waste
+            // real seconds without moving the virtual clock.
+            self.stats
+                .record_backoff(self.cfg.retry_backoff.delay_ticks(next));
             batch.attempt.store(next, Ordering::Release);
-            self.cfg.retry.sleep_before_retry(next);
             self.dispatch(Arc::clone(batch));
         } else {
             self.fail_batch(batch, ServeError::Failed { attempts: next });
@@ -688,6 +703,7 @@ mod tests {
             max_wait,
             workers: 2,
             retry: RetryPolicy::default(),
+            retry_backoff: TickBackoff::none(),
             chaos: None,
         }
     }
@@ -780,6 +796,31 @@ mod tests {
         let s = &report.stats;
         assert_eq!(s.completed() + s.rejected(), s.submitted());
         assert_eq!(s.failed(), 0);
+    }
+
+    #[test]
+    fn retry_backoff_is_accounted_deterministically() {
+        let run = || {
+            let mut c = cfg(64, 4, 2);
+            c.chaos = Some(ChaosPlan::new(9, 0.4));
+            c.retry = RetryPolicy {
+                max_attempts: 20,
+                backoff: std::time::Duration::ZERO,
+            };
+            c.retry_backoff = TickBackoff::linear(2, 3, 7);
+            let server = Server::start(EchoService, Executor::seq(), c);
+            let out = server.run_trace((0..40u64).map(|i| (i / 8, i as u32)));
+            assert!(out.iter().all(|r| r.is_ok()));
+            server.shutdown()
+        };
+        let (a, b) = (run(), run());
+        assert!(a.stats.retried() > 0, "chaos must force retries");
+        assert!(a.stats.backoff_ticks() > 0, "retries must charge backoff");
+        assert_eq!(
+            a.stats.backoff_ticks(),
+            b.stats.backoff_ticks(),
+            "backoff is a pure function of (trace, config, seed)"
+        );
     }
 
     #[test]

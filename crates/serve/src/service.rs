@@ -14,12 +14,26 @@
 //! nearest-centroid assignment), [`EnsembleService`] (§7 neural-net
 //! batch forward). [`EchoService`] is the unit-test identity service.
 
-use peachy_cluster::dist::EvenBlocks;
-use peachy_cluster::{CommStats, Executor};
+use peachy_cluster::dist::{block_range, EvenBlocks};
+use peachy_cluster::{ByteSized, CommStats, Executor};
 use peachy_data::kernels::Candidates;
 use peachy_data::matrix::{LabeledDataset, Matrix};
 use peachy_ensemble::nn::DenseNet;
-use peachy_knn::brute::classify_batch_with_stats;
+use peachy_knn::brute::{classify_batch_seq, classify_batch_with_stats};
+
+use crate::shard::ShardedService;
+
+/// Seed for [`row_route_key`]; changing it re-routes every row-keyed
+/// sharded service, so it is fixed here once.
+const ROW_ROUTE_SEED: u64 = 0x0e1a_511c_0000_0001;
+
+/// Deterministic routing key for an unlabeled feature row: the stable
+/// hash of its exact bit pattern. Two bit-identical rows always land on
+/// the same shard, on every backend, across Rust upgrades.
+pub fn row_route_key(row: &[f64]) -> u64 {
+    let bits: Vec<u64> = row.iter().map(|x| x.to_bits()).collect();
+    peachy_prng::stable_hash(&bits, ROW_ROUTE_SEED)
+}
 
 /// A batch-serving workload.
 ///
@@ -172,6 +186,171 @@ impl Service for EnsembleService {
     }
 }
 
+/// One k-NN index partition: the slice of the database a shard answers
+/// from.
+pub struct KnnShard {
+    /// The shard's block of the full database.
+    pub db: LabeledDataset,
+}
+
+impl ByteSized for KnnShard {
+    fn approx_bytes(&self) -> usize {
+        self.db.points.rows() * self.db.points.cols() * std::mem::size_of::<f64>()
+            + self.db.labels.len() * std::mem::size_of::<u32>()
+            + std::mem::size_of::<u32>()
+    }
+}
+
+/// k-NN classification with a **partitioned index**: the database is
+/// block-split into `num_shards` index partitions, and each request
+/// carries an explicit routing key deciding which partition answers it.
+///
+/// This is the sharded-state archetype where shards genuinely differ:
+/// rebuilding partition `s` after a rank death re-slices the same block
+/// of the same database, so replayed requests get bit-identical answers.
+pub struct ShardedKnnService {
+    db: LabeledDataset,
+    k: usize,
+}
+
+impl ShardedKnnService {
+    /// Partitioned serving over `db` with neighbourhood size `k`. The
+    /// database must have at least one row per shard.
+    pub fn new(db: LabeledDataset, k: usize) -> Self {
+        assert!(!db.is_empty(), "empty database");
+        assert!(k >= 1, "k must be at least 1");
+        Self { db, k }
+    }
+}
+
+impl ShardedService for ShardedKnnService {
+    /// `(routing key, query row)`.
+    type Input = (u64, Vec<f64>);
+    type Output = u32;
+    type State = KnnShard;
+
+    fn name(&self) -> &'static str {
+        "sharded-knn"
+    }
+
+    fn route_key(&self, input: &Self::Input) -> u64 {
+        input.0
+    }
+
+    fn build_shard(&self, shard: usize, num_shards: usize) -> KnnShard {
+        assert!(
+            self.db.len() >= num_shards,
+            "need at least one database row per shard ({} rows, {num_shards} shards)",
+            self.db.len()
+        );
+        let range = block_range(self.db.len(), num_shards, shard);
+        let indices: Vec<usize> = range.collect();
+        KnnShard {
+            db: self.db.select(&indices),
+        }
+    }
+
+    fn run_shard(&self, _shard: usize, state: &KnnShard, inputs: &[Self::Input]) -> Vec<u32> {
+        let rows: Vec<Vec<f64>> = inputs.iter().map(|(_, row)| row.clone()).collect();
+        let queries = LabeledDataset::new(
+            Matrix::from_rows(&rows),
+            vec![0; rows.len()],
+            state.db.classes,
+        );
+        classify_batch_seq(&state.db, &queries, self.k.min(state.db.len()))
+    }
+}
+
+/// A full centroid replica — the per-shard state of
+/// [`ShardedKmeansAssignService`]. Every shard holds the same centroids;
+/// sharding buys elastic *throughput*, and migration ships the replica.
+pub struct CentroidReplica {
+    /// The centroid matrix, one centroid per row.
+    pub centroids: Matrix,
+}
+
+impl ByteSized for CentroidReplica {
+    fn approx_bytes(&self) -> usize {
+        self.centroids.rows() * self.centroids.cols() * std::mem::size_of::<f64>()
+    }
+}
+
+/// Nearest-centroid assignment with replicated shard state, routed by
+/// [`row_route_key`].
+pub struct ShardedKmeansAssignService {
+    centroids: Matrix,
+}
+
+impl ShardedKmeansAssignService {
+    /// Serve assignments against a fixed centroid set.
+    pub fn new(centroids: Matrix) -> Self {
+        assert!(!centroids.is_empty(), "no centroids");
+        Self { centroids }
+    }
+}
+
+impl ShardedService for ShardedKmeansAssignService {
+    type Input = Vec<f64>;
+    type Output = u32;
+    type State = CentroidReplica;
+
+    fn name(&self) -> &'static str {
+        "sharded-kmeans-assign"
+    }
+
+    fn route_key(&self, input: &Self::Input) -> u64 {
+        row_route_key(input)
+    }
+
+    fn build_shard(&self, _shard: usize, _num_shards: usize) -> CentroidReplica {
+        CentroidReplica {
+            centroids: self.centroids.clone(),
+        }
+    }
+
+    fn run_shard(&self, _shard: usize, state: &CentroidReplica, inputs: &[Vec<f64>]) -> Vec<u32> {
+        let cand = Candidates::new(&state.centroids);
+        inputs.iter().map(|row| cand.nearest(row)).collect()
+    }
+}
+
+/// Neural-net inference with replicated model shards
+/// ([`DenseNet`](peachy_ensemble::nn::DenseNet) already implements
+/// `ByteSized`, so migration prices the whole weight set), routed by
+/// [`row_route_key`].
+pub struct ShardedEnsembleService {
+    net: DenseNet,
+}
+
+impl ShardedEnsembleService {
+    /// Serve predictions from a trained network.
+    pub fn new(net: DenseNet) -> Self {
+        Self { net }
+    }
+}
+
+impl ShardedService for ShardedEnsembleService {
+    type Input = Vec<f64>;
+    type Output = u32;
+    type State = DenseNet;
+
+    fn name(&self) -> &'static str {
+        "sharded-ensemble-nn"
+    }
+
+    fn route_key(&self, input: &Self::Input) -> u64 {
+        row_route_key(input)
+    }
+
+    fn build_shard(&self, _shard: usize, _num_shards: usize) -> DenseNet {
+        self.net.clone()
+    }
+
+    fn run_shard(&self, _shard: usize, state: &DenseNet, inputs: &[Vec<f64>]) -> Vec<u32> {
+        state.predict_batch(&Matrix::from_rows(inputs))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -231,6 +410,73 @@ mod tests {
             let out = svc.run_batch(&inputs, &exec.shrink_to(inputs.len()), &comm);
             assert_eq!(out, reference, "{exec:?}");
         }
+    }
+
+    #[test]
+    fn sharded_knn_partitions_cover_the_database() {
+        let db = gaussian_blobs(97, 4, 3, 1.5, 41);
+        let svc = ShardedKnnService::new(db.clone(), 3);
+        for num_shards in [1usize, 4, 16] {
+            let mut covered = 0usize;
+            for shard in 0..num_shards {
+                let part = svc.build_shard(shard, num_shards);
+                assert!(!part.db.is_empty(), "shard {shard}/{num_shards} empty");
+                assert!(part.approx_bytes() > 0);
+                covered += part.db.len();
+            }
+            assert_eq!(covered, db.len(), "{num_shards} shards");
+        }
+        // Single-partition serving matches the unsharded reference.
+        let queries = gaussian_blobs(20, 4, 3, 1.5, 42);
+        let reference = peachy_knn::brute::classify_batch_seq(&db, &queries, 3);
+        let whole = svc.build_shard(0, 1);
+        let inputs: Vec<(u64, Vec<f64>)> = queries
+            .points
+            .iter_rows()
+            .enumerate()
+            .map(|(i, r)| (i as u64, r.to_vec()))
+            .collect();
+        assert_eq!(svc.run_shard(0, &whole, &inputs), reference);
+    }
+
+    #[test]
+    fn sharded_replica_services_are_decomposition_independent() {
+        // Replicated shard state: any shard must give the exact answer of
+        // the unsharded service, whatever the shard index or count.
+        use peachy_ensemble::nn::NetConfig;
+        let data = gaussian_blobs(50, 4, 3, 1.5, 43);
+        let inputs = rows_of(&data.points);
+
+        let centroids = data.points.select_rows(&[0, 25, 49]);
+        let ksvc = ShardedKmeansAssignService::new(centroids.clone());
+        let kref = Candidates::new(&centroids).assign(&data.points);
+        let net = DenseNet::new(
+            &NetConfig {
+                layers: vec![4, 5, 3],
+            },
+            9,
+        );
+        let esvc = ShardedEnsembleService::new(net.clone());
+        let eref = net.predict_batch(&data.points);
+
+        for (shard, num_shards) in [(0usize, 1usize), (3, 8), (15, 16)] {
+            let kstate = ksvc.build_shard(shard, num_shards);
+            assert_eq!(ksvc.run_shard(shard, &kstate, &inputs), kref);
+            assert!(kstate.approx_bytes() > 0);
+            let estate = esvc.build_shard(shard, num_shards);
+            assert_eq!(esvc.run_shard(shard, &estate, &inputs), eref);
+            assert!(estate.approx_bytes() > 0);
+        }
+    }
+
+    #[test]
+    fn row_route_key_is_stable_and_spreads() {
+        let data = gaussian_blobs(64, 4, 2, 1.5, 44);
+        let keys: Vec<u64> = data.points.iter_rows().map(row_route_key).collect();
+        let again: Vec<u64> = data.points.iter_rows().map(row_route_key).collect();
+        assert_eq!(keys, again, "route keys must be pure");
+        let distinct: std::collections::BTreeSet<u64> = keys.iter().copied().collect();
+        assert!(distinct.len() > 32, "route keys collapsed: {}", distinct.len());
     }
 
     #[test]

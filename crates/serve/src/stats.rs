@@ -60,6 +60,12 @@ pub struct ServerStats {
     closed_by_flush: AtomicU64,
     queue_depth: AtomicU64,
     max_queue_depth: AtomicU64,
+    epochs: AtomicU64,
+    shards_moved: AtomicU64,
+    shards_rebuilt: AtomicU64,
+    bytes_migrated: AtomicU64,
+    replayed: AtomicU64,
+    backoff_ticks: AtomicU64,
     /// `batch_hist[s]` = number of batches closed with exactly `s`
     /// requests; index 0 is unused (batches are never empty).
     batch_hist: Vec<AtomicU64>,
@@ -86,6 +92,12 @@ impl ServerStats {
             closed_by_flush: AtomicU64::new(0),
             queue_depth: AtomicU64::new(0),
             max_queue_depth: AtomicU64::new(0),
+            epochs: AtomicU64::new(0),
+            shards_moved: AtomicU64::new(0),
+            shards_rebuilt: AtomicU64::new(0),
+            bytes_migrated: AtomicU64::new(0),
+            replayed: AtomicU64::new(0),
+            backoff_ticks: AtomicU64::new(0),
             batch_hist: (0..=max_batch_size).map(|_| AtomicU64::new(0)).collect(),
             latency_hist: (0..LATENCY_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
         })
@@ -152,6 +164,46 @@ impl ServerStats {
     /// High-water mark of [`ServerStats::queue_depth`].
     pub fn max_queue_depth(&self) -> u64 {
         self.max_queue_depth.load(Ordering::Relaxed)
+    }
+
+    /// Epoch bumps performed by the sharded tier (one per membership
+    /// change: join, drain, kill, or revive). Zero on the fixed-pool
+    /// [`crate::Server`].
+    pub fn epochs(&self) -> u64 {
+        self.epochs.load(Ordering::Relaxed)
+    }
+
+    /// Shards whose warm state was *transferred* between live ranks
+    /// during reshards.
+    pub fn shards_moved(&self) -> u64 {
+        self.shards_moved.load(Ordering::Relaxed)
+    }
+
+    /// Shards rebuilt from the service definition (their old owner died,
+    /// so there was nothing to transfer).
+    pub fn shards_rebuilt(&self) -> u64 {
+        self.shards_rebuilt.load(Ordering::Relaxed)
+    }
+
+    /// Logical payload bytes of transferred shard state
+    /// ([`peachy_cluster::ByteSized`] accounting — backend-independent;
+    /// the cluster backend *additionally* measures the real transport
+    /// bytes in [`ServerStats::comm`]).
+    pub fn bytes_migrated(&self) -> u64 {
+        self.bytes_migrated.load(Ordering::Relaxed)
+    }
+
+    /// Requests replayed because a rank died while their batch was on it
+    /// (each replayed batch counts every request in it once per replay).
+    pub fn replayed(&self) -> u64 {
+        self.replayed.load(Ordering::Relaxed)
+    }
+
+    /// Total virtual-tick retry delay scheduled by the deterministic
+    /// backoff ([`peachy_cluster::TickBackoff`]) across all retries and
+    /// replays.
+    pub fn backoff_ticks(&self) -> u64 {
+        self.backoff_ticks.load(Ordering::Relaxed)
     }
 
     /// Snapshot of the batch-size histogram (`[s]` = batches of size `s`).
@@ -256,6 +308,21 @@ impl ServerStats {
         self.worker_respawns.fetch_add(1, Ordering::Relaxed);
     }
 
+    pub(crate) fn record_reshard(&self, moved: u64, rebuilt: u64, bytes: u64) {
+        self.epochs.fetch_add(1, Ordering::Relaxed);
+        self.shards_moved.fetch_add(moved, Ordering::Relaxed);
+        self.shards_rebuilt.fetch_add(rebuilt, Ordering::Relaxed);
+        self.bytes_migrated.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_replayed(&self, n: u64) {
+        self.replayed.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_backoff(&self, ticks: u64) {
+        self.backoff_ticks.fetch_add(ticks, Ordering::Relaxed);
+    }
+
     /// Fold another ledger into this one. Counter and histogram addition
     /// is associative and commutative, so worker ledgers merge in any
     /// order or grouping to the same totals; the depth gauge sums and the
@@ -286,6 +353,16 @@ impl ServerStats {
             .fetch_add(other.queue_depth(), Ordering::Relaxed);
         self.max_queue_depth
             .fetch_max(other.max_queue_depth(), Ordering::Relaxed);
+        self.epochs.fetch_add(other.epochs(), Ordering::Relaxed);
+        self.shards_moved
+            .fetch_add(other.shards_moved(), Ordering::Relaxed);
+        self.shards_rebuilt
+            .fetch_add(other.shards_rebuilt(), Ordering::Relaxed);
+        self.bytes_migrated
+            .fetch_add(other.bytes_migrated(), Ordering::Relaxed);
+        self.replayed.fetch_add(other.replayed(), Ordering::Relaxed);
+        self.backoff_ticks
+            .fetch_add(other.backoff_ticks(), Ordering::Relaxed);
         for (mine, theirs) in self.batch_hist.iter().zip(other.batch_size_counts()) {
             mine.fetch_add(theirs, Ordering::Relaxed);
         }
@@ -375,6 +452,29 @@ mod tests {
         let s = ServerStats::new(2);
         s.record_latency(10_000_000);
         assert_eq!(s.p50(), Some((LATENCY_BUCKETS - 1) as u64));
+    }
+
+    #[test]
+    fn reshard_counters_accumulate_and_merge() {
+        let s = ServerStats::new(4);
+        s.record_reshard(3, 0, 4096);
+        s.record_reshard(0, 5, 0);
+        s.record_replayed(7);
+        s.record_backoff(12);
+        assert_eq!(s.epochs(), 2);
+        assert_eq!(s.shards_moved(), 3);
+        assert_eq!(s.shards_rebuilt(), 5);
+        assert_eq!(s.bytes_migrated(), 4096);
+        assert_eq!(s.replayed(), 7);
+        assert_eq!(s.backoff_ticks(), 12);
+        let total = ServerStats::new(4);
+        total.merge_from(&s);
+        total.merge_from(&s);
+        assert_eq!(
+            (total.epochs(), total.shards_moved(), total.bytes_migrated()),
+            (4, 6, 8192)
+        );
+        assert_eq!((total.replayed(), total.backoff_ticks()), (14, 24));
     }
 
     #[test]

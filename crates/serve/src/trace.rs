@@ -49,6 +49,25 @@ pub fn query_trace(seed: u64, ticks: u64, rate: f64, pool: &Matrix) -> Vec<(u64,
         .collect()
 }
 
+/// A keyed request trace for explicitly-routed sharded services (input
+/// type `(key, row)`, e.g. [`crate::ShardedKnnService`]): each arrival
+/// carries a uniform seeded `u64` routing key plus a row drawn from
+/// `pool`. Keys and rows come from independent streams, so the same seed
+/// replays the identical keyed trace everywhere.
+pub fn keyed_query_trace(
+    seed: u64,
+    ticks: u64,
+    rate: f64,
+    pool: &Matrix,
+) -> Vec<(u64, (u64, Vec<f64>))> {
+    assert!(!pool.is_empty(), "empty query pool");
+    let mut keys = Lcg64::seed_from(mix_seed(seed ^ 0x5ead_ed5e_11ce_0007));
+    query_trace(seed, ticks, rate, pool)
+        .into_iter()
+        .map(|(t, row)| (t, (keys.next_u64(), row)))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -90,5 +109,20 @@ mod tests {
             assert!(q == &[1.0, 2.0] || q == &[3.0, 4.0]);
         }
         assert_eq!(trace, query_trace(5, 200, 1.0, &pool), "reproducible");
+    }
+
+    #[test]
+    fn keyed_trace_shares_rows_and_adds_spread_keys() {
+        let pool = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let keyed = keyed_query_trace(5, 200, 1.0, &pool);
+        let plain = query_trace(5, 200, 1.0, &pool);
+        assert_eq!(keyed.len(), plain.len());
+        for ((kt, (_, krow)), (pt, prow)) in keyed.iter().zip(&plain) {
+            assert_eq!((kt, krow), (pt, prow), "keys must not disturb the trace");
+        }
+        let distinct: std::collections::BTreeSet<u64> =
+            keyed.iter().map(|(_, (k, _))| *k).collect();
+        assert!(distinct.len() > keyed.len() / 2, "routing keys collapsed");
+        assert_eq!(keyed, keyed_query_trace(5, 200, 1.0, &pool), "reproducible");
     }
 }

@@ -52,6 +52,7 @@ fn chaos_cfg(seed: u64) -> ServeConfig {
             backoff: Duration::ZERO,
         },
         chaos: Some(ChaosPlan::new(seed, 0.35)),
+        ..ServeConfig::default()
     }
 }
 

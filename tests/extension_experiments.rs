@@ -280,6 +280,78 @@ fn e16_serving_layer_end_to_end() {
     assert!(p50 <= p99 && p99 <= 3, "latency ticks p50={p50} p99={p99}");
 }
 
+/// E19: elastic sharded serving at integration scale — one scripted
+/// join/kill/revive/drain story over a keyed k-NN trace, delta migration
+/// vs the full-rebuild strawman, on the Seq and Cluster backends.
+/// Elasticity never changes an answer; the delta path strictly beats the
+/// strawman's migration bill; the kill rebuilds rather than moves.
+#[test]
+fn e19_elastic_resharding_end_to_end() {
+    use peachy::cluster::{FaultPlan, TickBackoff};
+    use peachy::serve::{
+        keyed_query_trace, ReshardCause, ScaleEvent, ShardConfig, ShardedKnnService, ShardedServer,
+    };
+    let db = gaussian_blobs(300, 6, 4, 2.0, 19);
+    let pool = gaussian_blobs(80, 6, 4, 2.0, 20);
+    let trace = keyed_query_trace(19, 30, 3.0, &pool.points);
+    let cfg = ShardConfig {
+        num_shards: 16,
+        initial_ranks: 4,
+        max_batch_size: 4,
+        max_wait: 2,
+        backoff: TickBackoff::linear(1, 3, 19),
+        plan: FaultPlan::new(19).kill(2, 2).revive(2, 3),
+        scaling: vec![(8, ScaleEvent::Add(4)), (22, ScaleEvent::Drain(1))],
+        ..ShardConfig::default()
+    };
+    let run = |exec: Executor, full_rebuild: bool| {
+        let mut server = ShardedServer::start(
+            ShardedKnnService::new(db.clone(), 5),
+            exec,
+            ShardConfig {
+                full_rebuild,
+                ..cfg.clone()
+            },
+        );
+        let out = server.run_trace(trace.clone());
+        (out, server.shutdown())
+    };
+    let (quiet_out, _) = {
+        let mut server = ShardedServer::start(
+            ShardedKnnService::new(db.clone(), 5),
+            Executor::seq(),
+            ShardConfig {
+                plan: FaultPlan::none(),
+                scaling: Vec::new(),
+                ..cfg.clone()
+            },
+        );
+        (server.run_trace(trace.clone()), server.shutdown())
+    };
+    for exec in [Executor::seq(), Executor::cluster(4)] {
+        let (delta_out, delta_rep) = run(exec.clone(), false);
+        let (full_out, full_rep) = run(exec.clone(), true);
+        assert_eq!(delta_out, quiet_out, "{exec:?}: elasticity changed answers");
+        assert_eq!(full_out, quiet_out, "{exec:?}: strawman changed answers");
+        assert_eq!(delta_rep.reshard_log.len(), full_rep.reshard_log.len());
+        assert!(
+            delta_rep.stats.bytes_migrated() < full_rep.stats.bytes_migrated(),
+            "{exec:?}: delta {} B vs full rebuild {} B",
+            delta_rep.stats.bytes_migrated(),
+            full_rep.stats.bytes_migrated()
+        );
+        assert!(delta_rep.stats.replayed() > 0, "{exec:?}: kill never fired");
+        assert_eq!(delta_rep.stats.failed(), 0);
+        let kill = delta_rep
+            .reshard_log
+            .iter()
+            .find(|r| r.cause == ReshardCause::Kill(2))
+            .expect("kill record");
+        assert_eq!((kill.shards_moved, kill.bytes_migrated), (0, 0));
+        assert!(kill.shards_rebuilt > 0);
+    }
+}
+
 /// §6 2-D extension: forall equals serial at integration scale and decays
 /// towards equilibrium.
 #[test]
