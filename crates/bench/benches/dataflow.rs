@@ -4,6 +4,8 @@
 //! `OptimizerConfig::naive()` vs the default (fusion + shuffle elision +
 //! auto-cache), on wordcount, the city hotspot analysis, and a chained
 //! aggregation.
+//! E20: the out-of-core ablation — the same pipelines fully resident vs
+//! under a byte budget that forces partitions through disk spill.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use peachy::dataflow::{Dataset, KeyedDataset, OptimizerConfig};
@@ -106,11 +108,30 @@ fn bench_optimizer(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_spill(c: &mut Criterion) {
+    let text = e18::corpus(200_000, e18::E18_SEED);
+    let mut group = c.benchmark_group("E20_spill");
+    group.sample_size(10);
+    for (label, wordcount_cfg, agg_cfg) in [
+        ("resident", OptimizerConfig::default(), OptimizerConfig::default()),
+        ("spilled", e18::spill_cfg(1024), e18::spill_cfg(256 * 1024)),
+    ] {
+        group.bench_function(format!("wordcount_{label}"), |b| {
+            b.iter(|| e18::wordcount(&text, 8, wordcount_cfg).0.len())
+        });
+        group.bench_function(format!("chained_agg_{label}"), |b| {
+            b.iter(|| e18::chained_aggregation(500_000, 8, agg_cfg).0)
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     name = benches;
     config = Criterion::default()
         .measurement_time(std::time::Duration::from_secs(2))
         .warm_up_time(std::time::Duration::from_millis(300));
-    targets = bench_narrow_chain, bench_shuffle, bench_join, bench_cache, bench_optimizer
+    targets = bench_narrow_chain, bench_shuffle, bench_join, bench_cache, bench_optimizer,
+        bench_spill
 );
 criterion_main!(benches);

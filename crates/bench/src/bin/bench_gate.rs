@@ -1,10 +1,15 @@
-//! Regression gate over two `BENCH_6.json` snapshots (the committed
-//! baseline and a freshly emitted one):
+//! Regression gate over two bench snapshots (the committed baseline and a
+//! freshly emitted one):
 //!
 //! ```sh
 //! cargo run --release -p peachy-bench --bin report_all -- --emit-bench fresh.json
-//! cargo run --release -p peachy-bench --bin bench_gate -- BENCH_6.json fresh.json
+//! cargo run --release -p peachy-bench --bin bench_gate -- fresh.json
 //! ```
+//!
+//! With one argument the baseline is auto-discovered: the `BENCH_<N>.json`
+//! with the highest `N` in the current directory, so cutting a new
+//! baseline (`BENCH_8.json`, …) never requires touching CI. An explicit
+//! two-argument form (`bench_gate BENCH_6.json fresh.json`) pins one.
 //!
 //! Two kinds of checks:
 //!
@@ -41,14 +46,45 @@ fn parse(path: &str) -> BTreeMap<String, u64> {
     map
 }
 
+/// The committed `BENCH_<N>.json` with the highest `N` in `dir`.
+fn newest_baseline(dir: &str) -> Option<String> {
+    let mut best: Option<(u64, String)> = None;
+    for entry in std::fs::read_dir(dir).ok()?.flatten() {
+        let name = entry.file_name().into_string().ok()?;
+        let n: u64 = match name
+            .strip_prefix("BENCH_")
+            .and_then(|rest| rest.strip_suffix(".json"))
+            .and_then(|n| n.parse().ok())
+        {
+            Some(n) => n,
+            None => continue,
+        };
+        if best.as_ref().is_none_or(|(b, _)| n > *b) {
+            best = Some((n, name));
+        }
+    }
+    best.map(|(_, name)| name)
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    if args.len() != 3 {
-        eprintln!("usage: bench_gate <baseline.json> <current.json>");
-        exit(2);
-    }
-    let baseline = parse(&args[1]);
-    let current = parse(&args[2]);
+    let (baseline_path, current_path) = match args.len() {
+        2 => {
+            let found = newest_baseline(".").unwrap_or_else(|| {
+                eprintln!("bench_gate: no BENCH_<N>.json baseline in the current directory");
+                exit(2);
+            });
+            println!("bench_gate: baseline {found}");
+            (found, args[1].clone())
+        }
+        3 => (args[1].clone(), args[2].clone()),
+        _ => {
+            eprintln!("usage: bench_gate [<baseline.json>] <current.json>");
+            exit(2);
+        }
+    };
+    let baseline = parse(&baseline_path);
+    let current = parse(&current_path);
     let factor: f64 = std::env::var("BENCH_GATE_TIME_FACTOR")
         .ok()
         .and_then(|s| s.parse().ok())

@@ -342,26 +342,67 @@ fn main() {
         });
     }
 
-    // `--emit-bench PATH`: snapshot the E18 numbers as flat JSON for the
-    // committed baseline / regression gate (`bench_gate`).
+    println!("E20 — out-of-core ablation (resident vs byte-budgeted spill, median of 5):");
+    {
+        let text = e18::corpus(200_000, e18::E18_SEED);
+        let iters = 5;
+        let mut run_pair = |name: &str,
+                            budget: u64,
+                            f: &dyn Fn(OptimizerConfig) -> (usize, Arc<ShuffleStats>)| {
+            let resident = e18::measure(iters, || f(OptimizerConfig::default()));
+            let spilled = e18::measure(iters, || f(e18::spill_cfg(budget)));
+            r.check(
+                &format!("{name} @ {budget} B: spills, same answer"),
+                format!(
+                    "{} part(s) / {} B spilled, {} B re-read, {:.1} → {:.1} ms",
+                    spilled.spills,
+                    spilled.spill_bytes,
+                    spilled.unspill_bytes,
+                    resident.median_ns as f64 / 1e6,
+                    spilled.median_ns as f64 / 1e6,
+                ),
+                resident.spills == 0
+                    && spilled.spills > 0
+                    && spilled.spill_bytes > 0
+                    && spilled.rows == resident.rows
+                    && spilled.records == resident.records
+                    && spilled.bytes == resident.bytes
+                    && spilled.shuffles == resident.shuffles
+                    && spilled.elided == resident.elided,
+            );
+            bench_rows.push((format!("{name}_spill.resident"), resident));
+            bench_rows.push((format!("{name}_spill.spilled"), spilled));
+        };
+        run_pair("wordcount", 1024, &|cfg| {
+            let (rows, stats) = e18::wordcount(&text, 8, cfg);
+            (rows.len(), stats)
+        });
+        run_pair("chained_agg", 256 * 1024, &|cfg| {
+            e18::chained_aggregation(500_000, 8, cfg)
+        });
+    }
+
+    // `--emit-bench PATH`: snapshot the E18 + E20 numbers as flat JSON for
+    // the committed baseline / regression gate (`bench_gate`).
     let mut args = std::env::args();
     if let Some(path) = args
         .by_ref()
         .find(|a| a == "--emit-bench")
         .and_then(|_| args.next())
     {
-        let mut json = String::from("{\n  \"schema\": \"peachy-bench-6\",\n");
+        let mut json = String::from("{\n  \"schema\": \"peachy-bench-7\",\n");
         json.push_str(&format!("  \"seed\": {},\n", e18::E18_SEED));
         for (i, (name, m)) in bench_rows.iter().enumerate() {
             let tail = if i + 1 == bench_rows.len() { "" } else { "," };
             json.push_str(&format!(
-                "  \"{name}.median_ns\": {},\n  \"{name}.rows\": {},\n  \"{name}.records\": {},\n  \"{name}.bytes\": {},\n  \"{name}.shuffles\": {},\n  \"{name}.elided\": {}{tail}\n",
+                "  \"{name}.median_ns\": {},\n  \"{name}.rows\": {},\n  \"{name}.records\": {},\n  \"{name}.bytes\": {},\n  \"{name}.shuffles\": {},\n  \"{name}.elided\": {},\n  \"{name}.spills\": {},\n  \"{name}.spill_bytes\": {},\n  \"{name}.unspill_bytes\": {}{tail}\n",
                 m.median_ns, m.rows, m.records, m.bytes, m.shuffles, m.elided,
+                m.spills, m.spill_bytes, m.unspill_bytes,
             ));
         }
         json.push_str("}\n");
         std::fs::write(&path, json).unwrap_or_else(|e| panic!("write {path}: {e}"));
-        println!("\nwrote E18 bench snapshot to {path}");
+        println!("\nwrote E18/E20 bench snapshot to {path}");
     }
 
     let failures = r.rows.iter().filter(|(_, _, ok)| !ok).count();

@@ -32,6 +32,12 @@ pub struct Measured {
     pub shuffles: u64,
     /// Boundaries served from co-partitioned parents instead.
     pub elided: u64,
+    /// Partitions written to disk by byte-budgeted stores (E20).
+    pub spills: u64,
+    /// Encoded bytes those spills wrote.
+    pub spill_bytes: u64,
+    /// Encoded bytes streamed back from spilled partitions.
+    pub unspill_bytes: u64,
 }
 
 /// Run `run` `iters` times; each call must build a FRESH pipeline (shuffle
@@ -58,6 +64,20 @@ where
         bytes: stats.bytes(),
         shuffles: stats.shuffles(),
         elided: stats.shuffles_elided(),
+        spills: stats.spills(),
+        spill_bytes: stats.spill_bytes(),
+        unspill_bytes: stats.unspill_bytes(),
+    }
+}
+
+/// The default optimizer under a byte budget — the E20 ablation knob: the
+/// same pipeline resident (`OptimizerConfig::default`) vs spilled
+/// (`spill_cfg(budget)`) must produce identical rows and comm counters,
+/// differing only in the spill traffic.
+pub fn spill_cfg(budget: u64) -> OptimizerConfig {
+    OptimizerConfig {
+        spill_budget: Some(budget),
+        ..OptimizerConfig::default()
     }
 }
 
@@ -141,7 +161,7 @@ pub fn chained_aggregation(
         .map(|_| (rng.next_below(1 << 14), rng.next_below(100)))
         .collect();
     let stats = ShuffleStats::new();
-    let out = KeyedDataset::from_dataset(Dataset::from_vec(rows, partitions).with_optimizer(cfg))
+    let out = KeyedDataset::from_dataset(Dataset::from_vec_with(rows, partitions, cfg))
         .with_stats(Arc::clone(&stats))
         .reduce_by_key(|a, b| a + b)
         .filter_keys(|k| k % 3 != 0)

@@ -39,6 +39,9 @@ pub struct CommStats {
     shuffles: AtomicU64,
     bytes: AtomicU64,
     shuffles_elided: AtomicU64,
+    spills: AtomicU64,
+    spill_bytes: AtomicU64,
+    unspill_bytes: AtomicU64,
     stages: Mutex<BTreeMap<u32, StageComm>>,
 }
 
@@ -123,6 +126,32 @@ impl CommStats {
         self.shuffles_elided.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Partitions spilled to disk by byte-budgeted partition stores.
+    pub fn spills(&self) -> u64 {
+        self.spills.load(Ordering::Relaxed)
+    }
+
+    /// Encoded bytes written to spill files.
+    pub fn spill_bytes(&self) -> u64 {
+        self.spill_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Encoded bytes read back (replayed) from spill files.
+    pub fn unspill_bytes(&self) -> u64 {
+        self.unspill_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Count one partition spilled to disk with `bytes` encoded bytes.
+    pub fn add_spill(&self, bytes: u64) {
+        self.spills.fetch_add(1, Ordering::Relaxed);
+        self.spill_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Count `bytes` replayed from a spill file.
+    pub fn add_unspill(&self, bytes: u64) {
+        self.unspill_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
     /// Attribute `records`/`bytes` to the labeled stage `stage` (in
     /// addition to the global counters — call [`CommStats::add_shuffle`] /
     /// [`CommStats::add_bytes`] separately for those).
@@ -161,6 +190,11 @@ impl CommStats {
         self.add_bytes(other.bytes());
         self.shuffles_elided
             .fetch_add(other.shuffles_elided(), Ordering::Relaxed);
+        self.spills.fetch_add(other.spills(), Ordering::Relaxed);
+        self.spill_bytes
+            .fetch_add(other.spill_bytes(), Ordering::Relaxed);
+        self.unspill_bytes
+            .fetch_add(other.unspill_bytes(), Ordering::Relaxed);
         for (id, c) in other.stages() {
             self.add_stage(id, c.records, c.bytes);
         }
@@ -254,6 +288,9 @@ mod tests {
             s.add_stage(1, rec, bytes);
             s.add_stage(2, rec * 2, bytes * 2);
             s.add_elided_shuffle();
+            s.add_spill(bytes * 3);
+            s.add_unspill(bytes * 3);
+            s.add_unspill(bytes * 3);
             s
         };
         let flat = |s: &CommStats| {
@@ -265,6 +302,9 @@ mod tests {
                 s.shuffles(),
                 s.bytes(),
                 s.shuffles_elided(),
+                s.spills(),
+                s.spill_bytes(),
+                s.unspill_bytes(),
                 s.stages(),
             )
         };
@@ -297,6 +337,9 @@ mod tests {
                 3,
                 555,
                 3,
+                3,
+                1665,
+                3330,
                 vec![
                     (
                         1,

@@ -1,7 +1,7 @@
 //! The core lazy dataset: lineage nodes, narrow transformations, actions.
 
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
-use std::sync::{Arc, OnceLock};
+use std::sync::Arc;
 
 use peachy_cluster::dist::Block;
 use peachy_cluster::{ByteSized, Executor, RetryPolicy};
@@ -9,6 +9,7 @@ use rayon::prelude::*;
 
 use crate::optimize::{self, OptimizerConfig, PlanReport};
 use crate::plan::{Lineage, PlanKind, PlanNode};
+use crate::store::{PartitionStore, SpillRow, StoreConfig};
 
 /// A lineage node: something that can produce partition `i` on demand.
 ///
@@ -69,6 +70,9 @@ pub(crate) fn take_rows<T: Clone>(shared: Arc<Vec<T>>) -> Vec<T> {
 pub struct Dataset<T> {
     pub(crate) op: Arc<dyn Op<T>>,
     pub(crate) opt: OptimizerConfig,
+    /// Counter block charged by stores built for *subsequently created*
+    /// operations (spill/unspill traffic); see [`Dataset::with_stats`].
+    pub(crate) stats: Option<Arc<peachy_cluster::CommStats>>,
 }
 
 impl<T> Clone for Dataset<T> {
@@ -76,6 +80,7 @@ impl<T> Clone for Dataset<T> {
         Self {
             op: Arc::clone(&self.op),
             opt: self.opt,
+            stats: self.stats.clone(),
         }
     }
 }
@@ -90,14 +95,14 @@ impl<T> Clone for Dataset<T> {
 /// [`Dataset::cache`].
 pub(crate) struct AutoCache<T> {
     armed: AtomicBool,
-    cells: Box<[OnceLock<Arc<Vec<T>>>]>,
+    store: PartitionStore<T>,
 }
 
 impl<T> AutoCache<T> {
-    pub(crate) fn new(partitions: usize) -> Self {
+    pub(crate) fn new(partitions: usize, cfg: StoreConfig) -> Self {
         Self {
             armed: AtomicBool::new(false),
-            cells: (0..partitions).map(|_| OnceLock::new()).collect(),
+            store: PartitionStore::new(partitions, cfg),
         }
     }
     pub(crate) fn armed(&self) -> bool {
@@ -106,47 +111,72 @@ impl<T> AutoCache<T> {
     pub(crate) fn arm(&self) {
         self.armed.store(true, Ordering::Relaxed);
     }
+    /// The cache store's residency for plan rendering; `None` until armed
+    /// (an unarmed cache holds nothing, so it has no residency to report).
+    pub(crate) fn residency(&self, est_bytes: Option<u64>) -> Option<crate::store::Residency> {
+        if !self.armed() {
+            return None;
+        }
+        self.store.residency(est_bytes)
+    }
+}
+
+impl<T: SpillRow> AutoCache<T> {
     /// Serve partition `idx` through the cache (must be armed).
     pub(crate) fn get_or_init(
         &self,
         idx: usize,
         compute: impl FnOnce() -> Vec<T>,
     ) -> Arc<Vec<T>> {
-        Arc::clone(self.cells[idx].get_or_init(|| Arc::new(compute())))
+        self.store.get_or_init(idx, || Arc::new(compute()))
     }
 }
 
 // ---------- source ----------
 
 struct Source<T> {
-    // `Arc` per partition so actions on an uncached dataset read the
-    // resident rows instead of deep-cloning them per action.
-    parts: Vec<Arc<Vec<T>>>,
+    // Partitions behind the storage seam: shared `Arc` cells by default
+    // (so actions on an uncached dataset read the resident rows instead of
+    // deep-cloning them per action), spilled to disk where the dataset's
+    // byte budget says so.
+    parts: PartitionStore<T>,
 }
 
-impl<T: Send + Sync> Op<T> for Source<T>
+impl<T: Send + Sync + SpillRow> Op<T> for Source<T>
 where
     T: Clone,
 {
     fn partitions(&self) -> usize {
-        self.parts.len()
+        self.parts.partitions()
     }
     fn compute_partition(&self, idx: usize) -> Vec<T> {
-        (*self.parts[idx]).clone()
+        take_rows(self.compute_partition_shared(idx))
     }
     fn compute_partition_shared(&self, idx: usize) -> Arc<Vec<T>> {
-        Arc::clone(&self.parts[idx])
+        self.parts.load(idx).expect("source parts prefilled")
     }
     fn push_partition(&self, idx: usize, emit: &mut dyn FnMut(T)) {
         // Stream straight from the resident rows: no whole-partition clone
-        // even when a fused chain consumes the source.
-        for row in self.parts[idx].iter() {
-            emit(row.clone());
+        // even when a fused chain consumes the source. A spilled partition
+        // decodes into a unique handle, so its rows move without cloning.
+        match Arc::try_unwrap(self.compute_partition_shared(idx)) {
+            Ok(owned) => {
+                for row in owned {
+                    emit(row);
+                }
+            }
+            Err(resident) => {
+                for row in resident.iter() {
+                    emit(row.clone());
+                }
+            }
         }
     }
     fn label(&self) -> String {
-        let n: usize = self.parts.iter().map(|p| p.len()).sum();
-        format!("Source[{} rows, {} partitions]", n, self.parts.len())
+        let n: usize = (0..self.parts.partitions())
+            .map(|p| self.parts.part_len(p).unwrap_or(0))
+            .sum();
+        format!("Source[{} rows, {} partitions]", n, self.parts.partitions())
     }
     fn explain_children(&self, _indent: usize, _out: &mut String) {}
     fn stages(&self) -> usize {
@@ -156,20 +186,31 @@ where
 
 impl<T: Clone + Send + Sync> Lineage for Source<T> {
     fn plan(&self) -> PlanNode {
+        let est_bytes = Lineage::est_rows(self).map(|r| r * std::mem::size_of::<T>() as u64);
         PlanNode {
             id: self.lineage_id(),
-            label: Op::label(self),
+            label: {
+                let n: usize = (0..self.parts.partitions())
+                    .map(|p| self.parts.part_len(p).unwrap_or(0))
+                    .sum();
+                format!("Source[{} rows, {} partitions]", n, self.parts.partitions())
+            },
             kind: PlanKind::Source,
-            partitions: self.parts.len(),
+            partitions: self.parts.partitions(),
             est_rows: Lineage::est_rows(self),
             row_bytes: std::mem::size_of::<T>(),
             measured_bytes: None,
+            residency: self.parts.residency(est_bytes),
             children: vec![],
         }
     }
     fn lineage_children(&self, _visit: &mut dyn FnMut(&dyn Lineage)) {}
     fn est_rows(&self) -> Option<u64> {
-        Some(self.parts.iter().map(|p| p.len() as u64).sum())
+        Some(
+            (0..self.parts.partitions())
+                .map(|p| self.parts.part_len(p).unwrap_or(0) as u64)
+                .sum(),
+        )
     }
 }
 
@@ -216,7 +257,7 @@ where
 impl<U, T, F> Op<T> for MapOp<U, T, F>
 where
     U: Send + Sync,
-    T: Clone + Send + Sync,
+    T: Clone + Send + Sync + SpillRow,
     F: Fn(U, &mut dyn FnMut(T)) + Send + Sync,
 {
     fn partitions(&self) -> usize {
@@ -279,6 +320,7 @@ where
             est_rows: Lineage::est_rows(self),
             row_bytes: std::mem::size_of::<T>(),
             measured_bytes: None,
+            residency: self.auto.residency(Lineage::est_cache_bytes(self)),
             children: vec![up(&self.parent).plan()],
         }
     }
@@ -312,7 +354,7 @@ struct MapPartitionsOp<T, U, F> {
 impl<T, U, F> Op<U> for MapPartitionsOp<T, U, F>
 where
     T: Send + Sync,
-    U: Clone + Send + Sync,
+    U: Clone + Send + Sync + SpillRow,
     F: Fn(Vec<T>) -> Vec<U> + Send + Sync,
 {
     fn partitions(&self) -> usize {
@@ -358,6 +400,7 @@ where
             est_rows: Lineage::est_rows(self),
             row_bytes: std::mem::size_of::<U>(),
             measured_bytes: None,
+            residency: self.auto.residency(Lineage::est_cache_bytes(self)),
             children: vec![up(&self.parent).plan()],
         }
     }
@@ -434,6 +477,7 @@ impl<T: Send + Sync> Lineage for UnionOp<T> {
             est_rows: Lineage::est_rows(self),
             row_bytes: std::mem::size_of::<T>(),
             measured_bytes: None,
+            residency: None,
             children: vec![up(&self.left).plan(), up(&self.right).plan()],
         }
     }
@@ -450,25 +494,23 @@ impl<T: Send + Sync> Lineage for UnionOp<T> {
 
 struct CacheOp<T> {
     parent: Arc<dyn Op<T>>,
-    cells: Vec<OnceLock<Arc<Vec<T>>>>,
+    store: PartitionStore<T>,
     hits: AtomicU64,
 }
 
-impl<T: Clone + Send + Sync> Op<T> for CacheOp<T> {
+impl<T: Clone + Send + Sync + SpillRow> Op<T> for CacheOp<T> {
     fn partitions(&self) -> usize {
         self.parent.partitions()
     }
     fn compute_partition(&self, idx: usize) -> Vec<T> {
-        (*self.compute_partition_shared(idx)).clone()
+        take_rows(self.compute_partition_shared(idx))
     }
     fn compute_partition_shared(&self, idx: usize) -> Arc<Vec<T>> {
-        if let Some(hit) = self.cells[idx].get() {
+        if self.store.is_filled(idx) {
             self.hits.fetch_add(1, Ordering::Relaxed);
-            return Arc::clone(hit);
         }
-        let computed = self.cells[idx]
-            .get_or_init(|| self.parent.compute_partition_shared(idx));
-        Arc::clone(computed)
+        self.store
+            .get_or_init(idx, || self.parent.compute_partition_shared(idx))
     }
     fn label(&self) -> String {
         "Cache".to_string()
@@ -483,6 +525,7 @@ impl<T: Clone + Send + Sync> Op<T> for CacheOp<T> {
 
 impl<T: Clone + Send + Sync> Lineage for CacheOp<T> {
     fn plan(&self) -> PlanNode {
+        let est_bytes = Lineage::est_rows(self).map(|r| r * std::mem::size_of::<T>() as u64);
         PlanNode {
             id: self.lineage_id(),
             label: "Cache".to_string(),
@@ -491,6 +534,7 @@ impl<T: Clone + Send + Sync> Lineage for CacheOp<T> {
             est_rows: Lineage::est_rows(self),
             row_bytes: std::mem::size_of::<T>(),
             measured_bytes: None,
+            residency: self.store.residency(est_bytes),
             children: vec![up(&self.parent).plan()],
         }
     }
@@ -507,18 +551,18 @@ impl<T: Clone + Send + Sync> Lineage for CacheOp<T> {
 struct RepartitionOp<T> {
     parent: Arc<dyn Op<T>>,
     target: usize,
-    materialized: OnceLock<Vec<Arc<Vec<T>>>>,
+    store: PartitionStore<T>,
 }
 
-impl<T: Clone + Send + Sync> Op<T> for RepartitionOp<T> {
+impl<T: Clone + Send + Sync + SpillRow> Op<T> for RepartitionOp<T> {
     fn partitions(&self) -> usize {
         self.target
     }
     fn compute_partition(&self, idx: usize) -> Vec<T> {
-        (*self.compute_partition_shared(idx)).clone()
+        take_rows(self.compute_partition_shared(idx))
     }
     fn compute_partition_shared(&self, idx: usize) -> Arc<Vec<T>> {
-        let parts = self.materialized.get_or_init(|| {
+        self.store.fill_once(|| {
             let inputs: Vec<Vec<T>> = (0..self.parent.partitions())
                 .into_par_iter()
                 .map(|i| self.parent.compute_partition(i))
@@ -527,9 +571,9 @@ impl<T: Clone + Send + Sync> Op<T> for RepartitionOp<T> {
             for (i, row) in inputs.into_iter().flatten().enumerate() {
                 out[i % self.target].push(row);
             }
-            out.into_iter().map(Arc::new).collect()
+            out
         });
-        Arc::clone(&parts[idx])
+        self.store.load(idx).expect("repartition store filled")
     }
     fn label(&self) -> String {
         format!("Repartition[{}] === stage boundary ===", self.target)
@@ -544,14 +588,16 @@ impl<T: Clone + Send + Sync> Op<T> for RepartitionOp<T> {
 
 impl<T: Clone + Send + Sync> Lineage for RepartitionOp<T> {
     fn plan(&self) -> PlanNode {
+        let est_bytes = Lineage::est_rows(self).map(|r| r * std::mem::size_of::<T>() as u64);
         PlanNode {
             id: self.lineage_id(),
-            label: Op::label(self),
+            label: format!("Repartition[{}] === stage boundary ===", self.target),
             kind: PlanKind::Repartition,
             partitions: self.target,
             est_rows: Lineage::est_rows(self),
             row_bytes: std::mem::size_of::<T>(),
             measured_bytes: None,
+            residency: self.store.residency(est_bytes),
             children: vec![up(&self.parent).plan()],
         }
     }
@@ -627,6 +673,7 @@ impl<T: Send + Sync> Lineage for RetryOp<T> {
             est_rows: Lineage::est_rows(self),
             row_bytes: std::mem::size_of::<T>(),
             measured_bytes: None,
+            residency: None,
             children: vec![up(&self.parent).plan()],
         }
     }
@@ -650,10 +697,18 @@ pub(crate) fn explain_into<T>(op: &dyn Op<T>, indent: usize, out: &mut String) {
 
 // ---------- public API ----------
 
-impl<T: Clone + Send + Sync + 'static> Dataset<T> {
+impl<T: Clone + Send + Sync + SpillRow + 'static> Dataset<T> {
     /// Create a dataset from a vector, split into `partitions` contiguous
     /// blocks (balanced, like a file read).
     pub fn from_vec(data: Vec<T>, partitions: usize) -> Self {
+        Self::from_vec_with(data, partitions, OptimizerConfig::default())
+    }
+
+    /// Like [`Dataset::from_vec`], but under an explicit optimizer
+    /// configuration — in particular, a [`OptimizerConfig::spill_budget`]
+    /// applies to the source partitions themselves, so even the input can
+    /// live (partly) on disk.
+    pub fn from_vec_with(data: Vec<T>, partitions: usize, cfg: OptimizerConfig) -> Self {
         assert!(partitions > 0, "need at least one partition");
         let n = data.len();
         let mut parts: Vec<Vec<T>> = (0..partitions).map(|_| Vec::new()).collect();
@@ -668,9 +723,16 @@ impl<T: Clone + Send + Sync + 'static> Dataset<T> {
         }
         Self {
             op: Arc::new(Source {
-                parts: parts.into_iter().map(Arc::new).collect(),
+                parts: PartitionStore::prefilled(
+                    parts,
+                    StoreConfig {
+                        budget: cfg.spill_budget,
+                        stats: None,
+                    },
+                ),
             }),
-            opt: OptimizerConfig::default(),
+            opt: cfg,
+            stats: None,
         }
     }
 
@@ -691,13 +753,36 @@ impl<T: Clone + Send + Sync + 'static> Dataset<T> {
         Dataset {
             op: Arc::clone(&self.op),
             opt: cfg,
+            stats: self.stats.clone(),
+        }
+    }
+
+    /// Attach a shared counter block. Stores built by *subsequently
+    /// created* operations (caches, shuffle buckets, repartitions) charge
+    /// their spill/unspill traffic to it — already-built upstream nodes
+    /// keep whatever block they were constructed with.
+    pub fn with_stats(&self, stats: Arc<peachy_cluster::CommStats>) -> Dataset<T> {
+        Dataset {
+            op: Arc::clone(&self.op),
+            opt: self.opt,
+            stats: Some(stats),
+        }
+    }
+
+    /// The store configuration ops built from this dataset hand their
+    /// partition stores: the optimizer's byte budget plus the attached
+    /// counter block.
+    pub(crate) fn store_cfg(&self) -> StoreConfig {
+        StoreConfig {
+            budget: self.opt.spill_budget,
+            stats: self.stats.clone(),
         }
     }
 
     /// Internal constructor for row-wise narrow ops.
     fn narrow<U, F>(&self, name: &'static str, f: F) -> Dataset<U>
     where
-        U: Clone + Send + Sync + 'static,
+        U: Clone + Send + Sync + SpillRow + 'static,
         F: Fn(T, &mut dyn FnMut(U)) + Send + Sync + 'static,
     {
         Dataset {
@@ -706,18 +791,19 @@ impl<T: Clone + Send + Sync + 'static> Dataset<T> {
                 f,
                 name,
                 fuse: self.opt.fuse,
-                auto: AutoCache::new(self.op.partitions()),
+                auto: AutoCache::new(self.op.partitions(), self.store_cfg()),
                 consumed: AtomicU32::new(0),
                 _marker: std::marker::PhantomData,
             }),
             opt: self.opt,
+            stats: self.stats.clone(),
         }
     }
 
     /// Narrow: apply `f` to every row.
     pub fn map<U, F>(&self, f: F) -> Dataset<U>
     where
-        U: Clone + Send + Sync + 'static,
+        U: Clone + Send + Sync + SpillRow + 'static,
         F: Fn(T) -> U + Send + Sync + 'static,
     {
         self.narrow("Map", move |row, out| out(f(row)))
@@ -738,7 +824,7 @@ impl<T: Clone + Send + Sync + 'static> Dataset<T> {
     /// Narrow: expand each row into zero or more rows.
     pub fn flat_map<U, I, F>(&self, f: F) -> Dataset<U>
     where
-        U: Clone + Send + Sync + 'static,
+        U: Clone + Send + Sync + SpillRow + 'static,
         I: IntoIterator<Item = U>,
         F: Fn(T) -> I + Send + Sync + 'static,
     {
@@ -754,18 +840,19 @@ impl<T: Clone + Send + Sync + 'static> Dataset<T> {
     /// map-side combining.
     pub fn map_partitions<U, F>(&self, f: F) -> Dataset<U>
     where
-        U: Clone + Send + Sync + 'static,
+        U: Clone + Send + Sync + SpillRow + 'static,
         F: Fn(Vec<T>) -> Vec<U> + Send + Sync + 'static,
     {
         Dataset {
             op: Arc::new(MapPartitionsOp {
                 parent: Arc::clone(&self.op),
                 f,
-                auto: AutoCache::new(self.op.partitions()),
+                auto: AutoCache::new(self.op.partitions(), self.store_cfg()),
                 consumed: AtomicU32::new(0),
                 _marker: std::marker::PhantomData,
             }),
             opt: self.opt,
+            stats: self.stats.clone(),
         }
     }
 
@@ -777,28 +864,31 @@ impl<T: Clone + Send + Sync + 'static> Dataset<T> {
                 right: Arc::clone(&other.op),
             }),
             opt: self.opt,
+            stats: self.stats.clone(),
         }
     }
 
     /// Attach keys: produce a keyed dataset for wide operations.
     pub fn key_by<K, F>(&self, f: F) -> crate::keyed::KeyedDataset<K, T>
     where
-        K: Clone + Send + Sync + std::hash::Hash + Eq + 'static,
+        K: Clone + Send + Sync + SpillRow + std::hash::Hash + Eq + 'static,
         F: Fn(&T) -> K + Send + Sync + 'static,
     {
         crate::keyed::KeyedDataset::from_dataset(self.map(move |row| (f(&row), row)))
     }
 
-    /// Pin this dataset's partitions in memory after first computation.
+    /// Pin this dataset's partitions after first computation — in memory,
+    /// or on disk where the byte budget says so.
     pub fn cache(&self) -> Dataset<T> {
         let parts = self.op.partitions();
         Dataset {
             op: Arc::new(CacheOp {
                 parent: Arc::clone(&self.op),
-                cells: (0..parts).map(|_| OnceLock::<Arc<Vec<T>>>::new()).collect(),
+                store: PartitionStore::new(parts, self.store_cfg()),
                 hits: AtomicU64::new(0),
             }),
             opt: self.opt,
+            stats: self.stats.clone(),
         }
     }
 
@@ -819,6 +909,7 @@ impl<T: Clone + Send + Sync + 'static> Dataset<T> {
                 retries: AtomicU64::new(0),
             }),
             opt: self.opt,
+            stats: self.stats.clone(),
         }
     }
 
@@ -829,9 +920,10 @@ impl<T: Clone + Send + Sync + 'static> Dataset<T> {
             op: Arc::new(RepartitionOp {
                 parent: Arc::clone(&self.op),
                 target,
-                materialized: OnceLock::new(),
+                store: PartitionStore::new(target, self.store_cfg()),
             }),
             opt: self.opt,
+            stats: self.stats.clone(),
         }
     }
 
@@ -1014,6 +1106,7 @@ impl<T: Send + Sync> Lineage for CoalesceOp<T> {
             est_rows: Lineage::est_rows(self),
             row_bytes: std::mem::size_of::<T>(),
             measured_bytes: None,
+            residency: None,
             children: vec![up(&self.parent).plan()],
         }
     }
@@ -1030,6 +1123,7 @@ impl<T: Clone + Send + Sync + 'static> Dataset<T> {
     /// `target` output partitions (order-preserving narrow-ish merge).
     pub(crate) fn from_op_groups(parent: Dataset<T>, per: usize, target: usize) -> Dataset<T> {
         let opt = parent.opt;
+        let stats = parent.stats.clone();
         Dataset {
             op: Arc::new(CoalesceOp {
                 parent: parent.op,
@@ -1037,6 +1131,7 @@ impl<T: Clone + Send + Sync + 'static> Dataset<T> {
                 target,
             }),
             opt,
+            stats,
         }
     }
 }
@@ -1311,6 +1406,21 @@ mod tests {
             fn clone(&self) -> Self {
                 self.1.fetch_add(1, Ordering::Relaxed);
                 Row(self.0, Arc::clone(&self.1))
+            }
+        }
+        impl ByteSized for Row {
+            fn approx_bytes(&self) -> usize {
+                std::mem::size_of::<u64>()
+            }
+        }
+        // Never actually spills (no budget here); the decode fabricates a
+        // fresh counter, which is fine for a counting test row.
+        impl SpillRow for Row {
+            fn spill_encode(&self, out: &mut Vec<u8>) {
+                self.0.spill_encode(out);
+            }
+            fn spill_decode(r: &mut crate::store::SpillReader<'_>) -> Self {
+                Row(u64::spill_decode(r), Arc::new(AtomicU64::new(0)))
             }
         }
         let clones = Arc::new(AtomicU64::new(0));

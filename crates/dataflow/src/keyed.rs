@@ -16,6 +16,7 @@ use crate::dataset::Dataset;
 use crate::optimize::PlanReport;
 use crate::plan::{next_stage_id, Partitioning};
 use crate::shuffle::{ElidedShuffleOp, ShuffleOp, ShuffleStats};
+use crate::store::{PartitionStore, SpillReader, SpillRow};
 
 /// A dataset of key–value rows supporting wide transformations.
 ///
@@ -44,8 +45,8 @@ impl<K, V> Clone for KeyedDataset<K, V> {
 
 impl<K, V> KeyedDataset<K, V>
 where
-    K: Clone + Send + Sync + Hash + Eq + 'static,
-    V: Clone + Send + Sync + 'static,
+    K: Clone + Send + Sync + Hash + Eq + SpillRow + 'static,
+    V: Clone + Send + Sync + SpillRow + 'static,
 {
     /// Wrap an existing `(K, V)` dataset (layout unknown: no elision until
     /// a shuffle establishes one).
@@ -58,8 +59,11 @@ where
     }
 
     /// Attach shuffle counters (shared across derived datasets) so a
-    /// pipeline's communication volume can be measured.
+    /// pipeline's communication volume can be measured. The same block
+    /// also meters spill traffic: stores built downstream charge their
+    /// disk writes and read-backs to it.
     pub fn with_stats(mut self, stats: Arc<ShuffleStats>) -> Self {
+        self.inner = self.inner.with_stats(Arc::clone(&stats));
         self.stats = Some(stats);
         self
     }
@@ -95,7 +99,7 @@ where
     /// partitioning survives.
     pub fn map_values<W, F>(&self, f: F) -> KeyedDataset<K, W>
     where
-        W: Clone + Send + Sync + 'static,
+        W: Clone + Send + Sync + SpillRow + 'static,
         F: Fn(V) -> W + Send + Sync + 'static,
     {
         KeyedDataset {
@@ -129,9 +133,10 @@ where
     where
         K: ByteSized,
         V: ByteSized,
-        T: Clone + Send + Sync + 'static,
+        T: Clone + Send + Sync + SpillRow + 'static,
         F: Fn(Vec<(K, V)>) -> Vec<T> + Send + Sync + 'static,
     {
+        let cfg = self.inner.store_cfg();
         if self.elides(partitions) {
             // Every key in partition p already routes to p: bucket p of a
             // real shuffle would hold exactly partition p's rows, in the
@@ -145,10 +150,11 @@ where
                     name,
                     stats: self.stats.clone(),
                     stage_id: next_stage_id(),
-                    posted: (0..partitions).map(|_| OnceLock::new()).collect(),
+                    posted: PartitionStore::new(partitions, cfg),
                     noted: OnceLock::new(),
                 }),
                 opt: self.inner.opt,
+                stats: self.inner.stats.clone(),
             };
         }
         Dataset {
@@ -159,11 +165,13 @@ where
                 name,
                 stats: self.stats.clone(),
                 stage_id: next_stage_id(),
-                materialized: OnceLock::new(),
-                posted: (0..partitions).map(|_| OnceLock::new()).collect(),
+                buckets: PartitionStore::new(partitions, cfg.clone()),
+                routed: OnceLock::new(),
+                posted: PartitionStore::new(partitions, cfg),
                 _marker: std::marker::PhantomData,
             }),
             opt: self.inner.opt,
+            stats: self.inner.stats.clone(),
         }
     }
 
@@ -218,7 +226,7 @@ where
     pub fn aggregate_by_key<A, S, C>(&self, zero: A, seq: S, comb: C) -> KeyedDataset<K, A>
     where
         K: ByteSized,
-        A: Clone + Send + Sync + ByteSized + 'static,
+        A: Clone + Send + Sync + ByteSized + SpillRow + 'static,
         S: Fn(A, V) -> A + Send + Sync + 'static,
         C: Fn(A, A) -> A + Send + Sync + 'static,
     {
@@ -327,8 +335,8 @@ where
     where
         K: ByteSized,
         V: ByteSized,
-        W: Clone + Send + Sync + ByteSized + 'static,
-        T: Clone + Send + Sync + 'static,
+        W: Clone + Send + Sync + ByteSized + SpillRow + 'static,
+        T: Clone + Send + Sync + SpillRow + 'static,
         F: Fn(Vec<(K, Either<V, W>)>) -> Vec<T> + Send + Sync + 'static,
     {
         if self.elides(partitions) && other.elides(partitions) {
@@ -342,10 +350,11 @@ where
                     name,
                     stats: self.stats.clone(),
                     stage_id: next_stage_id(),
-                    posted: (0..partitions).map(|_| OnceLock::new()).collect(),
+                    posted: PartitionStore::new(partitions, self.inner.store_cfg()),
                     noted: OnceLock::new(),
                 }),
                 opt: self.inner.opt,
+                stats: self.inner.stats.clone(),
             };
         }
         self.tag_union(other).shuffle_with(name, partitions, post)
@@ -357,7 +366,7 @@ where
     where
         K: ByteSized,
         V: ByteSized,
-        W: Clone + Send + Sync + ByteSized + 'static,
+        W: Clone + Send + Sync + ByteSized + SpillRow + 'static,
     {
         let partitions = self
             .inner
@@ -393,7 +402,7 @@ where
     where
         K: ByteSized,
         V: ByteSized,
-        W: Clone + Send + Sync + ByteSized + 'static,
+        W: Clone + Send + Sync + ByteSized + SpillRow + 'static,
     {
         let partitions = self
             .inner
@@ -439,7 +448,7 @@ where
     /// output order.
     pub fn broadcast_join<W>(&self, other: &KeyedDataset<K, W>) -> KeyedDataset<K, (V, W)>
     where
-        W: Clone + Send + Sync + 'static,
+        W: Clone + Send + Sync + SpillRow + 'static,
     {
         let table: std::sync::Arc<HashMap<K, Vec<W>>> = {
             let mut m: HashMap<K, Vec<W>> = HashMap::new();
@@ -542,7 +551,7 @@ where
     /// Union of self (tagged Left) and other (tagged Right).
     fn tag_union<W>(&self, other: &KeyedDataset<K, W>) -> KeyedDataset<K, Either<V, W>>
     where
-        W: Clone + Send + Sync + 'static,
+        W: Clone + Send + Sync + SpillRow + 'static,
     {
         let left = self.inner.map(|(k, v)| (k, Either::Left(v)));
         let right = other.inner.map(|(k, w)| (k, Either::Right(w)));
@@ -570,6 +579,28 @@ impl<L: ByteSized, R: ByteSized> ByteSized for Either<L, R> {
         match self {
             Either::Left(l) => l.approx_bytes(),
             Either::Right(r) => r.approx_bytes(),
+        }
+    }
+}
+
+impl<L: SpillRow, R: SpillRow> SpillRow for Either<L, R> {
+    fn spill_encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Either::Left(l) => {
+                out.push(0);
+                l.spill_encode(out);
+            }
+            Either::Right(r) => {
+                out.push(1);
+                r.spill_encode(out);
+            }
+        }
+    }
+    fn spill_decode(r: &mut SpillReader<'_>) -> Self {
+        match r.read_array::<1>()[0] {
+            0 => Either::Left(L::spill_decode(r)),
+            1 => Either::Right(R::spill_decode(r)),
+            tag => panic!("invalid Either tag in spill stream: {tag}"),
         }
     }
 }

@@ -40,6 +40,13 @@
 //!   plans side by side with predicted shuffle bytes; every rewrite is
 //!   individually gated by [`OptimizerConfig`] and pinned bit-identical to
 //!   the naive plan by the equivalence suite.
+//! * **Out-of-core partitions** — every resident-partition holder (source
+//!   rows, caches, shuffle buckets) lives behind one storage seam,
+//!   [`store::PartitionStore`]. With a byte budget configured
+//!   (`OptimizerConfig::spill_budget`), partitions that would overrun it
+//!   are spilled to temp files in a deterministic encoding and streamed
+//!   back on access — results stay bit-identical at every budget, and
+//!   [`ShuffleStats`] meters the spill traffic.
 //!
 //! ```
 //! use peachy_dataflow::Dataset;
@@ -58,10 +65,12 @@ pub mod ops;
 pub mod optimize;
 pub mod plan;
 pub mod shuffle;
+pub mod store;
 
 pub use dataset::Dataset;
 pub use keyed::KeyedDataset;
 pub use optimize::{OptimizerConfig, PlanReport};
-pub use peachy_cluster::RetryPolicy;
+pub use peachy_cluster::{ByteSized, RetryPolicy};
 pub use plan::{Partitioning, PlanKind, PlanNode};
 pub use shuffle::ShuffleStats;
+pub use store::{PartitionStore, Residency, SpillReader, SpillRow, StoreConfig};

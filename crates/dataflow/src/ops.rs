@@ -8,8 +8,9 @@ use peachy_cluster::ByteSized;
 
 use crate::dataset::Dataset;
 use crate::keyed::KeyedDataset;
+use crate::store::SpillRow;
 
-impl<T: Clone + Send + Sync + 'static> Dataset<T> {
+impl<T: Clone + Send + Sync + SpillRow + 'static> Dataset<T> {
     /// Wide: remove duplicate rows (hash-shuffle so equal rows co-locate).
     /// Output order is deterministic: first occurrence order within the
     /// owning partition.
@@ -92,8 +93,8 @@ impl<T: Clone + Send + Sync + 'static> Dataset<T> {
 
 impl<K, V> KeyedDataset<K, V>
 where
-    K: Clone + Send + Sync + Hash + Eq + Ord + 'static,
-    V: Clone + Send + Sync + 'static,
+    K: Clone + Send + Sync + Hash + Eq + Ord + SpillRow + 'static,
+    V: Clone + Send + Sync + SpillRow + 'static,
 {
     /// Wide: globally sort by key (ascending). Materializes through the
     /// shuffle, then performs a distributed-merge-style final ordering.
@@ -114,8 +115,8 @@ fn peachy_hash(seed: u64, i: u64) -> u64 {
 
 impl<K, V> Dataset<(K, V)>
 where
-    K: Clone + Send + Sync + Hash + Eq + 'static,
-    V: Clone + Send + Sync + 'static,
+    K: Clone + Send + Sync + Hash + Eq + SpillRow + 'static,
+    V: Clone + Send + Sync + SpillRow + 'static,
 {
     /// View a pair dataset as a keyed dataset.
     pub fn pipe_keyed(&self) -> KeyedDataset<K, V> {

@@ -51,6 +51,14 @@ pub struct OptimizerConfig {
     /// is worth holding in memory. Below this, recomputing is assumed
     /// cheaper than the cache's footprint.
     pub auto_cache_min_bytes: u64,
+    /// Resident byte budget for every partition store the dataset builds
+    /// (sources, caches, shuffle buckets, memoized posts). `None` keeps
+    /// everything in RAM — exactly the pre-spill behavior.
+    pub spill_budget: Option<u64>,
+    /// Make the auto-cache cost model spill-aware: a subtree whose cache
+    /// would blow the whole budget (and therefore wholly spill) charges
+    /// replay-read bytes comparable to recomputing, so it is not armed.
+    pub charge_spill_reads: bool,
 }
 
 impl Default for OptimizerConfig {
@@ -60,6 +68,8 @@ impl Default for OptimizerConfig {
             elide_shuffles: true,
             auto_cache: true,
             auto_cache_min_bytes: 1024,
+            spill_budget: None,
+            charge_spill_reads: true,
         }
     }
 }
@@ -73,6 +83,8 @@ impl OptimizerConfig {
             elide_shuffles: false,
             auto_cache: false,
             auto_cache_min_bytes: u64::MAX,
+            spill_budget: None,
+            charge_spill_reads: false,
         }
     }
 }
@@ -97,9 +109,18 @@ pub(crate) fn prepare_action(root: &dyn Lineage, cfg: &OptimizerConfig) {
 fn arm_walk(node: &dyn Lineage, cfg: &OptimizerConfig, visited: &mut HashSet<usize>) {
     if let Some(total) = node.note_consumed() {
         if total >= 2 {
-            let worth = node
-                .est_cache_bytes()
-                .is_none_or(|b| b >= cfg.auto_cache_min_bytes);
+            // Worth caching: big enough to beat recomputation, but not so
+            // big that the whole cache would spill under the byte budget —
+            // a wholly spilled cache replays its bytes from disk on every
+            // consumer, which the cost model prices like recomputing.
+            let worth = match node.est_cache_bytes() {
+                None => true,
+                Some(b) => {
+                    b >= cfg.auto_cache_min_bytes
+                        && !(cfg.charge_spill_reads
+                            && cfg.spill_budget.is_some_and(|budget| b > budget))
+                }
+            };
             if worth {
                 node.arm_auto_cache();
             }
@@ -131,6 +152,15 @@ pub struct PlanReport {
     pub elided_shuffles: usize,
     /// Nodes whose auto-cache the runtime pass has armed so far.
     pub auto_cached: usize,
+    /// The resident byte budget in force, if any node holds its partitions
+    /// in a budgeted store (`None` means everything runs in RAM).
+    pub spill_budget: Option<u64>,
+    /// Partitions the plan's stores have spilled to disk so far.
+    pub spilled_parts: usize,
+    /// Encoded bytes those spills wrote.
+    pub spilled_bytes: u64,
+    /// Estimated bytes that will spill in stores that have not filled yet.
+    pub predicted_spill_bytes: u64,
 }
 
 impl fmt::Display for PlanReport {
@@ -148,7 +178,15 @@ impl fmt::Display for PlanReport {
             f,
             "rewrites: {} fused narrow run(s), {} shuffle(s) elided, {} subtree(s) auto-cached",
             self.fused_runs, self.elided_shuffles, self.auto_cached
-        )
+        )?;
+        if let Some(budget) = self.spill_budget {
+            writeln!(
+                f,
+                "residency: budget {budget} B, {} part(s) / {} B spilled, {} B predicted to spill",
+                self.spilled_parts, self.spilled_bytes, self.predicted_spill_bytes
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -165,7 +203,28 @@ pub(crate) fn report_for(root: &dyn Lineage) -> PlanReport {
     let mut optimized_bytes = 0u64;
     let mut elided = 0usize;
     let mut auto_cached = 0usize;
+    let mut spill_budget = None;
+    let mut spilled_parts = 0usize;
+    let mut spilled_bytes = 0u64;
+    let mut predicted_spill_bytes = 0u64;
     plan.walk(&mut |node| {
+        match node.residency {
+            Some(crate::store::Residency::Mem { budget }) => {
+                spill_budget.get_or_insert(budget);
+            }
+            Some(crate::store::Residency::Spill {
+                budget,
+                spilled_parts: parts,
+                spilled_bytes: bytes,
+                predicted_bytes,
+            }) => {
+                spill_budget = Some(budget);
+                spilled_parts += parts;
+                spilled_bytes += bytes;
+                predicted_spill_bytes += predicted_bytes;
+            }
+            None => {}
+        }
         if let PlanKind::Shuffle { elided: e, .. } = node.kind {
             let cost = shuffle_cost(node);
             naive_bytes += cost;
@@ -191,6 +250,10 @@ pub(crate) fn report_for(root: &dyn Lineage) -> PlanReport {
         fused_runs: count_fused_runs(&plan),
         elided_shuffles: elided,
         auto_cached,
+        spill_budget,
+        spilled_parts,
+        spilled_bytes,
+        predicted_spill_bytes,
     }
 }
 
@@ -297,6 +360,22 @@ fn render(node: &PlanNode, indent: usize, optimized: bool, out: &mut String) {
         {
             out.push_str(&format!(" [auto-cached, consumed x{consumed}]"));
         }
+    }
+    // Residency renders in both modes: the budget applies to the naive
+    // plan's holders just the same.
+    match node.residency {
+        Some(crate::store::Residency::Mem { .. }) => out.push_str(" [mem]"),
+        Some(crate::store::Residency::Spill {
+            budget,
+            spilled_parts,
+            spilled_bytes,
+            predicted_bytes,
+        }) => {
+            out.push_str(&format!(
+                " [spill@{budget}B: {spilled_parts} part(s)/{spilled_bytes} B spilled, pred {predicted_bytes} B]"
+            ));
+        }
+        None => {}
     }
     out.push('\n');
     for child in &node.children {

@@ -13,6 +13,8 @@
 
 use std::sync::atomic::{AtomicU32, Ordering};
 
+use crate::store::Residency;
+
 /// Label fragment marking a materialized shuffle boundary (also used by
 /// `explain()`, predating the optimizer).
 pub const SHUFFLE_MARK: &str = "=== stage boundary (shuffle) ===";
@@ -116,6 +118,10 @@ pub struct PlanNode {
     ///
     /// [`CommStats::stage_comm`]: peachy_cluster::CommStats::stage_comm
     pub measured_bytes: Option<u64>,
+    /// For nodes holding partitions in a byte-budgeted store: whether those
+    /// partitions live in RAM or (partly) on disk. `None` for nodes without
+    /// a store, and for stores running without a budget.
+    pub residency: Option<Residency>,
     /// Child subtrees.
     pub children: Vec<PlanNode>,
 }
@@ -211,6 +217,7 @@ mod tests {
             est_rows: Some(10),
             row_bytes: 16,
             measured_bytes: None,
+            residency: None,
             children: vec![],
         };
         assert_eq!(node.est_bytes(), Some(160));

@@ -22,6 +22,7 @@ use rayon::prelude::*;
 
 use crate::dataset::{explain_into, take_rows, up, Op};
 use crate::plan::{Lineage, PlanKind, PlanNode, ELIDED_MARK, SHUFFLE_MARK};
+use crate::store::{PartitionStore, SpillRow};
 
 /// Counters shared by all shuffles in a lineage (attach one per pipeline
 /// run to compare variants). This is the workspace-wide
@@ -51,25 +52,34 @@ pub(crate) struct ShuffleOp<K, V, T, F> {
     /// [`CommStats`](peachy_cluster::CommStats) ledger (allocated at
     /// construction via [`crate::plan::next_stage_id`]).
     pub stage_id: u32,
-    pub materialized: OnceLock<Vec<Vec<(K, V)>>>,
+    /// The materialized buckets, behind the storage seam: a bucket whose
+    /// exact byte size (known from the route pass, before any bucket is
+    /// built) does not fit the budget is streamed to disk instead of
+    /// merged in RAM.
+    pub buckets: PartitionStore<(K, V)>,
+    /// Guards the one-shot route-and-materialize pass.
+    pub routed: OnceLock<()>,
     /// Per-output-partition memo of `post`'s result: repeated actions on
     /// a shuffled dataset pay the bucket clone + regroup exactly once.
-    pub posted: Vec<OnceLock<Arc<Vec<T>>>>,
+    pub posted: PartitionStore<T>,
     pub _marker: std::marker::PhantomData<fn() -> T>,
 }
 
 impl<K, V, T, F> ShuffleOp<K, V, T, F>
 where
-    K: Clone + Send + Sync + Hash + Eq + ByteSized + 'static,
-    V: Clone + Send + Sync + ByteSized + 'static,
+    K: Clone + Send + Sync + Hash + Eq + ByteSized + SpillRow + 'static,
+    V: Clone + Send + Sync + ByteSized + SpillRow + 'static,
     F: Send + Sync,
 {
-    fn buckets(&self) -> &Vec<Vec<(K, V)>> {
-        self.materialized.get_or_init(|| {
+    fn route(&self) {
+        self.routed.get_or_init(|| {
             // Map side: every parent partition bucketed in parallel, two
             // passes — route every row first, then fill exact-capacity
-            // buckets, so no bucket ever reallocates mid-fill.
-            let per_input: Vec<(Bucketed<K, V>, u64)> = (0..self.parent.partitions())
+            // buckets, so no bucket ever reallocates mid-fill. Each input
+            // also meters its per-bucket byte volume, so every output
+            // bucket's exact size is known before any bucket is merged —
+            // the spill decision happens pre-fill.
+            let per_input: Vec<(Bucketed<K, V>, Vec<u64>)> = (0..self.parent.partitions())
                 .into_par_iter()
                 .map(|i| {
                     let rows = take_rows(self.parent.compute_partition_shared(i));
@@ -84,61 +94,88 @@ where
                         .collect();
                     let mut buckets: Vec<Vec<(K, V)>> =
                         counts.iter().map(|&c| Vec::with_capacity(c)).collect();
-                    let mut bytes = 0u64;
+                    let mut bucket_bytes = vec![0u64; self.partitions];
                     for (row, p) in rows.into_iter().zip(routes) {
-                        bytes += row.approx_bytes() as u64;
+                        bucket_bytes[p as usize] += row.approx_bytes() as u64;
                         buckets[p as usize].push(row);
                     }
-                    (buckets, bytes)
+                    (buckets, bucket_bytes)
                 })
                 .collect();
-            // Merge per-input buckets, preserving input-partition order so
-            // downstream grouping is deterministic. Reduce-side targets are
-            // also sized exactly before any row moves.
-            let mut sizes = vec![0usize; self.partitions];
-            for (input, _) in &per_input {
-                for (p, bucket) in input.iter().enumerate() {
-                    sizes[p] += bucket.len();
+            // Exact per-bucket sizes: the sum over inputs of each input's
+            // share of the bucket. The greedy pre-sized plan decides which
+            // buckets stay resident — a pure function of sizes and budget.
+            let mut sizes = vec![0u64; self.partitions];
+            let mut counts = vec![0usize; self.partitions];
+            for (input, bytes) in &per_input {
+                for p in 0..self.partitions {
+                    counts[p] += input[p].len();
+                    sizes[p] += bytes[p];
                 }
             }
-            let mut merged: Vec<Vec<(K, V)>> =
-                sizes.iter().map(|&s| Vec::with_capacity(s)).collect();
-            let mut moved = 0u64;
-            let mut moved_bytes = 0u64;
-            for (input, bytes) in per_input {
-                moved_bytes += bytes;
+            let spill = self.buckets.plan_presized(&sizes);
+            // Spilled buckets stream-encode straight out of the per-input
+            // buckets in input-partition order — the same merge order a
+            // resident bucket gets — without ever concatenating in RAM.
+            for (p, &spill_p) in spill.iter().enumerate() {
+                if spill_p {
+                    self.buckets.fill_spilled(
+                        p,
+                        counts[p],
+                        per_input.iter().flat_map(|(input, _)| input[p].iter()),
+                    );
+                }
+            }
+            // Resident buckets merge per-input shares into exact-capacity
+            // vectors, preserving input-partition order so downstream
+            // grouping is deterministic.
+            let mut merged: Vec<Vec<(K, V)>> = counts
+                .iter()
+                .zip(&spill)
+                .map(|(&c, &s)| Vec::with_capacity(if s { 0 } else { c }))
+                .collect();
+            for (input, _) in per_input {
                 for (p, bucket) in input.into_iter().enumerate() {
-                    moved += bucket.len() as u64;
-                    merged[p].extend(bucket);
+                    if !spill[p] {
+                        merged[p].extend(bucket);
+                    }
                 }
             }
+            for (p, rows) in merged.into_iter().enumerate() {
+                if !spill[p] {
+                    self.buckets.fill_resident(p, Arc::new(rows));
+                }
+            }
+            let moved: u64 = counts.iter().map(|&c| c as u64).sum();
+            let moved_bytes: u64 = sizes.iter().sum();
             if let Some(stats) = &self.stats {
                 stats.add_shuffle(moved);
                 stats.add_bytes(moved_bytes);
                 stats.add_stage(self.stage_id, moved, moved_bytes);
             }
-            merged
-        })
+        });
     }
 }
 
 impl<K, V, T, F> Op<T> for ShuffleOp<K, V, T, F>
 where
-    K: Clone + Send + Sync + Hash + Eq + ByteSized + 'static,
-    V: Clone + Send + Sync + ByteSized + 'static,
-    T: Clone + Send + Sync,
+    K: Clone + Send + Sync + Hash + Eq + ByteSized + SpillRow + 'static,
+    V: Clone + Send + Sync + ByteSized + SpillRow + 'static,
+    T: Clone + Send + Sync + SpillRow,
     F: Fn(Vec<(K, V)>) -> Vec<T> + Send + Sync,
 {
     fn partitions(&self) -> usize {
         self.partitions
     }
     fn compute_partition(&self, idx: usize) -> Vec<T> {
-        (*self.compute_partition_shared(idx)).clone()
+        take_rows(self.compute_partition_shared(idx))
     }
     fn compute_partition_shared(&self, idx: usize) -> Arc<Vec<T>> {
-        let posted = self.posted[idx]
-            .get_or_init(|| Arc::new((self.post)(self.buckets()[idx].clone())));
-        Arc::clone(posted)
+        self.posted.get_or_init(idx, || {
+            self.route();
+            let bucket = take_rows(self.buckets.load(idx).expect("route filled every bucket"));
+            Arc::new((self.post)(bucket))
+        })
     }
     fn label(&self) -> String {
         format!("{}[{} partitions] {}", self.name, self.partitions, SHUFFLE_MARK)
@@ -153,12 +190,25 @@ where
 
 impl<K, V, T, F> Lineage for ShuffleOp<K, V, T, F>
 where
-    K: Clone + Send + Sync + Hash + Eq + ByteSized + 'static,
-    V: Clone + Send + Sync + ByteSized + 'static,
-    T: Clone + Send + Sync,
+    K: Clone + Send + Sync + Hash + Eq + ByteSized + SpillRow + 'static,
+    V: Clone + Send + Sync + ByteSized + SpillRow + 'static,
+    T: Clone + Send + Sync + SpillRow,
     F: Fn(Vec<(K, V)>) -> Vec<T> + Send + Sync,
 {
     fn plan(&self) -> PlanNode {
+        let measured = self
+            .stats
+            .as_ref()
+            .and_then(|s| s.stage_comm(self.stage_id))
+            .map(|c| c.bytes);
+        // The buckets store is the shuffle's materialization: its spill
+        // picture is the one worth rendering. Predicted volume prefers
+        // the measured stage bytes over size estimates.
+        let est_bytes = measured.or_else(|| {
+            up(&self.parent)
+                .est_rows()
+                .map(|r| r * std::mem::size_of::<(K, V)>() as u64)
+        });
         PlanNode {
             id: self.lineage_id(),
             label: Op::label(self),
@@ -169,11 +219,8 @@ where
             partitions: self.partitions,
             est_rows: Lineage::est_rows(self),
             row_bytes: std::mem::size_of::<T>(),
-            measured_bytes: self
-                .stats
-                .as_ref()
-                .and_then(|s| s.stage_comm(self.stage_id))
-                .map(|c| c.bytes),
+            measured_bytes: measured,
+            residency: self.buckets.residency(est_bytes),
             children: vec![up(&self.parent).plan()],
         }
     }
@@ -184,10 +231,8 @@ where
         // Exact once every output partition's post has run; before that,
         // the parent's row count is an upper bound (posts only group or
         // reduce, never expand, in this engine's combinators).
-        let done: Option<u64> = self
-            .posted
-            .iter()
-            .map(|cell| cell.get().map(|rows| rows.len() as u64))
+        let done: Option<u64> = (0..self.partitions)
+            .map(|p| self.posted.part_len(p).map(|rows| rows as u64))
             .sum();
         done.or_else(|| up(&self.parent).est_rows())
     }
@@ -214,7 +259,7 @@ pub(crate) struct ElidedShuffleOp<R, T, F> {
     /// Stage id the *naive* boundary would have carried — kept so plan
     /// reports can say which boundary disappeared.
     pub stage_id: u32,
-    pub posted: Vec<OnceLock<Arc<Vec<T>>>>,
+    pub posted: PartitionStore<T>,
     /// Records the elision in [`ShuffleStats`] exactly once per op.
     pub noted: OnceLock<()>,
 }
@@ -222,17 +267,17 @@ pub(crate) struct ElidedShuffleOp<R, T, F> {
 impl<R, T, F> Op<T> for ElidedShuffleOp<R, T, F>
 where
     R: Clone + Send + Sync + 'static,
-    T: Clone + Send + Sync,
+    T: Clone + Send + Sync + SpillRow,
     F: Fn(Vec<R>) -> Vec<T> + Send + Sync,
 {
     fn partitions(&self) -> usize {
         self.partitions
     }
     fn compute_partition(&self, idx: usize) -> Vec<T> {
-        (*self.compute_partition_shared(idx)).clone()
+        take_rows(self.compute_partition_shared(idx))
     }
     fn compute_partition_shared(&self, idx: usize) -> Arc<Vec<T>> {
-        let posted = self.posted[idx].get_or_init(|| {
+        self.posted.get_or_init(idx, || {
             self.noted.get_or_init(|| {
                 if let Some(stats) = &self.stats {
                     stats.add_elided_shuffle();
@@ -244,8 +289,7 @@ where
                 rows.extend(take_rows(parent.compute_partition_shared(idx)));
             }
             Arc::new((self.post)(rows))
-        });
-        Arc::clone(posted)
+        })
     }
     fn label(&self) -> String {
         format!("{}[{} partitions] {}", self.name, self.partitions, ELIDED_MARK)
@@ -264,10 +308,11 @@ where
 impl<R, T, F> Lineage for ElidedShuffleOp<R, T, F>
 where
     R: Clone + Send + Sync + 'static,
-    T: Clone + Send + Sync,
+    T: Clone + Send + Sync + SpillRow,
     F: Fn(Vec<R>) -> Vec<T> + Send + Sync,
 {
     fn plan(&self) -> PlanNode {
+        let est_bytes = Lineage::est_rows(self).map(|r| r * std::mem::size_of::<T>() as u64);
         PlanNode {
             id: self.lineage_id(),
             label: Op::label(self),
@@ -279,6 +324,7 @@ where
             est_rows: Lineage::est_rows(self),
             row_bytes: std::mem::size_of::<T>(),
             measured_bytes: None,
+            residency: self.posted.residency(est_bytes),
             children: self.parents.iter().map(|p| up(p).plan()).collect(),
         }
     }
@@ -288,10 +334,8 @@ where
         }
     }
     fn est_rows(&self) -> Option<u64> {
-        let done: Option<u64> = self
-            .posted
-            .iter()
-            .map(|cell| cell.get().map(|rows| rows.len() as u64))
+        let done: Option<u64> = (0..self.partitions)
+            .map(|p| self.posted.part_len(p).map(|rows| rows as u64))
             .sum();
         done.or_else(|| self.parents.iter().map(|p| up(p).est_rows()).sum())
     }
@@ -320,8 +364,9 @@ mod tests {
             name: "Identity",
             stats: None,
             stage_id: crate::plan::next_stage_id(),
-            materialized: OnceLock::new(),
-            posted: (0..partitions).map(|_| OnceLock::new()).collect(),
+            buckets: PartitionStore::new(partitions, Default::default()),
+            routed: OnceLock::new(),
+            posted: PartitionStore::new(partitions, Default::default()),
             _marker: std::marker::PhantomData,
         };
         let first: Vec<Vec<(u64, u64)>> =
@@ -359,8 +404,9 @@ mod tests {
             name: "Identity",
             stats: Some(Arc::clone(&stats)),
             stage_id: crate::plan::next_stage_id(),
-            materialized: OnceLock::new(),
-            posted: (0..2).map(|_| OnceLock::new()).collect(),
+            buckets: PartitionStore::new(2, Default::default()),
+            routed: OnceLock::new(),
+            posted: PartitionStore::new(2, Default::default()),
             _marker: std::marker::PhantomData,
         };
         op.compute_partition(0);
@@ -396,7 +442,7 @@ mod tests {
             name: "Identity",
             stats: Some(Arc::clone(&stats)),
             stage_id: crate::plan::next_stage_id(),
-            posted: (0..partitions).map(|_| OnceLock::new()).collect(),
+            posted: PartitionStore::new(partitions, Default::default()),
             noted: OnceLock::new(),
         };
         assert_eq!(

@@ -1,0 +1,817 @@
+//! The storage seam for resident partitions: byte-budgeted disk spill.
+//!
+//! Every holder of materialized partitions in the engine — source parts,
+//! explicit cache cells, optimizer auto-cache cells, repartition outputs,
+//! shuffle buckets, and memoized shuffle posts — keeps its rows in a
+//! [`PartitionStore<T>`] instead of hand-rolling `OnceLock<Arc<Vec<T>>>`
+//! cells. Without a byte budget (the default) the store *is* that cell
+//! array — the mem-store mode, bit-for-bit the semantics the holders used
+//! to implement themselves: first fill wins, later reads share the same
+//! `Arc`. With a budget ([`OptimizerConfig::spill_budget`]) the store runs
+//! in spill mode: partitions too big for their share of the budget are
+//! encoded to a temp file ([`SpillRow`], a deterministic little-endian
+//! format) and streamed back on access, so a pipeline's resident set stays
+//! bounded while results remain bit-identical.
+//!
+//! # Determinism
+//!
+//! The core law (pinned in `tests/spill_laws.rs`): which partitions spill
+//! is a pure function of (data, budget, config) — never of thread timing.
+//!
+//! * **Lazy holders** (caches, memoized shuffle posts) fill one partition
+//!   at a time, in whatever order rayon schedules them. A shared
+//!   "bytes-used-so-far" counter would make the spill set race-dependent,
+//!   so lazy fills use a *fair-share* rule instead: partition `p` spills
+//!   iff `bytes(p) × partitions > budget`. The decision reads only the
+//!   partition's own size; any schedule produces the same spill set, and
+//!   if every partition stays under its fair share the whole store is
+//!   resident within budget.
+//! * **Pre-sized holders** (shuffle buckets, repartition outputs, source
+//!   parts) know every partition's exact byte size before any cell fills,
+//!   so they pack greedily in index order: keep partitions resident while
+//!   the running total fits the budget, spill the rest. Strictly better
+//!   packing, still order-free — the sizes are data, not timing.
+//!
+//! Spill and unspill traffic is metered through the `CommStats` block
+//! ([`CommStats::add_spill`] / [`CommStats::add_unspill`]), so the
+//! replay-read cost of a budgeted run is as observable as its shuffle
+//! volume.
+//!
+//! [`OptimizerConfig::spill_budget`]: crate::optimize::OptimizerConfig::spill_budget
+//! [`CommStats::add_spill`]: peachy_cluster::CommStats::add_spill
+//! [`CommStats::add_unspill`]: peachy_cluster::CommStats::add_unspill
+
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use peachy_cluster::{ByteSized, CommStats};
+
+// ---------- the deterministic row encoding ----------
+
+/// A row that can round-trip through a spill file.
+///
+/// The encoding is fixed little-endian (floats via `to_bits`, lengths as
+/// `u64` prefixes), so a spilled partition decodes to exactly the rows
+/// that were written on any platform — bit-identity across budgets depends
+/// on it. `ByteSized` is a supertrait because the budget that decides
+/// *whether* to spill is enforced through the same byte accounting the
+/// comm layer already uses.
+pub trait SpillRow: ByteSized {
+    /// Append this row's encoding to `out`.
+    fn spill_encode(&self, out: &mut Vec<u8>);
+    /// Decode one row from the reader (panics on a corrupt stream — spill
+    /// files are written and read by the same process, so truncation is a
+    /// bug, not an input error).
+    fn spill_decode(r: &mut SpillReader<'_>) -> Self;
+}
+
+/// Cursor over a spill file's bytes.
+pub struct SpillReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> SpillReader<'a> {
+    /// Wrap a byte buffer for decoding.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Read a fixed-size chunk.
+    pub fn read_array<const N: usize>(&mut self) -> [u8; N] {
+        let end = self.pos + N;
+        let chunk: [u8; N] = self.buf[self.pos..end]
+            .try_into()
+            .expect("spill stream truncated");
+        self.pos = end;
+        chunk
+    }
+
+    /// Read a length-prefixed (`u64`) byte run.
+    pub fn read_bytes(&mut self) -> &'a [u8] {
+        let len = u64::from_le_bytes(self.read_array()) as usize;
+        let end = self.pos + len;
+        let run = &self.buf[self.pos..end];
+        self.pos = end;
+        run
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+}
+
+macro_rules! spill_fixed_int {
+    ($($t:ty),* $(,)?) => {$(
+        impl SpillRow for $t {
+            fn spill_encode(&self, out: &mut Vec<u8>) {
+                out.extend_from_slice(&self.to_le_bytes());
+            }
+            fn spill_decode(r: &mut SpillReader<'_>) -> Self {
+                <$t>::from_le_bytes(r.read_array())
+            }
+        }
+    )*};
+}
+
+spill_fixed_int!(u8, u16, u32, u64, u128, i8, i16, i32, i64, i128);
+
+// Pointer-width ints travel as 64-bit so a spill file means the same thing
+// on every platform.
+impl SpillRow for usize {
+    fn spill_encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&(*self as u64).to_le_bytes());
+    }
+    fn spill_decode(r: &mut SpillReader<'_>) -> Self {
+        u64::from_le_bytes(r.read_array()) as usize
+    }
+}
+
+impl SpillRow for isize {
+    fn spill_encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&(*self as i64).to_le_bytes());
+    }
+    fn spill_decode(r: &mut SpillReader<'_>) -> Self {
+        i64::from_le_bytes(r.read_array()) as isize
+    }
+}
+
+// Floats round-trip through their bit patterns: exact, NaN payloads and
+// signed zeros included.
+impl SpillRow for f32 {
+    fn spill_encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_bits().to_le_bytes());
+    }
+    fn spill_decode(r: &mut SpillReader<'_>) -> Self {
+        f32::from_bits(u32::from_le_bytes(r.read_array()))
+    }
+}
+
+impl SpillRow for f64 {
+    fn spill_encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_bits().to_le_bytes());
+    }
+    fn spill_decode(r: &mut SpillReader<'_>) -> Self {
+        f64::from_bits(u64::from_le_bytes(r.read_array()))
+    }
+}
+
+impl SpillRow for bool {
+    fn spill_encode(&self, out: &mut Vec<u8>) {
+        out.push(u8::from(*self));
+    }
+    fn spill_decode(r: &mut SpillReader<'_>) -> Self {
+        r.read_array::<1>()[0] != 0
+    }
+}
+
+impl SpillRow for char {
+    fn spill_encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&(*self as u32).to_le_bytes());
+    }
+    fn spill_decode(r: &mut SpillReader<'_>) -> Self {
+        char::from_u32(u32::from_le_bytes(r.read_array())).expect("valid char scalar")
+    }
+}
+
+impl SpillRow for () {
+    fn spill_encode(&self, _out: &mut Vec<u8>) {}
+    fn spill_decode(_r: &mut SpillReader<'_>) -> Self {}
+}
+
+impl SpillRow for String {
+    fn spill_encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&(self.len() as u64).to_le_bytes());
+        out.extend_from_slice(self.as_bytes());
+    }
+    fn spill_decode(r: &mut SpillReader<'_>) -> Self {
+        String::from_utf8(r.read_bytes().to_vec()).expect("spilled string was utf8")
+    }
+}
+
+/// `&'static str` rows (common in tests and literals) decode by leaking
+/// the re-read string — acceptable because a static-str dataset is tiny by
+/// construction and only spills under deliberately pathological budgets.
+impl SpillRow for &'static str {
+    fn spill_encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&(self.len() as u64).to_le_bytes());
+        out.extend_from_slice(self.as_bytes());
+    }
+    fn spill_decode(r: &mut SpillReader<'_>) -> Self {
+        let s = std::str::from_utf8(r.read_bytes()).expect("spilled str was utf8");
+        Box::leak(s.to_owned().into_boxed_str())
+    }
+}
+
+impl<T: SpillRow> SpillRow for Option<T> {
+    fn spill_encode(&self, out: &mut Vec<u8>) {
+        match self {
+            None => out.push(0),
+            Some(v) => {
+                out.push(1);
+                v.spill_encode(out);
+            }
+        }
+    }
+    fn spill_decode(r: &mut SpillReader<'_>) -> Self {
+        match r.read_array::<1>()[0] {
+            0 => None,
+            _ => Some(T::spill_decode(r)),
+        }
+    }
+}
+
+impl<T: SpillRow> SpillRow for Vec<T> {
+    fn spill_encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&(self.len() as u64).to_le_bytes());
+        for item in self {
+            item.spill_encode(out);
+        }
+    }
+    fn spill_decode(r: &mut SpillReader<'_>) -> Self {
+        let len = u64::from_le_bytes(r.read_array()) as usize;
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            out.push(T::spill_decode(r));
+        }
+        out
+    }
+}
+
+impl<T: SpillRow, const N: usize> SpillRow for [T; N] {
+    fn spill_encode(&self, out: &mut Vec<u8>) {
+        for item in self {
+            item.spill_encode(out);
+        }
+    }
+    fn spill_decode(r: &mut SpillReader<'_>) -> Self {
+        let mut items = Vec::with_capacity(N);
+        for _ in 0..N {
+            items.push(T::spill_decode(r));
+        }
+        match items.try_into() {
+            Ok(array) => array,
+            Err(_) => unreachable!("exactly N items decoded"),
+        }
+    }
+}
+
+macro_rules! spill_tuple {
+    ($($name:ident)+) => {
+        #[allow(non_snake_case)]
+        impl<$($name: SpillRow),+> SpillRow for ($($name,)+) {
+            fn spill_encode(&self, out: &mut Vec<u8>) {
+                let ($($name,)+) = self;
+                $($name.spill_encode(out);)+
+            }
+            fn spill_decode(r: &mut SpillReader<'_>) -> Self {
+                ($(<$name>::spill_decode(r),)+)
+            }
+        }
+    };
+}
+
+spill_tuple!(A);
+spill_tuple!(A B);
+spill_tuple!(A B C);
+spill_tuple!(A B C D);
+spill_tuple!(A B C D E);
+spill_tuple!(A B C D E F);
+
+// ---------- store configuration ----------
+
+/// How a [`PartitionStore`] holds its partitions.
+#[derive(Clone, Default)]
+pub struct StoreConfig {
+    /// Resident byte budget. `None` (the default) is the mem-store mode:
+    /// every partition stays in RAM and nothing ever touches disk.
+    pub budget: Option<u64>,
+    /// Counter block charged for spill writes and unspill reads.
+    pub stats: Option<Arc<CommStats>>,
+}
+
+impl std::fmt::Debug for StoreConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StoreConfig")
+            .field("budget", &self.budget)
+            .field("stats", &self.stats.is_some())
+            .finish()
+    }
+}
+
+// ---------- the store ----------
+
+enum Slot<T> {
+    /// Rows pinned in RAM — the only variant a budget-less store creates.
+    Resident(Arc<Vec<T>>),
+    /// Rows encoded into `path`; decoded into a fresh `Arc` per access.
+    Spilled {
+        path: PathBuf,
+        encoded_bytes: u64,
+        row_count: usize,
+    },
+}
+
+/// A fixed-arity array of once-fillable partition slots, each resident in
+/// RAM or spilled to a temp file according to the byte budget. See the
+/// module docs for the placement rules and the determinism argument.
+pub struct PartitionStore<T> {
+    cells: Box<[OnceLock<Slot<T>>]>,
+    cfg: StoreConfig,
+    /// Spill directory, created lazily on first spill; removed on drop.
+    dir: OnceLock<PathBuf>,
+    /// Guards one-shot batch fills ([`PartitionStore::fill_once`]).
+    filled: OnceLock<()>,
+    spilled_parts: AtomicU64,
+    spilled_bytes: AtomicU64,
+}
+
+/// Process-unique suffix for spill directories, so two stores never share
+/// one (paths stay collision-free even across identical pipelines).
+fn next_store_id() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
+impl<T> PartitionStore<T> {
+    /// An empty store with `partitions` unfilled slots.
+    pub fn new(partitions: usize, cfg: StoreConfig) -> Self {
+        Self {
+            cells: (0..partitions).map(|_| OnceLock::new()).collect(),
+            cfg,
+            dir: OnceLock::new(),
+            filled: OnceLock::new(),
+            spilled_parts: AtomicU64::new(0),
+            spilled_bytes: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of partition slots.
+    pub fn partitions(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Has slot `idx` been filled (resident or spilled)?
+    pub fn is_filled(&self, idx: usize) -> bool {
+        self.cells[idx].get().is_some()
+    }
+
+    /// Row count of slot `idx`, if filled — readable without touching disk.
+    pub fn part_len(&self, idx: usize) -> Option<usize> {
+        self.cells[idx].get().map(|slot| match slot {
+            Slot::Resident(rows) => rows.len(),
+            Slot::Spilled { row_count, .. } => *row_count,
+        })
+    }
+
+    /// Partitions currently spilled to disk.
+    pub fn spilled_parts(&self) -> u64 {
+        self.spilled_parts.load(Ordering::Relaxed)
+    }
+
+    /// Encoded bytes currently spilled to disk.
+    pub fn spilled_bytes(&self) -> u64 {
+        self.spilled_bytes.load(Ordering::Relaxed)
+    }
+
+    /// The store's spill directory, if anything has spilled yet.
+    pub fn spill_dir(&self) -> Option<&Path> {
+        self.dir.get().map(PathBuf::as_path)
+    }
+
+    /// This store's residency picture for plan rendering: `None` while no
+    /// budget applies, the mem/spill decision (with `est_bytes` as the
+    /// predicted volume where nothing has filled yet) otherwise.
+    pub fn residency(&self, est_bytes: Option<u64>) -> Option<Residency> {
+        let budget = self.cfg.budget?;
+        let spilled_parts = self.spilled_parts() as usize;
+        let spilled_bytes = self.spilled_bytes();
+        let predicted_bytes = match est_bytes {
+            Some(est) if est > budget => est,
+            _ => 0,
+        };
+        if spilled_parts == 0 && predicted_bytes == 0 {
+            Some(Residency::Mem { budget })
+        } else {
+            Some(Residency::Spill {
+                budget,
+                spilled_parts,
+                spilled_bytes,
+                predicted_bytes,
+            })
+        }
+    }
+
+    /// Which partitions of a pre-sized batch must spill: greedy first-fit
+    /// in index order over the exact byte sizes (a pure function of sizes
+    /// and budget).
+    pub fn plan_presized(&self, sizes: &[u64]) -> Vec<bool> {
+        let Some(budget) = self.cfg.budget else {
+            return vec![false; sizes.len()];
+        };
+        let mut resident = 0u64;
+        sizes
+            .iter()
+            .map(|&size| {
+                if resident.saturating_add(size) <= budget {
+                    resident += size;
+                    false
+                } else {
+                    true
+                }
+            })
+            .collect()
+    }
+
+    fn dir(&self) -> &Path {
+        self.dir.get_or_init(|| {
+            let dir = std::env::temp_dir()
+                .join(format!("peachy-spill-{}", std::process::id()))
+                .join(format!("store-{}", next_store_id()));
+            std::fs::create_dir_all(&dir)
+                .unwrap_or_else(|e| panic!("spill store: create {}: {e}", dir.display()));
+            dir
+        })
+    }
+}
+
+impl<T: SpillRow> PartitionStore<T> {
+    /// A store pre-filled from owned partitions (sources, repartition
+    /// outputs): sizes are known before any slot fills, so placement uses
+    /// the greedy pre-sized plan.
+    pub fn prefilled(parts: Vec<Vec<T>>, cfg: StoreConfig) -> Self {
+        let store = Self::new(parts.len(), cfg);
+        store.fill_batch(parts);
+        store
+    }
+
+    /// Fill every slot from owned partitions (each slot must be empty).
+    fn fill_batch(&self, parts: Vec<Vec<T>>) {
+        assert_eq!(parts.len(), self.cells.len(), "one partition per slot");
+        let sizes: Vec<u64> = parts.iter().map(|p| p.approx_bytes() as u64).collect();
+        let spill = self.plan_presized(&sizes);
+        for (idx, (rows, spill)) in parts.into_iter().zip(spill).enumerate() {
+            let slot = if spill {
+                self.spill(idx, rows.len(), rows.iter())
+            } else {
+                Slot::Resident(Arc::new(rows))
+            };
+            if self.cells[idx].set(slot).is_err() {
+                panic!("fill_batch: slot {idx} already filled");
+            }
+        }
+    }
+
+    /// Run `fill` exactly once (across threads) to populate every slot.
+    /// The holder's one-shot materialization guard (what used to be an
+    /// outer `OnceLock<Vec<…>>`).
+    pub fn fill_once(&self, fill: impl FnOnce() -> Vec<Vec<T>>) {
+        self.filled.get_or_init(|| self.fill_batch(fill()));
+    }
+
+    /// Fill slot `idx` with resident rows (pre-sized holders that planned
+    /// placement via [`PartitionStore::plan_presized`]).
+    pub fn fill_resident(&self, idx: usize, rows: Arc<Vec<T>>) {
+        if self.cells[idx].set(Slot::Resident(rows)).is_err() {
+            panic!("fill_resident: slot {idx} already filled");
+        }
+    }
+
+    /// Fill slot `idx` by streaming `rows` straight to disk — the rows are
+    /// never concatenated in RAM (shuffle buckets encode directly from the
+    /// per-input buckets).
+    pub fn fill_spilled<'a>(
+        &self,
+        idx: usize,
+        row_count: usize,
+        rows: impl Iterator<Item = &'a T>,
+    ) where
+        T: 'a,
+    {
+        let slot = self.spill(idx, row_count, rows);
+        if self.cells[idx].set(slot).is_err() {
+            panic!("fill_spilled: slot {idx} already filled");
+        }
+    }
+
+    /// Serve slot `idx`, computing it on first access (the lazy-holder
+    /// path: caches and memoized posts). Placement follows the fair-share
+    /// rule; the first fill returns the just-computed rows from RAM even
+    /// when the slot spills, so the filling action pays no read-back.
+    pub fn get_or_init(&self, idx: usize, compute: impl FnOnce() -> Arc<Vec<T>>) -> Arc<Vec<T>> {
+        let mut fresh: Option<Arc<Vec<T>>> = None;
+        let slot = self.cells[idx].get_or_init(|| {
+            let rows = compute();
+            let placed = self.place_lazy(idx, Arc::clone(&rows));
+            fresh = Some(rows);
+            placed
+        });
+        match fresh {
+            Some(rows) => rows,
+            None => self.read_slot(slot),
+        }
+    }
+
+    /// Read slot `idx` if it has been filled (resident: the shared `Arc`;
+    /// spilled: a fresh decode, charged as unspill traffic).
+    pub fn load(&self, idx: usize) -> Option<Arc<Vec<T>>> {
+        self.cells[idx].get().map(|slot| self.read_slot(slot))
+    }
+
+    /// Place a lazily computed partition: resident unless its size times
+    /// the partition count exceeds the budget (the fair-share rule).
+    fn place_lazy(&self, idx: usize, rows: Arc<Vec<T>>) -> Slot<T> {
+        let Some(budget) = self.cfg.budget else {
+            return Slot::Resident(rows);
+        };
+        let bytes = rows.approx_bytes() as u64;
+        if bytes.saturating_mul(self.cells.len() as u64) <= budget {
+            return Slot::Resident(rows);
+        }
+        self.spill(idx, rows.len(), rows.iter())
+    }
+
+    fn spill<'a>(&self, idx: usize, row_count: usize, rows: impl Iterator<Item = &'a T>) -> Slot<T>
+    where
+        T: 'a,
+    {
+        let path = self.dir().join(format!("part-{idx}.bin"));
+        let file = File::create(&path)
+            .unwrap_or_else(|e| panic!("spill store: create {}: {e}", path.display()));
+        let mut writer = BufWriter::new(file);
+        let mut encoded_bytes = 0u64;
+        let mut buf = Vec::with_capacity(256);
+        (row_count as u64).spill_encode(&mut buf);
+        for row in rows {
+            row.spill_encode(&mut buf);
+            if buf.len() >= 64 * 1024 {
+                writer.write_all(&buf).expect("spill write");
+                encoded_bytes += buf.len() as u64;
+                buf.clear();
+            }
+        }
+        writer.write_all(&buf).expect("spill write");
+        encoded_bytes += buf.len() as u64;
+        writer.flush().expect("spill flush");
+        if let Some(stats) = &self.cfg.stats {
+            stats.add_spill(encoded_bytes);
+        }
+        self.spilled_parts.fetch_add(1, Ordering::Relaxed);
+        self.spilled_bytes.fetch_add(encoded_bytes, Ordering::Relaxed);
+        Slot::Spilled {
+            path,
+            encoded_bytes,
+            row_count,
+        }
+    }
+
+    fn read_slot(&self, slot: &Slot<T>) -> Arc<Vec<T>> {
+        match slot {
+            Slot::Resident(rows) => Arc::clone(rows),
+            Slot::Spilled {
+                path,
+                encoded_bytes,
+                row_count,
+            } => {
+                let data = std::fs::read(path)
+                    .unwrap_or_else(|e| panic!("spill store: read {}: {e}", path.display()));
+                let mut reader = SpillReader::new(&data);
+                let count = u64::spill_decode(&mut reader) as usize;
+                debug_assert_eq!(count, *row_count, "spill header row count");
+                let mut rows = Vec::with_capacity(count);
+                for _ in 0..count {
+                    rows.push(T::spill_decode(&mut reader));
+                }
+                debug_assert_eq!(reader.remaining(), 0, "spill file fully consumed");
+                if let Some(stats) = &self.cfg.stats {
+                    stats.add_unspill(*encoded_bytes);
+                }
+                Arc::new(rows)
+            }
+        }
+    }
+}
+
+impl<T> Drop for PartitionStore<T> {
+    fn drop(&mut self) {
+        if let Some(dir) = self.dir.get() {
+            let _ = std::fs::remove_dir_all(dir);
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for PartitionStore<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PartitionStore")
+            .field("partitions", &self.cells.len())
+            .field("budget", &self.cfg.budget)
+            .field("spilled_parts", &self.spilled_parts())
+            .field("spilled_bytes", &self.spilled_bytes())
+            .finish()
+    }
+}
+
+// ---------- residency (for plan rendering) ----------
+
+/// A budgeted store's mem-vs-spill picture, rendered by `explain_plans()`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Residency {
+    /// Everything fits: nothing spilled, nothing predicted to.
+    Mem {
+        /// The resident byte budget the store stayed within.
+        budget: u64,
+    },
+    /// Some partitions live (or are predicted to live) on disk.
+    Spill {
+        /// The resident byte budget in force.
+        budget: u64,
+        /// Partitions spilled so far.
+        spilled_parts: usize,
+        /// Encoded bytes spilled so far.
+        spilled_bytes: u64,
+        /// Estimated bytes that *will* spill where nothing has run yet
+        /// (0 once real spills exist or the estimate fits the budget).
+        predicted_bytes: u64,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mem_cfg() -> StoreConfig {
+        StoreConfig::default()
+    }
+
+    fn spill_cfg(budget: u64) -> StoreConfig {
+        StoreConfig {
+            budget: Some(budget),
+            stats: None,
+        }
+    }
+
+    #[test]
+    fn roundtrip_assorted_row_types() {
+        fn roundtrip<T: SpillRow + PartialEq + std::fmt::Debug>(rows: Vec<T>) {
+            let mut buf = Vec::new();
+            for row in &rows {
+                row.spill_encode(&mut buf);
+            }
+            let mut reader = SpillReader::new(&buf);
+            let decoded: Vec<T> = (0..rows.len()).map(|_| T::spill_decode(&mut reader)).collect();
+            assert_eq!(decoded, rows);
+            assert_eq!(reader.remaining(), 0);
+        }
+        roundtrip(vec![0u64, 1, u64::MAX]);
+        roundtrip(vec![-3i64, 0, i64::MAX]);
+        roundtrip(vec![1.5f64, -0.0, f64::INFINITY]);
+        roundtrip(vec![String::from("héllo"), String::new()]);
+        roundtrip(vec![("k".to_string(), 7u64), ("".to_string(), 0)]);
+        roundtrip(vec![Some(3u32), None, Some(0)]);
+        roundtrip(vec![vec![1u8, 2, 3], vec![]]);
+        roundtrip(vec![[1u64, 2], [3, 4]]);
+        roundtrip(vec![(1u32, (2u64, true), 'λ')]);
+        roundtrip(vec!["static", ""]);
+        roundtrip(vec![(3usize, -4isize)]);
+    }
+
+    #[test]
+    fn float_bits_survive_exactly() {
+        let nan = f64::from_bits(0x7FF8_0000_0000_1234);
+        let mut buf = Vec::new();
+        nan.spill_encode(&mut buf);
+        let decoded = f64::spill_decode(&mut SpillReader::new(&buf));
+        assert_eq!(decoded.to_bits(), nan.to_bits());
+    }
+
+    #[test]
+    fn mem_store_shares_one_arc_and_touches_no_disk() {
+        let store: PartitionStore<u64> = PartitionStore::new(2, mem_cfg());
+        let first = store.get_or_init(0, || Arc::new(vec![1, 2, 3]));
+        let second = store.get_or_init(0, || unreachable!("filled once"));
+        assert!(Arc::ptr_eq(&first, &second), "mem mode hands out the same Arc");
+        assert!(store.spill_dir().is_none(), "no budget, no directory");
+        assert_eq!(store.part_len(0), Some(3));
+        assert!(!store.is_filled(1));
+    }
+
+    #[test]
+    fn fair_share_spills_only_oversized_partitions() {
+        // 4 slots, 64-byte budget → fair share 16 bytes. A 2-row u64
+        // partition (16 B) stays; a 3-row one (24 B) spills.
+        let store: PartitionStore<u64> = PartitionStore::new(4, spill_cfg(64));
+        let small = store.get_or_init(0, || Arc::new(vec![1, 2]));
+        assert_eq!(store.spilled_parts(), 0);
+        let big = store.get_or_init(1, || Arc::new(vec![3, 4, 5]));
+        assert_eq!(store.spilled_parts(), 1, "over fair share → disk");
+        assert_eq!(*big, vec![3, 4, 5], "first fill reads back from RAM");
+        // Later loads decode the file into a fresh allocation.
+        let replay = store.load(1).unwrap();
+        assert_eq!(*replay, vec![3, 4, 5]);
+        assert!(!Arc::ptr_eq(&big, &replay), "spilled reads are fresh decodes");
+        // The resident partition still shares its Arc.
+        assert!(Arc::ptr_eq(&small, &store.load(0).unwrap()));
+    }
+
+    #[test]
+    fn presized_plan_is_greedy_first_fit() {
+        let store: PartitionStore<u64> = PartitionStore::new(4, spill_cfg(40));
+        // 16 + 16 fits; 16 more would overflow; the final 8 still fits.
+        assert_eq!(
+            store.plan_presized(&[16, 16, 16, 8]),
+            vec![false, false, true, false]
+        );
+        let unbudgeted: PartitionStore<u64> = PartitionStore::new(4, mem_cfg());
+        assert_eq!(
+            unbudgeted.plan_presized(&[u64::MAX, 1, 2, 3]),
+            vec![false; 4]
+        );
+    }
+
+    #[test]
+    fn prefilled_store_roundtrips_spilled_parts() {
+        let parts: Vec<Vec<u64>> = (0..4).map(|p| (0..8).map(|i| p * 100 + i).collect()).collect();
+        let store = PartitionStore::prefilled(parts.clone(), spill_cfg(100));
+        // 64 B per part: part 0 fits, part 1 fits (128 > 100 → no, 64+64=128 > 100), …
+        assert_eq!(store.spilled_parts(), 3, "one resident, three spilled");
+        for (p, expected) in parts.iter().enumerate() {
+            assert_eq!(*store.load(p).unwrap(), *expected, "partition {p}");
+        }
+    }
+
+    #[test]
+    fn spill_counters_feed_comm_stats() {
+        let stats = CommStats::new();
+        let cfg = StoreConfig {
+            budget: Some(8),
+            stats: Some(Arc::clone(&stats)),
+        };
+        let store: PartitionStore<u64> = PartitionStore::new(1, cfg);
+        store.get_or_init(0, || Arc::new(vec![7, 8, 9]));
+        assert_eq!(stats.spills(), 1);
+        // Header (8 B row count) + 3 × 8 B rows.
+        assert_eq!(stats.spill_bytes(), 32);
+        assert_eq!(stats.unspill_bytes(), 0, "first fill served from RAM");
+        store.load(0);
+        store.load(0);
+        assert_eq!(stats.unspill_bytes(), 64, "every later read is a decode");
+        assert_eq!(stats.spills(), 1, "written once");
+    }
+
+    #[test]
+    fn drop_removes_spill_directory() {
+        let dir;
+        {
+            let store: PartitionStore<u64> = PartitionStore::new(1, spill_cfg(0));
+            store.get_or_init(0, || Arc::new(vec![1, 2, 3]));
+            dir = store.spill_dir().expect("spilled").to_path_buf();
+            assert!(dir.exists(), "spill file on disk while the store lives");
+        }
+        assert!(!dir.exists(), "drop cleans the store's directory");
+    }
+
+    #[test]
+    fn residency_reports_mem_and_spill() {
+        let store: PartitionStore<u64> = PartitionStore::new(2, mem_cfg());
+        assert_eq!(store.residency(Some(10)), None, "no budget → no residency");
+
+        let store: PartitionStore<u64> = PartitionStore::new(2, spill_cfg(64));
+        assert_eq!(store.residency(Some(10)), Some(Residency::Mem { budget: 64 }));
+        assert_eq!(
+            store.residency(Some(100)),
+            Some(Residency::Spill {
+                budget: 64,
+                spilled_parts: 0,
+                spilled_bytes: 0,
+                predicted_bytes: 100,
+            })
+        );
+        store.get_or_init(0, || Arc::new(vec![1u64; 32]));
+        let Some(Residency::Spill { spilled_parts, spilled_bytes, .. }) =
+            store.residency(None)
+        else {
+            panic!("spilled store must report Spill");
+        };
+        assert_eq!(spilled_parts, 1);
+        assert_eq!(spilled_bytes, 8 + 32 * 8);
+    }
+
+    #[test]
+    fn fill_once_runs_exactly_once() {
+        use std::sync::atomic::AtomicUsize;
+        let store: PartitionStore<u64> = PartitionStore::new(2, mem_cfg());
+        let calls = AtomicUsize::new(0);
+        for _ in 0..3 {
+            store.fill_once(|| {
+                calls.fetch_add(1, Ordering::Relaxed);
+                vec![vec![1], vec![2, 3]]
+            });
+        }
+        assert_eq!(calls.load(Ordering::Relaxed), 1);
+        assert_eq!(*store.load(1).unwrap(), vec![2, 3]);
+    }
+}

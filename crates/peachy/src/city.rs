@@ -12,7 +12,9 @@
 use std::sync::Arc;
 
 use peachy_data::geo::{locate, Nta, Point, Polygon, SyntheticCity};
-use peachy_dataflow::{Dataset, KeyedDataset, OptimizerConfig, ShuffleStats};
+use peachy_dataflow::{
+    ByteSized, Dataset, KeyedDataset, OptimizerConfig, ShuffleStats, SpillReader, SpillRow,
+};
 
 /// A cleaned arrest event: year plus a validated city coordinate.
 #[derive(Debug, Clone, PartialEq)]
@@ -23,6 +25,33 @@ pub struct CleanArrest {
     pub offense: String,
     /// Validated location.
     pub at: Point,
+}
+
+impl ByteSized for CleanArrest {
+    fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<u32>() + self.offense.len() + 2 * std::mem::size_of::<f64>()
+    }
+}
+
+impl SpillRow for CleanArrest {
+    // `Point` belongs to `peachy_data`, which does not know about spilling,
+    // so its two coordinates are encoded inline here.
+    fn spill_encode(&self, out: &mut Vec<u8>) {
+        self.year.spill_encode(out);
+        self.offense.spill_encode(out);
+        self.at.x.spill_encode(out);
+        self.at.y.spill_encode(out);
+    }
+    fn spill_decode(r: &mut SpillReader<'_>) -> Self {
+        CleanArrest {
+            year: u32::spill_decode(r),
+            offense: String::spill_decode(r),
+            at: Point {
+                x: f64::spill_decode(r),
+                y: f64::spill_decode(r),
+            },
+        }
+    }
 }
 
 /// Result row of the Figure-2 analysis.
@@ -36,6 +65,29 @@ pub struct NtaRate {
     pub population: u64,
     /// Arrests per 100 000 citizens.
     pub per_100k: f64,
+}
+
+impl ByteSized for NtaRate {
+    fn approx_bytes(&self) -> usize {
+        self.code.len() + 2 * std::mem::size_of::<u64>() + std::mem::size_of::<f64>()
+    }
+}
+
+impl SpillRow for NtaRate {
+    fn spill_encode(&self, out: &mut Vec<u8>) {
+        self.code.spill_encode(out);
+        self.arrests.spill_encode(out);
+        self.population.spill_encode(out);
+        self.per_100k.spill_encode(out);
+    }
+    fn spill_decode(r: &mut SpillReader<'_>) -> Self {
+        NtaRate {
+            code: String::spill_decode(r),
+            arrests: u64::spill_decode(r),
+            population: u64::spill_decode(r),
+            per_100k: f64::spill_decode(r),
+        }
+    }
 }
 
 /// Parse one arrests CSV line (`id,year,offense,x,y`); dirty rows (missing
