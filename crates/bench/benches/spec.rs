@@ -1,0 +1,55 @@
+//! E21: the declarative scenario layer — what the `.peachy` indirection
+//! costs. Parsing + validation alone, compile + run of the committed
+//! city scenario, and the hand-written Rust twin of the same pipeline
+//! for the overhead comparison.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use peachy::city::{arrests_per_100k, CityTables};
+use peachy::data::geo::{CityConfig, SyntheticCity};
+use peachy::spec::{parse_scenario, RunOptions, Runner};
+
+/// The committed city spec, golden line dropped (goldens resolve
+/// relative to the spec file; the bench re-parses from text).
+fn city_text() -> String {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../specs/city_rates.peachy");
+    std::fs::read_to_string(path)
+        .expect("committed spec")
+        .lines()
+        .filter(|l| !l.trim_start().starts_with("golden"))
+        .map(|l| format!("{l}\n"))
+        .collect()
+}
+
+fn bench_spec_layer(c: &mut Criterion) {
+    let text = city_text();
+    let mut group = c.benchmark_group("E21_spec");
+    group.sample_size(10);
+    group.bench_function("parse_validate_city_spec", |b| {
+        b.iter(|| parse_scenario(&text).expect("parses"))
+    });
+    group.bench_function("compile_run_city_spec", |b| {
+        b.iter(|| {
+            Runner::from_str(&text)
+                .expect("parses")
+                .run(&RunOptions::default())
+                .expect("runs")
+                .rows
+                .len()
+        })
+    });
+    let config = CityConfig {
+        grid_w: 4,
+        grid_h: 4,
+        arrests: 8_000,
+        ..CityConfig::default()
+    };
+    let city = SyntheticCity::generate(config, 99);
+    let tables = CityTables::from_city(&city, config.current_year);
+    group.bench_function("rust_twin_city_pipeline", |b| {
+        b.iter(|| arrests_per_100k(&tables, 4).0.len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_spec_layer);
+criterion_main!(benches);

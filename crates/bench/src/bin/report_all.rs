@@ -382,15 +382,97 @@ fn main() {
         });
     }
 
-    // `--emit-bench PATH`: snapshot the E18 + E20 numbers as flat JSON for
-    // the committed baseline / regression gate (`bench_gate`).
+    println!("E21 — declarative scenario layer (committed city spec, median of 5):");
+    {
+        use peachy::spec::{RunOptions, Runner};
+        let spec_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../specs/city_rates.peachy");
+        // The golden line is dropped: its path is relative to the spec
+        // file, and the in-memory variants below re-parse from text.
+        let text: String = std::fs::read_to_string(spec_path)
+            .expect("committed spec")
+            .lines()
+            .filter(|l| !l.trim_start().starts_with("golden"))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        let iters = 5;
+        let run_variant = |extra: &str| -> e18::Measured {
+            let text = text.replace("[run]\n", &format!("[run]\n{extra}"));
+            let mut times = Vec::with_capacity(iters);
+            let mut last = None;
+            for _ in 0..iters {
+                let runner = Runner::from_str(&text).expect("committed spec parses");
+                let t = Instant::now();
+                let report = runner.run(&RunOptions::default()).expect("committed spec runs");
+                times.push(t.elapsed().as_nanos() as u64);
+                last = Some(report);
+            }
+            times.sort_unstable();
+            let report = last.expect("at least one run");
+            let c = report.counters.clone();
+            e18::Measured {
+                median_ns: times[times.len() / 2],
+                rows: report.rows.len() as u64,
+                records: c.records,
+                bytes: c.bytes,
+                shuffles: c.shuffles,
+                elided: c.shuffles_elided,
+                spills: c.spills,
+                spill_bytes: c.spill_bytes,
+                unspill_bytes: c.unspill_bytes,
+            }
+        };
+        let naive = run_variant("optimizer = naive\n");
+        let optimized = run_variant("");
+
+        let config = CityConfig {
+            grid_w: 4,
+            grid_h: 4,
+            arrests: 8_000,
+            ..CityConfig::default()
+        };
+        let city = SyntheticCity::generate(config, 99);
+        let tables = CityTables::from_city(&city, config.current_year);
+        let (twin_rows, twin_stats) = arrests_per_100k(&tables, 4);
+        r.check(
+            "spec city ≡ Rust twin (rows + shuffle family)",
+            format!(
+                "{} rows, {} records, {} shuffles ({} elided)",
+                optimized.rows, optimized.records, optimized.shuffles, optimized.elided
+            ),
+            optimized.rows == twin_rows.len() as u64
+                && optimized.records == twin_stats.records()
+                && optimized.shuffles == twin_stats.shuffles()
+                && optimized.elided == twin_stats.shuffles_elided()
+                && optimized.spills == twin_stats.spills(),
+        );
+        r.check(
+            "spec naive vs optimized: same rows, no extra traffic",
+            format!(
+                "{} → {} shuffles, {} → {} bytes, {:.1} → {:.1} ms",
+                naive.shuffles,
+                optimized.shuffles,
+                naive.bytes,
+                optimized.bytes,
+                naive.median_ns as f64 / 1e6,
+                optimized.median_ns as f64 / 1e6,
+            ),
+            naive.rows == optimized.rows
+                && optimized.shuffles <= naive.shuffles
+                && optimized.bytes <= naive.bytes,
+        );
+        bench_rows.push(("spec_city.naive".to_string(), naive));
+        bench_rows.push(("spec_city.optimized".to_string(), optimized));
+    }
+
+    // `--emit-bench PATH`: snapshot the E18/E20/E21 numbers as flat JSON
+    // for the committed baseline / regression gate (`bench_gate`).
     let mut args = std::env::args();
     if let Some(path) = args
         .by_ref()
         .find(|a| a == "--emit-bench")
         .and_then(|_| args.next())
     {
-        let mut json = String::from("{\n  \"schema\": \"peachy-bench-7\",\n");
+        let mut json = String::from("{\n  \"schema\": \"peachy-bench-8\",\n");
         json.push_str(&format!("  \"seed\": {},\n", e18::E18_SEED));
         for (i, (name, m)) in bench_rows.iter().enumerate() {
             let tail = if i + 1 == bench_rows.len() { "" } else { "," };
@@ -402,7 +484,7 @@ fn main() {
         }
         json.push_str("}\n");
         std::fs::write(&path, json).unwrap_or_else(|e| panic!("write {path}: {e}"));
-        println!("\nwrote E18/E20 bench snapshot to {path}");
+        println!("\nwrote E18/E20/E21 bench snapshot to {path}");
     }
 
     let failures = r.rows.iter().filter(|(_, _, ok)| !ok).count();

@@ -7,13 +7,13 @@
 //! `EXPERIMENTS.md`.
 //!
 //! * Criterion benches (`benches/`) cover the timing experiments:
-//!   E1/E11 (`knn`), E3 (`kmeans`), E12/E18 (`dataflow`), E6/E7
-//!   (`traffic`), E8 (`heat`), E9/E10 (`ensemble`), plus substrate
-//!   ablations (`cluster`, `prng`).
+//!   E1/E11 (`knn`), E3 (`kmeans`), E12/E18/E20 (`dataflow`), E6/E7
+//!   (`traffic`), E8 (`heat`), E9/E10 (`ensemble`), E21 (`spec`), plus
+//!   substrate ablations (`cluster`, `prng`).
 //! * `optimizer_scenarios` builds the E18 naive-vs-optimized pipelines;
-//!   `src/bin/report_all.rs --emit-bench PATH` snapshots them as
-//!   `BENCH_6.json` and `src/bin/bench_gate.rs` compares two snapshots
-//!   (exact comm counters, bounded speedup drift).
+//!   `src/bin/report_all.rs --emit-bench PATH` snapshots the E18/E20/E21
+//!   numbers as `BENCH_<N>.json` and `src/bin/bench_gate.rs` compares two
+//!   snapshots (exact comm counters, bounded speedup drift).
 //! * `src/bin/report_table1.rs` regenerates Table 1 from the raw survey
 //!   records using the dataflow engine itself.
 //! * The figure-producing "reports" are the workspace examples

@@ -56,6 +56,33 @@ pub enum Executor {
     },
 }
 
+impl std::str::FromStr for Executor {
+    type Err = String;
+
+    /// `"seq"`, `"rayon:4"`, `"cluster:4"` — the textual form CLI flags
+    /// and scenario specs use. Cluster backends parse with a clean
+    /// transport; attach a [`FaultPlan`] by building the variant directly.
+    fn from_str(s: &str) -> Result<Self, String> {
+        let parts = |rest: &str| -> Result<usize, String> {
+            let n: usize = rest
+                .parse()
+                .map_err(|_| format!("bad part count in executor `{s}`"))?;
+            if n == 0 {
+                return Err(format!("executor `{s}` needs at least one part"));
+            }
+            Ok(n)
+        };
+        match s.split_once(':') {
+            None if s == "seq" => Ok(Executor::Seq),
+            Some(("rayon", rest)) => Ok(Executor::rayon(parts(rest)?)),
+            Some(("cluster", rest)) => Ok(Executor::cluster(parts(rest)?)),
+            _ => Err(format!(
+                "unknown executor `{s}` (want seq, rayon:N, or cluster:N)"
+            )),
+        }
+    }
+}
+
 impl Executor {
     /// The sequential backend.
     pub fn seq() -> Self {

@@ -13,6 +13,7 @@
 //! | §6 | 1-D heat equation, Chapel-style | [`heat`] |
 //! | §7 | Ensemble uncertainty / HPO | [`ensemble`] |
 //! | — | Micro-batching request server + elastic sharded tier (extension) | [`serve`] |
+//! | — | Declarative `.peachy` scenario layer (extension) | [`spec`] |
 //!
 //! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
 //! paper-versus-measured record of every figure and table.
@@ -28,6 +29,7 @@ pub use peachy_knn as knn;
 pub use peachy_mapreduce as mapreduce;
 pub use peachy_prng as prng;
 pub use peachy_serve as serve;
+pub use peachy_spec as spec;
 pub use peachy_traffic as traffic;
 
 pub mod city;
@@ -41,4 +43,5 @@ pub mod prelude {
     pub use peachy_dataflow::{Dataset, KeyedDataset};
     pub use peachy_prng::{FastForward, Lcg64, RandomStream};
     pub use peachy_serve::{ShardConfig, ShardMap, ShardedServer, ShardedService};
+    pub use peachy_spec::{RunOptions, Runner, ScenarioReport};
 }

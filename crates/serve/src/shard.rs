@@ -278,6 +278,28 @@ pub enum ScaleEvent {
     Drain(usize),
 }
 
+impl std::str::FromStr for ScaleEvent {
+    type Err = String;
+
+    /// `"add 4"` / `"drain 1"` — the textual form scenario specs use.
+    fn from_str(s: &str) -> Result<Self, String> {
+        let mut words = s.split_whitespace();
+        let (verb, rank) = (words.next(), words.next());
+        if words.next().is_some() {
+            return Err(format!("expected `add N` or `drain N`, got `{s}`"));
+        }
+        let rank: usize = rank
+            .ok_or_else(|| format!("missing rank in `{s}`"))?
+            .parse()
+            .map_err(|_| format!("bad rank in `{s}`"))?;
+        match verb {
+            Some("add") => Ok(ScaleEvent::Add(rank)),
+            Some("drain") => Ok(ScaleEvent::Drain(rank)),
+            _ => Err(format!("expected `add N` or `drain N`, got `{s}`")),
+        }
+    }
+}
+
 /// Tuning and scripting for a [`ShardedServer`].
 #[derive(Debug, Clone)]
 pub struct ShardConfig {
