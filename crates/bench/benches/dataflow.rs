@@ -6,6 +6,9 @@
 //! aggregation.
 //! E20: the out-of-core ablation — the same pipelines fully resident vs
 //! under a byte budget that forces partitions through disk spill.
+//! E22: the streaming ablation — spilled partitions consumed through the
+//! row cursor vs rebuilt whole on access (the strawman), on a fully
+//! skewed group-by whose one bucket dwarfs every source partition.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use peachy::dataflow::{Dataset, KeyedDataset, OptimizerConfig};
@@ -126,12 +129,26 @@ fn bench_spill(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_stream(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E22_stream");
+    group.sample_size(10);
+    for budget in [64 * 1024u64, 1024] {
+        group.bench_function(format!("skewed_group_stream_{budget}B"), |b| {
+            b.iter(|| e18::skewed_group(16_000, 8, e18::spill_cfg(budget)).0)
+        });
+        group.bench_function(format!("skewed_group_rebuild_{budget}B"), |b| {
+            b.iter(|| e18::skewed_group(16_000, 8, e18::rebuild_cfg(budget)).0)
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     name = benches;
     config = Criterion::default()
         .measurement_time(std::time::Duration::from_secs(2))
         .warm_up_time(std::time::Duration::from_millis(300));
     targets = bench_narrow_chain, bench_shuffle, bench_join, bench_cache, bench_optimizer,
-        bench_spill
+        bench_spill, bench_stream
 );
 criterion_main!(benches);

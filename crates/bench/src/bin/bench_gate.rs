@@ -17,6 +17,10 @@
 //!   and the input `seed`) must match the baseline **exactly** — the E18
 //!   inputs are seeded and partition counts fixed, so any drift means the
 //!   optimizer's routing or elision behaviour changed.
+//! * **Peak residency** (`peak_resident_bytes`, the E22 streaming
+//!   high-water mark) is a ceiling, not an identity: the current value
+//!   may come in *under* the baseline (a streaming improvement) but never
+//!   above it (a regression back toward rebuild-on-access).
 //! * **Wall time** is machine-dependent, so the gate compares the
 //!   *speedup* (naive ÷ optimized median) per scenario, not absolute
 //!   nanoseconds: the current speedup may not fall below the baseline
@@ -96,6 +100,13 @@ fn main() {
             continue; // absolute times are compared as speedups below
         }
         match current.get(key) {
+            // The high-water meter gates one-sidedly: lower is a
+            // streaming win, higher is a residency regression.
+            Some(cur) if key.ends_with(".peak_resident_bytes") && cur <= base => {}
+            Some(cur) if key.ends_with(".peak_resident_bytes") => {
+                eprintln!("[!!] {key}: peak regressed above baseline ({base} → {cur})");
+                failures += 1;
+            }
             Some(cur) if cur == base => {}
             Some(cur) => {
                 eprintln!("[!!] {key}: baseline {base}, current {cur}");

@@ -419,6 +419,7 @@ fn main() {
                 spills: c.spills,
                 spill_bytes: c.spill_bytes,
                 unspill_bytes: c.unspill_bytes,
+                peak_resident_bytes: c.peak_resident_bytes,
             }
         };
         let naive = run_variant("optimizer = naive\n");
@@ -464,27 +465,72 @@ fn main() {
         bench_rows.push(("spec_city.optimized".to_string(), optimized));
     }
 
-    // `--emit-bench PATH`: snapshot the E18/E20/E21 numbers as flat JSON
-    // for the committed baseline / regression gate (`bench_gate`).
+    println!("E22 — streaming ablation (cursor vs rebuild-on-access, median of 5):");
+    {
+        // A fully skewed group-by: the single shuffle bucket dwarfs every
+        // source partition, so the rebuild strawman's peak is the whole
+        // bucket while the streaming cursor's stays at the posted groups.
+        let iters = 5;
+        let n = 16_000;
+        let resident = e18::measure(iters, || e18::skewed_group(n, 8, OptimizerConfig::default()));
+        r.check(
+            "skewed group @ ∞: resident reference",
+            format!(
+                "{} rows, peak {} B, {:.1} ms",
+                resident.rows,
+                resident.peak_resident_bytes,
+                resident.median_ns as f64 / 1e6,
+            ),
+            resident.spills == 0 && resident.rows == n as u64 && resident.peak_resident_bytes > 0,
+        );
+        bench_rows.push(("skewed_group_stream.resident".to_string(), resident));
+        for budget in [64 * 1024u64, 1024] {
+            let streamed = e18::measure(iters, || e18::skewed_group(n, 8, e18::spill_cfg(budget)));
+            let rebuilt = e18::measure(iters, || e18::skewed_group(n, 8, e18::rebuild_cfg(budget)));
+            r.check(
+                &format!("skewed group @ {budget} B: streaming peak strictly lower"),
+                format!(
+                    "peak {} B streamed vs {} B rebuilt, {:.1} → {:.1} ms",
+                    streamed.peak_resident_bytes,
+                    rebuilt.peak_resident_bytes,
+                    rebuilt.median_ns as f64 / 1e6,
+                    streamed.median_ns as f64 / 1e6,
+                ),
+                streamed.spills > 0
+                    && rebuilt.spills > 0
+                    && streamed.rows == resident.rows
+                    && rebuilt.rows == resident.rows
+                    && streamed.records == rebuilt.records
+                    && streamed.bytes == rebuilt.bytes
+                    && streamed.peak_resident_bytes < rebuilt.peak_resident_bytes,
+            );
+            let kib = budget / 1024;
+            bench_rows.push((format!("skewed_group_stream.streamed_{kib}k"), streamed));
+            bench_rows.push((format!("skewed_group_stream.rebuilt_{kib}k"), rebuilt));
+        }
+    }
+
+    // `--emit-bench PATH`: snapshot the E18/E20/E21/E22 numbers as flat
+    // JSON for the committed baseline / regression gate (`bench_gate`).
     let mut args = std::env::args();
     if let Some(path) = args
         .by_ref()
         .find(|a| a == "--emit-bench")
         .and_then(|_| args.next())
     {
-        let mut json = String::from("{\n  \"schema\": \"peachy-bench-8\",\n");
+        let mut json = String::from("{\n  \"schema\": \"peachy-bench-9\",\n");
         json.push_str(&format!("  \"seed\": {},\n", e18::E18_SEED));
         for (i, (name, m)) in bench_rows.iter().enumerate() {
             let tail = if i + 1 == bench_rows.len() { "" } else { "," };
             json.push_str(&format!(
-                "  \"{name}.median_ns\": {},\n  \"{name}.rows\": {},\n  \"{name}.records\": {},\n  \"{name}.bytes\": {},\n  \"{name}.shuffles\": {},\n  \"{name}.elided\": {},\n  \"{name}.spills\": {},\n  \"{name}.spill_bytes\": {},\n  \"{name}.unspill_bytes\": {}{tail}\n",
+                "  \"{name}.median_ns\": {},\n  \"{name}.rows\": {},\n  \"{name}.records\": {},\n  \"{name}.bytes\": {},\n  \"{name}.shuffles\": {},\n  \"{name}.elided\": {},\n  \"{name}.spills\": {},\n  \"{name}.spill_bytes\": {},\n  \"{name}.unspill_bytes\": {},\n  \"{name}.peak_resident_bytes\": {}{tail}\n",
                 m.median_ns, m.rows, m.records, m.bytes, m.shuffles, m.elided,
-                m.spills, m.spill_bytes, m.unspill_bytes,
+                m.spills, m.spill_bytes, m.unspill_bytes, m.peak_resident_bytes,
             ));
         }
         json.push_str("}\n");
         std::fs::write(&path, json).unwrap_or_else(|e| panic!("write {path}: {e}"));
-        println!("\nwrote E18/E20/E21 bench snapshot to {path}");
+        println!("\nwrote E18/E20/E21/E22 bench snapshot to {path}");
     }
 
     let failures = r.rows.iter().filter(|(_, _, ok)| !ok).count();

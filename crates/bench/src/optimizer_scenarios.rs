@@ -38,6 +38,9 @@ pub struct Measured {
     pub spill_bytes: u64,
     /// Encoded bytes streamed back from spilled partitions.
     pub unspill_bytes: u64,
+    /// High-water mark of bytes materialized or decoded at once by
+    /// byte-budgeted stores (the E22 streaming meter).
+    pub peak_resident_bytes: u64,
 }
 
 /// Run `run` `iters` times; each call must build a FRESH pipeline (shuffle
@@ -67,6 +70,7 @@ where
         spills: stats.spills(),
         spill_bytes: stats.spill_bytes(),
         unspill_bytes: stats.unspill_bytes(),
+        peak_resident_bytes: stats.peak_resident_bytes(),
     }
 }
 
@@ -79,6 +83,38 @@ pub fn spill_cfg(budget: u64) -> OptimizerConfig {
         spill_budget: Some(budget),
         ..OptimizerConfig::default()
     }
+}
+
+/// The E22 strawman: the same byte budget, but spilled partitions are
+/// rebuilt whole on access instead of streamed through a row cursor.
+pub fn rebuild_cfg(budget: u64) -> OptimizerConfig {
+    OptimizerConfig {
+        spill_budget: Some(budget),
+        stream_spills: false,
+        ..OptimizerConfig::default()
+    }
+}
+
+/// The E22 streaming-ablation pipeline: a fully skewed group-by. Every
+/// row routes to a single shuffle bucket, so the bucket dwarfs any source
+/// partition — the rebuild-on-access strawman must materialize it whole to
+/// post it, while streaming consumption decodes it row-by-row and its
+/// high-water mark stays at the (half-sized) posted groups.
+pub fn skewed_group(
+    n: usize,
+    partitions: usize,
+    cfg: OptimizerConfig,
+) -> (usize, Arc<ShuffleStats>) {
+    let rows: Vec<u64> = (0..n as u64).collect();
+    let stats = ShuffleStats::new();
+    let grouped = Dataset::from_vec_with(rows, partitions, cfg)
+        .with_stats(Arc::clone(&stats))
+        .key_by(|_| 0u64)
+        .with_stats(Arc::clone(&stats))
+        .group_by_key()
+        .collect();
+    let total = grouped.iter().map(|(_, vs)| vs.len()).sum();
+    (total, stats)
 }
 
 /// A seeded word corpus: `words` draws from a small vocabulary, ~12 words

@@ -42,6 +42,7 @@ pub struct CommStats {
     spills: AtomicU64,
     spill_bytes: AtomicU64,
     unspill_bytes: AtomicU64,
+    peak_resident_bytes: AtomicU64,
     stages: Mutex<BTreeMap<u32, StageComm>>,
 }
 
@@ -152,6 +153,22 @@ impl CommStats {
         self.unspill_bytes.fetch_add(bytes, Ordering::Relaxed);
     }
 
+    /// High-water mark of the largest single resident materialization
+    /// (decoded partition, shuffle bucket, or streamed row) charged so far.
+    pub fn peak_resident_bytes(&self) -> u64 {
+        self.peak_resident_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Raise the resident high-water mark to at least `bytes`.
+    ///
+    /// Unlike every other counter this is a `max`, not a sum: the meter
+    /// records the biggest thing that was ever held in memory at once, so
+    /// charging the same materialization twice is harmless and the final
+    /// value is independent of charge order (and therefore of schedule).
+    pub fn charge_resident(&self, bytes: u64) {
+        self.peak_resident_bytes.fetch_max(bytes, Ordering::Relaxed);
+    }
+
     /// Attribute `records`/`bytes` to the labeled stage `stage` (in
     /// addition to the global counters — call [`CommStats::add_shuffle`] /
     /// [`CommStats::add_bytes`] separately for those).
@@ -195,6 +212,12 @@ impl CommStats {
             .fetch_add(other.spill_bytes(), Ordering::Relaxed);
         self.unspill_bytes
             .fetch_add(other.unspill_bytes(), Ordering::Relaxed);
+        // The peak meter merges by max, not addition: ranks run
+        // concurrently, so the fleet-wide high-water mark is the largest
+        // single rank's, not their sum. Max is associative and commutative,
+        // so the merge law below still holds.
+        self.peak_resident_bytes
+            .fetch_max(other.peak_resident_bytes(), Ordering::Relaxed);
         for (id, c) in other.stages() {
             self.add_stage(id, c.records, c.bytes);
         }
@@ -291,6 +314,8 @@ mod tests {
             s.add_spill(bytes * 3);
             s.add_unspill(bytes * 3);
             s.add_unspill(bytes * 3);
+            s.charge_resident(bytes * 4);
+            s.charge_resident(bytes); // lower charge never lowers the peak
             s
         };
         let flat = |s: &CommStats| {
@@ -305,6 +330,7 @@ mod tests {
                 s.spills(),
                 s.spill_bytes(),
                 s.unspill_bytes(),
+                s.peak_resident_bytes(),
                 s.stages(),
             )
         };
@@ -340,6 +366,8 @@ mod tests {
                 3,
                 1665,
                 3330,
+                // max across the three ledgers (500 * 4), not their sum.
+                2000,
                 vec![
                     (
                         1,

@@ -43,6 +43,19 @@ pub(crate) trait Op<T>: Lineage {
             emit(row);
         }
     }
+    /// Pull-based dual of [`Op::push_partition`]: an iterator over one
+    /// partition's rows, for consumers that drive the pace themselves
+    /// (shuffle posts merging several cursors). Store-backed ops override
+    /// this with their store's row cursor so a spilled partition is
+    /// decoded row-by-row instead of rebuilt; the default materializes and
+    /// drains. Retry deliberately keeps the default (atomicity — see
+    /// `RetryOp::push_partition`).
+    fn stream_partition(&self, idx: usize) -> Box<dyn Iterator<Item = T> + '_>
+    where
+        T: Clone + 'static,
+    {
+        Box::new(take_rows(self.compute_partition_shared(idx)).into_iter())
+    }
     /// Human-readable node label for `explain()`.
     fn label(&self) -> String;
     /// Child lineage labels (already-rendered subtrees).
@@ -130,6 +143,15 @@ impl<T: SpillRow> AutoCache<T> {
     ) -> Arc<Vec<T>> {
         self.store.get_or_init(idx, || Arc::new(compute()))
     }
+
+    /// A row cursor over an already-filled partition, if any — lets push
+    /// consumers replay a spilled cache cell without rebuilding it.
+    pub(crate) fn stream(&self, idx: usize) -> Option<crate::store::RowCursor<T>>
+    where
+        T: Clone,
+    {
+        self.store.stream(idx)
+    }
 }
 
 // ---------- source ----------
@@ -156,21 +178,16 @@ where
         self.parts.load(idx).expect("source parts prefilled")
     }
     fn push_partition(&self, idx: usize, emit: &mut dyn FnMut(T)) {
-        // Stream straight from the resident rows: no whole-partition clone
-        // even when a fused chain consumes the source. A spilled partition
-        // decodes into a unique handle, so its rows move without cloning.
-        match Arc::try_unwrap(self.compute_partition_shared(idx)) {
-            Ok(owned) => {
-                for row in owned {
-                    emit(row);
-                }
-            }
-            Err(resident) => {
-                for row in resident.iter() {
-                    emit(row.clone());
-                }
-            }
+        // Stream straight off the store cursor: resident rows are cloned
+        // one at a time (no whole-partition clone even when a fused chain
+        // consumes the source), and a spilled partition decodes row-by-row
+        // off its file — it is never rebuilt in memory just to be pushed.
+        for row in self.parts.stream(idx).expect("source parts prefilled") {
+            emit(row);
         }
+    }
+    fn stream_partition(&self, idx: usize) -> Box<dyn Iterator<Item = T> + '_> {
+        Box::new(self.parts.stream(idx).expect("source parts prefilled"))
     }
     fn label(&self) -> String {
         let n: usize = (0..self.parts.partitions())
@@ -277,6 +294,14 @@ where
     }
     fn push_partition(&self, idx: usize, emit: &mut dyn FnMut(T)) {
         if self.auto.armed() {
+            // A filled (possibly spilled) cache cell replays through the
+            // cursor — no rebuild. The first consumer computes and fills.
+            if let Some(cursor) = self.auto.stream(idx) {
+                for row in cursor {
+                    emit(row);
+                }
+                return;
+            }
             for row in self.compute_partition_shared(idx).iter() {
                 emit(row.clone());
             }
@@ -289,6 +314,17 @@ where
                 emit(row);
             }
         }
+    }
+    fn stream_partition(&self, idx: usize) -> Box<dyn Iterator<Item = T> + '_> {
+        // An armed, filled cache cell replays through the cursor; anything
+        // else falls back to materialize-and-drain (the pull consumer
+        // cannot drive a push-fused chain without buffering it anyway).
+        if self.auto.armed() {
+            if let Some(cursor) = self.auto.stream(idx) {
+                return Box::new(cursor);
+            }
+        }
+        Box::new(take_rows(self.compute_partition_shared(idx)).into_iter())
     }
     fn label(&self) -> String {
         self.name.to_string()
@@ -512,6 +548,27 @@ impl<T: Clone + Send + Sync + SpillRow> Op<T> for CacheOp<T> {
         self.store
             .get_or_init(idx, || self.parent.compute_partition_shared(idx))
     }
+    fn push_partition(&self, idx: usize, emit: &mut dyn FnMut(T)) {
+        // A filled cell (resident or spilled) replays through the cursor,
+        // so a spilled cache is never rebuilt just to be pushed downstream.
+        if let Some(cursor) = self.store.stream(idx) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            for row in cursor {
+                emit(row);
+            }
+            return;
+        }
+        for row in self.compute_partition_shared(idx).iter() {
+            emit(row.clone());
+        }
+    }
+    fn stream_partition(&self, idx: usize) -> Box<dyn Iterator<Item = T> + '_> {
+        if let Some(cursor) = self.store.stream(idx) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Box::new(cursor);
+        }
+        Box::new(take_rows(self.compute_partition_shared(idx)).into_iter())
+    }
     fn label(&self) -> String {
         "Cache".to_string()
     }
@@ -554,14 +611,8 @@ struct RepartitionOp<T> {
     store: PartitionStore<T>,
 }
 
-impl<T: Clone + Send + Sync + SpillRow> Op<T> for RepartitionOp<T> {
-    fn partitions(&self) -> usize {
-        self.target
-    }
-    fn compute_partition(&self, idx: usize) -> Vec<T> {
-        take_rows(self.compute_partition_shared(idx))
-    }
-    fn compute_partition_shared(&self, idx: usize) -> Arc<Vec<T>> {
+impl<T: Clone + Send + Sync + SpillRow> RepartitionOp<T> {
+    fn ensure_filled(&self) {
         self.store.fill_once(|| {
             let inputs: Vec<Vec<T>> = (0..self.parent.partitions())
                 .into_par_iter()
@@ -573,7 +624,32 @@ impl<T: Clone + Send + Sync + SpillRow> Op<T> for RepartitionOp<T> {
             }
             out
         });
+    }
+}
+
+impl<T: Clone + Send + Sync + SpillRow> Op<T> for RepartitionOp<T> {
+    fn partitions(&self) -> usize {
+        self.target
+    }
+    fn compute_partition(&self, idx: usize) -> Vec<T> {
+        take_rows(self.compute_partition_shared(idx))
+    }
+    fn compute_partition_shared(&self, idx: usize) -> Arc<Vec<T>> {
+        self.ensure_filled();
         self.store.load(idx).expect("repartition store filled")
+    }
+    fn push_partition(&self, idx: usize, emit: &mut dyn FnMut(T)) {
+        // A spilled output partition streams off its cursor instead of
+        // being rebuilt (the materialization barrier itself is inherent:
+        // round-robin needs every input first).
+        self.ensure_filled();
+        for row in self.store.stream(idx).expect("repartition store filled") {
+            emit(row);
+        }
+    }
+    fn stream_partition(&self, idx: usize) -> Box<dyn Iterator<Item = T> + '_> {
+        self.ensure_filled();
+        Box::new(self.store.stream(idx).expect("repartition store filled"))
     }
     fn label(&self) -> String {
         format!("Repartition[{}] === stage boundary ===", self.target)
@@ -728,6 +804,7 @@ impl<T: Clone + Send + Sync + SpillRow + 'static> Dataset<T> {
                     StoreConfig {
                         budget: cfg.spill_budget,
                         stats: None,
+                        stream: cfg.stream_spills,
                     },
                 ),
             }),
@@ -776,6 +853,7 @@ impl<T: Clone + Send + Sync + SpillRow + 'static> Dataset<T> {
         StoreConfig {
             budget: self.opt.spill_budget,
             stats: self.stats.clone(),
+            stream: self.opt.stream_spills,
         }
     }
 

@@ -134,7 +134,7 @@ where
         K: ByteSized,
         V: ByteSized,
         T: Clone + Send + Sync + SpillRow + 'static,
-        F: Fn(Vec<(K, V)>) -> Vec<T> + Send + Sync + 'static,
+        F: Fn(&mut dyn Iterator<Item = (K, V)>) -> Vec<T> + Send + Sync + 'static,
     {
         let cfg = self.inner.store_cfg();
         if self.elides(partitions) {
@@ -193,7 +193,7 @@ where
         // partitions: first a narrow pass that merges within partitions.
         let g = f.clone();
         let combined = self.combine_within_partitions(g);
-        let post = move |bucket: Vec<(K, V)>| {
+        let post = move |bucket: &mut dyn Iterator<Item = (K, V)>| {
             let mut merged: HashMap<K, V> = HashMap::new();
             for (k, v) in bucket {
                 match merged.remove(&k) {
@@ -248,7 +248,7 @@ where
             partitioning: self.partitioning,
         };
         // Reduce side: merge accumulators.
-        let post = move |bucket: Vec<(K, A)>| {
+        let post = move |bucket: &mut dyn Iterator<Item = (K, A)>| {
             let mut merged: HashMap<K, A> = HashMap::new();
             for (k, a) in bucket {
                 match merged.remove(&k) {
@@ -291,7 +291,7 @@ where
         V: ByteSized,
     {
         let partitions = self.inner.num_partitions();
-        let post = move |bucket: Vec<(K, V)>| {
+        let post = move |bucket: &mut dyn Iterator<Item = (K, V)>| {
             let mut groups: HashMap<K, Vec<V>> = HashMap::new();
             for (k, v) in bucket {
                 groups.entry(k).or_default().push(v);
@@ -337,7 +337,7 @@ where
         V: ByteSized,
         W: Clone + Send + Sync + ByteSized + SpillRow + 'static,
         T: Clone + Send + Sync + SpillRow + 'static,
-        F: Fn(Vec<(K, Either<V, W>)>) -> Vec<T> + Send + Sync + 'static,
+        F: Fn(&mut dyn Iterator<Item = (K, Either<V, W>)>) -> Vec<T> + Send + Sync + 'static,
     {
         if self.elides(partitions) && other.elides(partitions) {
             let left = self.inner.map(|(k, v)| (k, Either::Left(v)));
@@ -372,7 +372,7 @@ where
             .inner
             .num_partitions()
             .max(other.inner.num_partitions());
-        let post = move |bucket: Vec<(K, Either<V, W>)>| {
+        let post = move |bucket: &mut dyn Iterator<Item = (K, Either<V, W>)>| {
             let (lefts, rights) = split_sides(bucket);
             let mut out = Vec::new();
             for (k, vs) in lefts {
@@ -408,7 +408,7 @@ where
             .inner
             .num_partitions()
             .max(other.inner.num_partitions());
-        let post = move |bucket: Vec<(K, Either<V, W>)>| {
+        let post = move |bucket: &mut dyn Iterator<Item = (K, Either<V, W>)>| {
             let (lefts, rights) = split_sides(bucket);
             let mut out = Vec::new();
             for (k, vs) in lefts {
@@ -609,7 +609,9 @@ impl<L: SpillRow, R: SpillRow> SpillRow for Either<L, R> {
 /// right values.
 type SplitSides<K, V, W> = (Vec<(K, Vec<V>)>, HashMap<K, Vec<W>>);
 
-fn split_sides<K: Hash + Eq + Clone, V, W>(bucket: Vec<(K, Either<V, W>)>) -> SplitSides<K, V, W> {
+fn split_sides<K: Hash + Eq + Clone, V, W>(
+    bucket: impl Iterator<Item = (K, Either<V, W>)>,
+) -> SplitSides<K, V, W> {
     let mut lefts: Vec<(K, Vec<V>)> = Vec::new();
     let mut left_index: HashMap<K, usize> = HashMap::new();
     let mut rights: HashMap<K, Vec<W>> = HashMap::new();

@@ -57,8 +57,17 @@ pub struct OptimizerConfig {
     pub spill_budget: Option<u64>,
     /// Make the auto-cache cost model spill-aware: a subtree whose cache
     /// would blow the whole budget (and therefore wholly spill) charges
-    /// replay-read bytes comparable to recomputing, so it is not armed.
+    /// replay-read bytes comparable to recomputing, so it is not armed —
+    /// unless [`OptimizerConfig::stream_spills`] is on, in which case the
+    /// spilled cache replays through the cursor at bounded memory and is
+    /// still cheaper than recomputing an arbitrary upstream chain.
     pub charge_spill_reads: bool,
+    /// Consume spilled partitions through the streaming cursor (the
+    /// default): fused chains and shuffle passes pull decoded rows straight
+    /// off the spill file instead of rebuilding the partition as one `Vec`.
+    /// Off, every spilled read is a full rebuild — the measurable strawman
+    /// E22 ablates against.
+    pub stream_spills: bool,
 }
 
 impl Default for OptimizerConfig {
@@ -70,6 +79,7 @@ impl Default for OptimizerConfig {
             auto_cache_min_bytes: 1024,
             spill_budget: None,
             charge_spill_reads: true,
+            stream_spills: true,
         }
     }
 }
@@ -85,6 +95,7 @@ impl OptimizerConfig {
             auto_cache_min_bytes: u64::MAX,
             spill_budget: None,
             charge_spill_reads: false,
+            stream_spills: false,
         }
     }
 }
@@ -111,13 +122,17 @@ fn arm_walk(node: &dyn Lineage, cfg: &OptimizerConfig, visited: &mut HashSet<usi
         if total >= 2 {
             // Worth caching: big enough to beat recomputation, but not so
             // big that the whole cache would spill under the byte budget —
-            // a wholly spilled cache replays its bytes from disk on every
-            // consumer, which the cost model prices like recomputing.
+            // a wholly spilled cache *rebuilt* from disk on every consumer
+            // is priced like recomputing. With streaming on, a spilled
+            // cache replays through the cursor at bounded memory (no
+            // rebuild), so the cost model stops charging the full unspill
+            // and arms it anyway.
             let worth = match node.est_cache_bytes() {
                 None => true,
                 Some(b) => {
                     b >= cfg.auto_cache_min_bytes
                         && !(cfg.charge_spill_reads
+                            && !cfg.stream_spills
                             && cfg.spill_budget.is_some_and(|budget| b > budget))
                 }
             };
@@ -161,6 +176,9 @@ pub struct PlanReport {
     pub spilled_bytes: u64,
     /// Estimated bytes that will spill in stores that have not filled yet.
     pub predicted_spill_bytes: u64,
+    /// Nodes whose spilled partitions are consumed through the streaming
+    /// cursor (never rebuilt as one `Vec`) rather than rebuilt on access.
+    pub streamed_nodes: usize,
 }
 
 impl fmt::Display for PlanReport {
@@ -182,8 +200,9 @@ impl fmt::Display for PlanReport {
         if let Some(budget) = self.spill_budget {
             writeln!(
                 f,
-                "residency: budget {budget} B, {} part(s) / {} B spilled, {} B predicted to spill",
-                self.spilled_parts, self.spilled_bytes, self.predicted_spill_bytes
+                "residency: budget {budget} B, {} part(s) / {} B spilled, {} B predicted to spill, {} node(s) streamed",
+                self.spilled_parts, self.spilled_bytes, self.predicted_spill_bytes,
+                self.streamed_nodes
             )?;
         }
         Ok(())
@@ -207,6 +226,7 @@ pub(crate) fn report_for(root: &dyn Lineage) -> PlanReport {
     let mut spilled_parts = 0usize;
     let mut spilled_bytes = 0u64;
     let mut predicted_spill_bytes = 0u64;
+    let mut streamed_nodes = 0usize;
     plan.walk(&mut |node| {
         match node.residency {
             Some(crate::store::Residency::Mem { budget }) => {
@@ -222,6 +242,18 @@ pub(crate) fn report_for(root: &dyn Lineage) -> PlanReport {
                 spilled_parts += parts;
                 spilled_bytes += bytes;
                 predicted_spill_bytes += predicted_bytes;
+            }
+            Some(crate::store::Residency::Stream {
+                budget,
+                spilled_parts: parts,
+                spilled_bytes: bytes,
+                predicted_bytes,
+            }) => {
+                spill_budget = Some(budget);
+                spilled_parts += parts;
+                spilled_bytes += bytes;
+                predicted_spill_bytes += predicted_bytes;
+                streamed_nodes += 1;
             }
             None => {}
         }
@@ -254,6 +286,7 @@ pub(crate) fn report_for(root: &dyn Lineage) -> PlanReport {
         spilled_parts,
         spilled_bytes,
         predicted_spill_bytes,
+        streamed_nodes,
     }
 }
 
@@ -373,6 +406,16 @@ fn render(node: &PlanNode, indent: usize, optimized: bool, out: &mut String) {
         }) => {
             out.push_str(&format!(
                 " [spill@{budget}B: {spilled_parts} part(s)/{spilled_bytes} B spilled, pred {predicted_bytes} B]"
+            ));
+        }
+        Some(crate::store::Residency::Stream {
+            budget,
+            spilled_parts,
+            spilled_bytes,
+            predicted_bytes,
+        }) => {
+            out.push_str(&format!(
+                " [stream@{budget}B: {spilled_parts} part(s)/{spilled_bytes} B spilled, pred {predicted_bytes} B]"
             ));
         }
         None => {}

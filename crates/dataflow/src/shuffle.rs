@@ -73,79 +73,11 @@ where
 {
     fn route(&self) {
         self.routed.get_or_init(|| {
-            // Map side: every parent partition bucketed in parallel, two
-            // passes — route every row first, then fill exact-capacity
-            // buckets, so no bucket ever reallocates mid-fill. Each input
-            // also meters its per-bucket byte volume, so every output
-            // bucket's exact size is known before any bucket is merged —
-            // the spill decision happens pre-fill.
-            let per_input: Vec<(Bucketed<K, V>, Vec<u64>)> = (0..self.parent.partitions())
-                .into_par_iter()
-                .map(|i| {
-                    let rows = take_rows(self.parent.compute_partition_shared(i));
-                    let mut counts = vec![0usize; self.partitions];
-                    let routes: Vec<u32> = rows
-                        .iter()
-                        .map(|(k, _)| {
-                            let p = partition_of(k, self.partitions);
-                            counts[p] += 1;
-                            p as u32
-                        })
-                        .collect();
-                    let mut buckets: Vec<Vec<(K, V)>> =
-                        counts.iter().map(|&c| Vec::with_capacity(c)).collect();
-                    let mut bucket_bytes = vec![0u64; self.partitions];
-                    for (row, p) in rows.into_iter().zip(routes) {
-                        bucket_bytes[p as usize] += row.approx_bytes() as u64;
-                        buckets[p as usize].push(row);
-                    }
-                    (buckets, bucket_bytes)
-                })
-                .collect();
-            // Exact per-bucket sizes: the sum over inputs of each input's
-            // share of the bucket. The greedy pre-sized plan decides which
-            // buckets stay resident — a pure function of sizes and budget.
-            let mut sizes = vec![0u64; self.partitions];
-            let mut counts = vec![0usize; self.partitions];
-            for (input, bytes) in &per_input {
-                for p in 0..self.partitions {
-                    counts[p] += input[p].len();
-                    sizes[p] += bytes[p];
-                }
-            }
-            let spill = self.buckets.plan_presized(&sizes);
-            // Spilled buckets stream-encode straight out of the per-input
-            // buckets in input-partition order — the same merge order a
-            // resident bucket gets — without ever concatenating in RAM.
-            for (p, &spill_p) in spill.iter().enumerate() {
-                if spill_p {
-                    self.buckets.fill_spilled(
-                        p,
-                        counts[p],
-                        per_input.iter().flat_map(|(input, _)| input[p].iter()),
-                    );
-                }
-            }
-            // Resident buckets merge per-input shares into exact-capacity
-            // vectors, preserving input-partition order so downstream
-            // grouping is deterministic.
-            let mut merged: Vec<Vec<(K, V)>> = counts
-                .iter()
-                .zip(&spill)
-                .map(|(&c, &s)| Vec::with_capacity(if s { 0 } else { c }))
-                .collect();
-            for (input, _) in per_input {
-                for (p, bucket) in input.into_iter().enumerate() {
-                    if !spill[p] {
-                        merged[p].extend(bucket);
-                    }
-                }
-            }
-            for (p, rows) in merged.into_iter().enumerate() {
-                if !spill[p] {
-                    self.buckets.fill_resident(p, Arc::new(rows));
-                }
-            }
+            let (counts, sizes) = if self.buckets.streams() {
+                self.route_streaming()
+            } else {
+                self.route_materialized()
+            };
             let moved: u64 = counts.iter().map(|&c| c as u64).sum();
             let moved_bytes: u64 = sizes.iter().sum();
             if let Some(stats) = &self.stats {
@@ -155,14 +87,160 @@ where
             }
         });
     }
+
+    /// The mem-mode (and rebuild-strawman) map side: every parent
+    /// partition materialized and bucketed in parallel, two passes — route
+    /// every row first, then fill exact-capacity buckets, so no bucket
+    /// ever reallocates mid-fill. Each input also meters its per-bucket
+    /// byte volume, so every output bucket's exact size is known before
+    /// any bucket is merged — the spill decision happens pre-fill.
+    fn route_materialized(&self) -> (Vec<usize>, Vec<u64>) {
+        let per_input: Vec<(Bucketed<K, V>, Vec<u64>)> = (0..self.parent.partitions())
+            .into_par_iter()
+            .map(|i| {
+                let rows = take_rows(self.parent.compute_partition_shared(i));
+                let mut counts = vec![0usize; self.partitions];
+                let routes: Vec<u32> = rows
+                    .iter()
+                    .map(|(k, _)| {
+                        let p = partition_of(k, self.partitions);
+                        counts[p] += 1;
+                        p as u32
+                    })
+                    .collect();
+                let mut buckets: Vec<Vec<(K, V)>> =
+                    counts.iter().map(|&c| Vec::with_capacity(c)).collect();
+                let mut bucket_bytes = vec![0u64; self.partitions];
+                for (row, p) in rows.into_iter().zip(routes) {
+                    bucket_bytes[p as usize] += row.approx_bytes() as u64;
+                    buckets[p as usize].push(row);
+                }
+                (buckets, bucket_bytes)
+            })
+            .collect();
+        // Exact per-bucket sizes: the sum over inputs of each input's
+        // share of the bucket. The greedy pre-sized plan decides which
+        // buckets stay resident — a pure function of sizes and budget.
+        let mut sizes = vec![0u64; self.partitions];
+        let mut counts = vec![0usize; self.partitions];
+        for (input, bytes) in &per_input {
+            for p in 0..self.partitions {
+                counts[p] += input[p].len();
+                sizes[p] += bytes[p];
+            }
+        }
+        let spill = self.buckets.plan_presized(&sizes);
+        // Spilled buckets stream-encode straight out of the per-input
+        // buckets in input-partition order — the same merge order a
+        // resident bucket gets — without ever concatenating in RAM.
+        for (p, &spill_p) in spill.iter().enumerate() {
+            if spill_p {
+                self.buckets.fill_spilled(
+                    p,
+                    counts[p],
+                    per_input.iter().flat_map(|(input, _)| input[p].iter()),
+                );
+            }
+        }
+        // Resident buckets merge per-input shares into exact-capacity
+        // vectors, preserving input-partition order so downstream
+        // grouping is deterministic.
+        let mut merged: Vec<Vec<(K, V)>> = counts
+            .iter()
+            .zip(&spill)
+            .map(|(&c, &s)| Vec::with_capacity(if s { 0 } else { c }))
+            .collect();
+        for (input, _) in per_input {
+            for (p, bucket) in input.into_iter().enumerate() {
+                if !spill[p] {
+                    merged[p].extend(bucket);
+                }
+            }
+        }
+        for (p, rows) in merged.into_iter().enumerate() {
+            if !spill[p] {
+                self.buckets.fill_resident(p, Arc::new(rows));
+            }
+        }
+        (counts, sizes)
+    }
+
+    /// The streaming map side (budgeted stores with streaming on): no
+    /// input partition is ever materialized just to be bucketed.
+    ///
+    /// Pass 1 pushes every input through the narrow chain counting rows
+    /// and bytes per output bucket (in parallel — the counters are
+    /// per-input, merged after). Pass 2 replays the inputs *sequentially
+    /// in input-partition order* — the same merge order the materialized
+    /// path produces — routing each row either into an exact-capacity
+    /// resident bucket or straight into a [`SpillSink`], so a spilled
+    /// bucket is encoded row-by-row as it is produced.
+    ///
+    /// The cost is running the upstream chain twice, which is exactly the
+    /// engine's lineage-recompute contract (row closures are pure;
+    /// anything effectful sits behind a cache or retry barrier, whose
+    /// stores replay pass 2 from their cursor instead of recomputing).
+    fn route_streaming(&self) -> (Vec<usize>, Vec<u64>) {
+        let n_in = self.parent.partitions();
+        let per_input: Vec<(Vec<usize>, Vec<u64>)> = (0..n_in)
+            .into_par_iter()
+            .map(|i| {
+                let mut counts = vec![0usize; self.partitions];
+                let mut bytes = vec![0u64; self.partitions];
+                self.parent.push_partition(i, &mut |row: (K, V)| {
+                    let p = partition_of(&row.0, self.partitions);
+                    counts[p] += 1;
+                    bytes[p] += row.approx_bytes() as u64;
+                });
+                (counts, bytes)
+            })
+            .collect();
+        let mut sizes = vec![0u64; self.partitions];
+        let mut counts = vec![0usize; self.partitions];
+        for (c, b) in &per_input {
+            for p in 0..self.partitions {
+                counts[p] += c[p];
+                sizes[p] += b[p];
+            }
+        }
+        let spill = self.buckets.plan_presized(&sizes);
+        let mut sinks: Vec<Option<crate::store::SpillSink<'_, (K, V)>>> = spill
+            .iter()
+            .enumerate()
+            .map(|(p, &s)| s.then(|| self.buckets.spill_sink(p, counts[p])))
+            .collect();
+        let mut resident: Vec<Vec<(K, V)>> = counts
+            .iter()
+            .zip(&spill)
+            .map(|(&c, &s)| Vec::with_capacity(if s { 0 } else { c }))
+            .collect();
+        for i in 0..n_in {
+            self.parent.push_partition(i, &mut |row: (K, V)| {
+                let p = partition_of(&row.0, self.partitions);
+                match &mut sinks[p] {
+                    Some(sink) => sink.push(&row),
+                    None => resident[p].push(row),
+                }
+            });
+        }
+        for sink in sinks.into_iter().flatten() {
+            sink.finish();
+        }
+        for (p, rows) in resident.into_iter().enumerate() {
+            if !spill[p] {
+                self.buckets.fill_resident(p, Arc::new(rows));
+            }
+        }
+        (counts, sizes)
+    }
 }
 
 impl<K, V, T, F> Op<T> for ShuffleOp<K, V, T, F>
 where
     K: Clone + Send + Sync + Hash + Eq + ByteSized + SpillRow + 'static,
     V: Clone + Send + Sync + ByteSized + SpillRow + 'static,
-    T: Clone + Send + Sync + SpillRow,
-    F: Fn(Vec<(K, V)>) -> Vec<T> + Send + Sync,
+    T: Clone + Send + Sync + SpillRow + 'static,
+    F: Fn(&mut dyn Iterator<Item = (K, V)>) -> Vec<T> + Send + Sync,
 {
     fn partitions(&self) -> usize {
         self.partitions
@@ -173,9 +251,26 @@ where
     fn compute_partition_shared(&self, idx: usize) -> Arc<Vec<T>> {
         self.posted.get_or_init(idx, || {
             self.route();
-            let bucket = take_rows(self.buckets.load(idx).expect("route filled every bucket"));
-            Arc::new((self.post)(bucket))
+            // The merge pass pulls the bucket through the store cursor:
+            // resident rows clone out one at a time, a spilled bucket
+            // decodes row-by-row — it is never rebuilt as one `Vec` just
+            // to be grouped.
+            let mut bucket = self.buckets.stream(idx).expect("route filled every bucket");
+            Arc::new((self.post)(&mut bucket))
         })
+    }
+    fn push_partition(&self, idx: usize, emit: &mut dyn FnMut(T)) {
+        for row in self.stream_partition(idx) {
+            emit(row);
+        }
+    }
+    fn stream_partition(&self, idx: usize) -> Box<dyn Iterator<Item = T> + '_> {
+        // A filled memoized post replays through its cursor (a spilled
+        // post cell streams); the first consumer computes and fills.
+        if let Some(cursor) = self.posted.stream(idx) {
+            return Box::new(cursor);
+        }
+        Box::new(take_rows(self.compute_partition_shared(idx)).into_iter())
     }
     fn label(&self) -> String {
         format!("{}[{} partitions] {}", self.name, self.partitions, SHUFFLE_MARK)
@@ -192,8 +287,8 @@ impl<K, V, T, F> Lineage for ShuffleOp<K, V, T, F>
 where
     K: Clone + Send + Sync + Hash + Eq + ByteSized + SpillRow + 'static,
     V: Clone + Send + Sync + ByteSized + SpillRow + 'static,
-    T: Clone + Send + Sync + SpillRow,
-    F: Fn(Vec<(K, V)>) -> Vec<T> + Send + Sync,
+    T: Clone + Send + Sync + SpillRow + 'static,
+    F: Fn(&mut dyn Iterator<Item = (K, V)>) -> Vec<T> + Send + Sync,
 {
     fn plan(&self) -> PlanNode {
         let measured = self
@@ -267,8 +362,8 @@ pub(crate) struct ElidedShuffleOp<R, T, F> {
 impl<R, T, F> Op<T> for ElidedShuffleOp<R, T, F>
 where
     R: Clone + Send + Sync + 'static,
-    T: Clone + Send + Sync + SpillRow,
-    F: Fn(Vec<R>) -> Vec<T> + Send + Sync,
+    T: Clone + Send + Sync + SpillRow + 'static,
+    F: Fn(&mut dyn Iterator<Item = R>) -> Vec<T> + Send + Sync,
 {
     fn partitions(&self) -> usize {
         self.partitions
@@ -283,13 +378,30 @@ where
                     stats.add_elided_shuffle();
                 }
             });
-            let mut rows = Vec::new();
+            // Chain the parents' partition-`idx` cursors (left before
+            // right, matching the union order a naive shuffle's bucket
+            // receives) — a parent whose partition spilled streams rather
+            // than rebuilds.
             for parent in &self.parents {
                 debug_assert_eq!(parent.partitions(), self.partitions);
-                rows.extend(take_rows(parent.compute_partition_shared(idx)));
             }
-            Arc::new((self.post)(rows))
+            let mut rows = self
+                .parents
+                .iter()
+                .flat_map(|parent| parent.stream_partition(idx));
+            Arc::new((self.post)(&mut rows))
         })
+    }
+    fn push_partition(&self, idx: usize, emit: &mut dyn FnMut(T)) {
+        for row in self.stream_partition(idx) {
+            emit(row);
+        }
+    }
+    fn stream_partition(&self, idx: usize) -> Box<dyn Iterator<Item = T> + '_> {
+        if let Some(cursor) = self.posted.stream(idx) {
+            return Box::new(cursor);
+        }
+        Box::new(take_rows(self.compute_partition_shared(idx)).into_iter())
     }
     fn label(&self) -> String {
         format!("{}[{} partitions] {}", self.name, self.partitions, ELIDED_MARK)
@@ -308,8 +420,8 @@ where
 impl<R, T, F> Lineage for ElidedShuffleOp<R, T, F>
 where
     R: Clone + Send + Sync + 'static,
-    T: Clone + Send + Sync + SpillRow,
-    F: Fn(Vec<R>) -> Vec<T> + Send + Sync,
+    T: Clone + Send + Sync + SpillRow + 'static,
+    F: Fn(&mut dyn Iterator<Item = R>) -> Vec<T> + Send + Sync,
 {
     fn plan(&self) -> PlanNode {
         let est_bytes = Lineage::est_rows(self).map(|r| r * std::mem::size_of::<T>() as u64);
@@ -357,9 +469,9 @@ mod tests {
         let op = ShuffleOp {
             parent: Arc::clone(&ds.op),
             partitions,
-            post: move |bucket: Vec<(u64, u64)>| {
+            post: move |bucket: &mut dyn Iterator<Item = (u64, u64)>| {
                 c.fetch_add(1, Ordering::Relaxed);
-                bucket
+                bucket.collect()
             },
             name: "Identity",
             stats: None,
@@ -400,7 +512,7 @@ mod tests {
         let op = ShuffleOp {
             parent: Arc::clone(&ds.op),
             partitions: 2,
-            post: |bucket: Vec<(u64, u64)>| bucket,
+            post: |bucket: &mut dyn Iterator<Item = (u64, u64)>| bucket.collect(),
             name: "Identity",
             stats: Some(Arc::clone(&stats)),
             stage_id: crate::plan::next_stage_id(),
@@ -438,7 +550,7 @@ mod tests {
         let op = ElidedShuffleOp {
             parents: vec![Arc::clone(&left.op), Arc::clone(&right.op)],
             partitions,
-            post: |rows: Vec<(u64, u64)>| rows,
+            post: |rows: &mut dyn Iterator<Item = (u64, u64)>| rows.collect(),
             name: "Identity",
             stats: Some(Arc::clone(&stats)),
             stage_id: crate::plan::next_stage_id(),

@@ -32,20 +32,39 @@
 //!   the running total fits the budget, spill the rest. Strictly better
 //!   packing, still order-free — the sizes are data, not timing.
 //!
+//! # Streaming consumption
+//!
+//! Reading a spilled partition through [`PartitionStore::load`] rebuilds
+//! it as one `Vec` — the budget bounds storage, not execution. The cursor
+//! API ([`PartitionStore::stream`]) fixes that: it hands out a
+//! [`RowCursor`] that decodes rows one at a time off a buffered file
+//! reader (each row is length-prefixed in the spill format precisely so
+//! the cursor can chunk its reads), and [`PartitionStore::spill_sink`]
+//! is the write-side dual — rows are encoded straight to disk as a
+//! producer pushes them, never concatenated in RAM. With
+//! `StoreConfig::stream` set (the default), fused narrow chains and the
+//! shuffle's route/merge passes pull from the cursor, so peak resident
+//! memory stays bounded by the budget even *during* consumption. With it
+//! cleared the cursor degrades to rebuild-on-access — the measurable
+//! strawman E22 ablates against.
+//!
 //! Spill and unspill traffic is metered through the `CommStats` block
-//! ([`CommStats::add_spill`] / [`CommStats::add_unspill`]), so the
-//! replay-read cost of a budgeted run is as observable as its shuffle
-//! volume.
+//! ([`CommStats::add_spill`] / [`CommStats::add_unspill`]), and every
+//! materialization or streamed row raises the deterministic
+//! `CommStats::peak_resident_bytes` high-water mark, so the replay-read
+//! cost *and* the memory bound of a budgeted run are as observable as its
+//! shuffle volume.
 //!
 //! [`OptimizerConfig::spill_budget`]: crate::optimize::OptimizerConfig::spill_budget
 //! [`CommStats::add_spill`]: peachy_cluster::CommStats::add_spill
 //! [`CommStats::add_unspill`]: peachy_cluster::CommStats::add_unspill
 
+use std::collections::BTreeSet;
 use std::fs::File;
-use std::io::{BufWriter, Write};
+use std::io::{BufReader, BufWriter, Read, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock};
 
 use peachy_cluster::{ByteSized, CommStats};
 
@@ -193,9 +212,29 @@ impl SpillRow for String {
     }
 }
 
-/// `&'static str` rows (common in tests and literals) decode by leaking
-/// the re-read string — acceptable because a static-str dataset is tiny by
-/// construction and only spills under deliberately pathological budgets.
+/// Intern a decoded `&'static str` row in a process-wide cache.
+///
+/// Decoding a `&'static str` has to mint a `'static` string from file
+/// bytes, which means leaking — but leaking *per decode* would grow
+/// memory without bound as the same spilled partition is replayed (the
+/// streaming cursor replays on every pass). The cache leaks each distinct
+/// string exactly once; every later decode of the same bytes returns the
+/// same pointer.
+fn intern_static_str(s: &str) -> &'static str {
+    static CACHE: Mutex<BTreeSet<&'static str>> = Mutex::new(BTreeSet::new());
+    let mut cache = CACHE.lock().expect("str intern cache poisoned");
+    if let Some(hit) = cache.get(s) {
+        return hit;
+    }
+    let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
+    cache.insert(leaked);
+    leaked
+}
+
+/// `&'static str` rows (common in tests and literals) decode through a
+/// process-wide intern cache: the distinct strings of a static-str dataset
+/// are a finite set fixed at compile time, so the cache is bounded even
+/// though each entry is deliberately leaked to get the `'static` lifetime.
 impl SpillRow for &'static str {
     fn spill_encode(&self, out: &mut Vec<u8>) {
         out.extend_from_slice(&(self.len() as u64).to_le_bytes());
@@ -203,7 +242,7 @@ impl SpillRow for &'static str {
     }
     fn spill_decode(r: &mut SpillReader<'_>) -> Self {
         let s = std::str::from_utf8(r.read_bytes()).expect("spilled str was utf8");
-        Box::leak(s.to_owned().into_boxed_str())
+        intern_static_str(s)
     }
 }
 
@@ -285,13 +324,28 @@ spill_tuple!(A B C D E F);
 // ---------- store configuration ----------
 
 /// How a [`PartitionStore`] holds its partitions.
-#[derive(Clone, Default)]
+#[derive(Clone)]
 pub struct StoreConfig {
     /// Resident byte budget. `None` (the default) is the mem-store mode:
     /// every partition stays in RAM and nothing ever touches disk.
     pub budget: Option<u64>,
     /// Counter block charged for spill writes and unspill reads.
     pub stats: Option<Arc<CommStats>>,
+    /// Serve spilled partitions through the streaming cursor (the
+    /// default). Cleared, [`PartitionStore::stream`] degrades to
+    /// rebuild-on-access — the E22 strawman. Irrelevant without a budget
+    /// (nothing ever spills).
+    pub stream: bool,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        Self {
+            budget: None,
+            stats: None,
+            stream: true,
+        }
+    }
 }
 
 impl std::fmt::Debug for StoreConfig {
@@ -299,6 +353,7 @@ impl std::fmt::Debug for StoreConfig {
         f.debug_struct("StoreConfig")
             .field("budget", &self.budget)
             .field("stats", &self.stats.is_some())
+            .field("stream", &self.stream)
             .finish()
     }
 }
@@ -383,6 +438,21 @@ impl<T> PartitionStore<T> {
         self.dir.get().map(PathBuf::as_path)
     }
 
+    /// Does this store serve spilled partitions through the streaming
+    /// cursor? (Budgeted + `stream` — the route/merge passes pick their
+    /// strategy off this.)
+    pub fn streams(&self) -> bool {
+        self.cfg.budget.is_some() && self.cfg.stream
+    }
+
+    /// Raise the peak-resident high-water mark for a materialization of
+    /// `bytes` (no-op without a stats block).
+    fn charge_peak(&self, bytes: u64) {
+        if let Some(stats) = &self.cfg.stats {
+            stats.charge_resident(bytes);
+        }
+    }
+
     /// This store's residency picture for plan rendering: `None` while no
     /// budget applies, the mem/spill decision (with `est_bytes` as the
     /// predicted volume where nothing has filled yet) otherwise.
@@ -396,6 +466,13 @@ impl<T> PartitionStore<T> {
         };
         if spilled_parts == 0 && predicted_bytes == 0 {
             Some(Residency::Mem { budget })
+        } else if self.cfg.stream {
+            Some(Residency::Stream {
+                budget,
+                spilled_parts,
+                spilled_bytes,
+                predicted_bytes,
+            })
         } else {
             Some(Residency::Spill {
                 budget,
@@ -453,6 +530,8 @@ impl<T: SpillRow> PartitionStore<T> {
     fn fill_batch(&self, parts: Vec<Vec<T>>) {
         assert_eq!(parts.len(), self.cells.len(), "one partition per slot");
         let sizes: Vec<u64> = parts.iter().map(|p| p.approx_bytes() as u64).collect();
+        // Every partition existed in RAM at fill time; charge the largest.
+        self.charge_peak(sizes.iter().copied().max().unwrap_or(0));
         let spill = self.plan_presized(&sizes);
         for (idx, (rows, spill)) in parts.into_iter().zip(spill).enumerate() {
             let slot = if spill {
@@ -476,6 +555,7 @@ impl<T: SpillRow> PartitionStore<T> {
     /// Fill slot `idx` with resident rows (pre-sized holders that planned
     /// placement via [`PartitionStore::plan_presized`]).
     pub fn fill_resident(&self, idx: usize, rows: Arc<Vec<T>>) {
+        self.charge_peak(rows.approx_bytes() as u64);
         if self.cells[idx].set(Slot::Resident(rows)).is_err() {
             panic!("fill_resident: slot {idx} already filled");
         }
@@ -525,10 +605,12 @@ impl<T: SpillRow> PartitionStore<T> {
     /// Place a lazily computed partition: resident unless its size times
     /// the partition count exceeds the budget (the fair-share rule).
     fn place_lazy(&self, idx: usize, rows: Arc<Vec<T>>) -> Slot<T> {
+        let bytes = rows.approx_bytes() as u64;
+        // The computed partition exists in RAM right now either way.
+        self.charge_peak(bytes);
         let Some(budget) = self.cfg.budget else {
             return Slot::Resident(rows);
         };
-        let bytes = rows.approx_bytes() as u64;
         if bytes.saturating_mul(self.cells.len() as u64) <= budget {
             return Slot::Resident(rows);
         }
@@ -539,34 +621,93 @@ impl<T: SpillRow> PartitionStore<T> {
     where
         T: 'a,
     {
+        let mut sink = self.open_sink(idx, row_count);
+        for row in rows {
+            sink.push(row);
+        }
+        sink.into_slot()
+    }
+
+    /// Open an incremental spill writer for slot `idx` (`row_count` rows
+    /// must be pushed before [`SpillSink::finish`]). The write-side dual
+    /// of [`PartitionStore::stream`]: the streaming shuffle routes rows
+    /// into sinks as they are produced, so no spilled bucket is ever
+    /// concatenated in RAM.
+    pub fn spill_sink(&self, idx: usize, row_count: usize) -> SpillSink<'_, T> {
+        self.open_sink(idx, row_count)
+    }
+
+    fn open_sink(&self, idx: usize, row_count: usize) -> SpillSink<'_, T> {
         let path = self.dir().join(format!("part-{idx}.bin"));
         let file = File::create(&path)
             .unwrap_or_else(|e| panic!("spill store: create {}: {e}", path.display()));
-        let mut writer = BufWriter::new(file);
-        let mut encoded_bytes = 0u64;
         let mut buf = Vec::with_capacity(256);
         (row_count as u64).spill_encode(&mut buf);
-        for row in rows {
-            row.spill_encode(&mut buf);
-            if buf.len() >= 64 * 1024 {
-                writer.write_all(&buf).expect("spill write");
-                encoded_bytes += buf.len() as u64;
-                buf.clear();
-            }
-        }
-        writer.write_all(&buf).expect("spill write");
-        encoded_bytes += buf.len() as u64;
-        writer.flush().expect("spill flush");
-        if let Some(stats) = &self.cfg.stats {
-            stats.add_spill(encoded_bytes);
-        }
-        self.spilled_parts.fetch_add(1, Ordering::Relaxed);
-        self.spilled_bytes.fetch_add(encoded_bytes, Ordering::Relaxed);
-        Slot::Spilled {
+        SpillSink {
+            store: self,
+            idx,
             path,
-            encoded_bytes,
-            row_count,
+            writer: BufWriter::new(file),
+            buf,
+            scratch: Vec::new(),
+            encoded_bytes: 0,
+            expected: row_count,
+            pushed: 0,
         }
+    }
+
+    /// A cursor over slot `idx`'s rows, if it has been filled.
+    ///
+    /// Resident slots iterate the shared rows (one clone per row — the
+    /// same copies a consumer of [`PartitionStore::load`] would make).
+    /// Spilled slots decode row-by-row off a buffered reader when the
+    /// store streams, so no intermediate `Vec` of the partition ever
+    /// exists; with `StoreConfig::stream` cleared they fall back to a
+    /// full rebuild first (the strawman). Unspill traffic is charged in
+    /// full either way, so byte counters are mode-invariant.
+    pub fn stream(&self, idx: usize) -> Option<RowCursor<T>>
+    where
+        T: Clone,
+    {
+        let slot = self.cells[idx].get()?;
+        let inner = match slot {
+            Slot::Resident(rows) => CursorInner::Resident {
+                rows: Arc::clone(rows),
+                pos: 0,
+            },
+            Slot::Spilled {
+                path,
+                encoded_bytes,
+                row_count,
+            } => {
+                if !self.cfg.stream {
+                    let rows = self.read_slot(slot);
+                    let owned = Arc::try_unwrap(rows).unwrap_or_else(|arc| (*arc).clone());
+                    CursorInner::Owned(owned.into_iter())
+                } else {
+                    if let Some(stats) = &self.cfg.stats {
+                        stats.add_unspill(*encoded_bytes);
+                    }
+                    let file = File::open(path)
+                        .unwrap_or_else(|e| panic!("spill store: open {}: {e}", path.display()));
+                    let mut reader = BufReader::with_capacity(64 * 1024, file);
+                    let mut header = [0u8; 8];
+                    reader.read_exact(&mut header).expect("spill header read");
+                    debug_assert_eq!(
+                        u64::from_le_bytes(header) as usize,
+                        *row_count,
+                        "spill header row count"
+                    );
+                    CursorInner::Spilled {
+                        reader,
+                        remaining: *row_count,
+                        scratch: Vec::new(),
+                        stats: self.cfg.stats.clone(),
+                    }
+                }
+            }
+        };
+        Some(RowCursor { inner })
     }
 
     fn read_slot(&self, slot: &Slot<T>) -> Arc<Vec<T>> {
@@ -584,14 +725,163 @@ impl<T: SpillRow> PartitionStore<T> {
                 debug_assert_eq!(count, *row_count, "spill header row count");
                 let mut rows = Vec::with_capacity(count);
                 for _ in 0..count {
+                    let len = u32::from_le_bytes(reader.read_array()) as usize;
+                    let before = reader.remaining();
                     rows.push(T::spill_decode(&mut reader));
+                    debug_assert_eq!(before - reader.remaining(), len, "row length prefix");
                 }
                 debug_assert_eq!(reader.remaining(), 0, "spill file fully consumed");
                 if let Some(stats) = &self.cfg.stats {
                     stats.add_unspill(*encoded_bytes);
                 }
+                // The whole partition was just rebuilt in RAM.
+                self.charge_peak(rows.approx_bytes() as u64);
                 Arc::new(rows)
             }
+        }
+    }
+}
+
+// ---------- the incremental spill writer ----------
+
+/// Write-side streaming: rows pushed one at a time are length-prefixed,
+/// encoded, and flushed to the slot's spill file in 64 KiB chunks. Created
+/// by [`PartitionStore::spill_sink`]; [`SpillSink::finish`] seals the file
+/// and fills the slot.
+pub struct SpillSink<'s, T: SpillRow> {
+    store: &'s PartitionStore<T>,
+    idx: usize,
+    path: PathBuf,
+    writer: BufWriter<File>,
+    buf: Vec<u8>,
+    scratch: Vec<u8>,
+    encoded_bytes: u64,
+    expected: usize,
+    pushed: usize,
+}
+
+impl<T: SpillRow> SpillSink<'_, T> {
+    /// Encode one row to the file. Only this row is resident, and only
+    /// this row is charged against the peak meter.
+    pub fn push(&mut self, row: &T) {
+        self.scratch.clear();
+        row.spill_encode(&mut self.scratch);
+        let len = u32::try_from(self.scratch.len()).expect("spill row under 4 GiB");
+        self.buf.extend_from_slice(&len.to_le_bytes());
+        self.buf.extend_from_slice(&self.scratch);
+        self.store.charge_peak(row.approx_bytes() as u64);
+        self.pushed += 1;
+        if self.buf.len() >= 64 * 1024 {
+            self.writer.write_all(&self.buf).expect("spill write");
+            self.encoded_bytes += self.buf.len() as u64;
+            self.buf.clear();
+        }
+    }
+
+    /// Seal the file and fill the slot (panics if the slot was filled
+    /// concurrently or the pushed row count disagrees with the header).
+    pub fn finish(self) {
+        let store = self.store;
+        let idx = self.idx;
+        let slot = self.into_slot();
+        if store.cells[idx].set(slot).is_err() {
+            panic!("spill sink: slot {idx} already filled");
+        }
+    }
+
+    fn into_slot(mut self) -> Slot<T> {
+        assert_eq!(
+            self.pushed, self.expected,
+            "spill sink: header promised {} rows, got {}",
+            self.expected, self.pushed
+        );
+        self.writer.write_all(&self.buf).expect("spill write");
+        self.encoded_bytes += self.buf.len() as u64;
+        self.writer.flush().expect("spill flush");
+        if let Some(stats) = &self.store.cfg.stats {
+            stats.add_spill(self.encoded_bytes);
+        }
+        self.store.spilled_parts.fetch_add(1, Ordering::Relaxed);
+        self.store
+            .spilled_bytes
+            .fetch_add(self.encoded_bytes, Ordering::Relaxed);
+        Slot::Spilled {
+            path: self.path,
+            encoded_bytes: self.encoded_bytes,
+            row_count: self.pushed,
+        }
+    }
+}
+
+// ---------- the streaming cursor ----------
+
+/// An iterator of decoded rows over one filled partition slot, from
+/// [`PartitionStore::stream`]. Owns everything it needs (shared `Arc` or
+/// an open file handle), so it outlives no borrow of the store.
+pub struct RowCursor<T: SpillRow> {
+    inner: CursorInner<T>,
+}
+
+enum CursorInner<T: SpillRow> {
+    /// Shared resident rows, cloned out one at a time.
+    Resident { rows: Arc<Vec<T>>, pos: usize },
+    /// A full rebuild (strawman mode), drained by move.
+    Owned(std::vec::IntoIter<T>),
+    /// Chunked decode straight off the spill file.
+    Spilled {
+        reader: BufReader<File>,
+        remaining: usize,
+        scratch: Vec<u8>,
+        stats: Option<Arc<CommStats>>,
+    },
+}
+
+impl<T: SpillRow + Clone> Iterator for RowCursor<T> {
+    type Item = T;
+
+    fn next(&mut self) -> Option<T> {
+        match &mut self.inner {
+            CursorInner::Resident { rows, pos } => {
+                let row = rows.get(*pos)?.clone();
+                *pos += 1;
+                Some(row)
+            }
+            CursorInner::Owned(iter) => iter.next(),
+            CursorInner::Spilled {
+                reader,
+                remaining,
+                scratch,
+                stats,
+            } => {
+                if *remaining == 0 {
+                    return None;
+                }
+                *remaining -= 1;
+                let mut prefix = [0u8; 4];
+                reader.read_exact(&mut prefix).expect("spill row prefix");
+                let len = u32::from_le_bytes(prefix) as usize;
+                scratch.resize(len, 0);
+                reader.read_exact(scratch).expect("spill row read");
+                let mut r = SpillReader::new(scratch);
+                let row = T::spill_decode(&mut r);
+                debug_assert_eq!(r.remaining(), 0, "spill row fully consumed");
+                if let Some(stats) = stats {
+                    // Only this one decoded row is resident.
+                    stats.charge_resident(row.approx_bytes() as u64);
+                }
+                Some(row)
+            }
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        match &self.inner {
+            CursorInner::Resident { rows, pos } => {
+                let left = rows.len() - pos;
+                (left, Some(left))
+            }
+            CursorInner::Owned(iter) => iter.size_hint(),
+            CursorInner::Spilled { remaining, .. } => (*remaining, Some(*remaining)),
         }
     }
 }
@@ -625,8 +915,23 @@ pub enum Residency {
         /// The resident byte budget the store stayed within.
         budget: u64,
     },
-    /// Some partitions live (or are predicted to live) on disk.
+    /// Some partitions live (or are predicted to live) on disk and are
+    /// rebuilt as whole `Vec`s on access (`StoreConfig::stream` cleared).
     Spill {
+        /// The resident byte budget in force.
+        budget: u64,
+        /// Partitions spilled so far.
+        spilled_parts: usize,
+        /// Encoded bytes spilled so far.
+        spilled_bytes: u64,
+        /// Estimated bytes that *will* spill where nothing has run yet
+        /// (0 once real spills exist or the estimate fits the budget).
+        predicted_bytes: u64,
+    },
+    /// Some partitions live (or are predicted to live) on disk and are
+    /// consumed row-by-row through the streaming cursor, so peak resident
+    /// memory stays bounded during consumption.
+    Stream {
         /// The resident byte budget in force.
         budget: u64,
         /// Partitions spilled so far.
@@ -647,10 +952,20 @@ mod tests {
         StoreConfig::default()
     }
 
+    /// Budgeted, rebuild-on-access (the strawman mode).
     fn spill_cfg(budget: u64) -> StoreConfig {
         StoreConfig {
             budget: Some(budget),
             stats: None,
+            stream: false,
+        }
+    }
+
+    /// Budgeted, streaming cursors (the default mode).
+    fn stream_cfg(budget: u64) -> StoreConfig {
+        StoreConfig {
+            budget: Some(budget),
+            ..StoreConfig::default()
         }
     }
 
@@ -749,16 +1064,17 @@ mod tests {
         let cfg = StoreConfig {
             budget: Some(8),
             stats: Some(Arc::clone(&stats)),
+            ..StoreConfig::default()
         };
         let store: PartitionStore<u64> = PartitionStore::new(1, cfg);
         store.get_or_init(0, || Arc::new(vec![7, 8, 9]));
         assert_eq!(stats.spills(), 1);
-        // Header (8 B row count) + 3 × 8 B rows.
-        assert_eq!(stats.spill_bytes(), 32);
+        // Header (8 B row count) + 3 × (4 B length prefix + 8 B row).
+        assert_eq!(stats.spill_bytes(), 44);
         assert_eq!(stats.unspill_bytes(), 0, "first fill served from RAM");
         store.load(0);
         store.load(0);
-        assert_eq!(stats.unspill_bytes(), 64, "every later read is a decode");
+        assert_eq!(stats.unspill_bytes(), 88, "every later read is a decode");
         assert_eq!(stats.spills(), 1, "written once");
     }
 
@@ -797,7 +1113,101 @@ mod tests {
             panic!("spilled store must report Spill");
         };
         assert_eq!(spilled_parts, 1);
-        assert_eq!(spilled_bytes, 8 + 32 * 8);
+        assert_eq!(spilled_bytes, 8 + 32 * (4 + 8));
+    }
+
+    #[test]
+    fn residency_distinguishes_stream_from_rebuild() {
+        let store: PartitionStore<u64> = PartitionStore::new(1, stream_cfg(8));
+        store.get_or_init(0, || Arc::new(vec![1, 2, 3]));
+        assert!(
+            matches!(store.residency(None), Some(Residency::Stream { spilled_parts: 1, .. })),
+            "a streaming store reports Stream residency"
+        );
+        let store: PartitionStore<u64> = PartitionStore::new(1, spill_cfg(8));
+        store.get_or_init(0, || Arc::new(vec![1, 2, 3]));
+        assert!(
+            matches!(store.residency(None), Some(Residency::Spill { spilled_parts: 1, .. })),
+            "a rebuild-on-access store reports Spill residency"
+        );
+    }
+
+    #[test]
+    fn cursor_matches_load_in_every_mode() {
+        let rows: Vec<u64> = (0..500).map(|i| i * 3).collect();
+        for cfg in [mem_cfg(), spill_cfg(8), stream_cfg(8)] {
+            let store = PartitionStore::prefilled(vec![rows.clone()], cfg);
+            let streamed: Vec<u64> = store.stream(0).expect("filled").collect();
+            assert_eq!(streamed, *store.load(0).unwrap());
+            assert_eq!(streamed, rows);
+        }
+        let empty: PartitionStore<u64> = PartitionStore::new(1, mem_cfg());
+        assert!(empty.stream(0).is_none(), "unfilled slot has no cursor");
+    }
+
+    #[test]
+    fn cursor_charges_unspill_like_a_full_read() {
+        // Byte counters must not depend on the consumption mode, only the
+        // peak meter does.
+        let rows: Vec<u64> = (0..64).collect();
+        let mut unspills = Vec::new();
+        for stream in [false, true] {
+            let stats = CommStats::new();
+            let cfg = StoreConfig {
+                budget: Some(8),
+                stats: Some(Arc::clone(&stats)),
+                stream,
+            };
+            let store = PartitionStore::prefilled(vec![rows.clone()], cfg);
+            let _: Vec<u64> = store.stream(0).unwrap().collect();
+            unspills.push(stats.unspill_bytes());
+        }
+        assert_eq!(unspills[0], unspills[1], "unspill bytes are mode-invariant");
+        assert!(unspills[0] > 0);
+    }
+
+    #[test]
+    fn streaming_cursor_keeps_peak_below_full_rebuild() {
+        let rows: Vec<u64> = (0..4096).collect();
+        let peak_of = |stream: bool| {
+            let stats = CommStats::new();
+            let cfg = StoreConfig {
+                budget: Some(8),
+                stats: Some(Arc::clone(&stats)),
+                stream,
+            };
+            let store: PartitionStore<u64> = PartitionStore::new(1, cfg);
+            // Fill through the sink so the strawman's fill-side charge is
+            // identical and only the read side differs.
+            let mut sink = store.spill_sink(0, rows.len());
+            for row in &rows {
+                sink.push(row);
+            }
+            sink.finish();
+            let drained: Vec<u64> = store.stream(0).unwrap().collect();
+            assert_eq!(drained, rows);
+            stats.peak_resident_bytes()
+        };
+        let streamed = peak_of(true);
+        let rebuilt = peak_of(false);
+        assert_eq!(streamed, 8, "streaming holds one 8-byte row at a time");
+        assert_eq!(rebuilt, 4096 * 8, "the strawman rebuilds the whole Vec");
+    }
+
+    #[test]
+    fn spill_sink_and_fill_spilled_write_identical_slots() {
+        let rows: Vec<(u64, String)> = (0..100).map(|i| (i, format!("row-{i}"))).collect();
+        let via_sink: PartitionStore<(u64, String)> = PartitionStore::new(1, stream_cfg(8));
+        let mut sink = via_sink.spill_sink(0, rows.len());
+        for row in &rows {
+            sink.push(row);
+        }
+        sink.finish();
+        let via_fill: PartitionStore<(u64, String)> = PartitionStore::new(1, stream_cfg(8));
+        via_fill.fill_spilled(0, rows.len(), rows.iter());
+        assert_eq!(via_sink.spilled_bytes(), via_fill.spilled_bytes());
+        assert_eq!(*via_sink.load(0).unwrap(), *via_fill.load(0).unwrap());
+        assert_eq!(*via_sink.load(0).unwrap(), rows);
     }
 
     #[test]

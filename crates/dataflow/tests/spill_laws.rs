@@ -333,12 +333,21 @@ fn oversized_auto_cache_is_not_armed() {
     );
     assert_eq!(
         run(cfg_with(Some(1024))),
+        20_000,
+        "streaming store: a spilled cache replays through its cursor, so arming still wins"
+    );
+    assert_eq!(
+        run(OptimizerConfig {
+            stream_spills: false,
+            ..cfg_with(Some(1024))
+        }),
         30_000,
-        "80 KB of cache against a 1 KiB budget: arming buys nothing, skip it"
+        "rebuild-on-access strawman: 80 KB of cache against a 1 KiB budget buys nothing, skip it"
     );
     assert_eq!(
         run(OptimizerConfig {
             charge_spill_reads: false,
+            stream_spills: false,
             ..cfg_with(Some(1024))
         }),
         20_000,

@@ -216,11 +216,12 @@ impl fmt::Display for ServerReport {
         )?;
         write!(
             f,
-            "  backend    scattered {:>6}  gathered {:>7}  collective bytes {:>8}  measured bytes {:>8}",
+            "  backend    scattered {:>6}  gathered {:>7}  collective bytes {:>8}  measured bytes {:>8}  peak resident {:>8}",
             s.comm().scattered(),
             s.comm().gathered(),
             s.comm().collective_bytes(),
-            s.comm().bytes()
+            s.comm().bytes(),
+            s.comm().peak_resident_bytes()
         )
     }
 }
@@ -854,5 +855,6 @@ mod tests {
         assert!(text.contains("service echo on seq"));
         assert!(text.contains("submitted"));
         assert!(text.contains("latency ticks"));
+        assert!(text.contains("peak resident"));
     }
 }

@@ -92,6 +92,10 @@ pub struct Counters {
     pub spill_bytes: u64,
     /// Encoded bytes replayed from spill files.
     pub unspill_bytes: u64,
+    /// High-water mark of bytes materialized or decoded at once by
+    /// budgeted stores (the streaming-execution meter; 0 when nothing
+    /// charged it).
+    pub peak_resident_bytes: u64,
 }
 
 impl Counters {
@@ -104,6 +108,7 @@ impl Counters {
             spills: stats.spills(),
             spill_bytes: stats.spill_bytes(),
             unspill_bytes: stats.unspill_bytes(),
+            peak_resident_bytes: stats.peak_resident_bytes(),
         }
     }
 }

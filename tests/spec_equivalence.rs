@@ -67,6 +67,7 @@ fn city_spec_matches_the_rust_twin_on_every_backend() {
     assert!(!twin_rows.is_empty(), "the twin must produce rates");
 
     let runner = Runner::from_file(specs_dir().join("city_rates.peachy")).expect("spec parses");
+    let mut peaks = Vec::new();
     for exec in backends() {
         let label = format!("{exec:?}");
         let report = runner.run(&RunOptions::on(exec)).expect("spec runs");
@@ -95,7 +96,16 @@ fn city_spec_matches_the_rust_twin_on_every_backend() {
             twin_counters,
             "{label}: shuffle-family counters must match the twin"
         );
+        peaks.push(c.peak_resident_bytes);
     }
+    // Like `bytes`, the high-water meter is measured over the encoded row
+    // representation (Value rows here, typed rows in the twin), so it is
+    // pinned spec ≡ spec: deterministic and identical on every backend.
+    assert!(peaks[0] > 0, "materializing the tables must charge the meter");
+    assert!(
+        peaks.iter().all(|&p| p == peaks[0]),
+        "peak_resident_bytes must be backend-invariant: {peaks:?}"
+    );
 }
 
 #[test]
@@ -200,6 +210,16 @@ fn spill_budgeted_spec_spills_yet_answers_the_same() {
     assert!(budgeted.counters.spills > 0, "a 1-byte budget must spill");
     assert!(budgeted.counters.spill_bytes > 0);
     assert_eq!(budgeted.rows, free.rows, "spilling must not change the answer");
+    // Streaming consumption (the default) keeps the budgeted run's
+    // high-water mark at or below the mem-mode run: spilled partitions are
+    // decoded row-by-row, never rebuilt whole.
+    assert!(budgeted.counters.peak_resident_bytes > 0);
+    assert!(
+        budgeted.counters.peak_resident_bytes <= free.counters.peak_resident_bytes,
+        "budgeted peak {} must not exceed mem-mode peak {}",
+        budgeted.counters.peak_resident_bytes,
+        free.counters.peak_resident_bytes
+    );
 }
 
 #[test]
